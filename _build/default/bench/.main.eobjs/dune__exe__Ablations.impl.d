@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Buffer_pool Col_store Export Float Gb_bicluster Gb_datagen Gb_linalg Gb_relational Gb_util Genbase List Ops Option Paged_store Printf Row_store Sql_linalg

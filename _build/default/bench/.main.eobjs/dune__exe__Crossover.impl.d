@@ -1,0 +1,1 @@
+bench/crossover.ml: Gb_datagen Gb_util Genbase List Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Crossover Genbase List Microbench Printf String Sys Unix Weak_scaling

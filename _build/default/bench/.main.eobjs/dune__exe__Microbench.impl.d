@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Array Bechamel Benchmark Gb_arraydb Gb_datagen Gb_linalg Gb_relational Gb_stats Gb_util Genbase Hashtbl Instance Lazy List Measure Printf Staged Test Time Toolkit

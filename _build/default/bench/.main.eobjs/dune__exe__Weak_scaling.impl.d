@@ -1,0 +1,1 @@
+bench/weak_scaling.ml: Gb_datagen Gb_util Genbase List Printf

@@ -1,0 +1,42 @@
+(* The end-to-end asymptotics argument of Section 6.1: data management is
+   O(N)–O(N log N) while the analytics are O(N^{3/2}), so DM dominates at
+   small scale and analytics dominate at large scale. Measured here as the
+   analytics share of total time per query on the array engine across the
+   four data set sizes (including the XLarge configuration none of the
+   paper's systems completed). *)
+
+let analytics_fraction ds q =
+  match
+    Genbase.Engine.run Genbase.Engine_scidb.engine ds q ~timeout_s:600. ()
+  with
+  | Genbase.Engine.Completed (t, _) ->
+    let total = Genbase.Engine.total t in
+    if total <= 0. then None
+    else Some (t.Genbase.Engine.analytics /. total)
+  | _ -> None
+
+let run () =
+  print_endline
+    "Crossover: analytics share of total query time on SciDB (Section 6.1 \
+     predicts the share grows with N)";
+  let sizes =
+    [ Gb_datagen.Spec.Small; Gb_datagen.Spec.Medium; Gb_datagen.Spec.Large;
+      Gb_datagen.Spec.XLarge ]
+  in
+  let datasets = List.map (fun s -> (s, Genbase.Dataset.of_size s)) sizes in
+  let rows =
+    List.map
+      (fun q ->
+        Genbase.Query.title q
+        :: List.map
+             (fun (_, ds) ->
+               match analytics_fraction ds q with
+               | Some f -> Printf.sprintf "%.0f%%" (100. *. f)
+               | None -> "-")
+             datasets)
+      Genbase.Query.all
+  in
+  print_endline
+    (Gb_util.Render.table
+       ~headers:("Query" :: List.map (fun s -> Gb_datagen.Spec.label s) sizes)
+       ~rows)

@@ -1,0 +1,104 @@
+(* GenBase benchmark driver: regenerates every table and figure from the
+   paper's evaluation (Figures 1-5 and Table 1) plus Bechamel
+   microbenchmarks of the core kernels.
+
+   Usage: main.exe [fig1] [fig2] [fig3] [fig4] [fig5] [table1] [micro]
+                   [--quick] [--timeout SECONDS]
+   With no selection, everything runs. *)
+
+module H = Genbase.Harness
+
+let sections =
+  [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
+    "weak"; "crossover" ]
+
+let parse_args () =
+  let selected = ref [] in
+  let quick = ref false in
+  let timeout = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--timeout" :: v :: rest ->
+      timeout := Some (float_of_string v);
+      go rest
+    | arg :: rest when List.mem arg sections ->
+      selected := arg :: !selected;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %s\nknown: %s --quick --timeout N\n" arg
+        (String.concat " " sections);
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let selected = if !selected = [] then sections else List.rev !selected in
+  (selected, !quick, !timeout)
+
+let () =
+  let selected, quick, timeout = parse_args () in
+  let t0 = Unix.gettimeofday () in
+  let progress s =
+    Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) s
+  in
+  let config =
+    let base = if quick then H.quick_config else H.default_config in
+    let base =
+      match timeout with None -> base | Some t -> { base with H.timeout_s = t }
+    in
+    { base with H.progress = Some progress }
+  in
+  let want s = List.mem s selected in
+  let banner s =
+    print_newline ();
+    print_endline (String.make 72 '=');
+    print_endline s;
+    print_endline (String.make 72 '=')
+  in
+
+  if want "fig1" || want "fig2" then begin
+    banner "Single-node results (Figures 1 and 2)";
+    let cells = H.single_node_cells config in
+    if want "fig1" then List.iter print_endline (H.fig1 cells);
+    if want "fig2" then List.iter print_endline (H.fig2 cells)
+  end;
+
+  if want "fig3" || want "fig4" then begin
+    banner "Multi-node results (Figures 3 and 4)";
+    let cells = H.multi_node_cells config in
+    if want "fig3" then List.iter print_endline (H.fig3 cells);
+    if want "fig4" then List.iter print_endline (H.fig4 cells)
+  end;
+
+  if want "fig5" then begin
+    banner "Coprocessor results (Figure 5)";
+    List.iter print_endline (H.fig5 (H.phi_cells config))
+  end;
+
+  if want "table1" then begin
+    banner "Coprocessor analytics speedup (Table 1)";
+    print_endline (H.table1 (H.phi_mn_cells config))
+  end;
+
+  if want "ablation" then begin
+    banner "Design ablations (Section 6 discussion points)";
+    Ablations.run ()
+  end;
+
+  if want "weak" then begin
+    banner "Weak scaling (the experiment Section 5 announces)";
+    Weak_scaling.run ()
+  end;
+
+  if want "crossover" then begin
+    banner "DM/analytics crossover (Section 6.1)";
+    Crossover.run ()
+  end;
+
+  if want "micro" then begin
+    banner "Kernel microbenchmarks (Bechamel)";
+    Microbench.run ~quick
+  end;
+
+  Printf.eprintf "[%7.1fs] done\n%!" (Unix.gettimeofday () -. t0)

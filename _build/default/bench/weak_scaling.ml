@@ -1,0 +1,67 @@
+(* Weak scaling: the experiment the paper announces at the end of Section 5
+   ("in reality, the genomics data should scale in size with the number of
+   nodes in the cluster ('weak scaling') … we expect benchmark performance
+   to scale on such runs").
+
+   The patient dimension grows with the node count, so per-node data stays
+   constant; a system that scales well should hold its query time roughly
+   flat as nodes are added. *)
+
+let base_patients = 400
+let genes = 600
+
+let run_query engine_of ds nodes q =
+  match
+    Genbase.Engine.run (engine_of nodes) ds q ~timeout_s:300. ()
+  with
+  | Genbase.Engine.Completed (t, _) -> Some (Genbase.Engine.total t)
+  | _ -> None
+
+let run () =
+  print_endline
+    "Weak scaling: per-node data held constant (patients = 400 x nodes)";
+  let node_counts = [ 1; 2; 4 ] in
+  let datasets =
+    List.map
+      (fun n ->
+        ( n,
+          Genbase.Dataset.generate
+            (Gb_datagen.Spec.custom ~genes ~patients:(base_patients * n)) ))
+      node_counts
+  in
+  let systems =
+    [
+      ("pbdR", fun nodes -> Genbase.Engine_pbdr.engine ~nodes);
+      ("SciDB", fun nodes -> Genbase.Engine_scidb_mn.engine ~nodes);
+      ( "Column store + pbdR",
+        fun nodes -> Genbase.Engine_colstore_mn.pbdr ~nodes );
+    ]
+  in
+  List.iter
+    (fun q ->
+      let rows =
+        List.map
+          (fun (name, engine_of) ->
+            name
+            :: List.map
+                 (fun (nodes, ds) ->
+                   match run_query engine_of ds nodes q with
+                   | Some t -> Gb_util.Render.seconds t
+                   | None -> "-")
+                 datasets)
+          systems
+      in
+      Printf.printf "Weak scaling, %s query\n" (Genbase.Query.title q);
+      print_endline
+        (Gb_util.Render.table
+           ~headers:
+             ("System"
+             :: List.map
+                  (fun n ->
+                    Printf.sprintf "%d node%s (%d patients)" n
+                      (if n = 1 then "" else "s")
+                      (base_patients * n))
+                  node_counts)
+           ~rows))
+    [ Genbase.Query.Q1_regression; Genbase.Query.Q2_covariance;
+      Genbase.Query.Q4_svd ]

@@ -1,0 +1,333 @@
+(* Command-line front end for the GenBase benchmark: generate data sets,
+   run a single (engine, query, size) cell, or list what's available. *)
+
+open Cmdliner
+module Spec = Gb_datagen.Spec
+
+let size_conv =
+  let parse = function
+    | "small" -> Ok Spec.Small
+    | "medium" -> Ok Spec.Medium
+    | "large" -> Ok Spec.Large
+    | "xlarge" -> Ok Spec.XLarge
+    | s -> Error (`Msg (Printf.sprintf "unknown size %S" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+      | Spec.Small -> "small"
+      | Spec.Medium -> "medium"
+      | Spec.Large -> "large"
+      | Spec.XLarge -> "xlarge")
+  in
+  Arg.conv (parse, print)
+
+let engine_table nodes =
+  [
+    ("r", Genbase.Engine_r.engine);
+    ("postgres-r", Genbase.Engine_sql.postgres_r);
+    ("madlib", Genbase.Engine_madlib.engine);
+    ("colstore-r", Genbase.Engine_sql.colstore_r);
+    ("colstore-udf", Genbase.Engine_sql.colstore_udf);
+    ("scidb", Genbase.Engine_scidb.engine);
+    ("scidb-phi", Genbase.Engine_phi.engine);
+    ("hadoop", Genbase.Engine_hadoop.engine);
+    ("pbdr", Genbase.Engine_pbdr.engine ~nodes);
+    ("scidb-mn", Genbase.Engine_scidb_mn.engine ~nodes);
+    ("scidb-phi-mn", Genbase.Engine_scidb_mn.engine_phi ~nodes);
+    ("colstore-pbdr", Genbase.Engine_colstore_mn.pbdr ~nodes);
+    ("colstore-udf-mn", Genbase.Engine_colstore_mn.udf ~nodes);
+    ("hadoop-mn", Genbase.Engine_hadoop.engine_multinode ~nodes);
+  ]
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int64 0x6E0BA5EL
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let size_arg =
+  Arg.(
+    value
+    & opt size_conv Spec.Small
+    & info [ "size" ] ~docv:"SIZE"
+        ~doc:"Data set size: small, medium, large or xlarge.")
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory for the CSV files.")
+  in
+  let run size seed dir =
+    let spec = Spec.of_size size in
+    Printf.printf "generating %s...\n%!" (Format.asprintf "%a" Spec.pp spec);
+    let ds = Gb_datagen.Generate.generate ~seed spec in
+    Gb_datagen.Io.write ~dir ds;
+    Printf.printf "wrote microarray.csv, patients.csv, genes.csv, go.csv to %s\n"
+      dir
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a benchmark data set as CSV files.")
+    Term.(const run $ size_arg $ seed_arg $ dir)
+
+(* --- run --- *)
+
+let describe_payload = function
+  | Genbase.Engine.Regression r ->
+    Printf.printf "regression: intercept=%.4f, %d coefficients, R^2=%.4f\n"
+      r.intercept
+      (Array.length r.coefficients)
+      r.r2
+  | Genbase.Engine.Cov_pairs p ->
+    Printf.printf "covariance: %d genes, %d pairs above threshold\n" p.n_genes
+      (List.length p.top_pairs);
+    List.iteri
+      (fun i (a, b, v) ->
+        if i < 5 then Printf.printf "  gene %d ~ gene %d: %.4f\n" a b v)
+      p.top_pairs
+  | Genbase.Engine.Biclusters b ->
+    Printf.printf "biclustering: %d clusters\n" (List.length b.clusters);
+    List.iter
+      (fun (rows, cols, msr) ->
+        Printf.printf "  %dx%d, MSR=%.5f\n" (Array.length rows)
+          (Array.length cols) msr)
+      b.clusters
+  | Genbase.Engine.Singular_values s ->
+    Printf.printf "svd: %d singular values, top:" (Array.length s);
+    Array.iteri (fun i v -> if i < 5 then Printf.printf " %.3f" v) s;
+    print_newline ()
+  | Genbase.Engine.Enrichment terms ->
+    Printf.printf "statistics: %d enriched GO terms\n" (List.length terms);
+    List.iteri
+      (fun i (t, p) -> if i < 5 then Printf.printf "  GO %d: p=%.2e\n" t p)
+      terms
+
+let run_cmd =
+  let query =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:
+            "One of regression, covariance, biclustering, svd, statistics.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt string "scidb"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Engine name; see $(b,genbase list).")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "nodes" ] ~docv:"N" ~doc:"Node count for multi-node engines.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 120.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Benchmark cut-off window.")
+  in
+  let run size seed query engine nodes timeout =
+    match Genbase.Query.of_name query with
+    | None ->
+      Printf.eprintf "unknown query %s\n" query;
+      exit 2
+    | Some q -> (
+      match List.assoc_opt engine (engine_table nodes) with
+      | None ->
+        Printf.eprintf "unknown engine %s (try `genbase list`)\n" engine;
+        exit 2
+      | Some e ->
+        let ds = Gb_datagen.Generate.generate ~seed (Spec.of_size size) in
+        (match Genbase.Engine.run e ds q ~timeout_s:timeout () with
+        | Genbase.Engine.Completed (t, payload) ->
+          Printf.printf "%s / %s / %s: dm=%.3fs analytics=%.3fs total=%.3fs\n"
+            e.Genbase.Engine.name (Genbase.Query.name q) (Spec.label size)
+            t.Genbase.Engine.dm t.Genbase.Engine.analytics
+            (Genbase.Engine.total t);
+          describe_payload payload
+        | o ->
+          Printf.printf "%s / %s / %s: %s\n" e.Genbase.Engine.name
+            (Genbase.Query.name q) (Spec.label size)
+            (Format.asprintf "%a" Genbase.Engine.pp_outcome o)))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one benchmark query on one engine.")
+    Term.(const run $ size_arg $ seed_arg $ query $ engine $ nodes $ timeout)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let run size seed =
+    let ds = Gb_datagen.Generate.generate ~seed (Spec.of_size size) in
+    let db = Genbase.Dataset.load_col_stores ds in
+    let open Gb_relational in
+    let table = function
+      | "microarray" -> db.Genbase.Dataset.microarray_c
+      | "patients" -> db.Genbase.Dataset.patients_c
+      | "genes" -> db.Genbase.Dataset.genes_c
+      | "go" -> db.Genbase.Dataset.go_c
+      | t -> invalid_arg t
+    in
+    let cat =
+      {
+        Plan.scan = (fun t cols -> Ops.scan_col_store (table t) cols);
+        schema_of = (fun t -> Col_store.schema (table t));
+        row_count = (fun t -> Col_store.row_count (table t));
+      }
+    in
+    let join left right on = Plan.Join { left; right; on } in
+    let plans =
+      [
+        ( "Q1/Q4 data management (genes by function x microarray)",
+          Plan.Project
+            ( [ "patient_id"; "gene_id"; "value" ],
+              Plan.Filter
+                ( Expr.(col "func" <% int 250),
+                  join
+                    (Plan.Scan ("microarray", []))
+                    (Plan.Scan ("genes", []))
+                    [ ("gene_id", "gene_id") ] ) ) );
+        ( "Q2 data management (patients by disease x microarray)",
+          Plan.Project
+            ( [ "patient_id"; "gene_id"; "value" ],
+              Plan.Filter
+                ( Expr.(col "disease_id" =% int 1),
+                  join
+                    (Plan.Scan ("microarray", []))
+                    (Plan.Scan ("patients", []))
+                    [ ("patient_id", "patient_id") ] ) ) );
+        ( "Q5 data management (sampled patients, mean per gene)",
+          Plan.Aggregate
+            {
+              group_by = [ "gene_id" ];
+              aggs = [ ("score", Ops.Avg "value") ];
+              input =
+                Plan.Filter
+                  ( Expr.(col "patient_id" <% int 10),
+                    Plan.Scan ("microarray", []) );
+            } );
+      ]
+    in
+    List.iter
+      (fun (title, p) ->
+        Printf.printf "=== %s ===\n%s\n" title (Plan.explain cat p))
+      plans
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show optimized query plans for the benchmark's DM phases.")
+    Term.(const run $ size_arg $ seed_arg)
+
+(* --- seqgen --- *)
+
+let seqgen_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory for counts.csv.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt float 20.
+      & info [ "depth" ] ~docv:"READS" ~doc:"Mean per-cell read depth.")
+  in
+  let run size seed dir depth =
+    let ds = Gb_datagen.Generate.generate ~seed (Spec.of_size size) in
+    let seq = Gb_datagen.Seqdata.of_expression ~seed ~mean_depth:depth ds in
+    Gb_datagen.Seqdata.write_csv ~dir seq;
+    let total =
+      Array.fold_left ( + ) 0 seq.Gb_datagen.Seqdata.library_sizes
+    in
+    Printf.printf "wrote counts.csv (%d libraries, %d total reads) to %s\n"
+      (Array.length seq.Gb_datagen.Seqdata.library_sizes)
+      total dir
+  in
+  Cmd.v
+    (Cmd.info "seqgen"
+       ~doc:"Generate RNA-seq-style count data from a benchmark data set.")
+    Term.(const run $ size_arg $ seed_arg $ dir $ depth)
+
+(* --- suite --- *)
+
+let suite_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "results.csv"
+      & info [ "out" ] ~docv:"FILE" ~doc:"CSV file for the raw cell grid.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 60.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Benchmark cut-off window.")
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (list size_conv) [ Spec.Small ]
+      & info [ "sizes" ] ~docv:"SIZES"
+          ~doc:"Comma-separated sizes to run, e.g. small,medium,large.")
+  in
+  let run seed out timeout sizes =
+    let config =
+      {
+        Genbase.Harness.timeout_s = timeout;
+        sizes;
+        seed;
+        progress = Some (fun s -> Printf.eprintf "%s\n%!" s);
+      }
+    in
+    let cells = Genbase.Harness.single_node_cells config in
+    let oc = open_out out in
+    output_string oc (Genbase.Harness.to_csv cells);
+    close_out oc;
+    Printf.printf "wrote %d cells to %s\n" (List.length cells) out;
+    List.iter print_endline (Genbase.Harness.fig1 cells)
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Run the full single-node grid and dump raw results as CSV.")
+    Term.(const run $ seed_arg $ out $ timeout $ sizes)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    print_endline "queries:";
+    List.iter
+      (fun q -> Printf.printf "  %-14s %s\n" (Genbase.Query.name q) (Genbase.Query.title q))
+      Genbase.Query.all;
+    print_endline "engines (single node):";
+    List.iter
+      (fun (key, e) ->
+        if e.Genbase.Engine.kind = `Single_node then
+          Printf.printf "  %-16s %s\n" key e.Genbase.Engine.name)
+      (engine_table 1);
+    print_endline "engines (multi-node; pass --nodes):";
+    List.iter
+      (fun (key, e) ->
+        if e.Genbase.Engine.kind <> `Single_node then
+          Printf.printf "  %-16s %s\n" key e.Genbase.Engine.name)
+      (engine_table 2)
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available queries and engines.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "genbase" ~version:"1.0.0"
+      ~doc:"The GenBase complex-analytics genomics benchmark."
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; run_cmd; suite_cmd; explain_cmd; seqgen_cmd; list_cmd ]))

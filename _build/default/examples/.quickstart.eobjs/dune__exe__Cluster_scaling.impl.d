@@ -1,0 +1,1 @@
+examples/cluster_scaling.ml: Gb_datagen Genbase List Printf

@@ -1,0 +1,1 @@
+examples/drug_response.ml: Array Float Gb_datagen Genbase List Printf

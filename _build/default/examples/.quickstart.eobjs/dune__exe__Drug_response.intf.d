@@ -1,0 +1,1 @@
+examples/drug_response.mli:

@@ -1,0 +1,1 @@
+examples/enrichment_analysis.ml: Array Format Gb_datagen Gb_linalg Genbase List Printf

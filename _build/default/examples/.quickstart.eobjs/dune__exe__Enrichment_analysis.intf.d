@@ -1,0 +1,1 @@
+examples/enrichment_analysis.mli:

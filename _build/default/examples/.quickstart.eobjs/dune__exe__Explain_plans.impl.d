@@ -1,0 +1,1 @@
+examples/explain_plans.ml: Col_store Expr Gb_datagen Gb_relational Genbase Ops Plan Printf

@@ -1,0 +1,1 @@
+examples/pathway_covariance.ml: Array Gb_bicluster Gb_datagen Gb_linalg Gb_stats Genbase List Printf

@@ -1,0 +1,1 @@
+examples/pathway_covariance.mli:

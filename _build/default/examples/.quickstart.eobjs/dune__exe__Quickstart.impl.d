@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Gb_datagen Genbase List Printf

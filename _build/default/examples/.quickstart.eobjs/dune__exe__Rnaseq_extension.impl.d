@@ -1,0 +1,1 @@
+examples/rnaseq_extension.ml: Array Gb_datagen Gb_linalg Gb_stats Genbase List Printf

@@ -1,0 +1,1 @@
+examples/rnaseq_extension.mli:

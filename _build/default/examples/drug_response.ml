@@ -1,0 +1,67 @@
+(* Drug-response prediction (the paper's Query 1 use case): select genes by
+   function code, regress patient drug response on their expression, and
+   check the fitted model against the generator's planted signal.
+
+   dune exec examples/drug_response.exe *)
+
+module G = Gb_datagen.Generate
+
+let () =
+  let ds = Genbase.Dataset.of_size Gb_datagen.Spec.Small in
+  let planted = ds.G.planted in
+  Printf.printf
+    "cohort: %d patients, %d genes; %d genes carry planted signal\n\n"
+    (Array.length ds.G.patients) (Array.length ds.G.genes)
+    (Array.length planted.G.signal_genes);
+
+  (* Run the full benchmark query on a few engines and compare the fits. *)
+  let engines =
+    [
+      Genbase.Engine_r.engine;
+      Genbase.Engine_sql.postgres_r;
+      Genbase.Engine_scidb.engine;
+    ]
+  in
+  let fits =
+    List.filter_map
+      (fun e ->
+        match
+          Genbase.Engine.run e ds Genbase.Query.Q1_regression ~timeout_s:60. ()
+        with
+        | Genbase.Engine.Completed (t, Genbase.Engine.Regression r) ->
+          Printf.printf "%-22s total %.3fs  R^2 = %.4f\n" e.Genbase.Engine.name
+            (Genbase.Engine.total t) r.r2;
+          Some r.coefficients
+        | _ -> None)
+      engines
+  in
+  (* All engines must agree on the model. *)
+  (match fits with
+  | first :: rest ->
+    let agree =
+      List.for_all
+        (fun c ->
+          Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) first c)
+        rest
+    in
+    Printf.printf "\nengines agree on coefficients: %b\n" agree
+  | [] -> ());
+
+  (* Compare the fitted coefficients with the planted truth. The model was
+     fitted over *all* function<threshold genes; planted signal genes are a
+     subset, the rest should come out near zero. *)
+  let gene_ids =
+    Genbase.Qcommon.genes_with_func_below ds G.func_threshold
+  in
+  match fits with
+  | coefs :: _ ->
+    Printf.printf "\nplanted vs fitted coefficients:\n";
+    Array.iteri
+      (fun k gid ->
+        let fitted_idx = ref (-1) in
+        Array.iteri (fun i g -> if g = gid then fitted_idx := i) gene_ids;
+        Printf.printf "  gene %4d: planted %+6.3f   fitted %+6.3f\n" gid
+          planted.G.signal_coefs.(k)
+          (if !fitted_idx >= 0 then coefs.(!fitted_idx) else nan))
+      planted.G.signal_genes
+  | [] -> print_endline "no engine completed the query"

@@ -1,0 +1,35 @@
+(* Quickstart: generate a small synthetic microarray data set and run all
+   five benchmark queries on the array engine.
+
+   dune exec examples/quickstart.exe *)
+
+let () =
+  (* A data set smaller than the benchmark presets, for a fast demo. *)
+  let spec = Gb_datagen.Spec.custom ~genes:100 ~patients:400 in
+  let ds = Genbase.Dataset.generate spec in
+  Printf.printf "generated %d patients x %d genes\n\n"
+    spec.Gb_datagen.Spec.patients spec.Gb_datagen.Spec.genes;
+  let engine = Genbase.Engine_scidb.engine in
+  List.iter
+    (fun q ->
+      match Genbase.Engine.run engine ds q ~timeout_s:60. () with
+      | Genbase.Engine.Completed (t, payload) ->
+        Printf.printf "%-14s dm=%.4fs analytics=%.4fs -> "
+          (Genbase.Query.name q) t.Genbase.Engine.dm t.Genbase.Engine.analytics;
+        (match payload with
+        | Genbase.Engine.Regression r ->
+          Printf.printf "R^2 = %.3f over %d genes\n" r.r2
+            (Array.length r.coefficients)
+        | Genbase.Engine.Cov_pairs p ->
+          Printf.printf "%d strongly covarying gene pairs\n"
+            (List.length p.top_pairs)
+        | Genbase.Engine.Biclusters b ->
+          Printf.printf "%d biclusters\n" (List.length b.clusters)
+        | Genbase.Engine.Singular_values s ->
+          Printf.printf "top singular value %.2f\n" s.(0)
+        | Genbase.Engine.Enrichment terms ->
+          Printf.printf "%d enriched GO terms\n" (List.length terms))
+      | o ->
+        Printf.printf "%-14s %s\n" (Genbase.Query.name q)
+          (Format.asprintf "%a" Genbase.Engine.pp_outcome o))
+    Genbase.Query.all

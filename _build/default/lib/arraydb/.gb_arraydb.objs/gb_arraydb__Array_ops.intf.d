@@ -1,0 +1,1 @@
+lib/arraydb/array_ops.mli: Chunked

@@ -1,0 +1,1 @@
+lib/arraydb/attr_array.ml: Array List

@@ -1,0 +1,1 @@
+lib/arraydb/chunked.ml: Array Gb_linalg

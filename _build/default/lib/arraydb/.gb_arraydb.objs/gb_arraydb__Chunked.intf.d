@@ -1,0 +1,1 @@
+lib/arraydb/chunked.mli: Gb_linalg

@@ -1,0 +1,1 @@
+lib/arraydb/sparse.ml: Array Float Gb_linalg Hashtbl List

@@ -1,0 +1,1 @@
+lib/arraydb/sparse.mli: Gb_linalg

@@ -1,0 +1,98 @@
+type agg = Sum | Mean | Min | Max
+
+type acc = { mutable n : int; mutable sum : float; mutable lo : float; mutable hi : float }
+
+let fresh () = { n = 0; sum = 0.; lo = infinity; hi = neg_infinity }
+
+let feed a v =
+  a.n <- a.n + 1;
+  a.sum <- a.sum +. v;
+  if v < a.lo then a.lo <- v;
+  if v > a.hi then a.hi <- v
+
+let finish agg a =
+  match agg with
+  | Sum -> a.sum
+  | Mean -> if a.n = 0 then 0. else a.sum /. float_of_int a.n
+  | Min -> a.lo
+  | Max -> a.hi
+
+let between t ~r0 ~c0 ~r1 ~c1 =
+  let rows, cols = Chunked.dims t in
+  if r0 < 0 || c0 < 0 || r1 >= rows || c1 >= cols || r0 > r1 || c0 > c1 then
+    invalid_arg "Array_ops.between: bounds";
+  let out = Chunked.create (r1 - r0 + 1) (c1 - c0 + 1) in
+  for i = r0 to r1 do
+    for j = c0 to c1 do
+      Chunked.set out (i - r0) (j - c0) (Chunked.get t i j)
+    done
+  done;
+  out
+
+let aggregate_rows t agg =
+  let rows, cols = Chunked.dims t in
+  let accs = Array.init cols (fun _ -> fresh ()) in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      feed accs.(j) (Chunked.get t i j)
+    done
+  done;
+  Array.map (finish agg) accs
+
+let aggregate_cols t agg =
+  let rows, cols = Chunked.dims t in
+  let accs = Array.init rows (fun _ -> fresh ()) in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      feed accs.(i) (Chunked.get t i j)
+    done
+  done;
+  Array.map (finish agg) accs
+
+let window t ~rows ~cols agg =
+  if rows < 0 || cols < 0 then invalid_arg "Array_ops.window: extents";
+  let nr, nc = Chunked.dims t in
+  let out = Chunked.create nr nc in
+  for i = 0 to nr - 1 do
+    for j = 0 to nc - 1 do
+      let a = fresh () in
+      for wi = max 0 (i - rows) to min (nr - 1) (i + rows) do
+        for wj = max 0 (j - cols) to min (nc - 1) (j + cols) do
+          feed a (Chunked.get t wi wj)
+        done
+      done;
+      Chunked.set out i j (finish agg a)
+    done
+  done;
+  out
+
+let regrid t ~row_factor ~col_factor agg =
+  if row_factor <= 0 || col_factor <= 0 then
+    invalid_arg "Array_ops.regrid: factors";
+  let nr, nc = Chunked.dims t in
+  let out_r = (nr + row_factor - 1) / row_factor in
+  let out_c = (nc + col_factor - 1) / col_factor in
+  let out = Chunked.create out_r out_c in
+  for oi = 0 to out_r - 1 do
+    for oj = 0 to out_c - 1 do
+      let a = fresh () in
+      for i = oi * row_factor to min (nr - 1) (((oi + 1) * row_factor) - 1) do
+        for j = oj * col_factor to min (nc - 1) (((oj + 1) * col_factor) - 1) do
+          feed a (Chunked.get t i j)
+        done
+      done;
+      Chunked.set out oi oj (finish agg a)
+    done
+  done;
+  out
+
+let map2 f a b =
+  if Chunked.dims a <> Chunked.dims b then invalid_arg "Array_ops.map2: dims";
+  let nr, nc = Chunked.dims a in
+  let out = Chunked.create nr nc in
+  for i = 0 to nr - 1 do
+    for j = 0 to nc - 1 do
+      Chunked.set out i j (f (Chunked.get a i j) (Chunked.get b i j))
+    done
+  done;
+  out

@@ -1,0 +1,29 @@
+(** AQL-style array operators over chunked arrays: the operations an array
+    DBMS exposes beyond plain selection — subarray, windowed aggregation,
+    regridding (the paper's satellite-imagery motivating example is
+    exactly a regrid), per-dimension aggregates and cell-wise
+    combinators. *)
+
+type agg = Sum | Mean | Min | Max
+
+val between : Chunked.t -> r0:int -> c0:int -> r1:int -> c1:int -> Chunked.t
+(** Inclusive rectangular subarray; bounds checked. *)
+
+val aggregate_rows : Chunked.t -> agg -> float array
+(** Collapse the row dimension: one value per column. *)
+
+val aggregate_cols : Chunked.t -> agg -> float array
+
+val window : Chunked.t -> rows:int -> cols:int -> agg -> Chunked.t
+(** Centered moving-window aggregate with window half-extents [rows] and
+    [cols] (so the window is [(2 rows + 1) x (2 cols + 1)], clipped at the
+    borders) — SciDB's [window()]. *)
+
+val regrid : Chunked.t -> row_factor:int -> col_factor:int -> agg -> Chunked.t
+(** Partition the array into [row_factor x col_factor] tiles and collapse
+    each to one cell — SciDB's [regrid()], the coordinate-system
+    coarsening of the paper's earth-science example. Edge tiles may be
+    partial. *)
+
+val map2 : (float -> float -> float) -> Chunked.t -> Chunked.t -> Chunked.t
+(** Cell-wise combination of two same-shape arrays. *)

@@ -1,0 +1,41 @@
+type t = { len : int; cols : (string * float array) list }
+
+let create ~names ~length =
+  { len = length; cols = List.map (fun n -> (n, Array.make length 0.)) names }
+
+let of_columns cols =
+  match cols with
+  | [] -> { len = 0; cols = [] }
+  | (_, first) :: _ ->
+    let len = Array.length first in
+    List.iter
+      (fun (n, c) ->
+        if Array.length c <> len then
+          invalid_arg ("Attr_array.of_columns: ragged column " ^ n))
+      cols;
+    { len; cols = List.map (fun (n, c) -> (n, Array.copy c)) cols }
+
+let length t = t.len
+let attributes t = List.map fst t.cols
+
+let find t name =
+  match List.assoc_opt name t.cols with
+  | Some c -> c
+  | None -> invalid_arg ("Attr_array: no attribute " ^ name)
+
+let get t name i = (find t name).(i)
+let set t name i v = (find t name).(i) <- v
+let column t name = Array.copy (find t name)
+
+let filter t pred =
+  let out = ref [] in
+  for i = t.len - 1 downto 0 do
+    if pred i then out := i :: !out
+  done;
+  Array.of_list !out
+
+let select t idx =
+  {
+    len = Array.length idx;
+    cols = List.map (fun (n, c) -> (n, Array.map (fun i -> c.(i)) idx)) t.cols;
+  }

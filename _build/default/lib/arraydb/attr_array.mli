@@ -1,0 +1,24 @@
+(** 1-D attribute arrays along an array dimension — the array-form
+    representation of patient and gene metadata
+    ("(age, gender, …)[patient_id]"). *)
+
+type t
+
+val create : names:string list -> length:int -> t
+(** All attributes initialized to 0. *)
+
+val of_columns : (string * float array) list -> t
+(** All columns must share a length. *)
+
+val length : t -> int
+val attributes : t -> string list
+val get : t -> string -> int -> float
+val set : t -> string -> int -> float -> unit
+val column : t -> string -> float array
+
+val filter : t -> (int -> bool) -> int array
+(** Indices along the dimension satisfying the predicate (by index, so the
+    predicate can inspect several attributes via [get]). *)
+
+val select : t -> int array -> t
+(** Repack the attribute vectors for the surviving indices. *)

@@ -1,0 +1,120 @@
+module Mat = Gb_linalg.Mat
+
+let chunk_dim = 64
+
+(* Tiles are dense [chunk_dim x chunk_dim] float arrays; edge tiles are
+   allocated full-size and padded with zeros, which keeps indexing
+   branch-free. *)
+type t = {
+  rows : int;
+  cols : int;
+  grid_rows : int;
+  grid_cols : int;
+  tiles : float array array; (* [grid_rows * grid_cols] tiles *)
+}
+
+let tiles_for n = (n + chunk_dim - 1) / chunk_dim
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Chunked.create";
+  let grid_rows = max 1 (tiles_for rows) and grid_cols = max 1 (tiles_for cols) in
+  {
+    rows;
+    cols;
+    grid_rows;
+    grid_cols;
+    tiles =
+      Array.init (grid_rows * grid_cols) (fun _ ->
+          Array.make (chunk_dim * chunk_dim) 0.);
+  }
+
+let dims t = (t.rows, t.cols)
+
+let tile t i j = t.tiles.((i / chunk_dim * t.grid_cols) + (j / chunk_dim))
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Chunked.get: out of bounds";
+  (tile t i j).((i mod chunk_dim * chunk_dim) + (j mod chunk_dim))
+
+let set t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Chunked.set: out of bounds";
+  (tile t i j).((i mod chunk_dim * chunk_dim) + (j mod chunk_dim)) <- v
+
+let unsafe_get t i j =
+  Array.unsafe_get (tile t i j) ((i mod chunk_dim * chunk_dim) + (j mod chunk_dim))
+
+let of_matrix m =
+  let rows, cols = Mat.dims m in
+  let t = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      (tile t i j).((i mod chunk_dim * chunk_dim) + (j mod chunk_dim)) <-
+        Mat.unsafe_get m i j
+    done
+  done;
+  t
+
+let to_matrix t =
+  let m = Mat.create t.rows t.cols in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      Mat.unsafe_set m i j (unsafe_get t i j)
+    done
+  done;
+  m
+
+let select_rows t idx =
+  let out = create (Array.length idx) t.cols in
+  Array.iteri
+    (fun k i ->
+      if i < 0 || i >= t.rows then invalid_arg "Chunked.select_rows: index";
+      for j = 0 to t.cols - 1 do
+        (tile out k j).((k mod chunk_dim * chunk_dim) + (j mod chunk_dim)) <-
+          unsafe_get t i j
+      done)
+    idx;
+  out
+
+let select_cols t idx =
+  let out = create t.rows (Array.length idx) in
+  Array.iteri
+    (fun k j ->
+      if j < 0 || j >= t.cols then invalid_arg "Chunked.select_cols: index";
+      for i = 0 to t.rows - 1 do
+        (tile out i k).((i mod chunk_dim * chunk_dim) + (k mod chunk_dim)) <-
+          unsafe_get t i j
+      done)
+    idx;
+  out
+
+let map f t =
+  let out = create t.rows t.cols in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      (tile out i j).((i mod chunk_dim * chunk_dim) + (j mod chunk_dim)) <-
+        f (unsafe_get t i j)
+    done
+  done;
+  out
+
+let iter_chunks t f =
+  for gr = 0 to t.grid_rows - 1 do
+    for gc = 0 to t.grid_cols - 1 do
+      let row0 = gr * chunk_dim and col0 = gc * chunk_dim in
+      if row0 < t.rows && col0 < t.cols then begin
+        let h = min chunk_dim (t.rows - row0) in
+        let w = min chunk_dim (t.cols - col0) in
+        let tile = t.tiles.((gr * t.grid_cols) + gc) in
+        let m =
+          Mat.init h w (fun i j -> tile.((i * chunk_dim) + j))
+        in
+        f ~row0 ~col0 m
+      end
+    done
+  done
+
+let chunk_count t = t.grid_rows * t.grid_cols
+
+let byte_size t = 8 * chunk_dim * chunk_dim * chunk_count t

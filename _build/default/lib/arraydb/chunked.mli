@@ -1,0 +1,36 @@
+(** SciDB-style chunked 2-D arrays.
+
+    The array is tiled into fixed-size rectangular chunks, each a dense
+    float tile. Dimension selections repack surviving rows/columns into a
+    new chunked array without any table→array pivot — the structural reason
+    the paper's array DBMS wins on this benchmark. *)
+
+type t
+
+val chunk_dim : int
+(** Tile side length. *)
+
+val create : int -> int -> t
+val dims : t -> int * int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val of_matrix : Gb_linalg.Mat.t -> t
+val to_matrix : t -> Gb_linalg.Mat.t
+(** Dense bridge used when handing a chunked array to an analytics
+    kernel; a straight tile-by-tile copy (no text round-trip). *)
+
+val select_rows : t -> int array -> t
+(** Repack the given rows (in order) into a fresh chunked array. *)
+
+val select_cols : t -> int array -> t
+
+val map : (float -> float) -> t -> t
+
+val iter_chunks : t -> (row0:int -> col0:int -> Gb_linalg.Mat.t -> unit) -> unit
+(** Visit each tile as a dense matrix with its global origin. *)
+
+val chunk_count : t -> int
+
+val byte_size : t -> int
+(** Total payload bytes (8 per cell, including tile padding). *)

@@ -1,0 +1,125 @@
+module Mat = Gb_linalg.Mat
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows + 1 *)
+  col_idx : int array; (* length nnz, ascending within each row *)
+  values : float array;
+}
+
+let dims t = (t.rows, t.cols)
+let nnz t = Array.length t.col_idx
+let row_nnz t i = t.row_ptr.(i + 1) - t.row_ptr.(i)
+let density t =
+  if t.rows = 0 || t.cols = 0 then 0.
+  else float_of_int (nnz t) /. float_of_int (t.rows * t.cols)
+
+let of_triples ~rows ~cols triples =
+  if rows < 0 || cols < 0 then invalid_arg "Sparse.of_triples: dims";
+  List.iter
+    (fun (r, c, _) ->
+      if r < 0 || r >= rows || c < 0 || c >= cols then
+        invalid_arg "Sparse.of_triples: entry out of bounds")
+    triples;
+  (* Sum duplicates, then sort per row. *)
+  let tbl = Hashtbl.create (List.length triples) in
+  List.iter
+    (fun (r, c, v) ->
+      let key = (r, c) in
+      Hashtbl.replace tbl key
+        (v +. try Hashtbl.find tbl key with Not_found -> 0.))
+    triples;
+  let entries = Hashtbl.fold (fun (r, c) v acc -> (r, c, v) :: acc) tbl [] in
+  let entries = List.sort compare entries in
+  let n = List.length entries in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make n 0 in
+  let values = Array.make n 0. in
+  List.iteri
+    (fun k (r, c, v) ->
+      row_ptr.(r + 1) <- row_ptr.(r + 1) + 1;
+      col_idx.(k) <- c;
+      values.(k) <- v)
+    entries;
+  for r = 0 to rows - 1 do
+    row_ptr.(r + 1) <- row_ptr.(r + 1) + row_ptr.(r)
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_dense ?(threshold = 0.) m =
+  let rows, cols = Mat.dims m in
+  let triples = ref [] in
+  for i = rows - 1 downto 0 do
+    for j = cols - 1 downto 0 do
+      let v = Mat.unsafe_get m i j in
+      if Float.abs v > threshold then triples := (i, j, v) :: !triples
+    done
+  done;
+  of_triples ~rows ~cols !triples
+
+let to_dense t =
+  let m = Mat.create t.rows t.cols in
+  for r = 0 to t.rows - 1 do
+    for k = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+      Mat.unsafe_set m r t.col_idx.(k) t.values.(k)
+    done
+  done;
+  m
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Sparse.get: out of bounds";
+  (* Binary search in the row's column indices. *)
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let found = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.col_idx.(mid) in
+    if c = j then begin
+      found := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_row t i f =
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done
+
+let iter t f =
+  for r = 0 to t.rows - 1 do
+    iter_row t r (fun c v -> f r c v)
+  done
+
+let spmv t x =
+  if Array.length x <> t.cols then invalid_arg "Sparse.spmv: dimension";
+  let y = Array.make t.rows 0. in
+  for r = 0 to t.rows - 1 do
+    let acc = ref 0. in
+    for k = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+    done;
+    y.(r) <- !acc
+  done;
+  y
+
+let spmv_t t x =
+  if Array.length x <> t.rows then invalid_arg "Sparse.spmv_t: dimension";
+  let y = Array.make t.cols 0. in
+  for r = 0 to t.rows - 1 do
+    let xr = x.(r) in
+    if xr <> 0. then
+      for k = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+        y.(t.col_idx.(k)) <- y.(t.col_idx.(k)) +. (t.values.(k) *. xr)
+      done
+  done;
+  y
+
+let transpose t =
+  let triples = ref [] in
+  iter t (fun r c v -> triples := (c, r, v) :: !triples);
+  of_triples ~rows:t.cols ~cols:t.rows !triples

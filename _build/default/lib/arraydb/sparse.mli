@@ -1,0 +1,35 @@
+(** Compressed sparse row (CSR) 2-D arrays.
+
+    The benchmark's gene-ontology array ("belongs_to[gene_id, go_id]") is
+    almost entirely zeros; an array DBMS stores such arrays sparsely. CSR
+    keeps one row-pointer array plus parallel column/value arrays, giving
+    O(nnz) storage and row-major iteration. *)
+
+type t
+
+val of_triples : rows:int -> cols:int -> (int * int * float) list -> t
+(** Duplicate (row, col) entries are summed. *)
+
+val of_dense : ?threshold:float -> Gb_linalg.Mat.t -> t
+(** Entries with |value| <= threshold (default 0) are dropped. *)
+
+val to_dense : t -> Gb_linalg.Mat.t
+val dims : t -> int * int
+val nnz : t -> int
+val get : t -> int -> int -> float
+(** Zero when absent; binary search within the row. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+val iter : t -> (int -> int -> float -> unit) -> unit
+
+val row_nnz : t -> int -> int
+val spmv : t -> float array -> float array
+(** Sparse matrix-vector product. *)
+
+val spmv_t : t -> float array -> float array
+(** Transposed product [A{^T} x] without materializing the transpose. *)
+
+val transpose : t -> t
+
+val density : t -> float
+(** nnz / (rows * cols). *)

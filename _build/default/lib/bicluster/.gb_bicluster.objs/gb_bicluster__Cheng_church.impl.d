@@ -1,0 +1,1 @@
+lib/bicluster/cheng_church.ml: Array Float Gb_linalg Gb_util List

@@ -1,0 +1,1 @@
+lib/bicluster/cheng_church.mli: Gb_linalg

@@ -1,0 +1,1 @@
+lib/bicluster/spectral.ml: Array Float Gb_linalg Gb_util List

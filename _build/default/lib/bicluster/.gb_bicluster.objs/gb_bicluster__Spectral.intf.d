@@ -1,0 +1,1 @@
+lib/bicluster/spectral.mli: Gb_linalg Gb_util

@@ -1,0 +1,32 @@
+(** Cheng–Church δ-biclustering (benchmark Query 3).
+
+    Simultaneously clusters rows (patients) and columns (genes) of the
+    expression matrix into sub-matrices with coherent values, scored by
+    mean squared residue (MSR). The classic algorithm: greedy multiple/
+    single node deletion down to MSR ≤ δ, then node addition, then masking
+    of the found bicluster with random values before searching for the
+    next. *)
+
+type bicluster = {
+  rows : int array; (** member row indices, ascending *)
+  cols : int array; (** member column indices, ascending *)
+  msr : float; (** mean squared residue of the sub-matrix *)
+}
+
+val mean_squared_residue : Gb_linalg.Mat.t -> int array -> int array -> float
+(** MSR of the sub-matrix selected by the given rows and columns. *)
+
+type config = {
+  delta : float; (** target residue threshold *)
+  alpha : float; (** multiple-deletion aggressiveness, typically 1.2 *)
+  n_clusters : int; (** how many biclusters to extract *)
+  min_rows : int;
+  min_cols : int;
+  seed : int64; (** for masking and any sampling *)
+}
+
+val default_config : config
+
+val run : ?config:config -> Gb_linalg.Mat.t -> bicluster list
+(** Extract up to [n_clusters] biclusters. The input matrix is not
+    modified (masking happens on an internal copy). *)

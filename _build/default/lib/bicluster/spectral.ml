@@ -1,0 +1,52 @@
+module Mat = Gb_linalg.Mat
+
+type cocluster = { rows : int array; cols : int array }
+
+let run ?rng ~k m =
+  let nr, nc = Mat.dims m in
+  if k < 1 || k > min nr nc then invalid_arg "Spectral.run: k";
+  let rng = match rng with Some r -> r | None -> Gb_util.Prng.create 0x57ECL in
+  (* Shift to non-negative edge weights (bipartite adjacency). *)
+  let lo = ref infinity in
+  Mat.iteri (fun _ _ v -> if v < !lo then lo := v) m;
+  let shift = if !lo < 0. then -. !lo +. 1e-9 else 0. in
+  let a = Mat.map (fun v -> v +. shift) m in
+  (* Degree normalization: An = D1^{-1/2} A D2^{-1/2}. *)
+  let row_deg = Array.make nr 0. and col_deg = Array.make nc 0. in
+  Mat.iteri
+    (fun i j v ->
+      row_deg.(i) <- row_deg.(i) +. v;
+      col_deg.(j) <- col_deg.(j) +. v)
+    a;
+  let r_inv = Array.map (fun d -> 1. /. sqrt (Float.max 1e-12 d)) row_deg in
+  let c_inv = Array.map (fun d -> 1. /. sqrt (Float.max 1e-12 d)) col_deg in
+  let an = Mat.init nr nc (fun i j -> r_inv.(i) *. Mat.unsafe_get a i j *. c_inv.(j)) in
+  (* Leading l = ceil(log2 k) singular vectors after the trivial first. *)
+  let l =
+    let rec bits acc v = if v <= 1 then max 1 acc else bits (acc + 1) ((v + 1) / 2) in
+    bits 0 k
+  in
+  let svd = Gb_linalg.Svd.top_k ~rng an (l + 1) in
+  let avail = Array.length svd.Gb_linalg.Svd.s - 1 in
+  let l = max 1 (min l avail) in
+  (* Joint embedding Z: rows scaled by D1^{-1/2} U, cols by D2^{-1/2} V. *)
+  let z =
+    Mat.init (nr + nc) l (fun p d ->
+        if p < nr then r_inv.(p) *. Mat.unsafe_get svd.Gb_linalg.Svd.u p (d + 1)
+        else c_inv.(p - nr) *. Mat.unsafe_get svd.Gb_linalg.Svd.vt (d + 1) (p - nr))
+  in
+  let km = Gb_linalg.Kmeans.fit ~rng ~k z in
+  let clusters =
+    Array.init k (fun c ->
+        let rows = ref [] and cols = ref [] in
+        Array.iteri
+          (fun p label ->
+            if label = c then
+              if p < nr then rows := p :: !rows else cols := (p - nr) :: !cols)
+          km.Gb_linalg.Kmeans.assignments;
+        {
+          rows = Array.of_list (List.rev !rows);
+          cols = Array.of_list (List.rev !cols);
+        })
+  in
+  Array.to_list clusters

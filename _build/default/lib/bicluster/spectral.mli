@@ -1,0 +1,17 @@
+(** Spectral co-clustering (Dhillon 2001) — an alternative biclustering
+    algorithm to Cheng–Church, for the paper's Section 6.3 point that the
+    *choice* of algorithm dominates performance: normalize the matrix by
+    row/column sums, embed rows and columns with the leading singular
+    vectors, and k-means the joint embedding; rows and columns that land
+    in the same cluster form a co-cluster. *)
+
+type cocluster = {
+  rows : int array; (** ascending *)
+  cols : int array;
+}
+
+val run : ?rng:Gb_util.Prng.t -> k:int -> Gb_linalg.Mat.t -> cocluster list
+(** Partition the matrix into [k] co-clusters (some may have empty row or
+    column sets). Values are shifted to be non-negative internally, as the
+    bipartite-graph formulation requires. [k] must satisfy
+    [1 <= k <= min rows cols]. *)

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Gb_linalg Gb_util Netmodel

@@ -1,0 +1,1 @@
+lib/cluster/par_linalg.ml: Array Cluster Gb_linalg

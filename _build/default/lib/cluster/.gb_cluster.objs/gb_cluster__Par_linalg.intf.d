@@ -1,0 +1,1 @@
+lib/cluster/par_linalg.mli: Cluster Gb_linalg

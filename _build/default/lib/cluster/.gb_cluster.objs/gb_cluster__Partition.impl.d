@@ -1,0 +1,1 @@
+lib/cluster/partition.ml: Array Gb_linalg

@@ -1,0 +1,1 @@
+lib/cluster/partition.mli: Gb_linalg

@@ -1,0 +1,109 @@
+module Sim = Gb_util.Clock.Sim
+module Stopwatch = Gb_util.Clock.Stopwatch
+
+type t = {
+  nodes : int;
+  net : Netmodel.t;
+  clock : Sim.t;
+  mutable comm_bytes : int;
+  mutable comm_seconds : float;
+  mutable deadline : float;
+  mutable compute_speedup : float;
+}
+
+let create ?(net = Netmodel.default) ~nodes () =
+  if nodes < 1 then invalid_arg "Cluster.create: nodes";
+  {
+    nodes;
+    net;
+    clock = Sim.create ();
+    comm_bytes = 0;
+    comm_seconds = 0.;
+    deadline = infinity;
+    compute_speedup = 1.;
+  }
+
+let nodes t = t.nodes
+let elapsed t = Sim.now t.clock
+let comm_bytes t = t.comm_bytes
+let comm_seconds t = t.comm_seconds
+
+let check t =
+  if Sim.now t.clock > t.deadline then raise Gb_util.Deadline.Timeout
+
+let set_deadline t d = t.deadline <- d
+
+let superstep_scaled t ~speedup f =
+  check t;
+  let worst = ref 0. in
+  let results =
+    Array.init t.nodes (fun node ->
+        let r, dt = Stopwatch.time (fun () -> f node) in
+        if dt > !worst then worst := dt;
+        r)
+  in
+  Sim.advance t.clock (!worst /. (speedup *. t.compute_speedup));
+  results
+
+let superstep t f = superstep_scaled t ~speedup:1. f
+
+let set_compute_speedup t s =
+  if s <= 0. then invalid_arg "Cluster.set_compute_speedup";
+  t.compute_speedup <- s
+
+let charge_comm t ~bytes ~seconds =
+  t.comm_bytes <- t.comm_bytes + bytes;
+  t.comm_seconds <- t.comm_seconds +. seconds;
+  Sim.advance t.clock seconds;
+  check t
+
+let allreduce_sum t parts =
+  if Array.length parts <> t.nodes then invalid_arg "Cluster.allreduce_sum";
+  let n = Array.length parts.(0) in
+  Array.iter
+    (fun p ->
+      if Array.length p <> n then invalid_arg "Cluster.allreduce_sum: ragged")
+    parts;
+  let out = Array.make n 0. in
+  Array.iter (fun p -> Gb_linalg.Vec.axpy 1. p out) parts;
+  let bytes = 8 * n in
+  charge_comm t ~bytes
+    ~seconds:(Netmodel.allreduce_time t.net ~nodes:t.nodes ~bytes);
+  out
+
+let allreduce_mat t parts =
+  if Array.length parts <> t.nodes then invalid_arg "Cluster.allreduce_mat";
+  let first = parts.(0) in
+  let acc = Gb_linalg.Mat.copy first in
+  for node = 1 to t.nodes - 1 do
+    let p = parts.(node) in
+    Gb_linalg.Mat.iteri
+      (fun i j v ->
+        Gb_linalg.Mat.unsafe_set acc i j (Gb_linalg.Mat.unsafe_get acc i j +. v))
+      p
+  done;
+  let rows, cols = Gb_linalg.Mat.dims first in
+  let bytes = 8 * rows * cols in
+  charge_comm t ~bytes
+    ~seconds:(Netmodel.allreduce_time t.net ~nodes:t.nodes ~bytes);
+  acc
+
+let broadcast t ~bytes =
+  charge_comm t ~bytes
+    ~seconds:(Netmodel.broadcast_time t.net ~nodes:t.nodes ~bytes)
+
+let gather t ~bytes_per_node =
+  let bytes = bytes_per_node * (t.nodes - 1) in
+  charge_comm t ~bytes
+    ~seconds:
+      (if t.nodes <= 1 then 0.
+       else
+         float_of_int (t.nodes - 1) *. Netmodel.transfer_time t.net ~bytes:bytes_per_node)
+
+let shuffle t ~total_bytes =
+  charge_comm t ~bytes:total_bytes
+    ~seconds:(Netmodel.shuffle_time t.net ~nodes:t.nodes ~total_bytes)
+
+let advance t dt =
+  Sim.advance t.clock dt;
+  check t

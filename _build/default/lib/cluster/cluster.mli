@@ -1,0 +1,47 @@
+(** Simulated multi-node execution.
+
+    Work runs as BSP-style supersteps: the per-node closures are executed
+    for real (sequentially, on this machine) and individually timed; the
+    simulated clock advances by the *maximum* per-node time, so load
+    imbalance shows up exactly as it would on a real cluster. Communication
+    primitives charge modelled wire time and account bytes. *)
+
+type t
+
+val create : ?net:Netmodel.t -> nodes:int -> unit -> t
+val nodes : t -> int
+
+val elapsed : t -> float
+(** Simulated seconds so far. *)
+
+val comm_bytes : t -> int
+(** Total bytes charged to the interconnect. *)
+
+val comm_seconds : t -> float
+
+val superstep : t -> (int -> 'a) -> 'a array
+(** [superstep c f] runs [f node] for each node; returns per-node results;
+    advances the clock by the slowest node. *)
+
+val superstep_scaled : t -> speedup:float -> (int -> 'a) -> 'a array
+(** Like {!superstep} with each node's measured time divided by [speedup]
+    (models per-node accelerator execution of the same kernel). *)
+
+val set_compute_speedup : t -> float -> unit
+(** A multiplier applied to every subsequent superstep's measured time —
+    used to model per-node coprocessors without threading a factor through
+    the parallel kernels. Reset it to 1.0 after the accelerated phase. *)
+
+val allreduce_sum : t -> float array array -> float array
+(** Element-wise sum of per-node vectors, charged as a ring allreduce. *)
+
+val allreduce_mat : t -> Gb_linalg.Mat.t array -> Gb_linalg.Mat.t
+
+val broadcast : t -> bytes:int -> unit
+val gather : t -> bytes_per_node:int -> unit
+val shuffle : t -> total_bytes:int -> unit
+val advance : t -> float -> unit
+(** Charge explicit extra simulated time (e.g. a modelled disk spill). *)
+
+val set_deadline : t -> float -> unit
+(** Raise [Gb_util.Deadline.Timeout] when simulated time passes this. *)

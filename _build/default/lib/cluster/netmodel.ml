@@ -1,0 +1,34 @@
+type t = { latency_s : float; bandwidth_bps : float }
+
+let default = { latency_s = 50e-6; bandwidth_bps = 1e9 }
+
+let transfer_time t ~bytes =
+  t.latency_s +. (float_of_int bytes /. t.bandwidth_bps)
+
+let log2i n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let broadcast_time t ~nodes ~bytes =
+  if nodes <= 1 then 0.
+  else
+    float_of_int (log2i nodes + 1)
+    *. (t.latency_s +. (float_of_int bytes /. t.bandwidth_bps))
+
+let allreduce_time t ~nodes ~bytes =
+  if nodes <= 1 then 0.
+  else begin
+    let n = float_of_int nodes in
+    let volume = 2. *. (n -. 1.) /. n *. float_of_int bytes in
+    (2. *. (n -. 1.) *. t.latency_s) +. (volume /. t.bandwidth_bps)
+  end
+
+let shuffle_time t ~nodes ~total_bytes =
+  if nodes <= 1 then 0.
+  else begin
+    let n = float_of_int nodes in
+    (* Each node holds total/n and sends the (n-1)/n of it owned
+       elsewhere; nodes transmit in parallel. *)
+    let per_node_send = float_of_int total_bytes /. n *. ((n -. 1.) /. n) in
+    ((n -. 1.) *. t.latency_s) +. (per_node_send /. t.bandwidth_bps)
+  end

@@ -1,0 +1,22 @@
+(** Interconnect cost model for the simulated cluster.
+
+    Per-node compute is genuinely executed and timed; only message time is
+    modelled, from a latency + bandwidth pair (defaults approximating the
+    paper's GbE-connected 4-node testbed). *)
+
+type t = { latency_s : float; bandwidth_bps : float }
+
+val default : t
+(** 50 µs latency, 1 GB/s per-node bandwidth. *)
+
+val transfer_time : t -> bytes:int -> float
+(** One point-to-point message. *)
+
+val broadcast_time : t -> nodes:int -> bytes:int -> float
+(** Binomial-tree broadcast. *)
+
+val allreduce_time : t -> nodes:int -> bytes:int -> float
+(** Ring allreduce: ~2(n-1)/n of the payload over the wire. *)
+
+val shuffle_time : t -> nodes:int -> total_bytes:int -> float
+(** All-to-all repartition of [total_bytes] spread evenly over nodes. *)

@@ -1,0 +1,109 @@
+module Mat = Gb_linalg.Mat
+module Blas = Gb_linalg.Blas
+
+let ata cluster parts =
+  let locals = Cluster.superstep cluster (fun node -> Blas.ata parts.(node)) in
+  Cluster.allreduce_mat cluster locals
+
+let col_means cluster parts =
+  let total_rows = Array.fold_left (fun acc p -> acc + p.Mat.rows) 0 parts in
+  let sums =
+    Cluster.superstep cluster (fun node ->
+        let p = parts.(node) in
+        let s = Array.make p.Mat.cols 0. in
+        for i = 0 to p.Mat.rows - 1 do
+          for j = 0 to p.Mat.cols - 1 do
+            s.(j) <- s.(j) +. Mat.unsafe_get p i j
+          done
+        done;
+        s)
+  in
+  let sum = Cluster.allreduce_sum cluster sums in
+  Array.map (fun s -> s /. float_of_int (max 1 total_rows)) sum
+
+let covariance cluster parts =
+  let means = col_means cluster parts in
+  let total_rows = Array.fold_left (fun acc p -> acc + p.Mat.rows) 0 parts in
+  let locals =
+    Cluster.superstep cluster (fun node ->
+        let p = parts.(node) in
+        let centered =
+          Mat.init p.Mat.rows p.Mat.cols (fun i j ->
+              Mat.unsafe_get p i j -. means.(j))
+        in
+        Blas.ata centered)
+  in
+  let xtx = Cluster.allreduce_mat cluster locals in
+  Mat.scale (1. /. float_of_int (total_rows - 1)) xtx
+
+let with_intercept p =
+  Mat.init p.Mat.rows (p.Mat.cols + 1) (fun i j ->
+      if j = 0 then 1. else Mat.unsafe_get p i (j - 1))
+
+let regression cluster parts ys =
+  if Array.length ys <> Array.length parts then
+    invalid_arg "Par_linalg.regression";
+  let d = (if Array.length parts = 0 then 0 else parts.(0).Mat.cols) + 1 in
+  let locals =
+    Cluster.superstep cluster (fun node ->
+        let xa = with_intercept parts.(node) in
+        (Blas.ata xa, Blas.gemv_t xa ys.(node)))
+  in
+  let xtx = Cluster.allreduce_mat cluster (Array.map fst locals) in
+  let xty = Cluster.allreduce_sum cluster (Array.map snd locals) in
+  assert (Array.length xty = d);
+  Gb_linalg.Solve.cholesky xtx xty
+
+let matvec cluster parts v =
+  Cluster.broadcast cluster ~bytes:(8 * Array.length v);
+  let locals =
+    Cluster.superstep cluster (fun node -> Blas.gemv parts.(node) v)
+  in
+  let total = Array.fold_left (fun acc l -> acc + Array.length l) 0 locals in
+  Cluster.gather cluster ~bytes_per_node:(8 * total / Cluster.nodes cluster);
+  Array.concat (Array.to_list locals)
+
+let matvec_t cluster parts v =
+  (* v is partitioned conformally with the row blocks. *)
+  let offsets = Array.make (Array.length parts) 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun node p ->
+      offsets.(node) <- !off;
+      off := !off + p.Mat.rows)
+    parts;
+  if Array.length v <> !off then invalid_arg "Par_linalg.matvec_t";
+  let locals =
+    Cluster.superstep cluster (fun node ->
+        let p = parts.(node) in
+        Blas.gemv_t p (Array.sub v offsets.(node) p.Mat.rows))
+  in
+  Cluster.allreduce_sum cluster locals
+
+let lanczos_eigs cluster ~k parts =
+  let cols = if Array.length parts = 0 then 0 else parts.(0).Mat.cols in
+  let apply v = matvec_t cluster parts (matvec cluster parts v) in
+  let res = Gb_linalg.Lanczos.symmetric ~n:cols ~k:(min k cols) apply in
+  res.Gb_linalg.Lanczos.eigenvalues
+
+let r_squared cluster parts ys ~beta =
+  let partials =
+    Cluster.superstep cluster (fun node ->
+        let x = parts.(node) and y = ys.(node) in
+        let ss_res = ref 0. and sum = ref 0. and sum2 = ref 0. in
+        for i = 0 to x.Mat.rows - 1 do
+          let pred = ref beta.(0) in
+          for j = 0 to x.Mat.cols - 1 do
+            pred := !pred +. (beta.(j + 1) *. Mat.unsafe_get x i j)
+          done;
+          let r = y.(i) -. !pred in
+          ss_res := !ss_res +. (r *. r);
+          sum := !sum +. y.(i);
+          sum2 := !sum2 +. (y.(i) *. y.(i))
+        done;
+        [| !ss_res; !sum; !sum2; float_of_int x.Mat.rows |])
+  in
+  let t = Cluster.allreduce_sum cluster partials in
+  let n = t.(3) in
+  let ss_tot = t.(2) -. (t.(1) *. t.(1) /. n) in
+  if ss_tot = 0. then 1. else 1. -. (t.(0) /. ss_tot)

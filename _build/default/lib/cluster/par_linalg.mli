@@ -1,0 +1,34 @@
+(** ScaLAPACK/pbdR-style parallel kernels over block-row partitioned
+    matrices. Per-node compute really runs (and is timed per node); vector
+    and matrix exchanges are charged to the cluster's network model. *)
+
+val ata : Cluster.t -> Gb_linalg.Mat.t array -> Gb_linalg.Mat.t
+(** [X{^T}X] from block-row parts: local [ata] per node + allreduce. *)
+
+val col_means : Cluster.t -> Gb_linalg.Mat.t array -> float array
+(** Global column means (local sums + allreduce). *)
+
+val covariance : Cluster.t -> Gb_linalg.Mat.t array -> Gb_linalg.Mat.t
+(** Column covariance of the distributed matrix. *)
+
+val regression :
+  Cluster.t -> Gb_linalg.Mat.t array -> float array array -> float array
+(** Least squares of block-partitioned [y] on block-partitioned [X]
+    (normal equations assembled in parallel, solved on the head node).
+    Returns intercept followed by coefficients. *)
+
+val matvec : Cluster.t -> Gb_linalg.Mat.t array -> float array -> float array
+(** Distributed [A v]: broadcast [v], local gemv, gather. *)
+
+val matvec_t : Cluster.t -> Gb_linalg.Mat.t array -> float array -> float array
+(** Distributed [A{^T} v]: scatter [v] slices, local gemv_t, allreduce. *)
+
+val lanczos_eigs :
+  Cluster.t -> k:int -> Gb_linalg.Mat.t array -> float array
+(** Top-[k] eigenvalues of [A{^T}A] with the mat-vecs distributed. *)
+
+val r_squared :
+  Cluster.t -> Gb_linalg.Mat.t array -> float array array ->
+  beta:float array -> float
+(** Distributed coefficient of determination for a fitted model
+    ([beta.(0)] is the intercept): local partial sums + allreduce. *)

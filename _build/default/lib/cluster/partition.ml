@@ -1,0 +1,51 @@
+module Mat = Gb_linalg.Mat
+
+let block_rows ~rows ~nodes =
+  if nodes < 1 then invalid_arg "Partition.block_rows";
+  let base = rows / nodes and extra = rows mod nodes in
+  let out = Array.make nodes (0, 0) in
+  let start = ref 0 in
+  for node = 0 to nodes - 1 do
+    let len = base + if node < extra then 1 else 0 in
+    out.(node) <- (!start, len);
+    start := !start + len
+  done;
+  out
+
+let owner_of_row ~rows ~nodes i =
+  let blocks = block_rows ~rows ~nodes in
+  let owner = ref (nodes - 1) in
+  Array.iteri
+    (fun node (start, len) -> if i >= start && i < start + len then owner := node)
+    blocks;
+  !owner
+
+let split_matrix m ~nodes =
+  let rows, cols = Mat.dims m in
+  block_rows ~rows ~nodes
+  |> Array.map (fun (start, len) ->
+         Mat.init len cols (fun i j -> Mat.unsafe_get m (start + i) j))
+
+let split_vector v ~nodes =
+  block_rows ~rows:(Array.length v) ~nodes
+  |> Array.map (fun (start, len) -> Array.sub v start len)
+
+let concat_rows parts =
+  let cols =
+    if Array.length parts = 0 then 0 else snd (Mat.dims parts.(0))
+  in
+  let rows = Array.fold_left (fun acc p -> acc + fst (Mat.dims p)) 0 parts in
+  let out = Mat.create rows cols in
+  let off = ref 0 in
+  Array.iter
+    (fun p ->
+      let pr, pc = Mat.dims p in
+      if pc <> cols then invalid_arg "Partition.concat_rows: ragged";
+      for i = 0 to pr - 1 do
+        for j = 0 to cols - 1 do
+          Mat.unsafe_set out (!off + i) j (Mat.unsafe_get p i j)
+        done
+      done;
+      off := !off + pr)
+    parts;
+  out

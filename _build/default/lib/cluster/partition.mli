@@ -1,0 +1,15 @@
+(** Data partitioning across simulated nodes. *)
+
+val block_rows : rows:int -> nodes:int -> (int * int) array
+(** [(start, len)] of each node's contiguous row block (lengths differ by
+    at most one). *)
+
+val owner_of_row : rows:int -> nodes:int -> int -> int
+
+val split_matrix : Gb_linalg.Mat.t -> nodes:int -> Gb_linalg.Mat.t array
+(** Block-row split. *)
+
+val split_vector : float array -> nodes:int -> float array array
+
+val concat_rows : Gb_linalg.Mat.t array -> Gb_linalg.Mat.t
+(** Inverse of {!split_matrix}. *)

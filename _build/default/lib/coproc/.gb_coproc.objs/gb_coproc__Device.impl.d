@@ -1,0 +1,1 @@
+lib/coproc/device.ml: Gb_util

@@ -1,0 +1,1 @@
+lib/coproc/device.mli: Gb_util

@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Col_store Gb_arraydb Gb_datagen Gb_linalg Gb_relational List Printf Row_store Schema Value

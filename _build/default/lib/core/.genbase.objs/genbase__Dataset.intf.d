@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Gb_arraydb Gb_datagen Gb_relational

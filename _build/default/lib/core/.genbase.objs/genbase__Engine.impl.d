@@ -1,0 +1,1 @@
+lib/core/engine.ml: Dataset Format Gb_mapreduce Gb_util Query

@@ -1,0 +1,1 @@
+lib/core/engine_colstore_mn.ml: Array Col_store Dataset Engine Export Expr Float Gb_cluster Gb_datagen Gb_linalg Gb_relational Gb_util Hashtbl List Ops Option Qcommon Query Relops Schema Seq Value

@@ -1,0 +1,1 @@
+lib/core/engine_colstore_mn.mli: Engine

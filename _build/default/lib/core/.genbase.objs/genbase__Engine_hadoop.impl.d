@@ -1,0 +1,1 @@
+lib/core/engine_hadoop.ml: Array Dataset Engine Float Gb_datagen Gb_linalg Gb_mapreduce Gb_util Hashtbl List Printf Query String

@@ -1,0 +1,1 @@
+lib/core/engine_madlib.ml: Array Engine Engine_sql Expr Float Fun Gb_datagen Gb_linalg Gb_relational Gb_util Hashtbl List Ops Qcommon Query Relops Schema Seq Sql_linalg Value

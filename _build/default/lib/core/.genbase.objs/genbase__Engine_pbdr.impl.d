@@ -1,0 +1,1 @@
+lib/core/engine_pbdr.ml: Array Dataset Engine Float Gb_cluster Gb_datagen Gb_linalg Gb_util List Qcommon Query

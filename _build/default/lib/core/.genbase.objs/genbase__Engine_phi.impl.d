@@ -1,0 +1,1 @@
+lib/core/engine_phi.ml: Engine Engine_scidb Gb_coproc

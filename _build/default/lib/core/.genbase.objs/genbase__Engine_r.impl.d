@@ -1,0 +1,1 @@
+lib/core/engine_r.ml: Array Dataset Engine Fun Gb_datagen Gb_linalg Gb_rlang Gb_util Qcommon Query

@@ -1,0 +1,1 @@
+lib/core/engine_scidb.ml: Array Dataset Engine Fun Gb_arraydb Gb_coproc Gb_datagen Gb_linalg Gb_util List Qcommon Query

@@ -1,0 +1,1 @@
+lib/core/engine_scidb.mli: Dataset Engine Gb_coproc Query

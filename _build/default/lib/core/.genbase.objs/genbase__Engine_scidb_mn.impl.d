@@ -1,0 +1,1 @@
+lib/core/engine_scidb_mn.ml: Array Dataset Engine Float Fun Gb_arraydb Gb_cluster Gb_coproc Gb_datagen Gb_linalg Gb_util List Option Qcommon Query

@@ -1,0 +1,1 @@
+lib/core/engine_scidb_mn.mli: Engine

@@ -1,0 +1,1 @@
+lib/core/engine_sql.ml: Array Col_store Dataset Engine Export Gb_datagen Gb_linalg Gb_relational Gb_util Ops Qcommon Query Relops Row_store

@@ -1,0 +1,1 @@
+lib/core/engine_sql.mli: Dataset Engine Relops

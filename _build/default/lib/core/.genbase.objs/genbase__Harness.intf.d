@@ -1,0 +1,1 @@
+lib/core/harness.mli: Dataset Engine Gb_datagen Query

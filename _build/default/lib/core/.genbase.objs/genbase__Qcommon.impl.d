@@ -1,0 +1,1 @@
+lib/core/qcommon.ml: Array Dataset Engine Float Fun Gb_bicluster Gb_datagen Gb_linalg Gb_stats Gb_util Int List

@@ -1,0 +1,1 @@
+lib/core/qcommon.mli: Dataset Engine Gb_linalg

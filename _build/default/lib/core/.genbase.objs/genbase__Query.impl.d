@@ -1,0 +1,1 @@
+lib/core/query.ml: Gb_datagen List String

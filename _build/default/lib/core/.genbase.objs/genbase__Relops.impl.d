@@ -1,0 +1,1 @@
+lib/core/relops.ml: Array Dataset Expr Float Gb_linalg Gb_relational Hashtbl List Ops Pivot Plan Query Schema Seq Value

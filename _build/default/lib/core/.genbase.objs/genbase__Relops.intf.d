@@ -1,0 +1,1 @@
+lib/core/relops.mli: Gb_linalg Gb_relational Ops Plan Query Schema

@@ -1,0 +1,43 @@
+type payload =
+  | Regression of { intercept : float; coefficients : float array; r2 : float }
+  | Cov_pairs of { n_genes : int; top_pairs : (int * int * float) list }
+  | Biclusters of { clusters : (int array * int array * float) list }
+  | Singular_values of float array
+  | Enrichment of (int * float) list
+
+type timing = { dm : float; analytics : float }
+
+let total t = t.dm +. t.analytics
+
+type outcome =
+  | Completed of timing * payload
+  | Timed_out
+  | Out_of_memory
+  | Errored of string
+  | Unsupported
+
+type t = {
+  name : string;
+  kind : [ `Single_node | `Multi_node of int ];
+  supports : Query.t -> bool;
+  load : Dataset.t -> Query.t -> params:Query.params -> timeout_s:float -> outcome;
+}
+
+exception Memory_exceeded
+
+let run e ds q ?(params = Query.default_params) ~timeout_s () =
+  if not (e.supports q) then Unsupported
+  else
+    try e.load ds q ~params ~timeout_s with
+    | Gb_util.Deadline.Timeout | Gb_mapreduce.Mr.Timeout -> Timed_out
+    | Memory_exceeded | Out_of_memory -> Out_of_memory
+    | Stack_overflow -> Out_of_memory
+    | Invalid_argument msg | Failure msg -> Errored msg
+
+let pp_outcome fmt = function
+  | Completed (t, _) ->
+    Format.fprintf fmt "ok dm=%.3fs analytics=%.3fs" t.dm t.analytics
+  | Timed_out -> Format.pp_print_string fmt "timeout"
+  | Out_of_memory -> Format.pp_print_string fmt "out-of-memory"
+  | Errored msg -> Format.fprintf fmt "error: %s" msg
+  | Unsupported -> Format.pp_print_string fmt "unsupported"

@@ -1,0 +1,47 @@
+(** The system-under-test interface.
+
+    An engine loads a data set once (setup, untimed) and then answers
+    queries, reporting the data-management and analytics phases separately
+    (the split behind Figures 2 and 4). Real-compute engines report wall
+    time; cluster/coprocessor/MapReduce engines report simulated seconds
+    that combine genuinely measured compute with modelled communication. *)
+
+type payload =
+  | Regression of { intercept : float; coefficients : float array; r2 : float }
+  | Cov_pairs of { n_genes : int; top_pairs : (int * int * float) list }
+  | Biclusters of { clusters : (int array * int array * float) list }
+  | Singular_values of float array
+  | Enrichment of (int * float) list
+      (** significantly enriched (go_id, p-value), ascending p *)
+
+type timing = { dm : float; analytics : float }
+
+val total : timing -> float
+
+type outcome =
+  | Completed of timing * payload
+  | Timed_out
+  | Out_of_memory
+  | Errored of string
+      (** the engine hit an execution error (e.g. a degenerate selection
+          made a kernel's preconditions fail); treated like a failure, not
+          a crash *)
+  | Unsupported
+
+type t = {
+  name : string;
+  kind : [ `Single_node | `Multi_node of int ];
+  supports : Query.t -> bool;
+  load : Dataset.t -> Query.t -> params:Query.params -> timeout_s:float -> outcome;
+}
+
+val run : t -> Dataset.t -> Query.t -> ?params:Query.params ->
+  timeout_s:float -> unit -> outcome
+(** Drives [load], translating [Deadline.Timeout], [Mr.Timeout] and
+    memory-budget failures into the corresponding outcomes. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+exception Memory_exceeded
+(** Raised by engines whose modelled memory budget is exhausted (the
+    paper's "temporary space allocation failed" result). *)

@@ -1,0 +1,14 @@
+(** Multi-node column store configurations (Figures 3 and 4): the
+    microarray table is row-partitioned by patient across nodes (small
+    tables replicated); data management runs the usual relational plans
+    per node.
+
+    - [pbdr ~nodes]: "Column store + pbdR" — per-node results cross the
+      CSV export boundary into pbdR, which runs the ScaLAPACK-style
+      parallel kernels.
+    - [udf ~nodes]: "Column store + UDFs" — analytics in-process per node
+      with partial aggregation across nodes, no export; the biclustering
+      UDF keeps its chatty-marshalling pathology. *)
+
+val pbdr : nodes:int -> Engine.t
+val udf : nodes:int -> Engine.t

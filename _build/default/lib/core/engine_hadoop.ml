@@ -1,0 +1,174 @@
+module Mr = Gb_mapreduce.Mr
+module Hive = Gb_mapreduce.Hive
+module Mahout = Gb_mapreduce.Mahout
+
+let field line i =
+  match List.nth_opt (String.split_on_char ',' line) i with
+  | Some f -> f
+  | None -> failwith ("Hadoop: short record " ^ line)
+
+let dense_index ids =
+  let tbl = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun k id -> Hashtbl.add tbl id k) ids;
+  tbl
+
+(* Renumber one id field of a joined table to dense indices (a map-only
+   job with the dictionary shipped via distributed cache). *)
+let to_dense_triples mr table ~id_field ~other_field ~value_field ~index
+    ~dense_first =
+  Mr.map_only mr ~name:"renumber"
+    ~mapper:(fun line ->
+      let f = Array.of_list (String.split_on_char ',' line) in
+      let dense = Hashtbl.find index (int_of_string f.(id_field)) in
+      let other = f.(other_field) and v = f.(value_field) in
+      if dense_first then [ Printf.sprintf "%d,%s,%s" dense other v ]
+      else [ Printf.sprintf "%s,%d,%s" other dense v ])
+    table
+
+let run ~nodes ds query ~(params : Query.params) ~timeout_s =
+  let dl = Gb_util.Deadline.start ~seconds:(2. *. timeout_s) in
+  let mr = Mr.create ~nodes () in
+  Mr.set_deadline mr timeout_s;
+  let hdb = Dataset.load_hadoop_db ds in
+  let phase f =
+    let t0 = Mr.elapsed mr in
+    let r = f () in
+    Gb_util.Deadline.check dl;
+    (r, Mr.elapsed mr -. t0)
+  in
+  let n_patients = Array.length ds.Gb_datagen.Generate.patients in
+  let n_genes = Array.length ds.Gb_datagen.Generate.genes in
+  let select_genes_and_join () =
+    let sel =
+      Hive.select mr ~name:"sel-genes"
+        (fun f -> int_of_string f.(4) < params.func_threshold)
+        hdb.Dataset.genes_h
+    in
+    let keys = Hive.project mr ~name:"gene-keys" [ 0 ] sel in
+    let gene_ids =
+      List.map int_of_string keys |> List.sort compare |> Array.of_list
+    in
+    let joined =
+      Hive.join mr ~name:"micro-genes" ~left_key:0 ~right_key:0
+        hdb.Dataset.microarray_h keys
+    in
+    (* joined fields: gene_id, patient_id, value *)
+    let idx = dense_index gene_ids in
+    let triples =
+      to_dense_triples mr joined ~id_field:0 ~other_field:1 ~value_field:2
+        ~index:idx ~dense_first:false
+    in
+    (triples, gene_ids)
+  in
+  match query with
+  | Query.Q1_regression ->
+    let (triples, gene_ids, y), dm =
+      phase (fun () ->
+          let triples, gene_ids = select_genes_and_join () in
+          let resp =
+            Hive.project mr ~name:"responses" [ 0; 5 ] hdb.Dataset.patients_h
+          in
+          let y = Array.make n_patients 0. in
+          List.iter
+            (fun line ->
+              y.(int_of_string (field line 0)) <- float_of_string (field line 1))
+            resp;
+          (triples, gene_ids, y))
+    in
+    let payload, analytics =
+      phase (fun () ->
+          let beta =
+            Mahout.regression mr ~rows:n_patients ~cols:(Array.length gene_ids)
+              triples y
+          in
+          Engine.Regression
+            {
+              intercept = beta.(0);
+              coefficients = Array.sub beta 1 (Array.length beta - 1);
+              r2 = Float.nan;
+            })
+    in
+    Engine.Completed ({ dm; analytics }, payload)
+  | Query.Q2_covariance ->
+    let (triples, n_sel), dm0 =
+      phase (fun () ->
+          let sel =
+            Hive.select mr ~name:"sel-patients"
+              (fun f -> int_of_string f.(4) = params.disease_id)
+              hdb.Dataset.patients_h
+          in
+          let keys = Hive.project mr ~name:"patient-keys" [ 0 ] sel in
+          let pat_ids =
+            List.map int_of_string keys |> List.sort compare |> Array.of_list
+          in
+          let joined =
+            Hive.join mr ~name:"micro-patients" ~left_key:1 ~right_key:0
+              hdb.Dataset.microarray_h keys
+          in
+          let idx = dense_index pat_ids in
+          let triples =
+            to_dense_triples mr joined ~id_field:1 ~other_field:0
+              ~value_field:2 ~index:idx ~dense_first:true
+          in
+          (triples, Array.length pat_ids))
+    in
+    let payload, analytics =
+      phase (fun () ->
+          let cov =
+            Mahout.covariance mr ~rows:n_sel ~cols:n_genes triples
+          in
+          let c = Mahout.to_mat ~rows:n_genes ~cols:n_genes cov in
+          let pairs =
+            Gb_linalg.Covariance.top_fraction c params.cov_top_fraction
+          in
+          Engine.Cov_pairs { n_genes; top_pairs = pairs })
+    in
+    let pairs =
+      match payload with Engine.Cov_pairs p -> p.top_pairs | _ -> []
+    in
+    let _joined, dm1 =
+      phase (fun () ->
+          let pair_table =
+            List.map (fun (a, b, v) -> Printf.sprintf "%d,%d,%.12g" a b v) pairs
+          in
+          Hive.join mr ~name:"pairs-meta" ~left_key:0 ~right_key:0 pair_table
+            hdb.Dataset.genes_h)
+    in
+    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+  | Query.Q3_biclustering | Query.Q5_statistics -> Engine.Unsupported
+  | Query.Q4_svd ->
+    let (triples, gene_ids), dm =
+      phase (fun () -> select_genes_and_join ())
+    in
+    let payload, analytics =
+      phase (fun () ->
+          let eigs =
+            Mahout.lanczos_eigs mr ~rows:n_patients
+              ~cols:(Array.length gene_ids)
+              ~k:(min params.svd_k (Array.length gene_ids))
+              triples
+          in
+          Engine.Singular_values
+            (Array.map (fun e -> sqrt (Float.max 0. e)) eigs))
+    in
+    Engine.Completed ({ dm; analytics }, payload)
+
+let supports = function
+  | Query.Q1_regression | Query.Q2_covariance | Query.Q4_svd -> true
+  | Query.Q3_biclustering | Query.Q5_statistics -> false
+
+let engine =
+  {
+    Engine.name = "Hadoop";
+    kind = `Single_node;
+    supports;
+    load = run ~nodes:1;
+  }
+
+let engine_multinode ~nodes =
+  {
+    Engine.name = "Hadoop";
+    kind = `Multi_node nodes;
+    supports;
+    load = run ~nodes;
+  }

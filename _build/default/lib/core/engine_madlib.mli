@@ -1,0 +1,10 @@
+(** Configuration 2: Postgres + MADlib.
+
+    Analytics stay inside the DBMS. Linear regression runs as a native
+    streaming aggregate (MADlib's C++ UDF path) and is fast; covariance
+    and SVD are "simulated in SQL and plpython" — joins and aggregates
+    over triple-form relations — and are interpreted and slow, often not
+    finishing inside the benchmark window, as the paper reports.
+    Biclustering is not available in MADlib. *)
+
+val engine : Engine.t

@@ -1,0 +1,7 @@
+(** pbdR: R extended to a cluster, calling ScaLAPACK-style parallel
+    kernels. Data is evenly block-row partitioned across nodes (as the
+    paper configured it); data management combines local filters/joins
+    with MPI-style exchanges; analytics use the parallel kernels, which is
+    why pbdR scales best among the multi-node systems. *)
+
+val engine : nodes:int -> Engine.t

@@ -1,0 +1,4 @@
+(** Section 5's configuration: SciDB for data management with the
+    analytics offloaded to the (simulated) Intel Xeon Phi coprocessor. *)
+
+val engine : Engine.t

@@ -1,0 +1,14 @@
+(** SciDB on a multi-node cluster (Figures 3 and 4), optionally with one
+    Xeon Phi coprocessor per node (Table 1).
+
+    Arrays are chunk-partitioned by patient rows across nodes; dimension
+    filters run per node. Moving from one node to several triggers a chunk
+    redistribution of the selected array before analytics — the data
+    movement the paper suspects makes SciDB slower on two nodes than on
+    one. Analytics use ScaLAPACK-style parallel kernels. *)
+
+val engine : nodes:int -> Engine.t
+
+val engine_phi : nodes:int -> Engine.t
+(** Per-node coprocessor: superstep compute is scaled by the device's
+    kernel-class speedup and per-node PCIe transfers are charged. *)

@@ -1,0 +1,155 @@
+open Gb_relational
+module Mat = Gb_linalg.Mat
+module Stopwatch = Gb_util.Clock.Stopwatch
+
+type backend = Row_backend | Col_backend
+
+let make_db backend ds ~check =
+  match backend with
+  | Row_backend ->
+    let db = Dataset.load_row_stores ds in
+    let scan table cols =
+      let store =
+        match table with
+        | "microarray" -> db.Dataset.microarray_r
+        | "patients" -> db.Dataset.patients_r
+        | "genes" -> db.Dataset.genes_r
+        | "go" -> db.Dataset.go_r
+        | _ -> invalid_arg ("unknown table " ^ table)
+      in
+      (* A row store decodes whole tuples, then projects. *)
+      Ops.project cols (Ops.scan_row_store store)
+    in
+    let row_count table =
+      Row_store.row_count
+        (match table with
+        | "microarray" -> db.Dataset.microarray_r
+        | "patients" -> db.Dataset.patients_r
+        | "genes" -> db.Dataset.genes_r
+        | "go" -> db.Dataset.go_r
+        | t -> invalid_arg t)
+    in
+    { Relops.scan; row_count; check }
+  | Col_backend ->
+    let db = Dataset.load_col_stores ds in
+    let scan table cols =
+      let store =
+        match table with
+        | "microarray" -> db.Dataset.microarray_c
+        | "patients" -> db.Dataset.patients_c
+        | "genes" -> db.Dataset.genes_c
+        | "go" -> db.Dataset.go_c
+        | _ -> invalid_arg ("unknown table " ^ table)
+      in
+      Ops.scan_col_store store cols
+    in
+    let row_count table =
+      Col_store.row_count
+        (match table with
+        | "microarray" -> db.Dataset.microarray_c
+        | "patients" -> db.Dataset.patients_c
+        | "genes" -> db.Dataset.genes_c
+        | "go" -> db.Dataset.go_c
+        | t -> invalid_arg t)
+    in
+    { Relops.scan; row_count; check }
+
+(* The export boundary ships the pivoted matrix (and response vector)
+   through text, as the paper's external-R configurations must. *)
+let cross_boundary boundary m =
+  match boundary with
+  | `Udf -> m
+  | `Export_to_r -> Export.roundtrip_matrix m
+
+let cross_boundary_vec boundary y =
+  match boundary with
+  | `Udf -> y
+  | `Export_to_r ->
+    let m = Mat.init (Array.length y) 1 (fun i _ -> y.(i)) in
+    Mat.col (Export.roundtrip_matrix m) 0
+
+let run ~backend ~boundary ds query ~(params : Query.params) ~timeout_s =
+  let dl = Gb_util.Deadline.start ~seconds:timeout_s in
+  let check () = Gb_util.Deadline.check dl in
+  let db = make_db backend ds ~check in
+  let time f =
+    let r, t = Stopwatch.time f in
+    check ();
+    (r, t)
+  in
+  match query with
+  | Query.Q1_regression ->
+    let (x, y, _gene_ids), dm0 = time (fun () -> Relops.q1_dm db params) in
+    let (x, y), dm1 =
+      time (fun () -> (cross_boundary boundary x, cross_boundary_vec boundary y))
+    in
+    let payload, analytics = time (fun () -> Qcommon.regression_of x y) in
+    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+  | Query.Q2_covariance ->
+    let (m, gene_ids), dm0 = time (fun () -> Relops.q2_dm db params) in
+    let m, dm1 = time (fun () -> cross_boundary boundary m) in
+    let payload, analytics =
+      time (fun () ->
+          Qcommon.covariance_of ~gene_ids ~top_fraction:params.cov_top_fraction
+            m)
+    in
+    (* Step 4: the thresholded pairs go back into the DBMS and join the
+       gene metadata. *)
+    let pairs =
+      match payload with Engine.Cov_pairs p -> p.top_pairs | _ -> []
+    in
+    let _n, dm2 = time (fun () -> Relops.q2_join_metadata db pairs) in
+    Engine.Completed ({ dm = dm0 +. dm1 +. dm2; analytics }, payload)
+  | Query.Q3_biclustering ->
+    let m, dm0 = time (fun () -> Relops.q3_dm db params) in
+    let m, dm1 = time (fun () -> cross_boundary boundary m) in
+    let payload, analytics =
+      time (fun () ->
+          (match boundary with
+          | `Udf ->
+            (* The in-DB R-UDF interface marshals the matrix through the
+               UDF protocol repeatedly during the iterative algorithm. *)
+            for _ = 1 to 3 do
+              ignore (Export.roundtrip_matrix m)
+            done
+          | `Export_to_r -> ());
+          Qcommon.biclusters_of m)
+    in
+    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+  | Query.Q4_svd ->
+    let (x, _gene_ids), dm0 = time (fun () -> Relops.q4_dm db params) in
+    let x, dm1 = time (fun () -> cross_boundary boundary x) in
+    let payload, analytics = time (fun () -> Qcommon.svd_of ~k:params.svd_k x) in
+    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+  | Query.Q5_statistics ->
+    let (scores, go_pairs), dm0 =
+      time (fun () ->
+          Relops.q5_dm db params ~n_patients:(Array.length ds.Gb_datagen.Generate.patients))
+    in
+    let scores, dm1 = time (fun () -> cross_boundary_vec boundary scores) in
+    let payload, analytics =
+      time (fun () ->
+          Qcommon.enrichment_of
+            ~n_genes:(Array.length scores)
+            ~go_pairs
+            ~go_terms:ds.Gb_datagen.Generate.spec.Gb_datagen.Spec.go_terms
+            ~p_threshold:params.p_threshold ~scores)
+    in
+    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+
+let make ~name ~backend ~boundary =
+  {
+    Engine.name;
+    kind = `Single_node;
+    supports = (fun _ -> true);
+    load = run ~backend ~boundary;
+  }
+
+let postgres_r =
+  make ~name:"Postgres + R" ~backend:Row_backend ~boundary:`Export_to_r
+
+let colstore_r =
+  make ~name:"Column store + R" ~backend:Col_backend ~boundary:`Export_to_r
+
+let colstore_udf =
+  make ~name:"Column store + UDFs" ~backend:Col_backend ~boundary:`Udf

@@ -1,0 +1,24 @@
+(** Configurations 3–5: SQL engines with external-R or in-DB-UDF
+    analytics.
+
+    [make] builds an engine from a storage backend (row or column store)
+    and an analytics boundary:
+    - [`Export_to_r]: results cross a CSV serialize/parse boundary before
+      analytics (Postgres+R, ColumnStore+R);
+    - [`Udf]: analytics run in-process against the pivoted data
+      (ColumnStore+UDFs) — cheaper, except for the chatty marshalling the
+      biclustering UDF pays, reproducing the pathology the paper observed. *)
+
+type backend = Row_backend | Col_backend
+
+val make : name:string -> backend:backend ->
+  boundary:[ `Export_to_r | `Udf ] -> Engine.t
+
+val postgres_r : Engine.t
+val colstore_r : Engine.t
+val colstore_udf : Engine.t
+
+val make_db :
+  backend -> Dataset.t -> check:(unit -> unit) -> Relops.db
+(** Exposed for the multi-node engines, which reuse the same scans over
+    per-node partitions. *)

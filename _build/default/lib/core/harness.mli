@@ -1,0 +1,65 @@
+(** Benchmark harness: runs (engine x query x data set) grids, applies the
+    cut-off rule ("we cut off all computation after two hours … we treat
+    memory allocation failure and excessive computation length as
+    'infinite' results"), and renders each of the paper's figures and
+    tables as a text chart. *)
+
+type cell = {
+  engine : string;
+  nodes : int;
+  query : Query.t;
+  size : Gb_datagen.Spec.size;
+  outcome : Engine.outcome;
+}
+
+val run_cell : Engine.t -> Dataset.t -> Query.t -> timeout_s:float -> cell
+
+val total_seconds : cell -> float option
+(** [Some total] when completed, [Some infinity] for timeout / memory
+    failure, [None] when the engine lacks the functionality. *)
+
+val dm_seconds : cell -> float option
+val analytics_seconds : cell -> float option
+
+type config = {
+  timeout_s : float; (** the scaled two-hour window *)
+  sizes : Gb_datagen.Spec.size list;
+  seed : int64;
+  progress : (string -> unit) option; (** per-cell progress callback *)
+}
+
+val default_config : config
+val quick_config : config
+(** Small size only and a short timeout, for tests and demos. *)
+
+val single_node_engines : Engine.t list
+val multi_node_engines : nodes:int -> Engine.t list
+
+(** {1 Experiment grids} — each runs its engines and returns raw cells. *)
+
+val single_node_cells : config -> cell list
+(** Everything Figures 1 and 2 need: 7 engines x 5 queries x sizes. *)
+
+val multi_node_cells : config -> cell list
+(** Figures 3/4: 5 multi-node systems x 5 queries x {1,2,4} nodes on the
+    largest configured size. *)
+
+val phi_cells : config -> cell list
+(** Figure 5: SciDB vs SciDB+Phi x 4 queries x sizes. *)
+
+val phi_mn_cells : config -> cell list
+(** Table 1: SciDB vs SciDB+Phi x 4 queries x {1,2,4} nodes, largest
+    size. *)
+
+(** {1 Rendering} — turn cells into the paper's figures. *)
+
+val fig1 : cell list -> string list
+val fig2 : cell list -> string list
+val fig3 : cell list -> string list
+val fig4 : cell list -> string list
+val fig5 : cell list -> string list
+val table1 : cell list -> string
+
+val to_csv : cell list -> string
+(** Machine-readable dump of a cell grid: one line per cell with engine,
+    nodes, query, size, status and the phase timings. *)

@@ -1,0 +1,102 @@
+module G = Gb_datagen.Generate
+module Mat = Gb_linalg.Mat
+
+let collect_ids pred arr id_of =
+  Array.to_list arr
+  |> List.filter pred
+  |> List.map id_of
+  |> Array.of_list
+
+let genes_with_func_below (ds : Dataset.t) thr =
+  collect_ids
+    (fun (g : G.gene) -> g.func < thr)
+    ds.genes
+    (fun (g : G.gene) -> g.gene_id)
+
+let patients_with_disease (ds : Dataset.t) id =
+  collect_ids
+    (fun (p : G.patient) -> p.disease_id = id)
+    ds.patients
+    (fun (p : G.patient) -> p.patient_id)
+
+let patients_by_age_gender (ds : Dataset.t) ~max_age ~gender =
+  collect_ids
+    (fun (p : G.patient) -> p.age < max_age && p.gender = gender)
+    ds.patients
+    (fun (p : G.patient) -> p.patient_id)
+
+let sampled_patients (ds : Dataset.t) frac =
+  let n = Array.length ds.patients in
+  let k = max 2 (int_of_float (Float.round (frac *. float_of_int n))) in
+  let k = min k n in
+  Array.init k Fun.id
+
+let regression_of x y =
+  let m = Gb_linalg.Linreg.fit x y in
+  Engine.Regression
+    {
+      intercept = m.Gb_linalg.Linreg.intercept;
+      coefficients = m.Gb_linalg.Linreg.coefficients;
+      r2 = m.Gb_linalg.Linreg.r_squared;
+    }
+
+let covariance_of ~gene_ids ~top_fraction m =
+  let c = Gb_linalg.Covariance.matrix m in
+  let pairs = Gb_linalg.Covariance.top_fraction c top_fraction in
+  let mapped =
+    List.map (fun (i, j, v) -> (gene_ids.(i), gene_ids.(j), v)) pairs
+  in
+  Engine.Cov_pairs { n_genes = Array.length gene_ids; top_pairs = mapped }
+
+let biclusters_of ?seed m =
+  let config =
+    match seed with
+    | None -> Gb_bicluster.Cheng_church.default_config
+    | Some s -> { Gb_bicluster.Cheng_church.default_config with seed = s }
+  in
+  let found = Gb_bicluster.Cheng_church.run ~config m in
+  Engine.Biclusters
+    {
+      clusters =
+        List.map
+          (fun (b : Gb_bicluster.Cheng_church.bicluster) ->
+            (b.rows, b.cols, b.msr))
+          found;
+    }
+
+let svd_of ~k m =
+  let rng = Gb_util.Prng.create 0x5EEDL in
+  let res = Gb_linalg.Svd.top_k ~rng m k in
+  Engine.Singular_values res.Gb_linalg.Svd.s
+
+let enrichment_scores sample_matrix =
+  Mat.col_means sample_matrix
+
+let enrichment_of ~n_genes ~go_pairs ~go_terms ~p_threshold ~scores =
+  if Array.length scores <> n_genes then
+    invalid_arg "Qcommon.enrichment_of: scores length";
+  let ranks = Gb_stats.Ranking.ranks scores in
+  let members = Array.make go_terms [] in
+  Array.iter
+    (fun (gene, term) ->
+      if term >= 0 && term < go_terms then members.(term) <- gene :: members.(term))
+    go_pairs;
+  let results = ref [] in
+  for term = 0 to go_terms - 1 do
+    let in_group = Array.make n_genes false in
+    List.iter (fun g -> in_group.(g) <- true) members.(term);
+    let n_in = List.length members.(term) in
+    if n_in > 0 && n_in < n_genes then begin
+      let r = Gb_stats.Wilcoxon.from_ranks ~ranks ~in_group in
+      if r.Gb_stats.Wilcoxon.p_value < p_threshold then
+        results := (term, r.Gb_stats.Wilcoxon.p_value) :: !results
+    end
+  done;
+  let sorted =
+    List.sort
+      (fun (t1, p1) (t2, p2) ->
+        let c = Float.compare p1 p2 in
+        if c <> 0 then c else Int.compare t1 t2)
+      !results
+  in
+  Engine.Enrichment sorted

@@ -1,0 +1,30 @@
+(** Shared reference implementations of the analytics phases and of the
+    benchmark's selection predicates. Engines differ in *where the data
+    lives and what the data management costs*; the mathematical definition
+    of each query's answer is common, so cross-engine results must agree. *)
+
+val genes_with_func_below : Dataset.t -> int -> int array
+val patients_with_disease : Dataset.t -> int -> int array
+val patients_by_age_gender : Dataset.t -> max_age:int -> gender:int -> int array
+val sampled_patients : Dataset.t -> float -> int array
+(** Deterministic sample: the first [max 2 (frac * patients)] patient ids
+    (a plain range predicate, so every engine selects identically). *)
+
+val regression_of : Gb_linalg.Mat.t -> float array -> Engine.payload
+val covariance_of :
+  gene_ids:int array -> top_fraction:float -> Gb_linalg.Mat.t -> Engine.payload
+val biclusters_of : ?seed:int64 -> Gb_linalg.Mat.t -> Engine.payload
+val svd_of : k:int -> Gb_linalg.Mat.t -> Engine.payload
+
+val enrichment_scores : Gb_linalg.Mat.t -> float array
+(** Per-gene mean expression over the (already selected) sample rows. *)
+
+val enrichment_of :
+  n_genes:int ->
+  go_pairs:(int * int) array ->
+  go_terms:int ->
+  p_threshold:float ->
+  scores:float array ->
+  Engine.payload
+(** Rank [scores], Wilcoxon rank-sum per GO term, keep significant terms
+    ascending by p-value. *)

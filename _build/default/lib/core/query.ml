@@ -1,0 +1,49 @@
+type t =
+  | Q1_regression
+  | Q2_covariance
+  | Q3_biclustering
+  | Q4_svd
+  | Q5_statistics
+
+type params = {
+  func_threshold : int;
+  disease_id : int;
+  max_age : int;
+  gender : int;
+  cov_top_fraction : float;
+  svd_k : int;
+  sample_fraction : float;
+  p_threshold : float;
+}
+
+let default_params =
+  {
+    func_threshold = Gb_datagen.Generate.func_threshold;
+    disease_id = 1;
+    max_age = 40;
+    gender = 1;
+    cov_top_fraction = 0.10;
+    svd_k = 50;
+    sample_fraction = 0.05;
+    p_threshold = 0.05;
+  }
+
+let all =
+  [ Q1_regression; Q2_covariance; Q3_biclustering; Q4_svd; Q5_statistics ]
+
+let name = function
+  | Q1_regression -> "regression"
+  | Q2_covariance -> "covariance"
+  | Q3_biclustering -> "biclustering"
+  | Q4_svd -> "svd"
+  | Q5_statistics -> "statistics"
+
+let title = function
+  | Q1_regression -> "Linear Regression"
+  | Q2_covariance -> "Covariance"
+  | Q3_biclustering -> "Biclustering"
+  | Q4_svd -> "SVD"
+  | Q5_statistics -> "Statistics"
+
+let of_name s =
+  List.find_opt (fun q -> name q = String.lowercase_ascii s) all

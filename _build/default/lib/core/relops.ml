@@ -1,0 +1,155 @@
+open Gb_relational
+module Mat = Gb_linalg.Mat
+
+type db = {
+  scan : string -> string list -> Ops.rel;
+  row_count : string -> int;
+  check : unit -> unit;
+}
+
+let table_schema = function
+  | "microarray" -> Dataset.microarray_schema
+  | "patients" -> Dataset.patients_schema
+  | "genes" -> Dataset.genes_schema
+  | "go" -> Dataset.go_schema
+  | t -> invalid_arg ("Relops: unknown table " ^ t)
+
+let catalog db =
+  {
+    Plan.scan = (fun t cols -> Ops.guard db.check (db.scan t cols));
+    schema_of = table_schema;
+    row_count = db.row_count;
+  }
+
+let guarded db table cols = Ops.guard db.check (db.scan table cols)
+
+(* Join selected genes (small) against the microarray, keeping
+   (patient_id, gene_id, value); expressed as a logical plan so the
+   optimizer's pushdown / pruning / build-side choice applies. *)
+let micro_join_genes db pred =
+  Plan.execute (catalog db)
+    (Plan.Project
+       ( [ "patient_id"; "gene_id"; "value" ],
+         Plan.Filter
+           ( pred,
+             Plan.Join
+               {
+                 left = Plan.Scan ("microarray", []);
+                 right = Plan.Scan ("genes", []);
+                 on = [ ("gene_id", "gene_id") ];
+               } ) ))
+
+let pivot_triples rel =
+  Pivot.of_triples ~row_col:"patient_id" ~col_col:"gene_id" ~value_col:"value"
+    rel
+
+let q1_dm db (params : Query.params) =
+  let joined =
+    micro_join_genes db Expr.(col "func" <% int params.func_threshold)
+  in
+  let piv = pivot_triples joined in
+  (* Project the drug response and align it with the pivot's row order. *)
+  let resp = Hashtbl.create 1024 in
+  let patients = db.scan "patients" [ "patient_id"; "drug_response" ] in
+  let pi = Schema.index patients.Ops.schema "patient_id" in
+  let di = Schema.index patients.Ops.schema "drug_response" in
+  Seq.iter
+    (fun row ->
+      Hashtbl.replace resp (Value.to_int row.(pi)) (Value.to_float row.(di)))
+    patients.Ops.rows;
+  let y =
+    Array.map (fun pid -> Hashtbl.find resp pid) piv.Pivot.row_ids
+  in
+  (piv.Pivot.matrix, y, piv.Pivot.col_ids)
+
+let micro_join_patients db pred _cols_needed =
+  Plan.execute (catalog db)
+    (Plan.Project
+       ( [ "patient_id"; "gene_id"; "value" ],
+         Plan.Filter
+           ( pred,
+             Plan.Join
+               {
+                 left = Plan.Scan ("microarray", []);
+                 right = Plan.Scan ("patients", []);
+                 on = [ ("patient_id", "patient_id") ];
+               } ) ))
+
+let q2_dm db (params : Query.params) =
+  let joined =
+    micro_join_patients db
+      Expr.(col "disease_id" =% int params.disease_id)
+      [ "patient_id"; "disease_id" ]
+  in
+  let piv = pivot_triples joined in
+  (piv.Pivot.matrix, piv.Pivot.col_ids)
+
+let q2_join_metadata db pairs =
+  let pair_schema =
+    Schema.make
+      [ ("g1", Value.TInt); ("g2", Value.TInt); ("cov", Value.TFloat) ]
+  in
+  let pair_rel =
+    Ops.of_list pair_schema
+      (List.map
+         (fun (a, b, v) -> [| Value.Int a; Value.Int b; Value.Float v |])
+         pairs)
+  in
+  let genes =
+    db.scan "genes" [ "gene_id"; "target"; "position"; "length"; "func" ]
+  in
+  let joined = Ops.hash_join ~on:[ ("g1", "gene_id") ] pair_rel genes in
+  Ops.count (Ops.guard db.check joined)
+
+let q3_dm db (params : Query.params) =
+  let joined =
+    micro_join_patients db
+      Expr.(
+        col "age" <% int params.max_age &&% (col "gender" =% int params.gender))
+      [ "patient_id"; "age"; "gender" ]
+  in
+  (pivot_triples joined).Pivot.matrix
+
+let q4_dm db (params : Query.params) =
+  let joined =
+    micro_join_genes db Expr.(col "func" <% int params.func_threshold)
+  in
+  let piv = pivot_triples joined in
+  (piv.Pivot.matrix, piv.Pivot.col_ids)
+
+let q5_dm db (params : Query.params) ~n_patients =
+  let k =
+    max 2
+      (int_of_float
+         (Float.round (params.sample_fraction *. float_of_int n_patients)))
+  in
+  let joined =
+    micro_join_patients db
+      Expr.(col "patient_id" <% int k)
+      [ "patient_id" ]
+  in
+  let means =
+    Ops.aggregate ~group_by:[ "gene_id" ] ~aggs:[ ("score", Ops.Avg "value") ]
+      joined
+  in
+  let pairs_tbl = Hashtbl.create 1024 in
+  let gi = Schema.index means.Ops.schema "gene_id" in
+  let si = Schema.index means.Ops.schema "score" in
+  Seq.iter
+    (fun row ->
+      Hashtbl.replace pairs_tbl (Value.to_int row.(gi)) (Value.to_float row.(si)))
+    means.Ops.rows;
+  let max_gene = Hashtbl.fold (fun g _ acc -> max g acc) pairs_tbl (-1) in
+  let scores =
+    Array.init (max_gene + 1) (fun g ->
+        try Hashtbl.find pairs_tbl g with Not_found -> 0.)
+  in
+  let go = guarded db "go" [ "gene_id"; "go_id" ] in
+  let ggi = Schema.index go.Ops.schema "gene_id" in
+  let tti = Schema.index go.Ops.schema "go_id" in
+  let go_pairs = ref [] in
+  Seq.iter
+    (fun row ->
+      go_pairs := (Value.to_int row.(ggi), Value.to_int row.(tti)) :: !go_pairs)
+    go.Ops.rows;
+  (scores, Array.of_list (List.rev !go_pairs))

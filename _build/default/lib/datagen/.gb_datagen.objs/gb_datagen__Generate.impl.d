@@ -1,0 +1,1 @@
+lib/datagen/generate.ml: Array Gb_linalg Gb_util Hashtbl List Spec

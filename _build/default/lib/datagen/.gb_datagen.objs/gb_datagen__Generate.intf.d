@@ -1,0 +1,1 @@
+lib/datagen/generate.mli: Gb_linalg Spec

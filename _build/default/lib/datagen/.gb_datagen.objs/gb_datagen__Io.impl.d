@@ -1,0 +1,1 @@
+lib/datagen/io.ml: Array Filename Fun Gb_linalg Generate List Printf Spec String Sys

@@ -1,0 +1,1 @@
+lib/datagen/seqdata.ml: Array Filename Float Fun Gb_linalg Gb_util Generate Printf Sys

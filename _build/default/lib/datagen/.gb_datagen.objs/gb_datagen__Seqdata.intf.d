@@ -1,0 +1,1 @@
+lib/datagen/seqdata.mli: Gb_linalg Generate

@@ -1,0 +1,227 @@
+module Mat = Gb_linalg.Mat
+module Prng = Gb_util.Prng
+
+type patient = {
+  patient_id : int;
+  age : int;
+  gender : int;
+  zipcode : int;
+  disease_id : int;
+  drug_response : float;
+}
+
+type gene = {
+  gene_id : int;
+  target : int;
+  position : int;
+  length : int;
+  func : int;
+}
+
+type t = {
+  spec : Spec.t;
+  expression : Mat.t;
+  patients : patient array;
+  genes : gene array;
+  go : (int * int) array;
+  planted : planted;
+}
+
+and planted = {
+  signal_genes : int array;
+  signal_coefs : float array;
+  signal_intercept : float;
+  bicluster_rows : int array;
+  bicluster_cols : int array;
+  enriched_terms : int array;
+}
+
+let func_threshold = 250
+
+let gen_genes rng g =
+  let pos = ref 0 in
+  Array.init g (fun gene_id ->
+      let length = 100 + Prng.int rng 9_900 in
+      let position = !pos in
+      pos := !pos + length + Prng.int rng 5_000;
+      {
+        gene_id;
+        target = Prng.int rng g;
+        position;
+        length;
+        func = Prng.int rng 1_000;
+      })
+
+let gen_patients rng spec =
+  Array.init spec.Spec.patients (fun patient_id ->
+      {
+        patient_id;
+        age = 18 + Prng.int rng 78;
+        gender = Prng.int rng 2;
+        zipcode = 10_000 + Prng.int rng 89_999;
+        disease_id = 1 + Prng.int rng spec.Spec.diseases;
+        drug_response = 0. (* filled once expression is final *);
+      })
+
+(* Latent-factor expression: each gene loads on one of a few shared factors,
+   giving both the covariance block structure (Q2) and the low-rank signal
+   SVD should extract (Q4). *)
+let gen_expression rng spec =
+  let g = spec.Spec.genes and p = spec.Spec.patients in
+  let nfactors = max 5 (g / 50) in
+  let group = Array.init g (fun _ -> Prng.int rng nfactors) in
+  let loading = Array.init g (fun _ -> 0.8 +. Prng.float rng 0.4) in
+  let factors = Mat.random rng p nfactors in
+  let expr = Mat.create p g in
+  for i = 0 to p - 1 do
+    for j = 0 to g - 1 do
+      let v =
+        (loading.(j) *. Mat.unsafe_get factors i group.(j))
+        +. (0.5 *. Prng.normal rng)
+      in
+      Mat.unsafe_set expr i j v
+    done
+  done;
+  expr
+
+let gen_go rng spec =
+  let g = spec.Spec.genes and terms = spec.Spec.go_terms in
+  let pairs = ref [] in
+  for gene_id = 0 to g - 1 do
+    let k = 1 + Prng.int rng 4 in
+    let seen = Hashtbl.create 8 in
+    for _ = 1 to k do
+      let t = Prng.int rng terms in
+      if not (Hashtbl.mem seen t) then begin
+        Hashtbl.add seen t ();
+        pairs := (gene_id, t) :: !pairs
+      end
+    done
+  done;
+  Array.of_list (List.rev !pairs)
+
+let plant_enrichment rng expr go terms =
+  let n_enriched = min 3 terms in
+  let enriched =
+    Array.init n_enriched (fun i -> (i * terms / (max 1 n_enriched)) mod terms)
+  in
+  let is_enriched t = Array.exists (fun e -> e = t) enriched in
+  let p = expr.Mat.rows in
+  Array.iter
+    (fun (gene_id, go_id) ->
+      if is_enriched go_id then
+        for i = 0 to p - 1 do
+          Mat.unsafe_set expr i gene_id (Mat.unsafe_get expr i gene_id +. 2.)
+        done)
+    go;
+  (* Make sure the planted shift pulls members upward in the ranking even
+     under per-sample noise. *)
+  ignore rng;
+  enriched
+
+let plant_bicluster rng expr patients =
+  let p, g = Mat.dims expr in
+  let young_male =
+    patients
+    |> Array.to_list
+    |> List.filter (fun pt -> pt.gender = 1 && pt.age < 40)
+    |> List.map (fun pt -> pt.patient_id)
+    |> Array.of_list
+  in
+  let n_rows = max 2 (Array.length young_male * 3 / 5) in
+  let rows = Array.sub young_male 0 (min n_rows (Array.length young_male)) in
+  let n_cols = max 2 (g / 12) in
+  let cols = Prng.sample rng n_cols g in
+  Array.sort compare cols;
+  let row_eff = Array.map (fun _ -> Prng.gaussian rng ~mu:0. ~sigma:0.7) rows in
+  let col_eff = Array.map (fun _ -> Prng.gaussian rng ~mu:0. ~sigma:0.7) cols in
+  Array.iteri
+    (fun ri i ->
+      Array.iteri
+        (fun ci j ->
+          Mat.unsafe_set expr i j
+            (3. +. row_eff.(ri) +. col_eff.(ci)
+            +. Prng.gaussian rng ~mu:0. ~sigma:0.05))
+        cols)
+    rows;
+  ignore p;
+  (rows, cols)
+
+let plant_regression rng expr genes patients =
+  let candidates =
+    genes
+    |> Array.to_list
+    |> List.filter (fun gn -> gn.func < func_threshold)
+    |> List.map (fun gn -> gn.gene_id)
+    |> Array.of_list
+  in
+  let k = min 10 (Array.length candidates) in
+  let pick = Prng.sample rng k (Array.length candidates) in
+  let signal = Array.map (fun i -> candidates.(i)) pick in
+  Array.sort compare signal;
+  let coefs =
+    Array.map
+      (fun _ ->
+        let mag = 0.5 +. Prng.float rng 1.5 in
+        if Prng.bool rng then mag else -.mag)
+      signal
+  in
+  let intercept = 4. in
+  let with_response =
+    Array.map
+      (fun pt ->
+        let acc = ref intercept in
+        Array.iteri
+          (fun idx gid ->
+            acc := !acc +. (coefs.(idx) *. Mat.unsafe_get expr pt.patient_id gid))
+          signal;
+        { pt with drug_response = !acc +. (0.25 *. Prng.normal rng) })
+      patients
+  in
+  (with_response, signal, coefs, intercept)
+
+let generate ?(seed = 0x6E0BA5EL) spec =
+  let root = Prng.create seed in
+  let r_genes = Prng.split root in
+  let r_patients = Prng.split root in
+  let r_expr = Prng.split root in
+  let r_go = Prng.split root in
+  let r_enrich = Prng.split root in
+  let r_biclust = Prng.split root in
+  let r_reg = Prng.split root in
+  let genes = gen_genes r_genes spec.Spec.genes in
+  let patients = gen_patients r_patients spec in
+  let expression = gen_expression r_expr spec in
+  let go = gen_go r_go spec in
+  let enriched_terms =
+    plant_enrichment r_enrich expression go spec.Spec.go_terms
+  in
+  let bicluster_rows, bicluster_cols =
+    plant_bicluster r_biclust expression patients
+  in
+  let patients, signal_genes, signal_coefs, signal_intercept =
+    plant_regression r_reg expression genes patients
+  in
+  {
+    spec;
+    expression;
+    patients;
+    genes;
+    go;
+    planted =
+      {
+        signal_genes;
+        signal_coefs;
+        signal_intercept;
+        bicluster_rows;
+        bicluster_cols;
+        enriched_terms;
+      };
+  }
+
+let go_membership_matrix t =
+  let m =
+    Array.make_matrix t.spec.Spec.genes t.spec.Spec.go_terms false
+  in
+  Array.iter (fun (g, term) -> m.(g).(term) <- true) t.go;
+  m

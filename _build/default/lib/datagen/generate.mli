@@ -1,0 +1,59 @@
+(** Synthetic genomics data generator.
+
+    Mirrors the GenBase generator: four linked data sets modeled on real
+    microarray and patient data, with planted structure so that every
+    benchmark query has genuine signal to find:
+
+    - a subset of low-function-code genes drives drug response linearly
+      (Query 1 recovers the coefficients);
+    - groups of genes share latent factors, producing strong pairwise
+      covariance (Query 2);
+    - a coherent bicluster is planted across young male patients (Query 3);
+    - expression has low-rank structure plus noise (Query 4);
+    - a few GO terms are enriched near the top of the expression
+      ranking (Query 5). *)
+
+type patient = {
+  patient_id : int;
+  age : int;
+  gender : int; (** 0 = female, 1 = male *)
+  zipcode : int;
+  disease_id : int; (** 1..21 *)
+  drug_response : float;
+}
+
+type gene = {
+  gene_id : int;
+  target : int; (** gene id targeted by this gene's protein *)
+  position : int;
+  length : int;
+  func : int; (** function code, 0..999 *)
+}
+
+type t = {
+  spec : Spec.t;
+  expression : Gb_linalg.Mat.t; (** patients x genes *)
+  patients : patient array;
+  genes : gene array;
+  go : (int * int) array; (** (gene_id, go_id) membership pairs *)
+  planted : planted;
+}
+
+and planted = {
+  signal_genes : int array; (** gene ids with nonzero regression weight *)
+  signal_coefs : float array;
+  signal_intercept : float;
+  bicluster_rows : int array; (** patient ids of the planted bicluster *)
+  bicluster_cols : int array; (** gene ids of the planted bicluster *)
+  enriched_terms : int array; (** GO ids planted as enriched *)
+}
+
+val func_threshold : int
+(** The function-code cutoff Queries 1 and 4 filter on (the paper's
+    "function < 250"). *)
+
+val generate : ?seed:int64 -> Spec.t -> t
+(** Deterministic for a given seed and spec. *)
+
+val go_membership_matrix : t -> bool array array
+(** Dense [genes x go_terms] view of the membership pairs. *)

@@ -1,0 +1,112 @@
+module Mat = Gb_linalg.Mat
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write ~dir (t : Generate.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let p, g = Mat.dims t.expression in
+  with_out (Filename.concat dir "microarray.csv") (fun oc ->
+      output_string oc "gene_id,patient_id,value\n";
+      for j = 0 to g - 1 do
+        for i = 0 to p - 1 do
+          Printf.fprintf oc "%d,%d,%.17g\n" j i (Mat.unsafe_get t.expression i j)
+        done
+      done);
+  with_out (Filename.concat dir "patients.csv") (fun oc ->
+      output_string oc
+        "patient_id,age,gender,zipcode,disease_id,drug_response\n";
+      Array.iter
+        (fun (pt : Generate.patient) ->
+          Printf.fprintf oc "%d,%d,%d,%d,%d,%.17g\n" pt.patient_id pt.age
+            pt.gender pt.zipcode pt.disease_id pt.drug_response)
+        t.patients);
+  with_out (Filename.concat dir "genes.csv") (fun oc ->
+      output_string oc "gene_id,target,position,length,function\n";
+      Array.iter
+        (fun (gn : Generate.gene) ->
+          Printf.fprintf oc "%d,%d,%d,%d,%d\n" gn.gene_id gn.target gn.position
+            gn.length gn.func)
+        t.genes);
+  with_out (Filename.concat dir "go.csv") (fun oc ->
+      output_string oc "gene_id,go_id\n";
+      Array.iter (fun (g, term) -> Printf.fprintf oc "%d,%d\n" g term) t.go)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      match go [] with
+      | [] -> failwith (path ^ ": empty file")
+      | _header :: rows -> rows)
+
+let split_ints line = String.split_on_char ',' line |> List.map int_of_string
+
+let read ~dir : Generate.t =
+  let patients =
+    read_lines (Filename.concat dir "patients.csv")
+    |> List.map (fun line ->
+           match String.split_on_char ',' line with
+           | [ pid; age; gender; zip; dis; resp ] ->
+             {
+               Generate.patient_id = int_of_string pid;
+               age = int_of_string age;
+               gender = int_of_string gender;
+               zipcode = int_of_string zip;
+               disease_id = int_of_string dis;
+               drug_response = float_of_string resp;
+             }
+           | _ -> failwith "patients.csv: bad row")
+    |> Array.of_list
+  in
+  let genes =
+    read_lines (Filename.concat dir "genes.csv")
+    |> List.map (fun line ->
+           match split_ints line with
+           | [ gene_id; target; position; length; func ] ->
+             { Generate.gene_id; target; position; length; func }
+           | _ -> failwith "genes.csv: bad row")
+    |> Array.of_list
+  in
+  let go =
+    read_lines (Filename.concat dir "go.csv")
+    |> List.map (fun line ->
+           match split_ints line with
+           | [ g; t ] -> (g, t)
+           | _ -> failwith "go.csv: bad row")
+    |> Array.of_list
+  in
+  let n_patients = Array.length patients and n_genes = Array.length genes in
+  let expression = Mat.create n_patients n_genes in
+  List.iter
+    (fun line ->
+      match String.split_on_char ',' line with
+      | [ g; p; v ] ->
+        Mat.set expression (int_of_string p) (int_of_string g)
+          (float_of_string v)
+      | _ -> failwith "microarray.csv: bad row")
+    (read_lines (Filename.concat dir "microarray.csv"));
+  let spec = Spec.custom ~genes:n_genes ~patients:n_patients in
+  {
+    spec;
+    expression;
+    patients;
+    genes;
+    go;
+    planted =
+      {
+        signal_genes = [||];
+        signal_coefs = [||];
+        signal_intercept = 0.;
+        bicluster_rows = [||];
+        bicluster_cols = [||];
+        enriched_terms = [||];
+      };
+  }

@@ -1,0 +1,12 @@
+(** CSV serialization of generated data sets, mirroring the files the
+    GenBase website distributes (microarray, patient metadata, gene
+    metadata, gene ontology). *)
+
+val write : dir:string -> Generate.t -> unit
+(** Writes [microarray.csv] (gene_id, patient_id, value — the relational
+    triple form), [patients.csv], [genes.csv], [go.csv]. Creates [dir] if
+    needed. *)
+
+val read : dir:string -> Generate.t
+(** Reads the four files back. Planted-structure metadata is not stored in
+    the CSVs, so [planted] fields come back empty. *)

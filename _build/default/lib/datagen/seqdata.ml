@@ -1,0 +1,104 @@
+module Mat = Gb_linalg.Mat
+module Prng = Gb_util.Prng
+
+type t = {
+  counts : int array array;
+  library_sizes : int array;
+  dispersion : float;
+}
+
+(* Marsaglia–Tsang gamma sampler (shape >= 1 via boost for shape < 1). *)
+let rec gamma_sample rng ~shape =
+  if shape < 1. then begin
+    let u = Prng.uniform rng in
+    gamma_sample rng ~shape:(shape +. 1.) *. (u ** (1. /. shape))
+  end
+  else begin
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec draw () =
+      let x = Prng.normal rng in
+      let v = (1. +. (c *. x)) ** 3. in
+      if v <= 0. then draw ()
+      else begin
+        let u = Prng.uniform rng in
+        let x2 = x *. x in
+        if u < 1. -. (0.0331 *. x2 *. x2) then d *. v
+        else if log u < (0.5 *. x2) +. (d *. (1. -. v +. log v)) then d *. v
+        else draw ()
+      end
+    in
+    draw ()
+  end
+
+(* Poisson: Knuth's product method for small means, normal approximation
+   (rounded, clamped) for large ones. *)
+let poisson_sample rng ~mean =
+  if mean <= 0. then 0
+  else if mean < 30. then begin
+    let l = exp (-.mean) in
+    let k = ref 0 and p = ref 1. in
+    let continue_ = ref true in
+    while !continue_ do
+      incr k;
+      p := !p *. Prng.uniform rng;
+      if !p <= l then continue_ := false
+    done;
+    !k - 1
+  end
+  else
+    let v = mean +. (sqrt mean *. Prng.normal rng) in
+    max 0 (int_of_float (Float.round v))
+
+(* Negative binomial as a gamma-Poisson mixture. *)
+let nb_sample rng ~mean ~dispersion =
+  if mean <= 0. then 0
+  else begin
+    let shape = 1. /. dispersion in
+    let g = gamma_sample rng ~shape in
+    poisson_sample rng ~mean:(g *. dispersion *. mean)
+  end
+
+let of_expression ?(seed = 0x5E9L) ?(dispersion = 0.3)
+    ?(mean_depth = 20.) (ds : Generate.t) =
+  let rng = Prng.create seed in
+  let p, g = Mat.dims ds.expression in
+  (* Per-patient library-size factor (sequencing depth varies by lane). *)
+  let lib_factor = Array.init p (fun _ -> 0.5 +. Prng.float rng 1.0) in
+  let counts =
+    Array.init p (fun i ->
+        Array.init g (fun j ->
+            let mean =
+              mean_depth *. lib_factor.(i)
+              *. exp (Mat.unsafe_get ds.expression i j /. 2.)
+            in
+            nb_sample rng ~mean ~dispersion))
+  in
+  let library_sizes =
+    Array.map (fun row -> Array.fold_left ( + ) 0 row) counts
+  in
+  { counts; library_sizes; dispersion }
+
+let counts_per_million t =
+  let p = Array.length t.counts in
+  let g = if p = 0 then 0 else Array.length t.counts.(0) in
+  Mat.init p g (fun i j ->
+      let lib = float_of_int (max 1 t.library_sizes.(i)) in
+      float_of_int t.counts.(i).(j) *. 1e6 /. lib)
+
+let log_cpm t =
+  Mat.map (fun x -> log (x +. 1.) /. log 2.) (counts_per_million t)
+
+let write_csv ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "counts.csv") in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "gene_id,patient_id,count\n";
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j c -> Printf.fprintf oc "%d,%d,%d\n" j i c)
+            row)
+        t.counts)

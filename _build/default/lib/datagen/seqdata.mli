@@ -1,0 +1,31 @@
+(** Sequencing-style count data.
+
+    The paper notes its "data representations and operations … can be
+    extended to include other types of genomic data such as sequencing
+    data". This module derives RNA-seq-like read counts from a generated
+    microarray data set: counts per (patient, gene) follow a negative
+    binomial whose mean tracks the expression value — the standard model
+    for over-dispersed sequencing counts — plus per-patient library-size
+    variation. *)
+
+type t = {
+  counts : int array array; (** [patients x genes] read counts *)
+  library_sizes : int array; (** total reads per patient *)
+  dispersion : float;
+}
+
+val of_expression :
+  ?seed:int64 -> ?dispersion:float -> ?mean_depth:float -> Generate.t -> t
+(** [of_expression ds] samples counts with per-cell mean
+    [mean_depth * exp(expression / 2)] (default depth 20) and negative
+    binomial dispersion (default 0.3). Deterministic for a seed. *)
+
+val counts_per_million : t -> Gb_linalg.Mat.t
+(** Library-size normalization: counts scaled to reads-per-million, the
+    form the benchmark's analytics run on. *)
+
+val log_cpm : t -> Gb_linalg.Mat.t
+(** [log2(cpm + 1)] — the usual variance-stabilized form. *)
+
+val write_csv : dir:string -> t -> unit
+(** Writes [counts.csv] as (gene_id, patient_id, count) triples. *)

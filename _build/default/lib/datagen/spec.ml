@@ -1,0 +1,53 @@
+type size = Small | Medium | Large | XLarge
+
+type t = {
+  size : size;
+  genes : int;
+  patients : int;
+  go_terms : int;
+  diseases : int;
+}
+
+let scale_divisor = 25
+
+let paper_dims = function
+  | Small -> (5_000, 5_000)
+  | Medium -> (15_000, 20_000)
+  | Large -> (30_000, 40_000)
+  | XLarge -> (60_000, 70_000)
+
+let go_terms_for genes = max 10 (genes / 10)
+
+let of_size size =
+  let g, p = paper_dims size in
+  let genes = g / scale_divisor and patients = p / scale_divisor in
+  { size; genes; patients; go_terms = go_terms_for genes; diseases = 21 }
+
+let classify genes patients =
+  let cells = genes * patients in
+  if cells <= 200 * 200 then Small
+  else if cells <= 600 * 800 then Medium
+  else if cells <= 1200 * 1600 then Large
+  else XLarge
+
+let custom ~genes ~patients =
+  if genes <= 0 || patients <= 0 then invalid_arg "Spec.custom: dimensions";
+  {
+    size = classify genes patients;
+    genes;
+    patients;
+    go_terms = go_terms_for genes;
+    diseases = 21;
+  }
+
+let label = function
+  | Small -> "5k x 5k"
+  | Medium -> "15k x 20k"
+  | Large -> "30k x 40k"
+  | XLarge -> "60k x 70k"
+
+let all_tested = [ Small; Medium; Large ]
+
+let pp fmt t =
+  Format.fprintf fmt "%s (scaled: %d genes x %d patients, %d GO terms)"
+    (label t.size) t.genes t.patients t.go_terms

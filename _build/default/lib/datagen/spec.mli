@@ -1,0 +1,37 @@
+(** Benchmark dataset size presets.
+
+    The paper's microarray sizes are 5Kx5K (small), 15Kx20K (medium),
+    30Kx40K (large) and 60Kx70K (extra large; no tested system could run
+    it). This reproduction scales every dimension down by [scale_divisor]
+    (25) so the full suite runs on one machine while preserving the ratios
+    between sizes, which is what the figures sweep. *)
+
+type size = Small | Medium | Large | XLarge
+
+type t = {
+  size : size;
+  genes : int;
+  patients : int;
+  go_terms : int;
+  diseases : int;
+}
+
+val scale_divisor : int
+
+val paper_dims : size -> int * int
+(** [(genes, patients)] as published. *)
+
+val of_size : size -> t
+(** Scaled-down preset. *)
+
+val custom : genes:int -> patients:int -> t
+(** Arbitrary dimensions (classified as the nearest [size]); used by tests
+    and examples. *)
+
+val label : size -> string
+(** e.g. ["5k x 5k"] — the paper's axis labels. *)
+
+val all_tested : size list
+(** The three sizes the paper reports results for. *)
+
+val pp : Format.formatter -> t -> unit

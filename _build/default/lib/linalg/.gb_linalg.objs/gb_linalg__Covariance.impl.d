@@ -1,0 +1,1 @@
+lib/linalg/covariance.ml: Blas Float List Mat

@@ -1,0 +1,1 @@
+lib/linalg/covariance.mli: Mat

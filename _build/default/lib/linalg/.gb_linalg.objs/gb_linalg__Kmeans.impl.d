@@ -1,0 +1,1 @@
+lib/linalg/kmeans.ml: Array Float Gb_util Mat Option

@@ -1,0 +1,1 @@
+lib/linalg/kmeans.mli: Gb_util Mat

@@ -1,0 +1,1 @@
+lib/linalg/lanczos.ml: Array Blas Gb_util Mat Tridiag Vec

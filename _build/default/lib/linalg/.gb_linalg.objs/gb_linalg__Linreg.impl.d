@@ -1,0 +1,1 @@
+lib/linalg/linreg.ml: Array Blas Mat Qr Solve Vec

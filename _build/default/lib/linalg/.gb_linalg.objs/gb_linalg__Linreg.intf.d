@@ -1,0 +1,1 @@
+lib/linalg/linreg.mli: Mat

@@ -1,0 +1,1 @@
+lib/linalg/mat.ml: Array Bigarray Float Format Gb_util

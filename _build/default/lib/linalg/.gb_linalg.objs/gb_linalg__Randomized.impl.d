@@ -1,0 +1,1 @@
+lib/linalg/randomized.ml: Array Blas Covariance Gb_util Mat Qr Svd

@@ -1,0 +1,1 @@
+lib/linalg/randomized.mli: Gb_util Mat Svd

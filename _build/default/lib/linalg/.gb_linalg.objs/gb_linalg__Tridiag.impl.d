@@ -1,0 +1,1 @@
+lib/linalg/tridiag.ml: Array Float Gb_util Mat

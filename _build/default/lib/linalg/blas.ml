@@ -1,0 +1,128 @@
+module A = Bigarray.Array1
+
+let gemv (m : Mat.t) x =
+  if Array.length x <> m.cols then invalid_arg "Blas.gemv: dimension";
+  let y = Array.make m.rows 0. in
+  let data = m.data in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0. in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (A.unsafe_get data (base + j) *. Array.unsafe_get x j)
+    done;
+    y.(i) <- !acc
+  done;
+  y
+
+let gemv_t (m : Mat.t) x =
+  if Array.length x <> m.rows then invalid_arg "Blas.gemv_t: dimension";
+  let y = Array.make m.cols 0. in
+  let data = m.data in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let xi = Array.unsafe_get x i in
+    if xi <> 0. then
+      for j = 0 to m.cols - 1 do
+        Array.unsafe_set y j
+          (Array.unsafe_get y j +. (xi *. A.unsafe_get data (base + j)))
+      done
+  done;
+  y
+
+let block = 64
+
+(* C <- A B, i-k-j loop order blocked on all three dimensions: the inner j
+   loop is a contiguous axpy over rows of B and C, which keeps the memory
+   access pattern sequential for the row-major layout. *)
+let gemm (a : Mat.t) (b : Mat.t) =
+  if a.cols <> b.rows then invalid_arg "Blas.gemm: dimension";
+  let m = a.rows and k = a.cols and n = b.cols in
+  let c = Mat.create m n in
+  let ad = a.data and bd = b.data and cd = c.data in
+  let ii = ref 0 in
+  while !ii < m do
+    let i_hi = min m (!ii + block) in
+    let kk = ref 0 in
+    while !kk < k do
+      let k_hi = min k (!kk + block) in
+      let jj = ref 0 in
+      while !jj < n do
+        let j_hi = min n (!jj + block) in
+        for i = !ii to i_hi - 1 do
+          let a_base = i * k and c_base = i * n in
+          for p = !kk to k_hi - 1 do
+            let aip = A.unsafe_get ad (a_base + p) in
+            if aip <> 0. then begin
+              let b_base = p * n in
+              for j = !jj to j_hi - 1 do
+                A.unsafe_set cd (c_base + j)
+                  (A.unsafe_get cd (c_base + j)
+                  +. (aip *. A.unsafe_get bd (b_base + j)))
+              done
+            end
+          done
+        done;
+        jj := j_hi
+      done;
+      kk := k_hi
+    done;
+    ii := i_hi
+  done;
+  c
+
+let gemm_naive (a : Mat.t) (b : Mat.t) =
+  if a.cols <> b.rows then invalid_arg "Blas.gemm_naive: dimension";
+  let c = Mat.create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to b.cols - 1 do
+      let acc = ref 0. in
+      for p = 0 to a.cols - 1 do
+        acc := !acc +. (Mat.get a i p *. Mat.get b p j)
+      done;
+      Mat.set c i j !acc
+    done
+  done;
+  c
+
+(* C <- A^T B accumulated row-by-row of A: row i of A contributes the outer
+   product A[i,:]^T B[i,:], again giving sequential access. *)
+let atb (a : Mat.t) (b : Mat.t) =
+  if a.rows <> b.rows then invalid_arg "Blas.atb: dimension";
+  let k = a.rows and m = a.cols and n = b.cols in
+  let c = Mat.create m n in
+  let ad = a.data and bd = b.data and cd = c.data in
+  for i = 0 to k - 1 do
+    let a_base = i * m and b_base = i * n in
+    for p = 0 to m - 1 do
+      let aip = A.unsafe_get ad (a_base + p) in
+      if aip <> 0. then begin
+        let c_base = p * n in
+        for j = 0 to n - 1 do
+          A.unsafe_set cd (c_base + j)
+            (A.unsafe_get cd (c_base + j)
+            +. (aip *. A.unsafe_get bd (b_base + j)))
+        done
+      end
+    done
+  done;
+  c
+
+let ata a = atb a a
+
+let aat (a : Mat.t) =
+  let m = a.rows and k = a.cols in
+  let c = Mat.create m m in
+  let ad = a.data in
+  for i = 0 to m - 1 do
+    let bi = i * k in
+    for j = i to m - 1 do
+      let bj = j * k in
+      let acc = ref 0. in
+      for p = 0 to k - 1 do
+        acc := !acc +. (A.unsafe_get ad (bi + p) *. A.unsafe_get ad (bj + p))
+      done;
+      Mat.unsafe_set c i j !acc;
+      Mat.unsafe_set c j i !acc
+    done
+  done;
+  c

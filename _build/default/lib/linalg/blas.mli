@@ -1,0 +1,29 @@
+(** BLAS level-2/3 kernels.
+
+    [gemm] is the cache-blocked production kernel used by the
+    BLAS/LAPACK-class engines (R, SciDB, MADlib-native, pbdR). [gemm_naive]
+    is a deliberately untuned triple loop: it is the kernel behind the
+    Mahout-style engine, which the paper notes "does not benefit from a
+    sophisticated linear algebra package". *)
+
+val gemv : Mat.t -> float array -> float array
+(** [gemv a x] is [A x]. *)
+
+val gemv_t : Mat.t -> float array -> float array
+(** [gemv_t a x] is [A{^T} x], computed without materializing the
+    transpose. *)
+
+val gemm : Mat.t -> Mat.t -> Mat.t
+(** [gemm a b] is [A B], blocked for cache reuse. *)
+
+val gemm_naive : Mat.t -> Mat.t -> Mat.t
+(** Unblocked i-j-k matrix multiply with bounds checks. *)
+
+val atb : Mat.t -> Mat.t -> Mat.t
+(** [atb a b] is [A{^T} B] without materializing [A{^T}]. *)
+
+val ata : Mat.t -> Mat.t
+(** [ata a] is the symmetric product [A{^T} A]. *)
+
+val aat : Mat.t -> Mat.t
+(** [aat a] is [A A{^T}]. *)

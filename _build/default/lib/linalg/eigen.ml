@@ -1,0 +1,77 @@
+let check_symmetric a =
+  let n, m = Mat.dims a in
+  if n <> m then invalid_arg "Eigen.symmetric: not square";
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Float.abs (Mat.get a i j -. Mat.get a j i) in
+      let scale = 1. +. Float.abs (Mat.get a i j) in
+      if d > 1e-8 *. scale then invalid_arg "Eigen.symmetric: not symmetric"
+    done
+  done;
+  n
+
+let off_diagonal_norm a n =
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = Mat.unsafe_get a i j in
+      acc := !acc +. (2. *. v *. v)
+    done
+  done;
+  sqrt !acc
+
+(* One cyclic sweep of Jacobi rotations over the strict upper triangle. *)
+let sweep a v n =
+  for p = 0 to n - 2 do
+    for q = p + 1 to n - 1 do
+      let apq = Mat.unsafe_get a p q in
+      if Float.abs apq > 1e-300 then begin
+        let app = Mat.unsafe_get a p p and aqq = Mat.unsafe_get a q q in
+        let theta = (aqq -. app) /. (2. *. apq) in
+        let t =
+          let s = if theta >= 0. then 1. else -1. in
+          s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+        in
+        let c = 1. /. sqrt ((t *. t) +. 1.) in
+        let s = t *. c in
+        (* Update rows/columns p and q of A. *)
+        for k = 0 to n - 1 do
+          let akp = Mat.unsafe_get a k p and akq = Mat.unsafe_get a k q in
+          Mat.unsafe_set a k p ((c *. akp) -. (s *. akq));
+          Mat.unsafe_set a k q ((s *. akp) +. (c *. akq))
+        done;
+        for k = 0 to n - 1 do
+          let apk = Mat.unsafe_get a p k and aqk = Mat.unsafe_get a q k in
+          Mat.unsafe_set a p k ((c *. apk) -. (s *. aqk));
+          Mat.unsafe_set a q k ((s *. apk) +. (c *. aqk))
+        done;
+        (* Accumulate the rotation into the eigenvector matrix. *)
+        for k = 0 to n - 1 do
+          let vkp = Mat.unsafe_get v k p and vkq = Mat.unsafe_get v k q in
+          Mat.unsafe_set v k p ((c *. vkp) -. (s *. vkq));
+          Mat.unsafe_set v k q ((s *. vkp) +. (c *. vkq))
+        done
+      end
+    done
+  done
+
+let symmetric ?(max_sweeps = 50) ?(tol = 1e-12) src =
+  let n = check_symmetric src in
+  let a = Mat.copy src in
+  let v = Mat.identity n in
+  let scale = Float.max 1. (Mat.frobenius src) in
+  let converged = ref false in
+  let sweeps = ref 0 in
+  while (not !converged) && !sweeps < max_sweeps do
+    incr sweeps;
+    sweep a v n;
+    if off_diagonal_norm a n <= tol *. scale then converged := true
+  done;
+  if not !converged then failwith "Eigen.symmetric: no convergence";
+  let values = Array.init n (fun i -> Mat.get a i i) in
+  let order = Gb_util.Order.argsort ~descending:true values in
+  let sorted_values = Array.map (fun i -> values.(i)) order in
+  let sorted_vectors = Mat.init n n (fun r c -> Mat.get v r order.(c)) in
+  (sorted_values, sorted_vectors)
+
+let eigenvalues ?max_sweeps ?tol a = fst (symmetric ?max_sweeps ?tol a)

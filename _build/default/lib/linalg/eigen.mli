@@ -1,0 +1,13 @@
+(** Dense symmetric eigendecomposition (cyclic Jacobi).
+
+    O(n³) per sweep and only suitable for small/medium matrices, but
+    unconditionally accurate — the reference the iterative solvers
+    (Lanczos, randomized sketching) are validated against. *)
+
+val symmetric : ?max_sweeps:int -> ?tol:float -> Mat.t -> float array * Mat.t
+(** [symmetric a] returns [(values, vectors)] with eigenvalues descending
+    and the matching unit eigenvectors as columns. [a] must be square and
+    symmetric (checked to a loose tolerance). Raises [Failure] if Jacobi
+    fails to converge within [max_sweeps] (default 50). *)
+
+val eigenvalues : ?max_sweeps:int -> ?tol:float -> Mat.t -> float array

@@ -1,0 +1,115 @@
+type result = {
+  assignments : int array;
+  centroids : Mat.t;
+  inertia : float;
+  iterations : int;
+}
+
+let sq_dist m i (c : Mat.t) j =
+  let acc = ref 0. in
+  for d = 0 to m.Mat.cols - 1 do
+    let diff = Mat.unsafe_get m i d -. Mat.unsafe_get c j d in
+    acc := !acc +. (diff *. diff)
+  done;
+  !acc
+
+(* k-means++ seeding: each next center drawn with probability proportional
+   to squared distance from the nearest chosen center. *)
+let seed rng ~k m =
+  let n = m.Mat.rows in
+  let centers = Mat.create k m.Mat.cols in
+  let first = Gb_util.Prng.int rng n in
+  for d = 0 to m.Mat.cols - 1 do
+    Mat.unsafe_set centers 0 d (Mat.unsafe_get m first d)
+  done;
+  let dist = Array.init n (fun i -> sq_dist m i centers 0) in
+  for c = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0. dist in
+    let chosen =
+      if total <= 0. then Gb_util.Prng.int rng n
+      else begin
+        let target = Gb_util.Prng.float rng total in
+        let acc = ref 0. and pick = ref (n - 1) in
+        (try
+           Array.iteri
+             (fun i d ->
+               acc := !acc +. d;
+               if !acc >= target then begin
+                 pick := i;
+                 raise Exit
+               end)
+             dist
+         with Exit -> ());
+        !pick
+      end
+    in
+    for d = 0 to m.Mat.cols - 1 do
+      Mat.unsafe_set centers c d (Mat.unsafe_get m chosen d)
+    done;
+    Array.iteri
+      (fun i old -> dist.(i) <- Float.min old (sq_dist m i centers c))
+      dist
+  done;
+  centers
+
+let lloyd ?(max_iter = 100) ~k m centers =
+  let n = m.Mat.rows and dims = m.Mat.cols in
+  let assignments = Array.make n 0 in
+  let iterations = ref 0 in
+  let changed = ref true in
+  while !changed && !iterations < max_iter do
+    incr iterations;
+    changed := false;
+    (* Assignment step. *)
+    for i = 0 to n - 1 do
+      let best = ref 0 and best_d = ref (sq_dist m i centers 0) in
+      for c = 1 to k - 1 do
+        let d = sq_dist m i centers c in
+        if d < !best_d then begin
+          best := c;
+          best_d := d
+        end
+      done;
+      if assignments.(i) <> !best then begin
+        assignments.(i) <- !best;
+        changed := true
+      end
+    done;
+    (* Update step (empty clusters keep their previous centroid). *)
+    let counts = Array.make k 0 in
+    let sums = Mat.create k dims in
+    for i = 0 to n - 1 do
+      let c = assignments.(i) in
+      counts.(c) <- counts.(c) + 1;
+      for d = 0 to dims - 1 do
+        Mat.unsafe_set sums c d (Mat.unsafe_get sums c d +. Mat.unsafe_get m i d)
+      done
+    done;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then
+        for d = 0 to dims - 1 do
+          Mat.unsafe_set centers c d
+            (Mat.unsafe_get sums c d /. float_of_int counts.(c))
+        done
+    done
+  done;
+  let inertia = ref 0. in
+  for i = 0 to n - 1 do
+    inertia := !inertia +. sq_dist m i centers assignments.(i)
+  done;
+  (assignments, !inertia, !iterations)
+
+let fit ?rng ?max_iter ?(restarts = 4) ~k m =
+  if k < 1 || k > m.Mat.rows then invalid_arg "Kmeans.fit: k";
+  let rng =
+    match rng with Some r -> r | None -> Gb_util.Prng.create 0x63A25L
+  in
+  let best = ref None in
+  for _ = 1 to max 1 restarts do
+    let centers = seed rng ~k m in
+    let assignments, inertia, iterations = lloyd ?max_iter ~k m centers in
+    match !best with
+    | Some b when b.inertia <= inertia -> ()
+    | _ -> best := Some { assignments; centroids = centers; inertia; iterations }
+  done;
+  Option.get !best

@@ -1,0 +1,19 @@
+(** Lloyd's k-means with k-means++ seeding. *)
+
+type result = {
+  assignments : int array; (** cluster id per input row *)
+  centroids : Mat.t; (** [k x dims] *)
+  inertia : float; (** sum of squared distances to assigned centroids *)
+  iterations : int;
+}
+
+val fit :
+  ?rng:Gb_util.Prng.t ->
+  ?max_iter:int ->
+  ?restarts:int ->
+  k:int ->
+  Mat.t ->
+  result
+(** Cluster the rows of the matrix. [restarts] (default 4) independent
+    k-means++ initializations, keeping the lowest-inertia fit. [k] must be
+    in [\[1, rows\]]. *)

@@ -1,0 +1,66 @@
+type result = {
+  eigenvalues : float array;
+  eigenvectors : Mat.t;
+  iterations : int;
+}
+
+(* One full-reorthogonalization Lanczos sweep building at most [max_iter]
+   basis vectors, then a Ritz extraction from the tridiagonal matrix. *)
+let symmetric ?rng ?max_iter ?(tol = 1e-10) ~n ~k apply =
+  if k <= 0 || k > n then invalid_arg "Lanczos.symmetric: bad k";
+  let rng =
+    match rng with Some r -> r | None -> Gb_util.Prng.create 0x1a2c05L
+  in
+  let max_iter =
+    match max_iter with Some m -> min m n | None -> min n (max (3 * k) (k + 20))
+  in
+  let basis = Array.make max_iter [||] in
+  let alphas = Array.make max_iter 0. in
+  let betas = Array.make max_iter 0. in
+  let v = Array.init n (fun _ -> Gb_util.Prng.normal rng) in
+  let v = Vec.normalize v in
+  basis.(0) <- v;
+  let m = ref 0 in
+  (try
+     for j = 0 to max_iter - 1 do
+       m := j + 1;
+       let w = apply basis.(j) in
+       if Array.length w <> n then invalid_arg "Lanczos: operator dimension";
+       let alpha = Vec.dot w basis.(j) in
+       alphas.(j) <- alpha;
+       Vec.axpy (-.alpha) basis.(j) w;
+       if j > 0 then Vec.axpy (-.betas.(j - 1)) basis.(j - 1) w;
+       (* Full reorthogonalization against all previous basis vectors. *)
+       for i = 0 to j do
+         let c = Vec.dot w basis.(i) in
+         Vec.axpy (-.c) basis.(i) w
+       done;
+       let beta = Vec.nrm2 w in
+       if j + 1 < max_iter then begin
+         if beta < tol then raise Exit;
+         betas.(j) <- beta;
+         basis.(j + 1) <- Vec.scale (1. /. beta) w
+       end
+     done
+   with Exit -> ());
+  let m = !m in
+  let diag = Array.sub alphas 0 m in
+  let off = Array.sub betas 0 (max 0 (m - 1)) in
+  let values, vectors = Tridiag.eigen diag off in
+  let k = min k m in
+  let eigenvalues = Array.sub values 0 k in
+  (* Ritz vectors: columns of V * S for the top-k columns of S. *)
+  let eigenvectors =
+    Mat.init n k (fun row col ->
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. (basis.(i).(row) *. Mat.unsafe_get vectors i col)
+        done;
+        !acc)
+  in
+  { eigenvalues; eigenvectors; iterations = m }
+
+let top_eigen ?rng a k =
+  let n, n2 = Mat.dims a in
+  if n <> n2 then invalid_arg "Lanczos.top_eigen: not square";
+  symmetric ?rng ~n ~k (fun v -> Blas.gemv a v)

@@ -1,0 +1,29 @@
+(** Lanczos iteration for the largest eigenpairs of a symmetric positive
+    semidefinite operator (the algorithm the benchmark prescribes for
+    Query 4).
+
+    The operator is supplied as a function so callers can apply [M{^T}M]
+    implicitly without forming it. Full reorthogonalization is used: the
+    benchmark asks for 50 accurate extremal eigenvalues and plain Lanczos
+    loses orthogonality long before that. *)
+
+type result = {
+  eigenvalues : float array; (** descending, length [k] *)
+  eigenvectors : Mat.t; (** [n x k], column [i] pairs with value [i] *)
+  iterations : int;
+}
+
+val symmetric :
+  ?rng:Gb_util.Prng.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  n:int ->
+  k:int ->
+  (float array -> float array) ->
+  result
+(** [symmetric ~n ~k apply] finds the [k] largest eigenvalues (and
+    eigenvectors) of the symmetric PSD operator [apply] on dimension [n].
+    [k] must satisfy [0 < k <= n]. *)
+
+val top_eigen : ?rng:Gb_util.Prng.t -> Mat.t -> int -> result
+(** [top_eigen a k] on an explicit symmetric matrix. *)

@@ -1,0 +1,21 @@
+(** Ordinary least-squares linear regression (benchmark Query 1). *)
+
+type model = {
+  intercept : float;
+  coefficients : float array; (** one per predictor column *)
+  r_squared : float;
+  residual_norm : float;
+}
+
+val fit : Mat.t -> float array -> model
+(** [fit x y] regresses [y] on the columns of [x] (an intercept column is
+    added internally) via Householder QR. Requires
+    [rows x = length y > cols x]. *)
+
+val fit_normal_equations : Mat.t -> float array -> model
+(** Same model solved through the normal equations [X{^T}X b = X{^T}y]
+    (Cholesky). This is the path used by the streaming MADlib-style engine
+    and the MapReduce engine, which cannot hold Householder state. *)
+
+val predict : model -> float array -> float
+(** [predict m row] applies the model to one observation. *)

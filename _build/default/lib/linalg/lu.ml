@@ -1,0 +1,90 @@
+type t = {
+  lu : Mat.t; (* L below the diagonal (unit diag implicit), U on and above *)
+  perm : int array; (* row permutation *)
+  sign : float; (* determinant sign of the permutation *)
+  n : int;
+}
+
+let factorize src =
+  let n, m = Mat.dims src in
+  if n <> m then invalid_arg "Lu.factorize: not square";
+  let lu = Mat.copy src in
+  let perm = Array.init n Fun.id in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude in column k at or below row k. *)
+    let pivot = ref k and best = ref (Float.abs (Mat.unsafe_get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Mat.unsafe_get lu i k) in
+      if v > !best then begin
+        pivot := i;
+        best := v
+      end
+    done;
+    if !best < 1e-300 then failwith "Lu: singular matrix";
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.unsafe_get lu k j in
+        Mat.unsafe_set lu k j (Mat.unsafe_get lu !pivot j);
+        Mat.unsafe_set lu !pivot j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tmp;
+      sign := -. !sign
+    end;
+    let pkk = Mat.unsafe_get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.unsafe_get lu i k /. pkk in
+      Mat.unsafe_set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Mat.unsafe_set lu i j
+          (Mat.unsafe_get lu i j -. (factor *. Mat.unsafe_get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign; n }
+
+let solve t b =
+  if Array.length b <> t.n then invalid_arg "Lu.solve: length";
+  let y = Array.init t.n (fun i -> b.(t.perm.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to t.n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.unsafe_get t.lu i j *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  (* Back substitution with U. *)
+  for i = t.n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to t.n - 1 do
+      acc := !acc -. (Mat.unsafe_get t.lu i j *. y.(j))
+    done;
+    y.(i) <- !acc /. Mat.unsafe_get t.lu i i
+  done;
+  y
+
+let solve_many t b =
+  let rows, cols = Mat.dims b in
+  if rows <> t.n then invalid_arg "Lu.solve_many: dimensions";
+  let out = Mat.create rows cols in
+  for c = 0 to cols - 1 do
+    let x = solve t (Mat.col b c) in
+    for r = 0 to rows - 1 do
+      Mat.unsafe_set out r c x.(r)
+    done
+  done;
+  out
+
+let determinant t =
+  let acc = ref t.sign in
+  for i = 0 to t.n - 1 do
+    acc := !acc *. Mat.unsafe_get t.lu i i
+  done;
+  !acc
+
+let inverse t = solve_many t (Mat.identity t.n)
+
+let solve_system a b = solve (factorize a) b

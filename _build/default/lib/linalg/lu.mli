@@ -1,0 +1,18 @@
+(** LU factorization with partial pivoting: general linear solves,
+    determinants and inverses for the square systems that fall outside the
+    symmetric-positive-definite fast path. *)
+
+type t
+
+val factorize : Mat.t -> t
+(** Raises [Failure "Lu: singular matrix"] when a pivot vanishes. *)
+
+val solve : t -> float array -> float array
+val solve_many : t -> Mat.t -> Mat.t
+(** Solve for every column of the right-hand-side matrix. *)
+
+val determinant : t -> float
+val inverse : t -> Mat.t
+
+val solve_system : Mat.t -> float array -> float array
+(** One-shot [factorize] + [solve]. *)

@@ -1,0 +1,25 @@
+(** Householder QR factorization and least-squares solving.
+
+    Query 1 of the benchmark specifies that linear regression is solved "by
+    a QR decomposition technique"; this module is that path. *)
+
+type t
+(** Compact factorization of an [m x n] matrix with [m >= n]. *)
+
+val factorize : Mat.t -> t
+(** Householder QR. Raises [Invalid_argument] if [rows < cols]. *)
+
+val r : t -> Mat.t
+(** The [n x n] upper-triangular factor. *)
+
+val q : t -> Mat.t
+(** The thin [m x n] orthonormal factor, materialized explicitly. *)
+
+val solve : t -> float array -> float array
+(** [solve qr b] is the least-squares solution of [A x = b]: applies the
+    stored reflectors to [b] and back-substitutes through [R]. Raises
+    [Failure "Qr.solve: rank deficient"] when a diagonal of [R] is (near)
+    zero. *)
+
+val least_squares : Mat.t -> float array -> float array
+(** [least_squares a b] = [solve (factorize a) b]. *)

@@ -1,0 +1,33 @@
+let default_rng () = Gb_util.Prng.create 0x4A1C0L
+
+(* Halko-Martinsson-Tropp: Y = (M M^T)^q M Omega spans the dominant range
+   of M; QR-orthonormalize it, project, and decompose the small matrix. *)
+let svd ?rng ?(oversample = 8) ?(power_iterations = 2) m k =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let rows, cols = Mat.dims m in
+  if rows = 0 || cols = 0 then invalid_arg "Randomized.svd: empty matrix";
+  let k = max 1 (min k (min rows cols)) in
+  let sketch = min (min rows cols) (k + oversample) in
+  let omega = Mat.random rng cols sketch in
+  let y = ref (Blas.gemm m omega) in
+  for _ = 1 to power_iterations do
+    (* Re-orthonormalize between multiplications for numerical stability. *)
+    let q = Qr.q (Qr.factorize !y) in
+    y := Blas.gemm m (Blas.atb m q)
+  done;
+  let q = Qr.q (Qr.factorize !y) in
+  (* B = Q^T M is sketch x cols; its exact SVD gives the approximation. *)
+  let b = Blas.atb q m in
+  let small = Svd.top_k ~rng b k in
+  { Svd.u = Blas.gemm q small.Svd.u; s = small.Svd.s; vt = small.Svd.vt }
+
+let covariance_sample ?rng ~rows m =
+  let rng = match rng with Some r -> r | None -> default_rng () in
+  let total, _ = Mat.dims m in
+  if rows >= total then Covariance.matrix m
+  else begin
+    let rows = max 2 rows in
+    let idx = Gb_util.Prng.sample rng rows total in
+    Array.sort compare idx;
+    Covariance.matrix (Mat.sub_rows m idx)
+  end

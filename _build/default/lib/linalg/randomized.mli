@@ -1,0 +1,27 @@
+(** Randomized (sketch-based) approximate algorithms.
+
+    The paper's discussion (§6.3) argues that "for many matrix
+    factorization and statistical optimization problems, there exist
+    efficient approximate algorithms that parallelize well … approximation
+    algorithms may have allowed us to scale to the 60K x 70K dataset that
+    none of the systems we tested could process". This module implements
+    that suggestion: Halko–Martinsson–Tropp randomized range finding for
+    truncated SVD, and subsampled covariance. *)
+
+val svd :
+  ?rng:Gb_util.Prng.t ->
+  ?oversample:int ->
+  ?power_iterations:int ->
+  Mat.t ->
+  int ->
+  Svd.t
+(** [svd m k] computes an approximate rank-[k] SVD by projecting [m] onto
+    a random [k + oversample]-dimensional range (default oversampling 8)
+    refined by [power_iterations] (default 2) subspace iterations, then
+    decomposing the small projected matrix. Cost is O(mnk) instead of the
+    Lanczos iteration count, with far fewer passes over [m]. *)
+
+val covariance_sample :
+  ?rng:Gb_util.Prng.t -> rows:int -> Mat.t -> Mat.t
+(** [covariance_sample ~rows m] estimates the column covariance from a
+    uniform sample of [rows] rows (all rows if [rows >= Mat.rows]). *)

@@ -1,0 +1,54 @@
+type t = { u : Mat.t; s : float array; vt : Mat.t }
+
+let top_k ?rng m k =
+  let rows, cols = Mat.dims m in
+  if rows = 0 || cols = 0 then invalid_arg "Svd.top_k: empty matrix";
+  let k = max 1 (min k (min rows cols)) in
+  if cols <= rows then begin
+    (* Lanczos on M^T M (cols x cols), applied implicitly. *)
+    let apply v = Blas.gemv_t m (Blas.gemv m v) in
+    let res = Lanczos.symmetric ?rng ~n:cols ~k apply in
+    let s = Array.map (fun ev -> sqrt (Float.max 0. ev)) res.Lanczos.eigenvalues in
+    let k = Array.length s in
+    let v = res.Lanczos.eigenvectors in
+    (* u_i = M v_i / s_i *)
+    let u = Mat.create rows k in
+    for i = 0 to k - 1 do
+      let vi = Mat.col v i in
+      let mv = Blas.gemv m vi in
+      let si = s.(i) in
+      let ui = if si > 1e-12 then Vec.scale (1. /. si) mv else mv in
+      for r = 0 to rows - 1 do
+        Mat.unsafe_set u r i ui.(r)
+      done
+    done;
+    { u; s; vt = Mat.transpose v }
+  end
+  else begin
+    (* Lanczos on M M^T (rows x rows). *)
+    let apply v = Blas.gemv m (Blas.gemv_t m v) in
+    let res = Lanczos.symmetric ?rng ~n:rows ~k apply in
+    let s = Array.map (fun ev -> sqrt (Float.max 0. ev)) res.Lanczos.eigenvalues in
+    let k = Array.length s in
+    let u = res.Lanczos.eigenvectors in
+    let vt = Mat.create k cols in
+    for i = 0 to k - 1 do
+      let ui = Mat.col u i in
+      let mtu = Blas.gemv_t m ui in
+      let si = s.(i) in
+      let vi = if si > 1e-12 then Vec.scale (1. /. si) mtu else mtu in
+      for c = 0 to cols - 1 do
+        Mat.unsafe_set vt i c vi.(c)
+      done
+    done;
+    { u; s; vt }
+  end
+
+let reconstruct t =
+  let k = Array.length t.s in
+  let us =
+    Mat.init t.u.Mat.rows k (fun i j -> Mat.unsafe_get t.u i j *. t.s.(j))
+  in
+  Blas.gemm us t.vt
+
+let reconstruction_error m t = Mat.frobenius (Mat.sub m (reconstruct t))

@@ -1,0 +1,21 @@
+(** Truncated singular value decomposition via Lanczos (Query 4).
+
+    [M = U S V{^T}]; the top singular values carry the signal in noisy
+    microarray data, so only the leading [k] triples are computed. *)
+
+type t = {
+  u : Mat.t; (** [m x k] left singular vectors *)
+  s : float array; (** [k] singular values, descending *)
+  vt : Mat.t; (** [k x n] right singular vectors, transposed *)
+}
+
+val top_k : ?rng:Gb_util.Prng.t -> Mat.t -> int -> t
+(** [top_k m k] runs Lanczos on the smaller of [M{^T}M] / [M M{^T}]
+    (applied implicitly) and recovers the other side's vectors through
+    [M]. [k] is clamped to [min rows cols]. *)
+
+val reconstruct : t -> Mat.t
+(** [U S V{^T}] — the rank-[k] approximation. *)
+
+val reconstruction_error : Mat.t -> t -> float
+(** Frobenius norm of [M - U S V{^T}]. *)

@@ -1,0 +1,13 @@
+(** Symmetric tridiagonal eigensolver (QL with implicit shifts).
+
+    The Lanczos iteration reduces a large symmetric operator to a small
+    tridiagonal matrix; this solver finishes the job. *)
+
+val eigen : float array -> float array -> float array * Mat.t
+(** [eigen diag offdiag] with [length offdiag = length diag - 1] returns
+    [(values, vectors)] where column [k] of [vectors] is the unit
+    eigenvector for [values.(k)], sorted by descending eigenvalue.
+    Raises [Failure] if the iteration fails to converge. *)
+
+val eigenvalues : float array -> float array -> float array
+(** Eigenvalues only, descending. *)

@@ -1,0 +1,1 @@
+lib/mapreduce/hive.ml: Array List Mr Printf String

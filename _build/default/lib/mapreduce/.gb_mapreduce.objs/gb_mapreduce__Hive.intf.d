@@ -1,0 +1,1 @@
+lib/mapreduce/hive.mli: Mr

@@ -1,0 +1,1 @@
+lib/mapreduce/mahout.ml: Array Gb_linalg Hashtbl List Mr Printf String

@@ -1,0 +1,1 @@
+lib/mapreduce/mahout.mli: Gb_linalg Mr

@@ -1,0 +1,1 @@
+lib/mapreduce/mr.ml: Buffer Gb_util Hashtbl List String

@@ -1,0 +1,71 @@
+type table = string list
+
+let fields line = Array.of_list (String.split_on_char ',' line)
+let unfields arr = String.concat "," (Array.to_list arr)
+
+let select mr ?(name = "select") pred table =
+  Mr.map_only mr ~name
+    ~mapper:(fun line -> if pred (fields line) then [ line ] else [])
+    table
+
+let project mr ?(name = "project") idx table =
+  Mr.map_only mr ~name
+    ~mapper:(fun line ->
+      let f = fields line in
+      [ unfields (Array.of_list (List.map (fun i -> f.(i)) idx)) ])
+    table
+
+(* Reduce-side join: tag each record with its source relation, group on the
+   join key, emit the cross product within each group. *)
+let join mr ?(name = "join") ~left_key ~right_key left right =
+  let tagged_left = List.map (fun l -> "L," ^ l) left in
+  let tagged_right = List.map (fun l -> "R," ^ l) right in
+  Mr.run_job mr ~name
+    ~mapper:(fun line ->
+      let tag = line.[0] in
+      let payload = String.sub line 2 (String.length line - 2) in
+      let f = fields payload in
+      let key = if tag = 'L' then f.(left_key) else f.(right_key) in
+      [ (key, String.make 1 tag ^ "," ^ payload) ])
+    ~reducer:(fun _key values ->
+      let lefts = ref [] and rights = ref [] in
+      List.iter
+        (fun v ->
+          let payload = String.sub v 2 (String.length v - 2) in
+          if v.[0] = 'L' then lefts := payload :: !lefts
+          else rights := payload :: !rights)
+        values;
+      List.concat_map
+        (fun l ->
+          let lf = fields l in
+          List.map
+            (fun r ->
+              let rf = fields r in
+              let rf_nokey =
+                Array.of_list
+                  (List.filteri (fun i _ -> i <> right_key)
+                     (Array.to_list rf))
+              in
+              unfields (Array.append lf rf_nokey))
+            !rights)
+        !lefts)
+    (tagged_left @ tagged_right)
+
+let aggregate_sum mr ?(name = "agg") ~key ~value table =
+  Mr.run_job mr ~name
+    ~mapper:(fun line ->
+      let f = fields line in
+      [ (f.(key), f.(value)) ])
+    ~reducer:(fun k values ->
+      let sum = List.fold_left (fun acc v -> acc +. float_of_string v) 0. values in
+      [ Printf.sprintf "%s,%.12g" k sum ])
+    table
+
+let count mr ?(name = "count") table =
+  let out =
+    Mr.run_job mr ~name
+      ~mapper:(fun _ -> [ ("c", "1") ])
+      ~reducer:(fun _ values -> [ string_of_int (List.length values) ])
+      table
+  in
+  match out with [] -> 0 | n :: _ -> int_of_string n

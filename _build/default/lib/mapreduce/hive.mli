@@ -1,0 +1,32 @@
+(** Hive-style relational operations compiled to MapReduce jobs.
+
+    Tables are lists of comma-separated text lines (Hive external tables
+    over text files). Each operation launches at least one MR job; there
+    is no cross-operation optimization — the "rudimentary query
+    optimization" the paper blames for Hive's slow data management. *)
+
+type table = string list
+
+val select : Mr.t -> ?name:string -> (string array -> bool) -> table -> table
+(** Filter rows by a predicate over the split fields (map-only job). *)
+
+val project : Mr.t -> ?name:string -> int list -> table -> table
+(** Keep the given field indices (map-only job). *)
+
+val join :
+  Mr.t ->
+  ?name:string ->
+  left_key:int ->
+  right_key:int ->
+  table ->
+  table ->
+  table
+(** Reduce-side equi-join: one full MR job; output rows are
+    [left fields @ right fields] (the join key appears once, from the
+    left). *)
+
+val aggregate_sum :
+  Mr.t -> ?name:string -> key:int -> value:int -> table -> table
+(** GROUP BY field [key], SUM of field [value]. *)
+
+val count : Mr.t -> ?name:string -> table -> int

@@ -1,0 +1,223 @@
+module Mat = Gb_linalg.Mat
+
+type matrix = string list
+
+let of_mat m =
+  let nr, nc = Mat.dims m in
+  let out = ref [] in
+  for i = nr - 1 downto 0 do
+    for j = nc - 1 downto 0 do
+      out :=
+        Printf.sprintf "%d,%d,%.12g" i j (Mat.unsafe_get m i j) :: !out
+    done
+  done;
+  !out
+
+let parse_triple line =
+  match String.split_on_char ',' line with
+  | [ i; j; v ] -> (int_of_string i, int_of_string j, float_of_string v)
+  | _ -> failwith ("Mahout: bad triple " ^ line)
+
+let to_mat ~rows ~cols lines =
+  let m = Mat.create rows cols in
+  List.iter
+    (fun line ->
+      let i, j, v = parse_triple line in
+      Mat.set m i j v)
+    lines;
+  m
+
+let transpose mr lines =
+  Mr.map_only mr ~name:"transpose"
+    ~mapper:(fun line ->
+      let i, j, v = parse_triple line in
+      [ Printf.sprintf "%d,%d,%.12g" j i v ])
+    lines
+
+(* General multiply: reduce-side join on the shared dimension, then a sum
+   per output cell. Quadratic record blowup — only sane for small inputs,
+   exactly like the naive approach it models. *)
+let matmul mr a b =
+  let tagged =
+    List.map (fun l -> "A," ^ l) a @ List.map (fun l -> "B," ^ l) b
+  in
+  let products =
+    Mr.run_job mr ~name:"matmul-join"
+      ~mapper:(fun line ->
+        let tag = line.[0] in
+        let payload = String.sub line 2 (String.length line - 2) in
+        let i, j, v = parse_triple payload in
+        if tag = 'A' then [ (string_of_int j, Printf.sprintf "A,%d,%.12g" i v) ]
+        else [ (string_of_int i, Printf.sprintf "B,%d,%.12g" j v) ])
+      ~reducer:(fun _k values ->
+        let az = ref [] and bz = ref [] in
+        List.iter
+          (fun v ->
+            match String.split_on_char ',' v with
+            | [ "A"; i; x ] -> az := (i, float_of_string x) :: !az
+            | [ "B"; j; x ] -> bz := (j, float_of_string x) :: !bz
+            | _ -> failwith "Mahout.matmul: bad record")
+          values;
+        List.concat_map
+          (fun (i, x) ->
+            List.map
+              (fun (j, y) -> Printf.sprintf "%s,%s,%.12g" i j (x *. y))
+              !bz)
+          !az)
+      tagged
+  in
+  Mr.run_job mr ~name:"matmul-sum"
+    ~mapper:(fun line ->
+      let i, j, v = parse_triple line in
+      [ (Printf.sprintf "%d,%d" i j, Printf.sprintf "%.12g" v) ])
+    ~reducer:(fun key values ->
+      let s = List.fold_left (fun acc v -> acc +. float_of_string v) 0. values in
+      [ Printf.sprintf "%s,%.12g" key s ])
+    products
+
+let col_means mr ~rows lines =
+  let sums =
+    Mr.run_job mr ~name:"col-means"
+      ~mapper:(fun line ->
+        let _, j, v = parse_triple line in
+        [ (string_of_int j, Printf.sprintf "%.12g" v) ])
+      ~reducer:(fun key values ->
+        let s =
+          List.fold_left (fun acc v -> acc +. float_of_string v) 0. values
+        in
+        [ Printf.sprintf "%s,%.12g" key (s /. float_of_int rows) ])
+      lines
+  in
+  let out = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      match String.split_on_char ',' line with
+      | [ j; m ] -> Hashtbl.replace out (int_of_string j) (float_of_string m)
+      | _ -> failwith "Mahout.col_means: bad record")
+    sums;
+  let max_j = Hashtbl.fold (fun j _ acc -> max j acc) out (-1) in
+  Array.init (max_j + 1) (fun j -> try Hashtbl.find out j with Not_found -> 0.)
+
+(* A^T A with in-mapper combining (Mahout's DistributedRowMatrix.times
+   shape): group the triples into rows, then accumulate each row's outer
+   product into a local dense accumulator — naive loops, no BLAS. Records
+   may arrive in any order (they come out of a previous job's shuffle). *)
+let ata mr ~cols lines =
+  Mr.run_combine mr ~name:"ata"
+    ~init:(Hashtbl.create 1024 : (int, (int * float) list) Hashtbl.t)
+    ~fold:(fun groups line ->
+      let i, j, v = parse_triple line in
+      let existing = try Hashtbl.find groups i with Not_found -> [] in
+      Hashtbl.replace groups i ((j, v) :: existing);
+      groups)
+    ~emit:(fun groups ->
+      let acc = Array.make (cols * cols) 0. in
+      let row_buf = Array.make cols 0. in
+      Hashtbl.iter
+        (fun _i cells ->
+          Array.fill row_buf 0 cols 0.;
+          List.iter (fun (j, v) -> row_buf.(j) <- v) cells;
+          for p = 0 to cols - 1 do
+            let vp = row_buf.(p) in
+            if vp <> 0. then
+              for q = 0 to cols - 1 do
+                acc.((p * cols) + q) <-
+                  acc.((p * cols) + q) +. (vp *. row_buf.(q))
+              done
+          done)
+        groups;
+      let out = ref [] in
+      for p = cols - 1 downto 0 do
+        for q = cols - 1 downto 0 do
+          out := Printf.sprintf "%d,%d,%.12g" p q acc.((p * cols) + q) :: !out
+        done
+      done;
+      !out)
+    lines
+
+let covariance mr ~rows ~cols lines =
+  let means = col_means mr ~rows lines in
+  let means =
+    if Array.length means < cols then
+      Array.append means (Array.make (cols - Array.length means) 0.)
+    else means
+  in
+  let centered =
+    Mr.map_only mr ~name:"center"
+      ~mapper:(fun line ->
+        let i, j, v = parse_triple line in
+        [ Printf.sprintf "%d,%d,%.12g" i j (v -. means.(j)) ])
+      lines
+  in
+  let xtx = ata mr ~cols centered in
+  let scale = 1. /. float_of_int (rows - 1) in
+  Mr.map_only mr ~name:"scale"
+    ~mapper:(fun line ->
+      let i, j, v = parse_triple line in
+      [ Printf.sprintf "%d,%d,%.12g" i j (v *. scale) ])
+    xtx
+
+let regression mr ~rows ~cols lines y =
+  if Array.length y <> rows then invalid_arg "Mahout.regression: length";
+  (* Augment with the intercept column as dimension 0. *)
+  let augmented =
+    Mr.map_only mr ~name:"augment"
+      ~mapper:(fun line ->
+        let i, j, v = parse_triple line in
+        let shifted = Printf.sprintf "%d,%d,%.12g" i (j + 1) v in
+        if j = 0 then [ Printf.sprintf "%d,0,1" i; shifted ] else [ shifted ])
+      lines
+  in
+  let d = cols + 1 in
+  let xtx_lines = ata mr ~cols:d augmented in
+  (* X^T y as one aggregation job. *)
+  let xty_lines =
+    Mr.run_job mr ~name:"xty"
+      ~mapper:(fun line ->
+        let i, j, v = parse_triple line in
+        [ (string_of_int j, Printf.sprintf "%.12g" (v *. y.(i))) ])
+      ~reducer:(fun key values ->
+        let s =
+          List.fold_left (fun acc v -> acc +. float_of_string v) 0. values
+        in
+        [ Printf.sprintf "%s,%.12g" key s ])
+      augmented
+  in
+  let xtx = to_mat ~rows:d ~cols:d xtx_lines in
+  let xty = Array.make d 0. in
+  List.iter
+    (fun line ->
+      match String.split_on_char ',' line with
+      | [ j; v ] -> xty.(int_of_string j) <- float_of_string v
+      | _ -> failwith "Mahout.regression: bad xty record")
+    xty_lines;
+  Gb_linalg.Solve.cholesky xtx xty
+
+let matvec mr lines x =
+  Mr.run_job mr ~name:"matvec"
+    ~mapper:(fun line ->
+      let i, j, v = parse_triple line in
+      [ (string_of_int i, Printf.sprintf "%.12g" (v *. x.(j))) ])
+    ~reducer:(fun key values ->
+      let s = List.fold_left (fun acc v -> acc +. float_of_string v) 0. values in
+      [ Printf.sprintf "%s,%.12g" key s ])
+    lines
+
+let vec_of_lines n lines =
+  let out = Array.make n 0. in
+  List.iter
+    (fun line ->
+      match String.split_on_char ',' line with
+      | [ i; v ] -> out.(int_of_string i) <- float_of_string v
+      | _ -> failwith "Mahout: bad vector record")
+    lines;
+  out
+
+let lanczos_eigs mr ~rows ~cols ~k lines =
+  let transposed = transpose mr lines in
+  let apply v =
+    let av = vec_of_lines rows (matvec mr lines v) in
+    vec_of_lines cols (matvec mr transposed av)
+  in
+  let res = Gb_linalg.Lanczos.symmetric ~n:cols ~k:(min k cols) apply in
+  res.Gb_linalg.Lanczos.eigenvalues

@@ -1,0 +1,33 @@
+(** Mahout-style distributed matrix operations on MapReduce.
+
+    Matrices travel as triple-format text lines ["i,j,v"]. No BLAS, no
+    blocking, no vectorization — every operation is jobs over text records,
+    which is precisely why the paper finds Hadoop's analytics "between one
+    and two orders of magnitude worse" than the tuned engines. *)
+
+type matrix = string list
+(** Triple lines "i,j,v". *)
+
+val of_mat : Gb_linalg.Mat.t -> matrix
+val to_mat : rows:int -> cols:int -> matrix -> Gb_linalg.Mat.t
+
+val transpose : Mr.t -> matrix -> matrix
+
+val matmul : Mr.t -> matrix -> matrix -> matrix
+(** Two jobs: join on the shared dimension, then sum per output cell. *)
+
+val col_means : Mr.t -> rows:int -> matrix -> float array
+
+val covariance : Mr.t -> rows:int -> cols:int -> matrix -> matrix
+(** Center columns, then [A{^T}A / (rows-1)]. *)
+
+val regression :
+  Mr.t -> rows:int -> cols:int -> matrix -> float array -> float array
+(** Normal equations assembled with MR jobs ([X{^T}X], [X{^T}y]); the
+    small dense system is solved on the driver, as Mahout does. Returns
+    intercept followed by coefficients. *)
+
+val lanczos_eigs :
+  Mr.t -> rows:int -> cols:int -> k:int -> matrix -> float array
+(** Top-[k] eigenvalues of [A{^T}A], Lanczos with the mat-vecs run as MR
+    jobs (Mahout's DistributedLanczosSolver shape). *)

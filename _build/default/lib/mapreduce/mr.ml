@@ -1,0 +1,148 @@
+module Sim = Gb_util.Clock.Sim
+module Stopwatch = Gb_util.Clock.Stopwatch
+
+type t = {
+  clock : Sim.t;
+  job_overhead_s : float;
+  nodes : int;
+  parallel_efficiency : float;
+  shuffle_bps : float;
+  mutable jobs : int;
+  mutable deadline : float;
+}
+
+exception Timeout
+
+let create ?(job_overhead_s = 0.15) ?(nodes = 1) ?(parallel_efficiency = 0.75)
+    ?(shuffle_bps = 1e9) () =
+  {
+    clock = Sim.create ();
+    job_overhead_s;
+    nodes;
+    parallel_efficiency;
+    shuffle_bps;
+    jobs = 0;
+    deadline = infinity;
+  }
+
+let compute_speedup t =
+  if t.nodes <= 1 then 1.
+  else float_of_int t.nodes *. t.parallel_efficiency
+
+let check_deadline t = if Sim.now t.clock > t.deadline then raise Timeout
+
+let elapsed t = Sim.now t.clock
+let jobs_run t = t.jobs
+
+(* The shuffle writes the intermediate key/value stream out as tab-
+   separated text and reads it back, exactly as data hits HDFS between the
+   map and reduce phases. *)
+let shuffle pairs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\t';
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\n')
+    pairs;
+  let text = Buffer.contents buf in
+  let shuffled_bytes = String.length text in
+  let groups = Hashtbl.create 1024 in
+  let order = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" then begin
+           match String.index_opt line '\t' with
+           | None -> failwith "Mr.shuffle: malformed record"
+           | Some i ->
+             let k = String.sub line 0 i in
+             let v = String.sub line (i + 1) (String.length line - i - 1) in
+             (match Hashtbl.find_opt groups k with
+             | Some vs -> Hashtbl.replace groups k (v :: vs)
+             | None ->
+               order := k :: !order;
+               Hashtbl.add groups k [ v ])
+         end);
+  let keys = List.rev !order in
+  let keys = List.sort String.compare keys in
+  (List.map (fun k -> (k, List.rev (Hashtbl.find groups k))) keys, shuffled_bytes)
+
+let run_job t ~name ?combiner ~mapper ~reducer inputs =
+  ignore name;
+  check_deadline t;
+  t.jobs <- t.jobs + 1;
+  Sim.advance t.clock t.job_overhead_s;
+  let (out, shuffled_bytes), dt =
+    Stopwatch.time (fun () ->
+        let pairs = List.concat_map mapper inputs in
+        (* Map-side combine: pre-group in memory and collapse each key's
+           values before anything is materialized for the shuffle. *)
+        let pairs =
+          match combiner with
+          | None -> pairs
+          | Some combine ->
+            let groups = Hashtbl.create 256 in
+            let order = ref [] in
+            List.iter
+              (fun (k, v) ->
+                match Hashtbl.find_opt groups k with
+                | Some vs -> Hashtbl.replace groups k (v :: vs)
+                | None ->
+                  order := k :: !order;
+                  Hashtbl.add groups k [ v ])
+              pairs;
+            List.concat_map
+              (fun k ->
+                List.map
+                  (fun v -> (k, v))
+                  (combine k (List.rev (Hashtbl.find groups k))))
+              (List.rev !order)
+        in
+        let grouped, bytes = shuffle pairs in
+        (List.concat_map (fun (k, vs) -> reducer k vs) grouped, bytes))
+  in
+  Sim.advance t.clock (dt /. compute_speedup t);
+  if t.nodes > 1 then begin
+    (* Cross-node fraction of the shuffle goes over the wire. *)
+    let n = float_of_int t.nodes in
+    let wire = float_of_int shuffled_bytes *. ((n -. 1.) /. n) in
+    Sim.advance t.clock (wire /. (t.shuffle_bps *. n))
+  end;
+  out
+
+let map_only t ~name ~mapper inputs =
+  ignore name;
+  check_deadline t;
+  t.jobs <- t.jobs + 1;
+  Sim.advance t.clock t.job_overhead_s;
+  Sim.run_scaled t.clock ~speedup:(compute_speedup t) (fun () ->
+      let out = List.concat_map mapper inputs in
+      (* Materialize as text, as the job's output would be written. *)
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        out;
+      String.split_on_char '\n' (Buffer.contents buf)
+      |> List.filter (fun l -> l <> ""))
+
+let set_deadline t d = t.deadline <- d
+
+let run_combine t ~name ~init ~fold ~emit inputs =
+  ignore name;
+  check_deadline t;
+  t.jobs <- t.jobs + 1;
+  Sim.advance t.clock t.job_overhead_s;
+  Sim.run_scaled t.clock ~speedup:(compute_speedup t) (fun () ->
+      let acc = List.fold_left fold init inputs in
+      let out = emit acc in
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        out;
+      String.split_on_char '\n' (Buffer.contents buf)
+      |> List.filter (fun l -> l <> ""))

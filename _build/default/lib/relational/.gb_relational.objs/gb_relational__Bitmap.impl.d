@@ -1,0 +1,1 @@
+lib/relational/bitmap.ml: Array List

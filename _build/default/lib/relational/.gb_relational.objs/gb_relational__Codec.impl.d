@@ -1,0 +1,1 @@
+lib/relational/codec.ml: Array Bytes Int32 Int64 Schema String Value

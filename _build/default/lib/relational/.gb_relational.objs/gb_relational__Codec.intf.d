@@ -1,0 +1,1 @@
+lib/relational/codec.mli: Bytes Schema Value

@@ -1,0 +1,1 @@
+lib/relational/col_store.ml: Array Column List Schema Seq Value

@@ -1,0 +1,1 @@
+lib/relational/col_store.mli: Column Schema Seq Value

@@ -1,0 +1,1 @@
+lib/relational/column.ml: Array Hashtbl List String Value

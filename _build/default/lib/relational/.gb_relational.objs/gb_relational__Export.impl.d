@@ -1,0 +1,1 @@
+lib/relational/export.ml: Array Buffer Gb_linalg List Ops Printf Schema Seq String Value

@@ -1,0 +1,1 @@
+lib/relational/export.mli: Gb_linalg Ops Schema Value

@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array List Schema Value

@@ -1,0 +1,1 @@
+lib/relational/index.ml: Array Btree Col_store List Ops Row_store Schema Seq Value

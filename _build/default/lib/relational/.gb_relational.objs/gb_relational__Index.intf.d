@@ -1,0 +1,1 @@
+lib/relational/index.mli: Col_store Ops Row_store Schema

@@ -1,0 +1,1 @@
+lib/relational/ops.ml: Array Col_store Expr Hashtbl List Row_store Schema Seq Value

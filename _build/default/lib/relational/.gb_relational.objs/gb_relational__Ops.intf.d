@@ -1,0 +1,1 @@
+lib/relational/ops.mli: Col_store Expr Row_store Schema Seq Value

@@ -1,0 +1,1 @@
+lib/relational/paged_store.ml: Buffer_pool Bytes Codec Int32 List Row_store Schema Seq

@@ -1,0 +1,1 @@
+lib/relational/paged_store.mli: Buffer_pool Schema Seq Value

@@ -1,0 +1,1 @@
+lib/relational/pivot.ml: Array Gb_linalg Hashtbl List Ops Schema Seq Value

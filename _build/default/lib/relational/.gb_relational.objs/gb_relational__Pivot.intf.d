@@ -1,0 +1,1 @@
+lib/relational/pivot.mli: Gb_linalg Ops

@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Buffer Expr List Ops Option Printf Schema String Value

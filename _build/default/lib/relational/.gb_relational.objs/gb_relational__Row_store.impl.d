@@ -1,0 +1,1 @@
+lib/relational/row_store.ml: Bytes Codec List Schema Seq

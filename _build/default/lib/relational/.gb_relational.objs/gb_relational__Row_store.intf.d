@@ -1,0 +1,1 @@
+lib/relational/row_store.mli: Schema Seq Value

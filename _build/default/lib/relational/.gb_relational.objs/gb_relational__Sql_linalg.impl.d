@@ -1,0 +1,1 @@
+lib/relational/sql_linalg.ml: Array Expr Gb_linalg Gb_util List Ops Schema Seq Value

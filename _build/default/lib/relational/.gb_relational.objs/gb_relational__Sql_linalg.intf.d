@@ -1,0 +1,1 @@
+lib/relational/sql_linalg.mli: Gb_linalg Ops Schema

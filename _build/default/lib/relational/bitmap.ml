@@ -1,0 +1,92 @@
+type t = { len : int; words : int array }
+
+let bits_per_word = 62 (* stay clear of OCaml's int sign bit *)
+
+let words_for len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitmap.create";
+  { len; words = Array.make (max 1 (words_for len)) 0 }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitmap: index out of range"
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let clear t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let get t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinality t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let zip op a b =
+  if a.len <> b.len then invalid_arg "Bitmap: length mismatch";
+  { len = a.len; words = Array.map2 op a.words b.words }
+
+let band = zip ( land )
+let bor = zip ( lor )
+let bxor = zip ( lxor )
+
+(* Mask for the valid bits of the final word. *)
+let tail_mask t =
+  let used = t.len mod bits_per_word in
+  if used = 0 then -1 land max_int else (1 lsl used) - 1
+
+let bnot t =
+  let words = Array.map (fun w -> lnot w land ((1 lsl bits_per_word) - 1)) t.words in
+  let out = { len = t.len; words } in
+  if t.len > 0 then begin
+    let last = Array.length words - 1 in
+    words.(last) <- words.(last) land tail_mask t
+  end;
+  out
+
+let iter_set t f =
+  Array.iteri
+    (fun wi word ->
+      if word <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if word land (1 lsl b) <> 0 then begin
+            let i = (wi * bits_per_word) + b in
+            if i < t.len then f i
+          end
+        done)
+    t.words
+
+let to_list t =
+  let out = ref [] in
+  iter_set t (fun i -> out := i :: !out);
+  List.rev !out
+
+let of_list len l =
+  let t = create len in
+  List.iter (set t) l;
+  t
+
+let of_pred len pred =
+  let t = create len in
+  for i = 0 to len - 1 do
+    if pred i then set t i
+  done;
+  t
+
+let inter_count a b =
+  if a.len <> b.len then invalid_arg "Bitmap: length mismatch";
+  let acc = ref 0 in
+  Array.iteri (fun i w -> acc := !acc + popcount (w land b.words.(i))) a.words;
+  !acc

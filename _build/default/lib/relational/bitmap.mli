@@ -1,0 +1,31 @@
+(** Fixed-length bitmaps with bitwise combinators — the natural physical
+    representation of the benchmark's gene-ontology membership matrix
+    ("belongs_to[gene_id, go_id]" of 0/1 values) and of selection vectors
+    in columnar execution. *)
+
+type t
+
+val create : int -> t
+(** All-zeros bitmap of the given length. *)
+
+val length : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val get : t -> int -> bool
+val cardinality : t -> int
+
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val bnot : t -> t
+(** Complement within the bitmap's length. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Visit set-bit positions ascending. *)
+
+val to_list : t -> int list
+val of_list : int -> int list -> t
+val of_pred : int -> (int -> bool) -> t
+
+val inter_count : t -> t -> int
+(** [cardinality (band a b)] without materializing. *)

@@ -1,0 +1,179 @@
+let order = 32
+
+(* Leaves hold (key, values) pairs with duplicate keys collapsed into a
+   value list; interior nodes hold separator keys with keys.(i) being the
+   smallest key reachable under children.(i+1). *)
+type 'a node =
+  | Leaf of {
+      mutable keys : int array;
+      mutable vals : 'a list array; (* reversed insertion order *)
+      mutable next : 'a node option;
+    }
+  | Interior of { mutable keys : int array; mutable children : 'a node array }
+
+type 'a t = { mutable root : 'a node; mutable size : int }
+
+let create () =
+  { root = Leaf { keys = [||]; vals = [||]; next = None }; size = 0 }
+
+let length t = t.size
+
+(* Index of the child to descend into for key [k]. *)
+let child_index keys k =
+  let n = Array.length keys in
+  let i = ref 0 in
+  while !i < n && k >= keys.(!i) do
+    incr i
+  done;
+  !i
+
+(* Position of key [k] in a sorted key array, or the insertion point. *)
+let leaf_position keys k =
+  let n = Array.length keys in
+  let i = ref 0 in
+  while !i < n && keys.(!i) < k do
+    incr i
+  done;
+  !i
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j ->
+      if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+(* Insert into a subtree; Some (sep, right) if the node split. *)
+let rec insert_node node k v =
+  match node with
+  | Leaf l ->
+    let pos = leaf_position l.keys k in
+    if pos < Array.length l.keys && l.keys.(pos) = k then begin
+      l.vals.(pos) <- v :: l.vals.(pos);
+      None
+    end
+    else begin
+      l.keys <- array_insert l.keys pos k;
+      l.vals <- array_insert l.vals pos [ v ];
+      if Array.length l.keys < order then None
+      else begin
+        (* Split the leaf in half; the right sibling's first key is the
+           separator. *)
+        let mid = Array.length l.keys / 2 in
+        let right_keys = Array.sub l.keys mid (Array.length l.keys - mid) in
+        let right_vals = Array.sub l.vals mid (Array.length l.vals - mid) in
+        let right =
+          Leaf { keys = right_keys; vals = right_vals; next = l.next }
+        in
+        l.keys <- Array.sub l.keys 0 mid;
+        l.vals <- Array.sub l.vals 0 mid;
+        l.next <- Some right;
+        Some (right_keys.(0), right)
+      end
+    end
+  | Interior n -> (
+    let ci = child_index n.keys k in
+    match insert_node n.children.(ci) k v with
+    | None -> None
+    | Some (sep, right) ->
+      n.keys <- array_insert n.keys ci sep;
+      n.children <- array_insert n.children (ci + 1) right;
+      if Array.length n.children <= order then None
+      else begin
+        let midc = Array.length n.children / 2 in
+        (* keys has one fewer entry than children; key midc-1 moves up. *)
+        let up = n.keys.(midc - 1) in
+        let right_node =
+          Interior
+            {
+              keys = Array.sub n.keys midc (Array.length n.keys - midc);
+              children =
+                Array.sub n.children midc (Array.length n.children - midc);
+            }
+        in
+        n.keys <- Array.sub n.keys 0 (midc - 1);
+        n.children <- Array.sub n.children 0 midc;
+        Some (up, right_node)
+      end)
+
+let insert t k v =
+  t.size <- t.size + 1;
+  match insert_node t.root k v with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Interior { keys = [| sep |]; children = [| t.root; right |] }
+
+let rec find_leaf node k =
+  match node with
+  | Leaf _ as l -> l
+  | Interior n -> find_leaf n.children.(child_index n.keys k) k
+
+let find t k =
+  match find_leaf t.root k with
+  | Leaf l ->
+    let pos = leaf_position l.keys k in
+    if pos < Array.length l.keys && l.keys.(pos) = k then List.rev l.vals.(pos)
+    else []
+  | Interior _ -> assert false
+
+let mem t k = find t k <> []
+
+let range t ~lo ~hi =
+  let out = ref [] in
+  let rec walk = function
+    | None -> ()
+    | Some (Leaf l) ->
+      let stop = ref false in
+      Array.iteri
+        (fun i k ->
+          if k > hi then stop := true
+          else if k >= lo then
+            List.iter (fun v -> out := (k, v) :: !out) (List.rev l.vals.(i)))
+        l.keys;
+      if not !stop then walk l.next
+    | Some (Interior _) -> assert false
+  in
+  walk (Some (find_leaf t.root lo));
+  List.rev !out
+
+let iter t f =
+  let rec leftmost = function
+    | Leaf _ as l -> l
+    | Interior n -> leftmost n.children.(0)
+  in
+  let rec walk = function
+    | None -> ()
+    | Some (Leaf l) ->
+      Array.iteri
+        (fun i k -> List.iter (fun v -> f k v) (List.rev l.vals.(i)))
+        l.keys;
+      walk l.next
+    | Some (Interior _) -> assert false
+  in
+  walk (Some (leftmost t.root))
+
+let min_key t =
+  let rec leftmost = function
+    | Leaf l -> if Array.length l.keys = 0 then None else Some l.keys.(0)
+    | Interior n -> leftmost n.children.(0)
+  in
+  leftmost t.root
+
+let max_key t =
+  let rec rightmost = function
+    | Leaf l ->
+      let n = Array.length l.keys in
+      if n = 0 then None else Some l.keys.(n - 1)
+    | Interior n -> rightmost n.children.(Array.length n.children - 1)
+  in
+  rightmost t.root
+
+let height t =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Interior n -> go (acc + 1) n.children.(0)
+  in
+  go 1 t.root
+
+let of_seq s =
+  let t = create () in
+  Seq.iter (fun (k, v) -> insert t k v) s;
+  t

@@ -1,0 +1,33 @@
+(** In-memory B+-tree with integer keys.
+
+    The index structure behind {!Index}: values live in the leaves, leaves
+    are chained for range scans, and duplicate keys are allowed (inserts
+    append). Fanout is fixed at {!order}. *)
+
+type 'a t
+
+val order : int
+(** Maximum children per interior node. *)
+
+val create : unit -> 'a t
+val insert : 'a t -> int -> 'a -> unit
+val length : 'a t -> int
+
+val find : 'a t -> int -> 'a list
+(** All values stored under the key (insertion order). *)
+
+val mem : 'a t -> int -> bool
+
+val range : 'a t -> lo:int -> hi:int -> (int * 'a) list
+(** Entries with [lo <= key <= hi], ascending by key. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Ascending full traversal. *)
+
+val min_key : 'a t -> int option
+val max_key : 'a t -> int option
+
+val height : 'a t -> int
+(** Tree height (a 1-leaf tree has height 1). *)
+
+val of_seq : (int * 'a) Seq.t -> 'a t

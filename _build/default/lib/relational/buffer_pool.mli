@@ -1,0 +1,40 @@
+(** A paged buffer pool with LRU eviction and a disk backing file.
+
+    The paper's end-to-end discussion stresses that a competitive platform
+    must "scale to problems that are larger than main memory"; this module
+    provides that capability for the row store: pages beyond the pool's
+    frame budget are spilled to a temporary file and transparently read
+    back on access. *)
+
+type t
+
+val create : ?frames:int -> ?path:string -> page_bytes:int -> unit -> t
+(** [frames] is the number of in-memory page frames (default 64);
+    [path] the backing file (default: a fresh temp file, deleted on
+    [close]). *)
+
+val page_bytes : t -> int
+val page_count : t -> int
+(** Total pages allocated (resident + spilled). *)
+
+val resident_pages : t -> int
+
+val allocate : t -> int
+(** New zeroed page; returns its page id. *)
+
+val with_page : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Pin page [id], run the function on its frame (reads and writes to the
+    bytes are retained), unpin. The page is marked dirty. Faults the page
+    in from disk if evicted. *)
+
+val read_page : t -> int -> (Bytes.t -> 'a) -> 'a
+(** Like {!with_page} but the page is not marked dirty. *)
+
+type stats = { hits : int; misses : int; evictions : int; writes : int }
+
+val stats : t -> stats
+val flush : t -> unit
+(** Write every dirty resident page to the backing file. *)
+
+val close : t -> unit
+(** Flush and release the backing file (deletes it if it was a temp). *)

@@ -1,0 +1,55 @@
+let encoded_size schema row =
+  let n = Array.length row in
+  if n <> Schema.arity schema then invalid_arg "Codec: arity";
+  let size = ref 0 in
+  Array.iter
+    (fun v ->
+      size :=
+        !size
+        +
+        match v with
+        | Value.Int _ | Value.Float _ -> 8
+        | Value.Str s -> 4 + String.length s)
+    row;
+  !size
+
+let encode schema row buf off =
+  let pos = ref off in
+  Array.iteri
+    (fun i v ->
+      (match (Schema.ty schema i, v) with
+      | Value.TInt, Value.Int x ->
+        Bytes.set_int64_le buf !pos (Int64.of_int x);
+        pos := !pos + 8
+      | Value.TFloat, Value.Float f ->
+        Bytes.set_int64_le buf !pos (Int64.bits_of_float f);
+        pos := !pos + 8
+      | Value.TFloat, Value.Int x ->
+        Bytes.set_int64_le buf !pos (Int64.bits_of_float (float_of_int x));
+        pos := !pos + 8
+      | Value.TStr, Value.Str s ->
+        Bytes.set_int32_le buf !pos (Int32.of_int (String.length s));
+        Bytes.blit_string s 0 buf (!pos + 4) (String.length s);
+        pos := !pos + 4 + String.length s
+      | _ -> invalid_arg "Codec.encode: type mismatch"))
+    row;
+  !pos - off
+
+let decode schema buf off =
+  let arity = Schema.arity schema in
+  let row = Array.make arity (Value.Int 0) in
+  let pos = ref off in
+  for i = 0 to arity - 1 do
+    match Schema.ty schema i with
+    | Value.TInt ->
+      row.(i) <- Value.Int (Int64.to_int (Bytes.get_int64_le buf !pos));
+      pos := !pos + 8
+    | Value.TFloat ->
+      row.(i) <- Value.Float (Int64.float_of_bits (Bytes.get_int64_le buf !pos));
+      pos := !pos + 8
+    | Value.TStr ->
+      let len = Int32.to_int (Bytes.get_int32_le buf !pos) in
+      row.(i) <- Value.Str (Bytes.sub_string buf (!pos + 4) len);
+      pos := !pos + 4 + len
+  done;
+  (row, !pos - off)

@@ -1,0 +1,14 @@
+(** Binary row encoding for the row store's pages.
+
+    Tuples are stored in "highly encoded form on storage blocks" (as the
+    paper puts it for tabular row stores): ints and floats as fixed 8-byte
+    fields, strings length-prefixed. The decode cost paid on every scan is
+    part of what the benchmark measures. *)
+
+val encoded_size : Schema.t -> Value.t array -> int
+
+val encode : Schema.t -> Value.t array -> Bytes.t -> int -> int
+(** [encode schema row buf off] writes at [off], returns bytes written. *)
+
+val decode : Schema.t -> Bytes.t -> int -> Value.t array * int
+(** [decode schema buf off] returns the row and bytes consumed. *)

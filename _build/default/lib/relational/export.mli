@@ -1,0 +1,22 @@
+(** The system boundary: copying and reformatting data between the DBMS and
+    an external analytics package.
+
+    The paper's Postgres+R and ColumnStore+R configurations export query
+    results as text and re-parse them on the R side; "the data will have to
+    be reformatted and copied between the two systems, which will be
+    costly". These functions genuinely serialize to CSV text and parse it
+    back, so the measured boundary cost is real work, not a fudge factor. *)
+
+val rel_to_csv : Ops.rel -> string
+(** Header plus one line per row (consumes the stream). *)
+
+val csv_to_rows : Schema.t -> string -> Value.t array list
+(** Parse back what [rel_to_csv] produced (skipping the header). *)
+
+val matrix_to_csv : Gb_linalg.Mat.t -> string
+val csv_to_matrix : string -> Gb_linalg.Mat.t
+
+val roundtrip_rel : Ops.rel -> Ops.rel
+(** Serialize + parse, i.e. ship a result set across the boundary. *)
+
+val roundtrip_matrix : Gb_linalg.Mat.t -> Gb_linalg.Mat.t

@@ -1,0 +1,91 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Col of string
+  | Const of Value.t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Arith of arith * t * t
+
+let col n = Col n
+let int i = Const (Value.Int i)
+let float f = Const (Value.Float f)
+let str s = Const (Value.Str s)
+let ( =% ) a b = Cmp (Eq, a, b)
+let ( <% ) a b = Cmp (Lt, a, b)
+let ( <=% ) a b = Cmp (Le, a, b)
+let ( >% ) a b = Cmp (Gt, a, b)
+let ( >=% ) a b = Cmp (Ge, a, b)
+let ( &&% ) a b = And (a, b)
+let ( ||% ) a b = Or (a, b)
+
+let columns e =
+  let acc = ref [] in
+  let rec go = function
+    | Col n -> if not (List.mem n !acc) then acc := n :: !acc
+    | Const _ -> ()
+    | Cmp (_, a, b) | And (a, b) | Or (a, b) | Arith (_, a, b) ->
+      go a;
+      go b
+    | Not a -> go a
+  in
+  go e;
+  List.rev !acc
+
+let of_bool b = Value.Int (if b then 1 else 0)
+let truthy = function Value.Int 0 -> false | _ -> true
+
+let rec compile schema e =
+  match e with
+  | Col n ->
+    let i = Schema.index schema n in
+    fun row -> row.(i)
+  | Const v -> fun _ -> v
+  | Cmp (op, a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    let test =
+      match op with
+      | Eq -> fun c -> c = 0
+      | Ne -> fun c -> c <> 0
+      | Lt -> fun c -> c < 0
+      | Le -> fun c -> c <= 0
+      | Gt -> fun c -> c > 0
+      | Ge -> fun c -> c >= 0
+    in
+    fun row -> of_bool (test (Value.compare (fa row) (fb row)))
+  | And (a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    fun row -> of_bool (truthy (fa row) && truthy (fb row))
+  | Or (a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    fun row -> of_bool (truthy (fa row) || truthy (fb row))
+  | Not a ->
+    let fa = compile schema a in
+    fun row -> of_bool (not (truthy (fa row)))
+  | Arith (op, a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    let apply va vb =
+      match (va, vb) with
+      | Value.Int x, Value.Int y -> (
+        match op with
+        | Add -> Value.Int (x + y)
+        | Sub -> Value.Int (x - y)
+        | Mul -> Value.Int (x * y)
+        | Div -> Value.Int (x / y))
+      | _ ->
+        let x = Value.to_float va and y = Value.to_float vb in
+        Value.Float
+          (match op with
+          | Add -> x +. y
+          | Sub -> x -. y
+          | Mul -> x *. y
+          | Div -> x /. y)
+    in
+    fun row -> apply (fa row) (fb row)
+
+let compile_pred schema e =
+  let f = compile schema e in
+  fun row -> truthy (f row)

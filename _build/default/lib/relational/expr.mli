@@ -1,0 +1,36 @@
+(** Scalar expressions and predicates over rows. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div
+
+type t =
+  | Col of string
+  | Const of Value.t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Arith of arith * t * t
+
+val col : string -> t
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val ( =% ) : t -> t -> t
+val ( <% ) : t -> t -> t
+val ( <=% ) : t -> t -> t
+val ( >% ) : t -> t -> t
+val ( >=% ) : t -> t -> t
+val ( &&% ) : t -> t -> t
+val ( ||% ) : t -> t -> t
+
+val columns : t -> string list
+(** Distinct referenced column names. *)
+
+val compile : Schema.t -> t -> Value.t array -> Value.t
+(** Resolve column references against [schema] once; the returned closure
+    evaluates rows. Raises [Not_found] at compile time for unknown
+    columns. *)
+
+val compile_pred : Schema.t -> t -> Value.t array -> bool
+(** Like {!compile} but expects a boolean result (encoded as [Int 0/1]). *)

@@ -1,0 +1,47 @@
+type t = {
+  tree : Value.t array Btree.t;
+  schema : Schema.t;
+  key_column : string;
+}
+
+let build_row_store rs ~on =
+  let schema = Row_store.schema rs in
+  let ki = Schema.index schema on in
+  let tree = Btree.create () in
+  Row_store.iter rs (fun row -> Btree.insert tree (Value.to_int row.(ki)) row);
+  { tree; schema; key_column = on }
+
+let build_col_store cs ~on ~cols =
+  let schema = Schema.project (Col_store.schema cs) cols in
+  let ki = Schema.index schema on in
+  let tree = Btree.create () in
+  Col_store.iter_cols cs cols (fun row ->
+      Btree.insert tree (Value.to_int row.(ki)) row);
+  { tree; schema; key_column = on }
+
+let schema t = t.schema
+let key_column t = t.key_column
+let entry_count t = Btree.length t.tree
+
+let lookup t k =
+  { Ops.schema = t.schema; rows = List.to_seq (Btree.find t.tree k) }
+
+let range_scan t ~lo ~hi =
+  {
+    Ops.schema = t.schema;
+    rows = List.to_seq (List.map snd (Btree.range t.tree ~lo ~hi));
+  }
+
+let index_join outer ~key t =
+  let ki = Schema.index outer.Ops.schema key in
+  let out_schema = Schema.concat outer.Ops.schema t.schema in
+  {
+    Ops.schema = out_schema;
+    rows =
+      Seq.concat_map
+        (fun orow ->
+          Btree.find t.tree (Value.to_int orow.(ki))
+          |> List.to_seq
+          |> Seq.map (fun irow -> Array.append orow irow))
+        outer.Ops.rows;
+  }

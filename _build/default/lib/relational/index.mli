@@ -1,0 +1,28 @@
+(** Secondary indexes over stored tables: a B+-tree from an integer column
+    to row payloads, with index-backed selection and index-nested-loop
+    join. *)
+
+type t
+
+val build_row_store : Row_store.t -> on:string -> t
+(** Index an int column of a row store (one pass; rows are materialized in
+    the leaves). *)
+
+val build_col_store : Col_store.t -> on:string -> cols:string list -> t
+(** Index an int column of a column store, materializing only [cols]
+    (which must include [on] if callers need it back). *)
+
+val schema : t -> Schema.t
+val key_column : t -> string
+val entry_count : t -> int
+
+val lookup : t -> int -> Ops.rel
+(** Exact-match select via the index. *)
+
+val range_scan : t -> lo:int -> hi:int -> Ops.rel
+(** [lo <= key <= hi] select via the leaf chain. *)
+
+val index_join : Ops.rel -> key:string -> t -> Ops.rel
+(** Index-nested-loop join: stream the outer relation, probe the index for
+    each row; output schema is [outer ++ indexed] (concat-renamed), like
+    {!Ops.hash_join}. *)

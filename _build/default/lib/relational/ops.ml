@@ -1,0 +1,235 @@
+type rel = { schema : Schema.t; rows : Value.t array Seq.t }
+
+let of_list schema rows = { schema; rows = List.to_seq rows }
+let to_list r = List.of_seq r.rows
+
+let count r = Seq.fold_left (fun n _ -> n + 1) 0 r.rows
+
+let scan_row_store rs =
+  { schema = Row_store.schema rs; rows = Row_store.to_seq rs }
+
+let scan_col_store cs names =
+  {
+    schema = Schema.project (Col_store.schema cs) names;
+    rows = Col_store.to_seq cs names;
+  }
+
+let filter e r =
+  let pred = Expr.compile_pred r.schema e in
+  { r with rows = Seq.filter pred r.rows }
+
+let project names r =
+  let idx = Array.of_list (List.map (Schema.index r.schema) names) in
+  {
+    schema = Schema.project r.schema names;
+    rows = Seq.map (fun row -> Array.map (fun i -> row.(i)) idx) r.rows;
+  }
+
+let map_column name e r =
+  let f = Expr.compile r.schema e in
+  (* Evaluate on a sample row lazily is not possible; type the new column
+     from the expression's shape: constants and comparisons are ints,
+     otherwise fall back to float for arithmetic over float columns. *)
+  let rec ty_of = function
+    | Expr.Const v -> Value.type_of v
+    | Expr.Col n -> Schema.ty r.schema (Schema.index r.schema n)
+    | Expr.Cmp _ | Expr.And _ | Expr.Or _ | Expr.Not _ -> Value.TInt
+    | Expr.Arith (_, a, b) -> (
+      match (ty_of a, ty_of b) with
+      | Value.TInt, Value.TInt -> Value.TInt
+      | _ -> Value.TFloat)
+  in
+  {
+    schema = Schema.concat r.schema (Schema.make [ (name, ty_of e) ]);
+    rows = Seq.map (fun row -> Array.append row [| f row |]) r.rows;
+  }
+
+let hash_join ~on left right =
+  let lidx = List.map (fun (l, _) -> Schema.index left.schema l) on in
+  let ridx = List.map (fun (_, r) -> Schema.index right.schema r) on in
+  let key idx row = List.map (fun i -> row.(i)) idx in
+  let out_schema = Schema.concat left.schema right.schema in
+  let rows () =
+    let table = Hashtbl.create 1024 in
+    Seq.iter
+      (fun row ->
+        let k = key ridx row in
+        let existing = try Hashtbl.find table k with Not_found -> [] in
+        Hashtbl.replace table k (row :: existing))
+      right.rows;
+    (Seq.concat_map
+       (fun lrow ->
+         match Hashtbl.find_opt table (key lidx lrow) with
+         | None -> Seq.empty
+         | Some matches ->
+           List.to_seq (List.rev matches)
+           |> Seq.map (fun rrow -> Array.append lrow rrow))
+       left.rows)
+      ()
+  in
+  { schema = out_schema; rows }
+
+type agg = Count | Sum of string | Avg of string | Min of string | Max of string
+
+type acc = {
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let aggregate ~group_by ~aggs r =
+  let kidx = List.map (Schema.index r.schema) group_by in
+  let agg_col = function
+    | Count -> None
+    | Sum c | Avg c | Min c | Max c -> Some (Schema.index r.schema c)
+  in
+  let specs = List.map (fun (name, a) -> (name, a, agg_col a)) aggs in
+  let out_schema =
+    Schema.make
+      (List.map (fun k -> (k, Schema.ty r.schema (Schema.index r.schema k))) group_by
+      @ List.map
+          (fun (name, a, _) ->
+            let ty = match a with Count -> Value.TInt | _ -> Value.TFloat in
+            (name, ty))
+          specs)
+  in
+  let rows () =
+    let table = Hashtbl.create 256 in
+    Seq.iter
+      (fun row ->
+        let k = List.map (fun i -> row.(i)) kidx in
+        let accs =
+          match Hashtbl.find_opt table k with
+          | Some a -> a
+          | None ->
+            let a =
+              List.map
+                (fun _ -> { n = 0; sum = 0.; mn = infinity; mx = neg_infinity })
+                specs
+            in
+            Hashtbl.add table k a;
+            a
+        in
+        List.iter2
+          (fun acc (_, _, col) ->
+            acc.n <- acc.n + 1;
+            match col with
+            | None -> ()
+            | Some i ->
+              let v = Value.to_float row.(i) in
+              acc.sum <- acc.sum +. v;
+              if v < acc.mn then acc.mn <- v;
+              if v > acc.mx then acc.mx <- v)
+          accs specs)
+      r.rows;
+    let out = ref [] in
+    Hashtbl.iter
+      (fun k accs ->
+        let agg_vals =
+          List.map2
+            (fun acc (_, a, _) ->
+              match a with
+              | Count -> Value.Int acc.n
+              | Sum _ -> Value.Float acc.sum
+              | Avg _ -> Value.Float (acc.sum /. float_of_int (max 1 acc.n))
+              | Min _ -> Value.Float acc.mn
+              | Max _ -> Value.Float acc.mx)
+            accs specs
+        in
+        out := Array.of_list (k @ agg_vals) :: !out)
+      table;
+    List.to_seq !out ()
+  in
+  { schema = out_schema; rows }
+
+let sort ~by r =
+  let keys = List.map (fun (n, dir) -> (Schema.index r.schema n, dir)) by in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (i, dir) :: rest ->
+        let c = Value.compare a.(i) b.(i) in
+        let c = match dir with `Asc -> c | `Desc -> -c in
+        if c <> 0 then c else go rest
+    in
+    go keys
+  in
+  let rows () =
+    let arr = Array.of_seq r.rows in
+    Array.sort cmp arr;
+    Array.to_seq arr ()
+  in
+  { r with rows }
+
+let limit n r = { r with rows = Seq.take n r.rows }
+
+let column_floats r name =
+  let i = Schema.index r.schema name in
+  let out = ref [] in
+  Seq.iter (fun row -> out := Value.to_float row.(i) :: !out) r.rows;
+  Array.of_list (List.rev !out)
+
+let guard ?(interval = 4096) check r =
+  let n = ref 0 in
+  {
+    r with
+    rows =
+      Seq.map
+        (fun row ->
+          incr n;
+          if !n mod interval = 0 then check ();
+          row)
+        r.rows;
+  }
+
+let merge_join ~on left right =
+  let lidx = List.map (fun (l, _) -> Schema.index left.schema l) on in
+  let ridx = List.map (fun (_, r) -> Schema.index right.schema r) on in
+  let key idx row = List.map (fun i -> row.(i)) idx in
+  let cmp_keys a b =
+    let rec go = function
+      | [], [] -> 0
+      | x :: xs, y :: ys ->
+        let c = Value.compare x y in
+        if c <> 0 then c else go (xs, ys)
+      | _ -> invalid_arg "merge_join: key arity"
+    in
+    go (a, b)
+  in
+  let out_schema = Schema.concat left.schema right.schema in
+  let rows () =
+    let larr = Array.of_seq left.rows and rarr = Array.of_seq right.rows in
+    let by idx a b = cmp_keys (key idx a) (key idx b) in
+    Array.sort (by lidx) larr;
+    Array.sort (by ridx) rarr;
+    let out = ref [] in
+    let i = ref 0 and j = ref 0 in
+    let nl = Array.length larr and nr = Array.length rarr in
+    while !i < nl && !j < nr do
+      let lk = key lidx larr.(!i) and rk = key ridx rarr.(!j) in
+      let c = cmp_keys lk rk in
+      if c < 0 then incr i
+      else if c > 0 then incr j
+      else begin
+        (* Find the extent of the matching group on each side. *)
+        let i1 = ref !i in
+        while !i1 < nl && cmp_keys (key lidx larr.(!i1)) lk = 0 do
+          incr i1
+        done;
+        let j1 = ref !j in
+        while !j1 < nr && cmp_keys (key ridx rarr.(!j1)) rk = 0 do
+          incr j1
+        done;
+        for a = !i to !i1 - 1 do
+          for b = !j to !j1 - 1 do
+            out := Array.append larr.(a) rarr.(b) :: !out
+          done
+        done;
+        i := !i1;
+        j := !j1
+      end
+    done;
+    List.to_seq (List.rev !out) ()
+  in
+  { schema = out_schema; rows }

@@ -1,0 +1,49 @@
+(** Volcano-style relational operators over lazy row streams.
+
+    A [rel] pairs a schema with a lazy sequence of rows; operators compose
+    pipelines that only do work when the sink forces them — so a timed
+    query measures scan, decode, predicate, join and aggregate costs
+    end-to-end. *)
+
+type rel = { schema : Schema.t; rows : Value.t array Seq.t }
+
+val of_list : Schema.t -> Value.t array list -> rel
+val to_list : rel -> Value.t array list
+val count : rel -> int
+
+val scan_row_store : Row_store.t -> rel
+val scan_col_store : Col_store.t -> string list -> rel
+(** Late-materialization scan: only the named columns are read; the
+    output schema is restricted to them (in that order). *)
+
+val filter : Expr.t -> rel -> rel
+val project : string list -> rel -> rel
+val map_column : string -> Expr.t -> rel -> rel
+(** [map_column name e r] appends a computed column. *)
+
+val hash_join : on:(string * string) list -> rel -> rel -> rel
+(** [hash_join ~on left right] equi-joins; builds a hash table on [right]
+    (choose the smaller input as [right]); output schema is
+    [Schema.concat left right]. *)
+
+type agg = Count | Sum of string | Avg of string | Min of string | Max of string
+
+val aggregate : group_by:string list -> aggs:(string * agg) list -> rel -> rel
+(** Hash aggregation; output columns are the group keys then the named
+    aggregates. *)
+
+val sort : by:(string * [ `Asc | `Desc ]) list -> rel -> rel
+val limit : int -> rel -> rel
+
+val column_floats : rel -> string -> float array
+(** Materialize one column as floats (consumes the stream). *)
+
+val guard : ?interval:int -> (unit -> unit) -> rel -> rel
+(** [guard check r] invokes [check] every [interval] (default 4096) rows
+    pulled through — the hook the engines use for cooperative query
+    timeouts. *)
+
+val merge_join : on:(string * string) list -> rel -> rel -> rel
+(** Sort-merge equi-join: sorts both inputs on the key columns, then
+    merges, emitting the cross product of each matching key group. Output
+    schema and row multiset match {!hash_join}. *)

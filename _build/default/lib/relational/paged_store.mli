@@ -1,0 +1,21 @@
+(** A heap file over the {!Buffer_pool}: the row store's layout with
+    LRU-managed pages that spill to disk, so tables larger than the frame
+    budget still scan correctly (at disk-fault cost). *)
+
+type t
+
+val create : ?pool_frames:int -> Schema.t -> t
+(** Fresh table over a fresh (temp-file-backed) pool. *)
+
+val schema : t -> Schema.t
+val insert : t -> Value.t array -> unit
+val row_count : t -> int
+val page_count : t -> int
+
+val to_seq : t -> Value.t array Seq.t
+(** Sequential scan; evicted pages fault in from disk. *)
+
+val iter : t -> (Value.t array -> unit) -> unit
+val of_rows : ?pool_frames:int -> Schema.t -> Value.t array list -> t
+val pool_stats : t -> Buffer_pool.stats
+val close : t -> unit

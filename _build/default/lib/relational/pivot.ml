@@ -1,0 +1,60 @@
+module Mat = Gb_linalg.Mat
+
+type t = { matrix : Mat.t; row_ids : int array; col_ids : int array }
+
+let of_triples ~row_col ~col_col ~value_col rel =
+  let ri = Schema.index rel.Ops.schema row_col in
+  let ci = Schema.index rel.Ops.schema col_col in
+  let vi = Schema.index rel.Ops.schema value_col in
+  (* Two passes would re-run the pipeline; materialize compactly instead. *)
+  let triples = ref [] and n = ref 0 in
+  Seq.iter
+    (fun row ->
+      triples :=
+        (Value.to_int row.(ri), Value.to_int row.(ci), Value.to_float row.(vi))
+        :: !triples;
+      incr n)
+    rel.Ops.rows;
+  let row_set = Hashtbl.create 1024 and col_set = Hashtbl.create 1024 in
+  List.iter
+    (fun (r, c, _) ->
+      if not (Hashtbl.mem row_set r) then Hashtbl.add row_set r ();
+      if not (Hashtbl.mem col_set c) then Hashtbl.add col_set c ())
+    !triples;
+  let sorted_keys tbl =
+    let keys = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+    let arr = Array.of_list keys in
+    Array.sort compare arr;
+    arr
+  in
+  let row_ids = sorted_keys row_set and col_ids = sorted_keys col_set in
+  let row_map = Hashtbl.create (Array.length row_ids) in
+  Array.iteri (fun i id -> Hashtbl.add row_map id i) row_ids;
+  let col_map = Hashtbl.create (Array.length col_ids) in
+  Array.iteri (fun i id -> Hashtbl.add col_map id i) col_ids;
+  let matrix = Mat.create (Array.length row_ids) (Array.length col_ids) in
+  List.iter
+    (fun (r, c, v) ->
+      Mat.unsafe_set matrix (Hashtbl.find row_map r) (Hashtbl.find col_map c) v)
+    !triples;
+  { matrix; row_ids; col_ids }
+
+let to_triples ~row_col ~col_col ~value_col t =
+  let schema =
+    Schema.make
+      [ (row_col, Value.TInt); (col_col, Value.TInt); (value_col, Value.TFloat) ]
+  in
+  let nr, nc = Mat.dims t.matrix in
+  let rec go i j () =
+    if i >= nr then Seq.Nil
+    else if j >= nc then go (i + 1) 0 ()
+    else
+      Seq.Cons
+        ( [|
+            Value.Int t.row_ids.(i);
+            Value.Int t.col_ids.(j);
+            Value.Float (Mat.unsafe_get t.matrix i j);
+          |],
+          go i (j + 1) )
+  in
+  { Ops.schema; rows = go 0 0 }

@@ -1,0 +1,19 @@
+(** Restructuring between relational triple form and dense matrices — the
+    "restructure the information as a matrix (if required)" step of the
+    benchmark queries, which the relational engines pay for and the array
+    engine avoids. *)
+
+type t = {
+  matrix : Gb_linalg.Mat.t;
+  row_ids : int array; (** matrix row [i] holds entity [row_ids.(i)] *)
+  col_ids : int array;
+}
+
+val of_triples :
+  row_col:string -> col_col:string -> value_col:string -> Ops.rel -> t
+(** Consumes a stream of (row id, column id, value) triples; ids are
+    discovered from the data and mapped densely in ascending order. Cells
+    absent from the stream are 0. *)
+
+val to_triples :
+  row_col:string -> col_col:string -> value_col:string -> t -> Ops.rel

@@ -1,0 +1,279 @@
+type t =
+  | Scan of string * string list
+  | Filter of Expr.t * t
+  | Project of string list * t
+  | Join of { left : t; right : t; on : (string * string) list }
+  | Aggregate of {
+      group_by : string list;
+      aggs : (string * Ops.agg) list;
+      input : t;
+    }
+  | Sort of (string * [ `Asc | `Desc ]) list * t
+  | Limit of int * t
+
+type catalog = {
+  scan : string -> string list -> Ops.rel;
+  schema_of : string -> Schema.t;
+  row_count : string -> int;
+}
+
+let agg_schema input_schema group_by aggs =
+  Schema.make
+    (List.map
+       (fun k -> (k, Schema.ty input_schema (Schema.index input_schema k)))
+       group_by
+    @ List.map
+        (fun (name, a) ->
+          let ty =
+            match a with Ops.Count -> Value.TInt | _ -> Value.TFloat
+          in
+          (name, ty))
+        aggs)
+
+let rec schema cat = function
+  | Scan (table, []) -> cat.schema_of table
+  | Scan (table, cols) -> Schema.project (cat.schema_of table) cols
+  | Filter (_, p) -> schema cat p
+  | Project (cols, p) -> Schema.project (schema cat p) cols
+  | Join { left; right; _ } ->
+    Schema.concat (schema cat left) (schema cat right)
+  | Aggregate { group_by; aggs; input } ->
+    agg_schema (schema cat input) group_by aggs
+  | Sort (_, p) -> schema cat p
+  | Limit (_, p) -> schema cat p
+
+let rec estimate_rows cat = function
+  | Scan (table, _) -> cat.row_count table
+  | Filter (_, p) -> max 1 (estimate_rows cat p / 3)
+  | Project (_, p) | Sort (_, p) -> estimate_rows cat p
+  | Join { left; right; _ } ->
+    (* Equi-join on a key of the smaller side: about the larger input. *)
+    max (min (estimate_rows cat left) (estimate_rows cat right))
+      (max (estimate_rows cat left) (estimate_rows cat right) / 2)
+  | Aggregate { input; _ } -> max 1 (estimate_rows cat input / 4)
+  | Limit (n, p) -> min n (estimate_rows cat p)
+
+let names cat p = List.map fst (Schema.columns (schema cat p))
+
+(* Which side does a joined-output column come from? Mirrors
+   Schema.concat's renaming: the first |left| columns are left's, the rest
+   are right's columns under possibly-fresh names. *)
+let split_required cat left right required =
+  let ls = schema cat left and rs = schema cat right in
+  let joined = Schema.concat ls rs in
+  let la = Schema.arity ls in
+  List.fold_left
+    (fun (lreq, rreq) name ->
+      match Schema.index joined name with
+      | idx when idx < la -> (name :: lreq, rreq)
+      | idx -> (lreq, Schema.name rs (idx - la) :: rreq)
+      | exception Not_found -> (lreq, rreq))
+    ([], [])
+    required
+
+(* Rewrite an expression's column references from joined-output names to
+   the right input's original names; returns None if any column is not a
+   pure right-side reference. *)
+let rebase_to_right cat left right e =
+  let ls = schema cat left and rs = schema cat right in
+  let joined = Schema.concat ls rs in
+  let la = Schema.arity ls in
+  let rec go = function
+    | Expr.Col name -> (
+      match Schema.index joined name with
+      | idx when idx >= la -> Some (Expr.Col (Schema.name rs (idx - la)))
+      | _ -> None
+      | exception Not_found -> None)
+    | Expr.Const _ as c -> Some c
+    | Expr.Cmp (op, a, b) ->
+      Option.bind (go a) (fun a -> Option.map (fun b -> Expr.Cmp (op, a, b)) (go b))
+    | Expr.And (a, b) ->
+      Option.bind (go a) (fun a -> Option.map (fun b -> Expr.And (a, b)) (go b))
+    | Expr.Or (a, b) ->
+      Option.bind (go a) (fun a -> Option.map (fun b -> Expr.Or (a, b)) (go b))
+    | Expr.Not a -> Option.map (fun a -> Expr.Not a) (go a)
+    | Expr.Arith (op, a, b) ->
+      Option.bind (go a) (fun a ->
+          Option.map (fun b -> Expr.Arith (op, a, b)) (go b))
+  in
+  go e
+
+let conjuncts e =
+  let rec go acc = function
+    | Expr.And (a, b) -> go (go acc a) b
+    | e -> e :: acc
+  in
+  List.rev (go [] e)
+
+let conjoin = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc c -> Expr.And (acc, c)) e rest)
+
+(* --- predicate pushdown --- *)
+
+let rec pushdown cat plan =
+  match plan with
+  | Filter (e, Filter (e2, p)) -> pushdown cat (Filter (Expr.And (e2, e), p))
+  | Filter (e, Project (cols, p)) ->
+    (* Projection only narrows columns; if the predicate survives on the
+       narrowed schema it also evaluates below it. *)
+    let below = names cat p in
+    if List.for_all (fun c -> List.mem c below) (Expr.columns e) then
+      Project (cols, pushdown cat (Filter (e, p)))
+    else Project (cols, pushdown cat p) |> fun inner -> Filter (e, inner)
+  | Filter (e, Join { left; right; on }) ->
+    let lnames = names cat left in
+    let stays = ref [] and to_left = ref [] and to_right = ref [] in
+    List.iter
+      (fun c ->
+        let cols = Expr.columns c in
+        if List.for_all (fun n -> List.mem n lnames) cols then
+          to_left := c :: !to_left
+        else
+          match rebase_to_right cat left right c with
+          | Some c' -> to_right := c' :: !to_right
+          | None -> stays := c :: !stays)
+      (conjuncts e);
+    let left =
+      match conjoin (List.rev !to_left) with
+      | Some f -> Filter (f, left)
+      | None -> left
+    in
+    let right =
+      match conjoin (List.rev !to_right) with
+      | Some f -> Filter (f, right)
+      | None -> right
+    in
+    let joined =
+      Join { left = pushdown cat left; right = pushdown cat right; on }
+    in
+    (match conjoin (List.rev !stays) with
+    | Some f -> Filter (f, joined)
+    | None -> joined)
+  | Filter (e, p) -> Filter (e, pushdown cat p)
+  | Project (cols, p) -> Project (cols, pushdown cat p)
+  | Join { left; right; on } ->
+    Join { left = pushdown cat left; right = pushdown cat right; on }
+  | Aggregate a -> Aggregate { a with input = pushdown cat a.input }
+  | Sort (by, p) -> Sort (by, pushdown cat p)
+  | Limit (n, p) -> Limit (n, pushdown cat p)
+  | Scan _ as s -> s
+
+(* --- column pruning --- *)
+
+let union a b = List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) a b
+
+let rec prune cat required plan =
+  match plan with
+  | Scan (table, _) ->
+    let all = List.map fst (Schema.columns (cat.schema_of table)) in
+    let wanted = List.filter (fun c -> List.mem c required) all in
+    Scan (table, (if wanted = [] then all else wanted))
+  | Filter (e, p) -> Filter (e, prune cat (union required (Expr.columns e)) p)
+  | Project (cols, p) -> Project (cols, prune cat cols p)
+  | Join { left; right; on } ->
+    let lreq, rreq = split_required cat left right required in
+    let lreq = union lreq (List.map fst on) in
+    let rreq = union rreq (List.map snd on) in
+    Join { left = prune cat lreq left; right = prune cat rreq right; on }
+  | Aggregate { group_by; aggs; input } ->
+    let agg_cols =
+      List.filter_map
+        (fun (_, a) ->
+          match a with
+          | Ops.Count -> None
+          | Ops.Sum c | Ops.Avg c | Ops.Min c | Ops.Max c -> Some c)
+        aggs
+    in
+    Aggregate { group_by; aggs; input = prune cat (union group_by agg_cols) input }
+  | Sort (by, p) -> Sort (by, prune cat (union required (List.map fst by)) p)
+  | Limit (n, p) -> Limit (n, prune cat required p)
+
+(* --- build-side selection --- *)
+
+let rec choose_builds cat plan =
+  match plan with
+  | Join { left; right; on } ->
+    let left = choose_builds cat left and right = choose_builds cat right in
+    (* Ops.hash_join builds on the right input; make the smaller side the
+       build side, restoring the original column order with a projection
+       when the swap is rename-safe. *)
+    if estimate_rows cat left < estimate_rows cat right then begin
+      let original = names cat (Join { left; right; on }) in
+      let swapped =
+        Join { left = right; right = left; on = List.map (fun (a, b) -> (b, a)) on }
+      in
+      let snames = names cat swapped in
+      if List.for_all (fun n -> List.mem n snames) original then
+        Project (original, swapped)
+      else Join { left; right; on }
+    end
+    else Join { left; right; on }
+  | Filter (e, p) -> Filter (e, choose_builds cat p)
+  | Project (cols, p) -> Project (cols, choose_builds cat p)
+  | Aggregate a -> Aggregate { a with input = choose_builds cat a.input }
+  | Sort (by, p) -> Sort (by, choose_builds cat p)
+  | Limit (n, p) -> Limit (n, choose_builds cat p)
+  | Scan _ as s -> s
+
+let optimize cat plan =
+  let plan = pushdown cat plan in
+  let top = names cat plan in
+  let plan = prune cat top plan in
+  choose_builds cat plan
+
+let rec run cat = function
+  | Scan (table, []) ->
+    cat.scan table (List.map fst (Schema.columns (cat.schema_of table)))
+  | Scan (table, cols) -> cat.scan table cols
+  | Filter (e, p) -> Ops.filter e (run cat p)
+  | Project (cols, p) -> Ops.project cols (run cat p)
+  | Join { left; right; on } -> Ops.hash_join ~on (run cat left) (run cat right)
+  | Aggregate { group_by; aggs; input } ->
+    Ops.aggregate ~group_by ~aggs (run cat input)
+  | Sort (by, p) -> Ops.sort ~by (run cat p)
+  | Limit (n, p) -> Ops.limit n (run cat p)
+
+let execute ?(optimize_first = true) cat plan =
+  let plan = if optimize_first then optimize cat plan else plan in
+  run cat plan
+
+let explain cat plan =
+  let plan = optimize cat plan in
+  let buf = Buffer.create 256 in
+  let rec go indent p =
+    let pad = String.make indent ' ' in
+    let line fmt =
+      Printf.ksprintf
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s  (~%d rows)\n" pad s (estimate_rows cat p)))
+        fmt
+    in
+    match p with
+    | Scan (t, cols) -> line "Scan %s [%s]" t (String.concat ", " cols)
+    | Filter (e, inner) ->
+      line "Filter on [%s]" (String.concat ", " (Expr.columns e));
+      go (indent + 2) inner
+    | Project (cols, inner) ->
+      line "Project [%s]" (String.concat ", " cols);
+      go (indent + 2) inner
+    | Join { left; right; on } ->
+      line "HashJoin on [%s]"
+        (String.concat ", " (List.map (fun (a, b) -> a ^ "=" ^ b) on));
+      go (indent + 2) left;
+      go (indent + 2) right
+    | Aggregate { group_by; aggs; input } ->
+      line "Aggregate group by [%s] -> [%s]"
+        (String.concat ", " group_by)
+        (String.concat ", " (List.map fst aggs));
+      go (indent + 2) input
+    | Sort (by, inner) ->
+      line "Sort [%s]" (String.concat ", " (List.map fst by));
+      go (indent + 2) inner
+    | Limit (n, inner) ->
+      line "Limit %d" n;
+      go (indent + 2) inner
+  in
+  go 0 plan;
+  Buffer.contents buf

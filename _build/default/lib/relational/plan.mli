@@ -1,0 +1,43 @@
+(** Logical query plans with a rule-based optimizer.
+
+    The engines' hand-written pipelines compose {!Ops} directly; this
+    module provides the declarative layer on top: build a logical plan,
+    let the optimizer push predicates below joins, prune unused columns
+    into the scans (which matters for the column store) and choose hash
+    join build sides by estimated cardinality, then execute — or render an
+    EXPLAIN tree. *)
+
+type t =
+  | Scan of string * string list
+      (** table name; columns to read ([[]] = all, the optimizer prunes) *)
+  | Filter of Expr.t * t
+  | Project of string list * t
+  | Join of { left : t; right : t; on : (string * string) list }
+  | Aggregate of {
+      group_by : string list;
+      aggs : (string * Ops.agg) list;
+      input : t;
+    }
+  | Sort of (string * [ `Asc | `Desc ]) list * t
+  | Limit of int * t
+
+type catalog = {
+  scan : string -> string list -> Ops.rel;
+  schema_of : string -> Schema.t;
+  row_count : string -> int;
+}
+
+val schema : catalog -> t -> Schema.t
+(** Output schema of a plan. Raises on unknown tables/columns. *)
+
+val estimate_rows : catalog -> t -> int
+(** Heuristic cardinality estimate (used for build-side selection). *)
+
+val optimize : catalog -> t -> t
+(** Predicate pushdown, column pruning, join build-side selection. *)
+
+val execute : ?optimize_first:bool -> catalog -> t -> Ops.rel
+(** Execute ([optimize_first] defaults to [true]). *)
+
+val explain : catalog -> t -> string
+(** Indented plan tree with row estimates, after optimization. *)

@@ -1,0 +1,23 @@
+(** Heap-file row store (the Postgres-style physical layout): rows encoded
+    onto fixed-size pages; scans decode every tuple. *)
+
+type t
+
+val page_size : int
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val insert : t -> Value.t array -> unit
+val insert_all : t -> Value.t array list -> unit
+val row_count : t -> int
+val page_count : t -> int
+
+val iter : t -> (Value.t array -> unit) -> unit
+(** Full scan in insertion order, decoding each row. *)
+
+val fold : t -> init:'a -> f:('a -> Value.t array -> 'a) -> 'a
+
+val to_seq : t -> Value.t array Seq.t
+(** Lazy scan; rows decode as the sequence is consumed. *)
+
+val of_rows : Schema.t -> Value.t array list -> t

@@ -1,0 +1,51 @@
+type t = { cols : (string * Value.ty) array; by_name : (string, int) Hashtbl.t }
+
+let make cols =
+  let arr = Array.of_list cols in
+  let by_name = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i (n, _) ->
+      if Hashtbl.mem by_name n then
+        invalid_arg ("Schema.make: duplicate column " ^ n);
+      Hashtbl.add by_name n i)
+    arr;
+  { cols = arr; by_name }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+
+let index t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.by_name name
+let ty t i = snd t.cols.(i)
+let name t i = fst t.cols.(i)
+
+let project t names =
+  make (List.map (fun n -> (n, ty t (index t n))) names)
+
+let concat a b =
+  let taken = Hashtbl.copy a.by_name in
+  let fresh n =
+    let rec go n = if Hashtbl.mem taken n then go (n ^ "_r") else n in
+    let n' = go n in
+    Hashtbl.add taken n' 0;
+    n'
+  in
+  let right =
+    Array.to_list b.cols |> List.map (fun (n, ty) -> (fresh n, ty))
+  in
+  make (Array.to_list a.cols @ right)
+
+let validate_row t row =
+  Array.length row = arity t
+  && Array.for_all2 (fun (_, ty) v -> Value.type_of v = ty) t.cols row
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun (n, ty) -> Printf.sprintf "%s %s" n (Format.asprintf "%a" Value.pp_ty ty))
+          (columns t)))

@@ -1,0 +1,27 @@
+(** Table schemas: ordered, typed, named columns. *)
+
+type t
+
+val make : (string * Value.ty) list -> t
+(** Raises [Invalid_argument] on duplicate column names. *)
+
+val columns : t -> (string * Value.ty) list
+val arity : t -> int
+val index : t -> string -> int
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val ty : t -> int -> Value.ty
+val name : t -> int -> string
+
+val project : t -> string list -> t
+(** Sub-schema in the given column order. *)
+
+val concat : t -> t -> t
+(** Join output schema; a duplicate name from the right side gets a
+    ["_r"] suffix (repeatedly, until fresh). *)
+
+val validate_row : t -> Value.t array -> bool
+(** Arity and type check. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+module Mat = Gb_linalg.Mat
+
+let triple_schema =
+  Schema.make [ ("i", Value.TInt); ("j", Value.TInt); ("v", Value.TFloat) ]
+
+let of_matrix m =
+  let nr, nc = Mat.dims m in
+  let rec go i j () =
+    if i >= nr then Seq.Nil
+    else if j >= nc then go (i + 1) 0 ()
+    else
+      Seq.Cons
+        ( [| Value.Int i; Value.Int j; Value.Float (Mat.unsafe_get m i j) |],
+          go i (j + 1) )
+  in
+  { Ops.schema = triple_schema; rows = go 0 0 }
+
+let to_matrix ~rows ~cols rel =
+  let m = Mat.create rows cols in
+  let ii = Schema.index rel.Ops.schema "i" in
+  let jj = Schema.index rel.Ops.schema "j" in
+  let vv = Schema.index rel.Ops.schema "v" in
+  Seq.iter
+    (fun row ->
+      Mat.set m (Value.to_int row.(ii)) (Value.to_int row.(jj))
+        (Value.to_float row.(vv)))
+    rel.Ops.rows;
+  m
+
+let rename rel = Ops.project [ "i"; "j"; "v" ] rel
+
+let transpose rel =
+  let r = rename rel in
+  {
+    Ops.schema = triple_schema;
+    rows = Seq.map (fun row -> [| row.(1); row.(0); row.(2) |]) r.Ops.rows;
+  }
+
+let matmul ?(check = fun () -> ()) a b =
+  let a = rename a and b = rename b in
+  let joined = Ops.hash_join ~on:[ ("j", "i") ] a b in
+  (* joined schema: i j v i_r j_r v_r *)
+  let prod =
+    Ops.map_column "prod"
+      Expr.(Arith (Mul, col "v", col "v_r"))
+      joined
+  in
+  let prod = Ops.guard ~interval:65536 check prod in
+  let grouped =
+    Ops.aggregate ~group_by:[ "i"; "j_r" ] ~aggs:[ ("v", Ops.Sum "prod") ] prod
+  in
+  {
+    Ops.schema = triple_schema;
+    rows =
+      (Ops.project [ "i"; "j_r"; "v" ] grouped).Ops.rows;
+  }
+
+let center_columns ~rows rel =
+  let r = rename rel in
+  let means =
+    Ops.aggregate ~group_by:[ "j" ] ~aggs:[ ("colsum", Ops.Sum "v") ] r
+  in
+  let means =
+    Ops.map_column "colmean"
+      Expr.(Arith (Div, col "colsum", float (float_of_int rows)))
+      means
+  in
+  let rel2 = rename rel in
+  let joined = Ops.hash_join ~on:[ ("j", "j") ] rel2 means in
+  let centered =
+    Ops.map_column "cv" Expr.(Arith (Sub, col "v", col "colmean")) joined
+  in
+  let out = Ops.project [ "i"; "j"; "cv" ] centered in
+  { Ops.schema = triple_schema; rows = out.Ops.rows }
+
+let covariance ?check ~rows rel =
+  let centered = center_columns ~rows rel in
+  (* Materialize: the product consumes the centered relation twice. *)
+  let cached = Ops.of_list triple_schema (Ops.to_list centered) in
+  let prod = matmul ?check (transpose cached) cached in
+  let scale = 1. /. float_of_int (rows - 1) in
+  let scaled =
+    Ops.map_column "sv" Expr.(Arith (Mul, col "v", float scale)) prod
+  in
+  let out = Ops.project [ "i"; "j"; "sv" ] scaled in
+  { Ops.schema = triple_schema; rows = out.Ops.rows }
+
+(* Mat-vec in SQL: join the matrix triples against a vector relation
+   (j, x) and sum per row. *)
+let vec_schema = Schema.make [ ("j", Value.TInt); ("x", Value.TFloat) ]
+
+let of_vec v =
+  Ops.of_list vec_schema
+    (Array.to_list (Array.mapi (fun j x -> [| Value.Int j; Value.Float x |]) v))
+
+let matvec rel v_rel =
+  let r = rename rel in
+  let joined = Ops.hash_join ~on:[ ("j", "j") ] r v_rel in
+  let prod = Ops.map_column "p" Expr.(Arith (Mul, col "v", col "x")) joined in
+  Ops.aggregate ~group_by:[ "i" ] ~aggs:[ ("y", Ops.Sum "p") ] prod
+
+let vec_of_rel ~n rel =
+  let out = Array.make n 0. in
+  let ii = Schema.index rel.Ops.schema "i" in
+  let yy = Schema.index rel.Ops.schema "y" in
+  Seq.iter
+    (fun row -> out.(Value.to_int row.(ii)) <- Value.to_float row.(yy))
+    rel.Ops.rows;
+  out
+
+let power_iteration_eigs ?(check = fun () -> ()) ~rows ~cols ~k ~iters rel =
+  let a = Ops.of_list triple_schema (Ops.to_list (rename rel)) in
+  let at = Ops.of_list triple_schema (Ops.to_list (transpose a)) in
+  let rng = Gb_util.Prng.create 0x5AD5AD5AL in
+  let deflated : (float * float array) list ref = ref [] in
+  let eigs = Array.make k 0. in
+  for e = 0 to k - 1 do
+    let v = ref (Array.init cols (fun _ -> Gb_util.Prng.normal rng)) in
+    let lambda = ref 0. in
+    for _ = 1 to iters do
+      check ();
+      (* w = A^T (A v), via two SQL mat-vecs. *)
+      let av_arr = vec_of_rel ~n:rows (matvec a (of_vec !v)) in
+      let w = vec_of_rel ~n:cols (matvec at (of_vec av_arr)) in
+      (* Deflate previously found directions. *)
+      List.iter
+        (fun (lam, u) ->
+          let c = Gb_linalg.Vec.dot u !v in
+          Gb_linalg.Vec.axpy (-.lam *. c) u w)
+        !deflated;
+      let n = Gb_linalg.Vec.nrm2 w in
+      if n > 0. then begin
+        lambda := n;
+        v := Gb_linalg.Vec.scale (1. /. n) w
+      end
+    done;
+    eigs.(e) <- !lambda;
+    deflated := (!lambda, !v) :: !deflated
+  done;
+  eigs

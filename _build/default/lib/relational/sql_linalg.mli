@@ -1,0 +1,29 @@
+(** Linear algebra "simulated in SQL" — the MADlib-style path the paper
+    calls out: matrix operations expressed as joins and aggregates over
+    triple-form relations, executed by the interpreted relational operators
+    rather than a native kernel. Deliberately slow; that slowness is a
+    measured result of the benchmark, not an accident. *)
+
+val triple_schema : Schema.t
+(** (i int, j int, v float). *)
+
+val of_matrix : Gb_linalg.Mat.t -> Ops.rel
+val to_matrix : rows:int -> cols:int -> Ops.rel -> Gb_linalg.Mat.t
+
+val transpose : Ops.rel -> Ops.rel
+
+val matmul : ?check:(unit -> unit) -> Ops.rel -> Ops.rel -> Ops.rel
+(** SELECT a.i, b.j, SUM(a.v*b.v) FROM a JOIN b ON a.j = b.i GROUP BY … *)
+
+val center_columns : rows:int -> Ops.rel -> Ops.rel
+(** Subtract per-column means, as a join against a per-column aggregate. *)
+
+val covariance : ?check:(unit -> unit) -> rows:int -> Ops.rel -> Ops.rel
+(** Column covariance of an [rows x n] triple relation. *)
+
+val power_iteration_eigs :
+  ?check:(unit -> unit) ->
+  rows:int -> cols:int -> k:int -> iters:int -> Ops.rel -> float array
+(** Top-[k] eigenvalue estimates of [A{^T}A] by repeated SQL mat-vec with
+    deflation — how an SVD ends up implemented when the engine only speaks
+    SQL. *)

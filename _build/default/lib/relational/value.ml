@@ -1,0 +1,48 @@
+type t = Int of int | Float of float | Str of string
+type ty = TInt | TFloat | TStr
+
+let type_of = function Int _ -> TInt | Float _ -> TFloat | Str _ -> TStr
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Int _, Str _ | Float _, Str _ -> -1
+  | Str _, Int _ | Str _, Float _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int i -> Hashtbl.hash i
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let to_int = function
+  | Int i -> i
+  | Float _ | Str _ -> invalid_arg "Value.to_int"
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Str _ -> invalid_arg "Value.to_float"
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.9g" f
+  | Str s -> s
+
+let of_string ty s =
+  match ty with
+  | TInt -> Int (int_of_string s)
+  | TFloat -> Float (float_of_string s)
+  | TStr -> Str s
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let pp_ty fmt = function
+  | TInt -> Format.pp_print_string fmt "int"
+  | TFloat -> Format.pp_print_string fmt "float"
+  | TStr -> Format.pp_print_string fmt "string"

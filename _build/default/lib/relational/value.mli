@@ -1,0 +1,25 @@
+(** Cell values for the relational engines. *)
+
+type t = Int of int | Float of float | Str of string
+
+type ty = TInt | TFloat | TStr
+
+val type_of : t -> ty
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_int : t -> int
+(** Raises [Invalid_argument] on non-integers. *)
+
+val to_float : t -> float
+(** Accepts both [Int] (widened) and [Float]. *)
+
+val to_string : t -> string
+(** CSV-compatible rendering. *)
+
+val of_string : ty -> string -> t
+(** Parse according to the expected type. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_ty : Format.formatter -> ty -> unit

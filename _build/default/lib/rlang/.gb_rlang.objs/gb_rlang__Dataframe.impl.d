@@ -1,0 +1,1 @@
+lib/rlang/dataframe.ml: Array Gb_linalg Gb_util Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/rlang/dataframe.mli: Gb_linalg

@@ -1,0 +1,1 @@
+lib/rlang/rvec.ml: Array Float Gb_stats Gb_util

@@ -1,0 +1,1 @@
+lib/rlang/rvec.mli: Gb_util

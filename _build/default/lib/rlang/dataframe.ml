@@ -1,0 +1,146 @@
+module Mat = Gb_linalg.Mat
+
+type column =
+  | Ints of int array
+  | Floats of float array
+  | Strs of string array
+
+type t = { cols : (string * column) list; nrow : int }
+
+let col_length = function
+  | Ints a -> Array.length a
+  | Floats a -> Array.length a
+  | Strs a -> Array.length a
+
+let of_columns cols =
+  match cols with
+  | [] -> { cols = []; nrow = 0 }
+  | (_, first) :: _ ->
+    let nrow = col_length first in
+    List.iter
+      (fun (n, c) ->
+        if col_length c <> nrow then
+          invalid_arg ("Dataframe.of_columns: ragged column " ^ n))
+      cols;
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (n, _) ->
+        if Hashtbl.mem seen n then
+          invalid_arg ("Dataframe.of_columns: duplicate " ^ n);
+        Hashtbl.add seen n ())
+      cols;
+    { cols; nrow }
+
+let nrow t = t.nrow
+let ncol t = List.length t.cols
+let names t = List.map fst t.cols
+
+let column t name =
+  match List.assoc_opt name t.cols with
+  | Some c -> c
+  | None -> invalid_arg ("Dataframe: no column " ^ name)
+
+let ints t name =
+  match column t name with
+  | Ints a -> a
+  | _ -> invalid_arg ("Dataframe.ints: " ^ name ^ " is not integer")
+
+let floats t name =
+  match column t name with
+  | Floats a -> a
+  | Ints a -> Array.map float_of_int a
+  | Strs _ -> invalid_arg ("Dataframe.floats: " ^ name ^ " is character")
+
+let pick col idx =
+  match col with
+  | Ints a -> Ints (Array.map (fun i -> a.(i)) idx)
+  | Floats a -> Floats (Array.map (fun i -> a.(i)) idx)
+  | Strs a -> Strs (Array.map (fun i -> a.(i)) idx)
+
+let subset_rows t idx =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= t.nrow then invalid_arg "Dataframe.subset_rows: index")
+    idx;
+  { cols = List.map (fun (n, c) -> (n, pick c idx)) t.cols; nrow = Array.length idx }
+
+let which t pred =
+  let out = ref [] in
+  for i = t.nrow - 1 downto 0 do
+    if pred t i then out := i :: !out
+  done;
+  Array.of_list !out
+
+let subset t pred = subset_rows t (which t pred)
+
+let merge x y ~by =
+  let xk = ints x by and yk = ints y by in
+  let index = Hashtbl.create (Array.length yk) in
+  Array.iteri
+    (fun j k ->
+      Hashtbl.replace index k
+        (match Hashtbl.find_opt index k with Some l -> j :: l | None -> [ j ]))
+    yk;
+  let xi = ref [] and yi = ref [] in
+  Array.iteri
+    (fun i k ->
+      match Hashtbl.find_opt index k with
+      | Some matches ->
+        List.iter
+          (fun j ->
+            xi := i :: !xi;
+            yi := j :: !yi)
+          (List.rev matches)
+      | None -> ())
+    xk;
+  let xi = Array.of_list (List.rev !xi) and yi = Array.of_list (List.rev !yi) in
+  let x_cols =
+    List.map (fun (n, c) -> (n, pick c xi)) x.cols
+  in
+  let x_names = List.map fst x.cols in
+  let y_cols =
+    List.filter_map
+      (fun (n, c) ->
+        if n = by then None
+        else
+          let n = if List.mem n x_names then n ^ ".y" else n in
+          Some (n, pick c yi))
+      y.cols
+  in
+  { cols = x_cols @ y_cols; nrow = Array.length xi }
+
+let order_by t name =
+  let key =
+    match column t name with
+    | Ints a -> Array.map float_of_int a
+    | Floats a -> a
+    | Strs _ -> invalid_arg "Dataframe.order_by: character column"
+  in
+  subset_rows t (Gb_util.Order.argsort key)
+
+let aggregate_mean t ~by ~value =
+  let keys = ints t by and vals = floats t value in
+  let sums = Hashtbl.create 64 in
+  Array.iteri
+    (fun i k ->
+      let s, n = try Hashtbl.find sums k with Not_found -> (0., 0) in
+      Hashtbl.replace sums k (s +. vals.(i), n + 1))
+    keys;
+  let groups = Hashtbl.fold (fun k (s, n) acc -> (k, s /. float_of_int n) :: acc) sums [] in
+  let groups = List.sort (fun (a, _) (b, _) -> Int.compare a b) groups in
+  of_columns
+    [
+      (by, Ints (Array.of_list (List.map fst groups)));
+      (value, Floats (Array.of_list (List.map snd groups)));
+    ]
+
+let to_matrix t ~cols =
+  let data = List.map (fun n -> floats t n) cols in
+  let arr = Array.of_list data in
+  Mat.init t.nrow (Array.length arr) (fun i j -> arr.(j).(i))
+
+let of_matrix ?(prefix = "V") m =
+  let rows, cols = Mat.dims m in
+  of_columns
+    (List.init cols (fun j ->
+         (Printf.sprintf "%s%d" prefix j, Floats (Array.init rows (fun i -> Mat.get m i j)))))

@@ -1,0 +1,50 @@
+(** A small R-style data.frame: named, typed, equal-length column vectors
+    with the operations the benchmark's R scripts lean on — [subset]
+    (filter), [merge] (hash join), [order], [aggregate] and the
+    data.frame ⇄ matrix casts. This is the data-management layer of the
+    "Vanilla R" configuration. *)
+
+type column =
+  | Ints of int array
+  | Floats of float array
+  | Strs of string array
+
+type t
+
+val of_columns : (string * column) list -> t
+(** Columns must share one length; raises [Invalid_argument] otherwise. *)
+
+val nrow : t -> int
+val ncol : t -> int
+val names : t -> string list
+val column : t -> string -> column
+val ints : t -> string -> int array
+(** Raises if the column is not [Ints]. *)
+
+val floats : t -> string -> float array
+(** [Ints] columns are widened. *)
+
+val subset : t -> (t -> int -> bool) -> t
+(** R's [df\[pred, \]]: keep rows where the row predicate holds. *)
+
+val subset_rows : t -> int array -> t
+val which : t -> (t -> int -> bool) -> int array
+(** R's [which()]: indices satisfying the predicate. *)
+
+val merge : t -> t -> by:string -> t
+(** R's [merge(x, y, by = key)]: inner equi-join on an [Ints] column; the
+    key appears once, then x's other columns, then y's (a clashing name
+    from y gets a [".y"] suffix). *)
+
+val order_by : t -> string -> t
+(** Ascending by one column (stable). *)
+
+val aggregate_mean : t -> by:string -> value:string -> t
+(** R's [aggregate(value ~ by, FUN = mean)]: two columns, [by] (ints,
+    ascending) and [value] (float means). *)
+
+val to_matrix : t -> cols:string list -> Gb_linalg.Mat.t
+(** [as.matrix(df\[, cols\])]. *)
+
+val of_matrix : ?prefix:string -> Gb_linalg.Mat.t -> t
+(** Columns named [prefix0, prefix1, …] (default prefix "V"). *)

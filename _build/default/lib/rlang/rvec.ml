@@ -1,0 +1,68 @@
+let seq from to_ ~by =
+  if by = 0. then invalid_arg "Rvec.seq: by = 0";
+  if (to_ -. from) *. by < 0. then invalid_arg "Rvec.seq: wrong direction";
+  let n = int_of_float (Float.round (((to_ -. from) /. by) +. 1e-9)) + 1 in
+  Array.init n (fun i -> from +. (float_of_int i *. by))
+
+let rep v ~times =
+  if times < 0 then invalid_arg "Rvec.rep: times";
+  Array.make times v
+
+let cumsum a =
+  let acc = ref 0. in
+  Array.map
+    (fun v ->
+      acc := !acc +. v;
+      !acc)
+    a
+
+let diff a =
+  let n = Array.length a in
+  if n = 0 then [||] else Array.init (n - 1) (fun i -> a.(i + 1) -. a.(i))
+
+let rev a =
+  let n = Array.length a in
+  Array.init n (fun i -> a.(n - 1 - i))
+
+let order = Gb_util.Order.argsort ?descending:None
+
+let rank = Gb_stats.Ranking.ranks
+
+let tabulate a ~nbins =
+  if nbins < 0 then invalid_arg "Rvec.tabulate: nbins";
+  let out = Array.make nbins 0 in
+  Array.iter (fun v -> if v >= 0 && v < nbins then out.(v) <- out.(v) + 1) a;
+  out
+
+let scale a =
+  let mu = Gb_stats.Descriptive.mean a in
+  let sd = Gb_stats.Descriptive.std a in
+  if sd = 0. then Array.map (fun v -> v -. mu) a
+  else Array.map (fun v -> (v -. mu) /. sd) a
+
+let zip name f a b =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Rvec." ^ name ^ ": length mismatch");
+  Array.map2 f a b
+
+let pmax = zip "pmax" Float.max
+let pmin = zip "pmin" Float.min
+
+let which_extreme better a =
+  if Array.length a = 0 then invalid_arg "Rvec.which_*: empty";
+  let best = ref 0 in
+  Array.iteri (fun i v -> if better v a.(!best) then best := i) a;
+  !best
+
+let which_max a = which_extreme ( > ) a
+let which_min a = which_extreme ( < ) a
+
+let sample ?rng a k =
+  let rng =
+    match rng with Some r -> r | None -> Gb_util.Prng.create 0x5A3D1EL
+  in
+  let idx = Gb_util.Prng.sample rng k (Array.length a) in
+  Array.map (fun i -> a.(i)) idx
+
+let cor = Gb_stats.Descriptive.pearson
+let quantile = Gb_stats.Descriptive.quantile

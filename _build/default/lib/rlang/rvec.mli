@@ -1,0 +1,43 @@
+(** R vector idioms over [float array] — the vocabulary of the analysis
+    scripts the Vanilla R configuration stands in for. *)
+
+val seq : float -> float -> by:float -> float array
+(** R's [seq(from, to, by)]; inclusive of the endpoint when it lands on
+    the grid. [by] must be non-zero and point toward [to]. *)
+
+val rep : float -> times:int -> float array
+val cumsum : float array -> float array
+val diff : float array -> float array
+(** Lagged differences; length n-1. *)
+
+val rev : float array -> float array
+
+val order : float array -> int array
+(** R's [order()]: the permutation that sorts ascending (1-based in R,
+    0-based here). *)
+
+val rank : float array -> float array
+(** Mid-ranks, ties averaged (delegates to [Gb_stats.Ranking]). *)
+
+val tabulate : int array -> nbins:int -> int array
+(** Counts of values 0..nbins-1 (out-of-range values ignored, as R does
+    for non-positive entries). *)
+
+val scale : float array -> float array
+(** Center to mean 0 and scale to sd 1 (sd 0 leaves centered values). *)
+
+val pmax : float array -> float array -> float array
+val pmin : float array -> float array -> float array
+val which_max : float array -> int
+(** First index of the maximum; array must be non-empty. *)
+
+val which_min : float array -> int
+
+val sample : ?rng:Gb_util.Prng.t -> float array -> int -> float array
+(** Sample without replacement, as R's [sample(x, k)]. *)
+
+val cor : float array -> float array -> float
+(** Pearson correlation (R's [cor]). *)
+
+val quantile : float array -> float -> float
+(** Type-7 (R default) quantile. *)

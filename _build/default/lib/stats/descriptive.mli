@@ -1,0 +1,17 @@
+(** Descriptive statistics. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for fewer than two
+    observations. *)
+
+val std : float array -> float
+val median : float array -> float
+val quantile : float array -> float -> float
+(** Linear-interpolation quantile, [q] in [\[0,1\]]. Array must be
+    non-empty. *)
+
+val covariance : float array -> float array -> float
+(** Sample covariance of two equal-length series. *)
+
+val pearson : float array -> float array -> float

@@ -1,0 +1,17 @@
+(** Probability distributions needed by the statistical tests. *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26 refinement; |error| < 1.2e-7,
+    adequate for p-values). *)
+
+val erfc : float -> float
+
+val normal_cdf : float -> float
+(** Standard normal cumulative distribution. *)
+
+val normal_sf : float -> float
+(** Survival function [1 - cdf], computed to preserve tail precision. *)
+
+val normal_two_sided_p : float -> float
+(** [normal_two_sided_p z] is [2 * sf |z|], the two-sided p-value of a
+    z-statistic. *)

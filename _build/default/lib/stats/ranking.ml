@@ -1,0 +1,33 @@
+let ranks a =
+  let n = Array.length a in
+  let idx = Gb_util.Order.argsort a in
+  let out = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do
+      incr j
+    done;
+    (* positions !i..!j (0-based) are tied; average 1-based rank *)
+    let avg = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      out.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  out
+
+let tie_groups a =
+  let n = Array.length a in
+  let idx = Gb_util.Order.argsort a in
+  let groups = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do
+      incr j
+    done;
+    groups := (!j - !i + 1) :: !groups;
+    i := !j + 1
+  done;
+  List.rev !groups

@@ -1,0 +1,9 @@
+(** Mid-rank assignment with tie handling, as used by rank-sum tests. *)
+
+val ranks : float array -> float array
+(** [ranks a] assigns 1-based ranks; tied values share the average of the
+    ranks they span. *)
+
+val tie_groups : float array -> int list
+(** Sizes of each group of tied values (groups of size 1 included), in
+    sorted order — used for the tie correction of the rank-sum variance. *)

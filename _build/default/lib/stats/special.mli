@@ -1,0 +1,17 @@
+(** Special functions backing the test distributions: log-gamma,
+    regularized incomplete gamma (chi-squared tails) and regularized
+    incomplete beta (Student-t tails). *)
+
+val log_gamma : float -> float
+(** Lanczos approximation, x > 0. *)
+
+val gamma_p : float -> float -> float
+(** [gamma_p a x] is the regularized lower incomplete gamma P(a, x),
+    for [a > 0], [x >= 0]. *)
+
+val gamma_q : float -> float -> float
+(** Upper tail, [1 - gamma_p]. *)
+
+val beta_inc : float -> float -> float -> float
+(** [beta_inc a b x] is the regularized incomplete beta I_x(a, b) for
+    [a, b > 0] and [x] in [\[0, 1\]] (continued-fraction evaluation). *)

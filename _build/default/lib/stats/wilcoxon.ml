@@ -1,0 +1,63 @@
+type result = { u : float; z : float; p_value : float; rank_sum : float }
+
+let compute ~n1 ~n2 ~rank_sum ~tie_term =
+  let n1f = float_of_int n1 and n2f = float_of_int n2 in
+  let n = n1f +. n2f in
+  let u = rank_sum -. (n1f *. (n1f +. 1.) /. 2.) in
+  let mean_u = n1f *. n2f /. 2. in
+  let var_u =
+    n1f *. n2f /. 12. *. (n +. 1. -. (tie_term /. (n *. (n -. 1.))))
+  in
+  let z = if var_u <= 0. then 0. else (u -. mean_u) /. sqrt var_u in
+  {
+    u;
+    z;
+    p_value = Distributions.normal_two_sided_p z;
+    rank_sum;
+  }
+
+let tie_term_of_groups groups =
+  List.fold_left
+    (fun acc t ->
+      let t = float_of_int t in
+      acc +. ((t *. t *. t) -. t))
+    0. groups
+
+let rank_sum_test xs ys =
+  let n1 = Array.length xs and n2 = Array.length ys in
+  if n1 = 0 || n2 = 0 then invalid_arg "Wilcoxon.rank_sum_test: empty sample";
+  let all = Array.append xs ys in
+  let r = Ranking.ranks all in
+  let rank_sum = ref 0. in
+  for i = 0 to n1 - 1 do
+    rank_sum := !rank_sum +. r.(i)
+  done;
+  let tie_term = tie_term_of_groups (Ranking.tie_groups all) in
+  compute ~n1 ~n2 ~rank_sum:!rank_sum ~tie_term
+
+let from_ranks ~ranks ~in_group =
+  let n = Array.length ranks in
+  if Array.length in_group <> n then invalid_arg "Wilcoxon.from_ranks: length";
+  let n1 = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_group in
+  let n2 = n - n1 in
+  if n1 = 0 || n2 = 0 then invalid_arg "Wilcoxon.from_ranks: empty class";
+  let rank_sum = ref 0. in
+  for i = 0 to n - 1 do
+    if in_group.(i) then rank_sum := !rank_sum +. ranks.(i)
+  done;
+  (* Rebuild tie multiplicities from the rank values themselves: a group of
+     t tied entries shares one distinct mid-rank value repeated t times. *)
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun r ->
+      let c = try Hashtbl.find counts r with Not_found -> 0 in
+      Hashtbl.replace counts r (c + 1))
+    ranks;
+  let tie_term =
+    Hashtbl.fold
+      (fun _ t acc ->
+        let t = float_of_int t in
+        acc +. ((t *. t *. t) -. t))
+      counts 0.
+  in
+  compute ~n1 ~n2 ~rank_sum:!rank_sum ~tie_term

@@ -1,0 +1,20 @@
+(** Wilcoxon rank-sum (Mann–Whitney) test — the statistical test the
+    benchmark's enrichment query (Query 5) prescribes for deciding whether
+    a gene set sits at the top or bottom of an expression ranking. *)
+
+type result = {
+  u : float; (** Mann–Whitney U for the first sample *)
+  z : float; (** tie-corrected normal approximation z-statistic *)
+  p_value : float; (** two-sided *)
+  rank_sum : float; (** rank sum of the first sample *)
+}
+
+val rank_sum_test : float array -> float array -> result
+(** [rank_sum_test xs ys] tests whether [xs] and [ys] come from the same
+    distribution. Both samples must be non-empty. *)
+
+val from_ranks : ranks:float array -> in_group:bool array -> result
+(** Variant for the enrichment workflow: the full population has already
+    been ranked; [in_group] flags the members of the gene set. Tie
+    correction is derived from the rank multiplicities. Requires at least
+    one member in each class. *)

@@ -1,0 +1,34 @@
+module Stopwatch = struct
+  type t = float
+
+  let now () = Unix.gettimeofday ()
+  let start () = now ()
+  let elapsed t = now () -. t
+
+  let time f =
+    let t0 = start () in
+    let r = f () in
+    (r, elapsed t0)
+end
+
+module Sim = struct
+  type t = { mutable now : float }
+
+  let create () = { now = 0. }
+  let now c = c.now
+
+  let advance c dt =
+    assert (dt >= 0.);
+    c.now <- c.now +. dt
+
+  let run_measured c f =
+    let r, dt = Stopwatch.time f in
+    advance c dt;
+    r
+
+  let run_scaled c ~speedup f =
+    assert (speedup > 0.);
+    let r, dt = Stopwatch.time f in
+    advance c (dt /. speedup);
+    r
+end

@@ -1,0 +1,38 @@
+(** Wall-clock stopwatches and simulated clocks.
+
+    Single-node engines are timed with real wall-clock stopwatches. The
+    cluster and coprocessor models combine genuinely measured compute time
+    with modelled communication/transfer time on a {!Sim} clock; reported
+    results are simulated seconds. *)
+
+module Stopwatch : sig
+  type t
+
+  val start : unit -> t
+  val elapsed : t -> float
+  (** Seconds since [start]. *)
+
+  val time : (unit -> 'a) -> 'a * float
+  (** [time f] runs [f] and returns its result with the elapsed seconds. *)
+end
+
+module Sim : sig
+  type t
+
+  val create : unit -> t
+
+  val now : t -> float
+  (** Current simulated time, seconds. *)
+
+  val advance : t -> float -> unit
+  (** [advance c dt] moves the clock forward by [dt] seconds ([dt >= 0]). *)
+
+  val run_measured : t -> (unit -> 'a) -> 'a
+  (** [run_measured c f] executes [f], advancing [c] by the real elapsed
+      time of [f]. *)
+
+  val run_scaled : t -> speedup:float -> (unit -> 'a) -> 'a
+  (** Like {!run_measured} but the measured time is divided by [speedup]
+      before being added — used to model faster hardware executing the same
+      kernel. *)
+end

@@ -1,0 +1,9 @@
+exception Timeout
+
+type t = float (* absolute wall time *)
+
+let start ~seconds = Unix.gettimeofday () +. seconds
+let unlimited () = infinity
+let expired t = Unix.gettimeofday () > t
+let check t = if expired t then raise Timeout
+let remaining t = t -. Unix.gettimeofday ()

@@ -1,0 +1,18 @@
+(** Cooperative timeouts — the benchmark's "cut off all computation after
+    two hours" rule, scaled down. Long-running phases call [check]
+    periodically; the harness treats {!Timeout} (like memory-allocation
+    failure) as an "infinite" result. *)
+
+exception Timeout
+
+type t
+
+val start : seconds:float -> t
+(** Wall-clock deadline [seconds] from now. *)
+
+val unlimited : unit -> t
+val check : t -> unit
+(** Raises {!Timeout} once the deadline has passed. *)
+
+val expired : t -> bool
+val remaining : t -> float

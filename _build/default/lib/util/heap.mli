@@ -1,0 +1,18 @@
+(** Binary heaps and heap-based top-k selection (covariance's "top 10% of
+    pairs" without sorting every pair). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Min-heap with respect to [cmp]. *)
+
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val to_sorted_list : 'a t -> 'a list
+(** Ascending; consumes the heap. *)
+
+val top_k : cmp:('a -> 'a -> int) -> int -> 'a Seq.t -> 'a list
+(** The [k] largest elements of the sequence under [cmp], descending;
+    O(n log k) time, O(k) space. *)

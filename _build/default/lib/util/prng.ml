@@ -1,0 +1,86 @@
+type t = { mutable state : int64; mutable cached : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed; cached = None }
+
+let copy g = { state = g.state; cached = g.cached }
+
+(* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = next_int64 g in
+  create (mix seed)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to OCaml's non-negative int range (Int64.to_int keeps the low 63
+     bits, which can come out negative). *)
+  let r = Int64.to_int (next_int64 g) land max_int in
+  r mod bound
+
+let uniform g =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float g bound = uniform g *. bound
+
+let normal g =
+  match g.cached with
+  | Some v ->
+    g.cached <- None;
+    v
+  | None ->
+    let rec draw () =
+      let u = (2. *. uniform g) -. 1. in
+      let v = (2. *. uniform g) -. 1. in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1. || s = 0. then draw ()
+      else
+        let m = sqrt (-2. *. log s /. s) in
+        (u *. m, v *. m)
+    in
+    let x, y = draw () in
+    g.cached <- Some y;
+    x
+
+let gaussian g ~mu ~sigma = mu +. (sigma *. normal g)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample g k n =
+  if k > n then invalid_arg "Prng.sample: k > n";
+  (* Floyd's algorithm, then shuffle for random order. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let t = int g (j + 1) in
+    if Hashtbl.mem chosen t then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen t ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun idx () ->
+      out.(!i) <- idx;
+      incr i)
+    chosen;
+  shuffle g out;
+  out

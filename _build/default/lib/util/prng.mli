@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic component of the benchmark (data generators, masking in
+    biclustering, sampling) draws from an explicit [t] so that all runs are
+    reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] builds an independent generator. *)
+
+val copy : t -> t
+(** [copy g] is a generator with the same state as [g], evolving
+    independently afterwards. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new statistically independent
+    generator, as in SplitMix. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val normal : t -> float
+(** Standard normal deviate (Box–Muller, cached pair). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> int -> int -> int array
+(** [sample g k n] draws [k] distinct indices from [\[0, n)] without
+    replacement, in random order. Requires [k <= n]. *)

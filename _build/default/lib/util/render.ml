@@ -1,0 +1,67 @@
+let widths headers rows =
+  let ncols = List.length headers in
+  let w = Array.make ncols 0 in
+  let feed row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  feed headers;
+  List.iter feed rows;
+  w
+
+let hline w =
+  let b = Buffer.create 80 in
+  Buffer.add_char b '+';
+  Array.iter
+    (fun n ->
+      Buffer.add_string b (String.make (n + 2) '-');
+      Buffer.add_char b '+')
+    w;
+  Buffer.contents b
+
+let render_row w row =
+  let b = Buffer.create 80 in
+  Buffer.add_char b '|';
+  List.iteri
+    (fun i cell ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b cell;
+      Buffer.add_string b (String.make (w.(i) - String.length cell) ' ');
+      Buffer.add_string b " |")
+    row;
+  Buffer.contents b
+
+let table ~headers ~rows =
+  let w = widths headers rows in
+  let line = hline w in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b line;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (render_row w headers);
+  Buffer.add_char b '\n';
+  Buffer.add_string b line;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b (render_row w r);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.add_string b line;
+  Buffer.contents b
+
+let seconds s =
+  if s = infinity then "INF"
+  else if s >= 100. then Printf.sprintf "%.0f" s
+  else if s >= 10. then Printf.sprintf "%.1f" s
+  else if s >= 1. then Printf.sprintf "%.2f" s
+  else Printf.sprintf "%.3f" s
+
+let series_chart ~title ~x_labels ~series =
+  let headers = "System" :: x_labels in
+  let rows =
+    List.map
+      (fun (name, points) ->
+        name
+        :: List.map (function None -> "-" | Some v -> seconds v) points)
+      series
+  in
+  Printf.sprintf "%s\n%s" title (table ~headers ~rows)

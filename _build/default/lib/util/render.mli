@@ -1,0 +1,16 @@
+(** ASCII rendering of benchmark tables and figure series. *)
+
+val table : headers:string list -> rows:string list list -> string
+(** Fixed-width bordered table; column widths fit the widest cell. *)
+
+val seconds : float -> string
+(** Human-friendly seconds, e.g. ["0.034"], ["12.5"], or ["INF"] for
+    infinity. *)
+
+val series_chart :
+  title:string ->
+  x_labels:string list ->
+  series:(string * float option list) list ->
+  string
+(** A figure rendered as a table: one row per series, one column per x tick;
+    [None] cells (unsupported/failed) print as ["-"], [infinity] as ["INF"]. *)

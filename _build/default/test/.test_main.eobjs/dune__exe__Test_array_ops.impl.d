@@ -1,0 +1,1 @@
+test/test_array_ops.ml: Alcotest Array_ops Chunked Gb_arraydb Gb_linalg

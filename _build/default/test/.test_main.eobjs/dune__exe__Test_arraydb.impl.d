@@ -1,0 +1,1 @@
+test/test_arraydb.ml: Alcotest Array Attr_array Chunked Fun Gb_arraydb Gb_linalg Gb_util

@@ -1,0 +1,1 @@
+test/test_bicluster.ml: Alcotest Array Cheng_church Fun Gb_bicluster Gb_linalg Gb_util List

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cluster Float Gb_cluster Gb_linalg Gb_util Netmodel Par_linalg Partition Unix

@@ -1,0 +1,1 @@
+test/test_clustering.ml: Alcotest Array Gb_bicluster Gb_linalg Gb_util List

@@ -1,0 +1,1 @@
+test/test_coproc.ml: Alcotest Device Gb_coproc Gb_util Unix

@@ -1,0 +1,1 @@
+test/test_dataframe.ml: Alcotest Array Dataframe Gb_linalg Gb_rlang Gb_stats Gb_util Rvec

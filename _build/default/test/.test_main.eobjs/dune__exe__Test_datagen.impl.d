@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Filename Float Gb_bicluster Gb_datagen Gb_linalg Generate Io Spec Sys

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Blas Covariance Float Gb_linalg Gb_util Int64 Lanczos Linreg List Mat QCheck QCheck_alcotest Qr Randomized Solve Svd Tridiag Vec

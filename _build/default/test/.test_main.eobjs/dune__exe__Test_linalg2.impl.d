@@ -1,0 +1,1 @@
+test/test_linalg2.ml: Alcotest Array Blas Eigen Float Gb_linalg Gb_util Int64 Lanczos Lu Mat QCheck QCheck_alcotest Tridiag

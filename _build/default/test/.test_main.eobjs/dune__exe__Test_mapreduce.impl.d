@@ -1,0 +1,1 @@
+test/test_mapreduce.ml: Alcotest Array Float Gb_linalg Gb_mapreduce Gb_util Hive List Mahout Mr Printf String

@@ -1,0 +1,1 @@
+test/test_relational2.ml: Alcotest Array Astring_contains Btree Col_store Expr Format Fun Gb_relational Gb_util Index List Ops Plan QCheck QCheck_alcotest Row_store Schema Value

@@ -1,0 +1,1 @@
+test/test_relops.ml: Alcotest Array Dataset Engine_sql Gb_datagen Gb_linalg Gb_util Genbase Qcommon Query Relops

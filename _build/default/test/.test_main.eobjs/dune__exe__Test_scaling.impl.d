@@ -1,0 +1,1 @@
+test/test_scaling.ml: Alcotest Dataset Engine Engine_hadoop Engine_pbdr Engine_phi Engine_scidb Engine_scidb_mn Float Format Gb_datagen Genbase Lazy Printf Query

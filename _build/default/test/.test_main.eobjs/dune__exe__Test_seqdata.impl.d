@@ -1,0 +1,1 @@
+test/test_seqdata.ml: Alcotest Array Filename Float Gb_datagen Gb_linalg Generate List Seqdata Spec Sys

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Gb_arraydb Gb_datagen Gb_linalg Gb_util Genbase Sparse

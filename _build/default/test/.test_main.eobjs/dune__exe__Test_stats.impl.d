@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive Distributions Gb_stats Gb_util List QCheck QCheck_alcotest Ranking Wilcoxon

@@ -1,0 +1,1 @@
+test/test_stats2.ml: Alcotest Array Float Gb_stats Gb_util List QCheck QCheck_alcotest Special Tests

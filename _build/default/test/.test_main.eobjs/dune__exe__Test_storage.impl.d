@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bitmap Buffer_pool Bytes Fun Gb_datagen Gb_relational Gb_util Genbase Int Int32 List Paged_store Printf QCheck QCheck_alcotest Row_store Schema String Value

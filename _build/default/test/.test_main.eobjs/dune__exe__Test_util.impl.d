@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Clock Deadline Float Fun Gb_util Order Prng Render String Unix

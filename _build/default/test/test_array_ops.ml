@@ -1,0 +1,92 @@
+open Gb_arraydb
+module Mat = Gb_linalg.Mat
+
+let grid rows cols f = Chunked.of_matrix (Mat.init rows cols f)
+
+let test_between () =
+  let t = grid 10 10 (fun i j -> float_of_int ((i * 10) + j)) in
+  let sub = Array_ops.between t ~r0:2 ~c0:3 ~r1:4 ~c1:5 in
+  Alcotest.(check (pair int int)) "dims" (3, 3) (Chunked.dims sub);
+  Alcotest.(check (float 0.)) "corner" 23. (Chunked.get sub 0 0);
+  Alcotest.(check (float 0.)) "far corner" 45. (Chunked.get sub 2 2);
+  Alcotest.check_raises "bounds" (Invalid_argument "Array_ops.between: bounds")
+    (fun () -> ignore (Array_ops.between t ~r0:0 ~c0:0 ~r1:10 ~c1:0))
+
+let test_aggregate_dims () =
+  let t = grid 4 3 (fun i j -> float_of_int (i + j)) in
+  let col_sums = Array_ops.aggregate_rows t Array_ops.Sum in
+  Alcotest.(check (array (float 1e-12))) "column sums" [| 6.; 10.; 14. |]
+    col_sums;
+  let row_means = Array_ops.aggregate_cols t Array_ops.Mean in
+  Alcotest.(check (array (float 1e-12))) "row means" [| 1.; 2.; 3.; 4. |]
+    row_means;
+  let col_max = Array_ops.aggregate_rows t Array_ops.Max in
+  Alcotest.(check (array (float 0.))) "column max" [| 3.; 4.; 5. |] col_max
+
+let test_window_constant () =
+  let t = grid 6 6 (fun _ _ -> 2.5) in
+  let w = Array_ops.window t ~rows:1 ~cols:1 Array_ops.Mean in
+  Chunked.iter_chunks w (fun ~row0:_ ~col0:_ tile ->
+      Mat.iteri
+        (fun _ _ v -> Alcotest.(check (float 1e-12)) "constant" 2.5 v)
+        tile)
+
+let test_window_center () =
+  let t = grid 3 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  let w = Array_ops.window t ~rows:1 ~cols:1 Array_ops.Sum in
+  (* Center cell sums the whole 3x3 = 36; corner (0,0) sums its 2x2. *)
+  Alcotest.(check (float 1e-12)) "center" 36. (Chunked.get w 1 1);
+  Alcotest.(check (float 1e-12)) "corner" 8. (Chunked.get w 0 0)
+
+let test_regrid () =
+  let t = grid 4 4 (fun i j -> float_of_int ((i * 4) + j)) in
+  let r = Array_ops.regrid t ~row_factor:2 ~col_factor:2 Array_ops.Mean in
+  Alcotest.(check (pair int int)) "dims" (2, 2) (Chunked.dims r);
+  (* Top-left 2x2 block: 0,1,4,5 -> mean 2.5 *)
+  Alcotest.(check (float 1e-12)) "block mean" 2.5 (Chunked.get r 0 0);
+  Alcotest.(check (float 1e-12)) "last block" 12.5 (Chunked.get r 1 1)
+
+let test_regrid_partial_edges () =
+  let t = grid 5 5 (fun _ _ -> 1.) in
+  let r = Array_ops.regrid t ~row_factor:2 ~col_factor:2 Array_ops.Sum in
+  Alcotest.(check (pair int int)) "ceil dims" (3, 3) (Chunked.dims r);
+  Alcotest.(check (float 1e-12)) "full tile" 4. (Chunked.get r 0 0);
+  Alcotest.(check (float 1e-12)) "edge tile" 2. (Chunked.get r 0 2);
+  Alcotest.(check (float 1e-12)) "corner tile" 1. (Chunked.get r 2 2)
+
+let test_map2 () =
+  let a = grid 3 3 (fun i _ -> float_of_int i) in
+  let b = grid 3 3 (fun _ j -> float_of_int j) in
+  let s = Array_ops.map2 ( +. ) a b in
+  Alcotest.(check (float 1e-12)) "sum" 3. (Chunked.get s 1 2);
+  Alcotest.check_raises "dims" (Invalid_argument "Array_ops.map2: dims")
+    (fun () -> ignore (Array_ops.map2 ( +. ) a (grid 2 2 (fun _ _ -> 0.))))
+
+let test_regrid_satellite_scenario () =
+  (* The paper's intro example: coarsen a fine sensor grid to a derived
+     cell structure; values are a smooth field, so the regridded means
+     should track the field. *)
+  let fine = grid 64 64 (fun i j -> float_of_int i +. (0.5 *. float_of_int j)) in
+  let coarse = Array_ops.regrid fine ~row_factor:8 ~col_factor:8 Array_ops.Mean in
+  Alcotest.(check (pair int int)) "8x8 grid" (8, 8) (Chunked.dims coarse);
+  (* Mean of block (bi,bj) = (8 bi + 3.5) + 0.5 (8 bj + 3.5). *)
+  for bi = 0 to 7 do
+    for bj = 0 to 7 do
+      let expected =
+        (8. *. float_of_int bi) +. 3.5 +. (0.5 *. ((8. *. float_of_int bj) +. 3.5))
+      in
+      Alcotest.(check (float 1e-9)) "block mean" expected (Chunked.get coarse bi bj)
+    done
+  done
+
+let suite =
+  [
+    ("between", `Quick, test_between);
+    ("aggregate dims", `Quick, test_aggregate_dims);
+    ("window constant", `Quick, test_window_constant);
+    ("window sums", `Quick, test_window_center);
+    ("regrid", `Quick, test_regrid);
+    ("regrid partial edges", `Quick, test_regrid_partial_edges);
+    ("map2", `Quick, test_map2);
+    ("regrid satellite scenario", `Quick, test_regrid_satellite_scenario);
+  ]

@@ -1,0 +1,109 @@
+open Gb_arraydb
+module Mat = Gb_linalg.Mat
+
+let test_chunked_roundtrip () =
+  let m = Mat.random (Gb_util.Prng.create 1L) 130 70 in
+  let c = Chunked.of_matrix m in
+  Alcotest.(check (pair int int)) "dims" (130, 70) (Chunked.dims c);
+  Alcotest.(check bool) "to_matrix" (Mat.equal m (Chunked.to_matrix c)) true
+
+let test_chunked_get_set () =
+  let c = Chunked.create 100 100 in
+  Chunked.set c 99 99 5.;
+  Chunked.set c 0 0 1.;
+  Chunked.set c 63 64 2. (* chunk boundary *);
+  Alcotest.(check (float 0.)) "corner" 5. (Chunked.get c 99 99);
+  Alcotest.(check (float 0.)) "origin" 1. (Chunked.get c 0 0);
+  Alcotest.(check (float 0.)) "boundary" 2. (Chunked.get c 63 64);
+  Alcotest.check_raises "oob" (Invalid_argument "Chunked.get: out of bounds")
+    (fun () -> ignore (Chunked.get c 100 0))
+
+let test_chunked_select_rows () =
+  let m = Mat.init 100 40 (fun i j -> float_of_int ((i * 100) + j)) in
+  let c = Chunked.of_matrix m in
+  let sel = Chunked.select_rows c [| 99; 0; 50 |] in
+  Alcotest.(check (pair int int)) "dims" (3, 40) (Chunked.dims sel);
+  Alcotest.(check (float 0.)) "row order" 9900. (Chunked.get sel 0 0);
+  Alcotest.(check (float 0.)) "second" 0. (Chunked.get sel 1 0);
+  Alcotest.(check (float 0.)) "third" 5039. (Chunked.get sel 2 39)
+
+let test_chunked_select_cols () =
+  let m = Mat.init 70 130 (fun i j -> float_of_int ((i * 1000) + j)) in
+  let c = Chunked.of_matrix m in
+  let sel = Chunked.select_cols c [| 128; 1 |] in
+  Alcotest.(check (pair int int)) "dims" (70, 2) (Chunked.dims sel);
+  Alcotest.(check (float 0.)) "pick" 128. (Chunked.get sel 0 0);
+  Alcotest.(check (float 0.)) "pick2" 69001. (Chunked.get sel 69 1)
+
+let test_chunked_map () =
+  let m = Mat.init 10 10 (fun i j -> float_of_int (i + j)) in
+  let c = Chunked.map (fun v -> v *. 2.) (Chunked.of_matrix m) in
+  Alcotest.(check (float 0.)) "mapped" 36. (Chunked.get c 9 9)
+
+let test_iter_chunks_covers () =
+  let m = Mat.init 130 70 (fun i j -> float_of_int ((i * 70) + j)) in
+  let c = Chunked.of_matrix m in
+  let seen = Array.make_matrix 130 70 false in
+  Chunked.iter_chunks c (fun ~row0 ~col0 tile ->
+      let h, w = Mat.dims tile in
+      for i = 0 to h - 1 do
+        for j = 0 to w - 1 do
+          Alcotest.(check (float 0.)) "tile value"
+            (Mat.get m (row0 + i) (col0 + j))
+            (Mat.get tile i j);
+          seen.(row0 + i).(col0 + j) <- true
+        done
+      done);
+  Alcotest.(check bool) "full coverage"
+    (Array.for_all (Array.for_all Fun.id) seen)
+    true
+
+let test_chunk_count () =
+  let c = Chunked.create 130 70 in
+  (* ceil(130/64) * ceil(70/64) = 3 * 2 *)
+  Alcotest.(check int) "grid" 6 (Chunked.chunk_count c)
+
+let test_attr_array () =
+  let a =
+    Attr_array.of_columns
+      [ ("age", [| 30.; 50.; 20. |]); ("gender", [| 0.; 1.; 1. |]) ]
+  in
+  Alcotest.(check int) "length" 3 (Attr_array.length a);
+  Alcotest.(check (list string)) "attributes" [ "age"; "gender" ]
+    (Attr_array.attributes a);
+  Alcotest.(check (float 0.)) "get" 50. (Attr_array.get a "age" 1);
+  Attr_array.set a "age" 1 55.;
+  Alcotest.(check (float 0.)) "set" 55. (Attr_array.get a "age" 1)
+
+let test_attr_filter_select () =
+  let a =
+    Attr_array.of_columns
+      [ ("age", [| 30.; 50.; 20.; 45. |]); ("gender", [| 0.; 1.; 1.; 1. |]) ]
+  in
+  let young_male =
+    Attr_array.filter a (fun i ->
+        Attr_array.get a "age" i < 46. && Attr_array.get a "gender" i = 1.)
+  in
+  Alcotest.(check (array int)) "indices" [| 2; 3 |] young_male;
+  let sel = Attr_array.select a young_male in
+  Alcotest.(check int) "selected" 2 (Attr_array.length sel);
+  Alcotest.(check (float 0.)) "values follow" 45. (Attr_array.get sel "age" 1)
+
+let test_attr_unknown () =
+  let a = Attr_array.create ~names:[ "x" ] ~length:2 in
+  Alcotest.check_raises "unknown" (Invalid_argument "Attr_array: no attribute y")
+    (fun () -> ignore (Attr_array.get a "y" 0))
+
+let suite =
+  [
+    ("chunked roundtrip", `Quick, test_chunked_roundtrip);
+    ("chunked get/set", `Quick, test_chunked_get_set);
+    ("chunked select rows", `Quick, test_chunked_select_rows);
+    ("chunked select cols", `Quick, test_chunked_select_cols);
+    ("chunked map", `Quick, test_chunked_map);
+    ("iter chunks covers", `Quick, test_iter_chunks_covers);
+    ("chunk count", `Quick, test_chunk_count);
+    ("attr array", `Quick, test_attr_array);
+    ("attr filter/select", `Quick, test_attr_filter_select);
+    ("attr unknown", `Quick, test_attr_unknown);
+  ]

@@ -1,0 +1,174 @@
+open Gb_cluster
+module Mat = Gb_linalg.Mat
+
+let test_netmodel () =
+  let net = Netmodel.default in
+  Alcotest.(check bool) "latency floor"
+    (Netmodel.transfer_time net ~bytes:0 = net.Netmodel.latency_s)
+    true;
+  Alcotest.(check bool) "bandwidth term"
+    (Netmodel.transfer_time net ~bytes:1_000_000_000 > 0.9)
+    true;
+  Alcotest.(check (float 0.)) "single node free" 0.
+    (Netmodel.allreduce_time net ~nodes:1 ~bytes:1_000_000);
+  Alcotest.(check bool) "allreduce grows with nodes"
+    (Netmodel.allreduce_time net ~nodes:4 ~bytes:1_000_000
+    > Netmodel.allreduce_time net ~nodes:2 ~bytes:1_000_000)
+    true;
+  Alcotest.(check (float 0.)) "no shuffle on 1 node" 0.
+    (Netmodel.shuffle_time net ~nodes:1 ~total_bytes:1_000_000)
+
+let test_block_rows () =
+  let blocks = Partition.block_rows ~rows:10 ~nodes:3 in
+  Alcotest.(check (array (pair int int))) "blocks"
+    [| (0, 4); (4, 3); (7, 3) |] blocks;
+  Alcotest.(check int) "owner" 1 (Partition.owner_of_row ~rows:10 ~nodes:3 5)
+
+let test_split_concat () =
+  let m = Mat.random (Gb_util.Prng.create 1L) 11 4 in
+  let parts = Partition.split_matrix m ~nodes:3 in
+  Alcotest.(check int) "parts" 3 (Array.length parts);
+  Alcotest.(check bool) "roundtrip"
+    (Mat.equal m (Partition.concat_rows parts))
+    true
+
+let test_superstep_max_semantics () =
+  let c = Cluster.create ~nodes:3 () in
+  let _ =
+    Cluster.superstep c (fun node -> if node = 1 then Unix.sleepf 0.03)
+  in
+  Alcotest.(check bool) "max not sum"
+    (Cluster.elapsed c >= 0.03 && Cluster.elapsed c < 0.09)
+    true
+
+let test_allreduce_sum () =
+  let c = Cluster.create ~nodes:2 () in
+  let out = Cluster.allreduce_sum c [| [| 1.; 2. |]; [| 10.; 20. |] |] in
+  Alcotest.(check (array (float 0.))) "sum" [| 11.; 22. |] out;
+  Alcotest.(check bool) "comm charged" (Cluster.comm_seconds c > 0.) true;
+  Alcotest.(check int) "bytes" 16 (Cluster.comm_bytes c)
+
+let test_allreduce_mat () =
+  let c = Cluster.create ~nodes:3 () in
+  let parts = Array.init 3 (fun k -> Mat.init 2 2 (fun _ _ -> float_of_int k)) in
+  let out = Cluster.allreduce_mat c parts in
+  Alcotest.(check (float 0.)) "summed" 3. (Mat.get out 0 0)
+
+let test_deadline () =
+  let c = Cluster.create ~nodes:1 () in
+  Cluster.set_deadline c 0.5;
+  Cluster.advance c 0.4;
+  Alcotest.check_raises "trips" Gb_util.Deadline.Timeout (fun () ->
+      Cluster.advance c 0.2)
+
+let test_compute_speedup () =
+  let work () = Unix.sleepf 0.02 in
+  let c1 = Cluster.create ~nodes:1 () in
+  ignore (Cluster.superstep c1 (fun _ -> work ()));
+  let c2 = Cluster.create ~nodes:1 () in
+  Cluster.set_compute_speedup c2 4.;
+  ignore (Cluster.superstep c2 (fun _ -> work ()));
+  Alcotest.(check bool) "scaled down"
+    (Cluster.elapsed c2 < Cluster.elapsed c1 /. 2.)
+    true
+
+let parts_of m nodes = Partition.split_matrix m ~nodes
+
+let test_par_ata () =
+  let m = Mat.random (Gb_util.Prng.create 2L) 20 6 in
+  let c = Cluster.create ~nodes:4 () in
+  let out = Par_linalg.ata c (parts_of m 4) in
+  Alcotest.(check bool) "matches serial"
+    (Mat.max_abs_diff out (Gb_linalg.Blas.ata m) < 1e-9)
+    true
+
+let test_par_col_means () =
+  let m = Mat.random (Gb_util.Prng.create 3L) 15 5 in
+  let c = Cluster.create ~nodes:3 () in
+  let out = Par_linalg.col_means c (parts_of m 3) in
+  let expect = Mat.col_means m in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-9)) "mean" expect.(i) v)
+    out
+
+let test_par_covariance () =
+  let m = Mat.random (Gb_util.Prng.create 4L) 25 7 in
+  let c = Cluster.create ~nodes:4 () in
+  let out = Par_linalg.covariance c (parts_of m 4) in
+  Alcotest.(check bool) "matches serial"
+    (Mat.max_abs_diff out (Gb_linalg.Covariance.matrix m) < 1e-9)
+    true
+
+let test_par_covariance_with_empty_part () =
+  let m = Mat.random (Gb_util.Prng.create 41L) 8 5 in
+  let c = Cluster.create ~nodes:3 () in
+  let parts = [| m; Mat.create 0 5; Mat.create 0 5 |] in
+  let out = Par_linalg.covariance c parts in
+  Alcotest.(check bool) "empty parts ok"
+    (Mat.max_abs_diff out (Gb_linalg.Covariance.matrix m) < 1e-9)
+    true
+
+let test_par_regression () =
+  let g = Gb_util.Prng.create 5L in
+  let m = Mat.random g 60 4 in
+  let y =
+    Array.init 60 (fun i -> 1. +. (2. *. Mat.get m i 0) -. (3. *. Mat.get m i 3))
+  in
+  let c = Cluster.create ~nodes:3 () in
+  let beta =
+    Par_linalg.regression c (parts_of m 3) (Partition.split_vector y ~nodes:3)
+  in
+  Alcotest.(check (float 1e-8)) "intercept" 1. beta.(0);
+  Alcotest.(check (float 1e-8)) "b0" 2. beta.(1);
+  Alcotest.(check (float 1e-8)) "b3" (-3.) beta.(4);
+  let r2 =
+    Par_linalg.r_squared c (parts_of m 3)
+      (Partition.split_vector y ~nodes:3)
+      ~beta
+  in
+  Alcotest.(check (float 1e-9)) "r2" 1. r2
+
+let test_par_matvec () =
+  let g = Gb_util.Prng.create 6L in
+  let m = Mat.random g 12 5 in
+  let x = Array.init 5 (fun _ -> Gb_util.Prng.normal g) in
+  let c = Cluster.create ~nodes:3 () in
+  let out = Par_linalg.matvec c (parts_of m 3) x in
+  let expect = Gb_linalg.Blas.gemv m x in
+  Array.iteri (fun i v -> Alcotest.(check (float 1e-9)) "Av" expect.(i) v) out;
+  let y = Array.init 12 (fun _ -> Gb_util.Prng.normal g) in
+  let outt = Par_linalg.matvec_t c (parts_of m 3) y in
+  let expectt = Gb_linalg.Blas.gemv_t m y in
+  Array.iteri (fun i v -> Alcotest.(check (float 1e-9)) "Atv" expectt.(i) v) outt
+
+let test_par_lanczos () =
+  let g = Gb_util.Prng.create 7L in
+  let m = Mat.random g 30 8 in
+  let c = Cluster.create ~nodes:2 () in
+  let eigs = Par_linalg.lanczos_eigs c ~k:3 (parts_of m 2) in
+  let exact = Gb_linalg.Lanczos.top_eigen ~rng:g (Gb_linalg.Blas.ata m) 3 in
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool) "close"
+        (Float.abs (e -. exact.Gb_linalg.Lanczos.eigenvalues.(i)) < 1e-6)
+        true)
+    eigs
+
+let suite =
+  [
+    ("netmodel", `Quick, test_netmodel);
+    ("block rows", `Quick, test_block_rows);
+    ("split/concat", `Quick, test_split_concat);
+    ("superstep max semantics", `Quick, test_superstep_max_semantics);
+    ("allreduce sum", `Quick, test_allreduce_sum);
+    ("allreduce mat", `Quick, test_allreduce_mat);
+    ("deadline", `Quick, test_deadline);
+    ("compute speedup", `Quick, test_compute_speedup);
+    ("par ata", `Quick, test_par_ata);
+    ("par col means", `Quick, test_par_col_means);
+    ("par covariance", `Quick, test_par_covariance);
+    ("par covariance empty part", `Quick, test_par_covariance_with_empty_part);
+    ("par regression + r2", `Quick, test_par_regression);
+    ("par matvec", `Quick, test_par_matvec);
+    ("par lanczos", `Quick, test_par_lanczos);
+  ]

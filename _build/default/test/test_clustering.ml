@@ -1,0 +1,106 @@
+(* k-means and spectral co-clustering. *)
+
+module Mat = Gb_linalg.Mat
+module Kmeans = Gb_linalg.Kmeans
+
+let rng () = Gb_util.Prng.create 0xC1A55L
+
+let blobs () =
+  (* Three well-separated Gaussian blobs of 30 points each in 2-D. *)
+  let g = rng () in
+  let centers = [| (0., 0.); (20., 0.); (0., 20.) |] in
+  let m =
+    Mat.init 90 2 (fun i d ->
+        let cx, cy = centers.(i / 30) in
+        let base = if d = 0 then cx else cy in
+        base +. Gb_util.Prng.normal g)
+  in
+  m
+
+let test_kmeans_separated_blobs () =
+  let m = blobs () in
+  let res = Kmeans.fit ~rng:(rng ()) ~k:3 m in
+  (* Points within a blob share a label; blobs have distinct labels. *)
+  for b = 0 to 2 do
+    let label = res.Kmeans.assignments.(b * 30) in
+    for i = b * 30 to (b * 30) + 29 do
+      Alcotest.(check int) "blob homogeneous" label res.Kmeans.assignments.(i)
+    done
+  done;
+  let l0 = res.Kmeans.assignments.(0)
+  and l1 = res.Kmeans.assignments.(30)
+  and l2 = res.Kmeans.assignments.(60) in
+  Alcotest.(check bool) "distinct labels"
+    (l0 <> l1 && l1 <> l2 && l0 <> l2)
+    true
+
+let test_kmeans_inertia_decreases_with_k () =
+  let m = blobs () in
+  let i1 = (Kmeans.fit ~rng:(rng ()) ~k:1 m).Kmeans.inertia in
+  let i3 = (Kmeans.fit ~rng:(rng ()) ~k:3 m).Kmeans.inertia in
+  Alcotest.(check bool) "k=3 much tighter" (i3 < i1 /. 10.) true
+
+let test_kmeans_k_equals_n () =
+  let m = Mat.random (rng ()) 5 2 in
+  let res = Kmeans.fit ~rng:(rng ()) ~k:5 m in
+  Alcotest.(check (float 1e-9)) "zero inertia" 0. res.Kmeans.inertia
+
+let test_kmeans_bad_k () =
+  let m = Mat.random (rng ()) 5 2 in
+  Alcotest.check_raises "k too big" (Invalid_argument "Kmeans.fit: k")
+    (fun () -> ignore (Kmeans.fit ~k:6 m))
+
+(* Block-structured matrix: rows 0-19 high on cols 0-14, rows 20-39 high on
+   cols 15-29. *)
+let block_matrix () =
+  let g = rng () in
+  Mat.init 40 30 (fun i j ->
+      let same_block = (i < 20 && j < 15) || (i >= 20 && j >= 15) in
+      (if same_block then 10. else 0.1) +. (0.05 *. Gb_util.Prng.normal g))
+
+let test_spectral_recovers_blocks () =
+  let m = block_matrix () in
+  let clusters = Gb_bicluster.Spectral.run ~rng:(rng ()) ~k:2 m in
+  Alcotest.(check int) "two coclusters" 2 (List.length clusters);
+  List.iter
+    (fun (c : Gb_bicluster.Spectral.cocluster) ->
+      let rows_low = Array.for_all (fun r -> r < 20) c.rows in
+      let rows_high = Array.for_all (fun r -> r >= 20) c.rows in
+      let cols_low = Array.for_all (fun j -> j < 15) c.cols in
+      let cols_high = Array.for_all (fun j -> j >= 15) c.cols in
+      Alcotest.(check bool) "rows pure" (rows_low || rows_high) true;
+      Alcotest.(check bool) "cols pure" (cols_low || cols_high) true;
+      (* Rows and cols of a cocluster belong to the same planted block. *)
+      Alcotest.(check bool) "aligned"
+        ((rows_low && cols_low) || (rows_high && cols_high))
+        true)
+    clusters;
+  (* Every row and column lands somewhere. *)
+  let total_rows =
+    List.fold_left
+      (fun acc (c : Gb_bicluster.Spectral.cocluster) -> acc + Array.length c.rows)
+      0 clusters
+  in
+  Alcotest.(check int) "rows partitioned" 40 total_rows
+
+let test_spectral_handles_negative_values () =
+  let g = rng () in
+  let m = Mat.random g 20 15 in
+  let clusters = Gb_bicluster.Spectral.run ~rng:g ~k:3 m in
+  Alcotest.(check int) "k coclusters" 3 (List.length clusters)
+
+let test_spectral_bad_k () =
+  let m = Mat.random (rng ()) 4 4 in
+  Alcotest.check_raises "k" (Invalid_argument "Spectral.run: k") (fun () ->
+      ignore (Gb_bicluster.Spectral.run ~k:5 m))
+
+let suite =
+  [
+    ("kmeans separated blobs", `Quick, test_kmeans_separated_blobs);
+    ("kmeans inertia vs k", `Quick, test_kmeans_inertia_decreases_with_k);
+    ("kmeans k = n", `Quick, test_kmeans_k_equals_n);
+    ("kmeans bad k", `Quick, test_kmeans_bad_k);
+    ("spectral recovers blocks", `Quick, test_spectral_recovers_blocks);
+    ("spectral negative values", `Quick, test_spectral_handles_negative_values);
+    ("spectral bad k", `Quick, test_spectral_bad_k);
+  ]

@@ -1,0 +1,185 @@
+open Gb_datagen
+module Mat = Gb_linalg.Mat
+
+let small = Spec.custom ~genes:60 ~patients:80
+
+let test_spec_presets () =
+  let s = Spec.of_size Spec.Small in
+  Alcotest.(check int) "small genes" 200 s.Spec.genes;
+  Alcotest.(check int) "small patients" 200 s.Spec.patients;
+  let l = Spec.of_size Spec.Large in
+  Alcotest.(check int) "large genes" 1200 l.Spec.genes;
+  Alcotest.(check int) "large patients" 1600 l.Spec.patients;
+  Alcotest.(check int) "diseases" 21 l.Spec.diseases;
+  Alcotest.(check string) "label" "30k x 40k" (Spec.label Spec.Large)
+
+let test_spec_paper_dims () =
+  Alcotest.(check (pair int int)) "xl" (60_000, 70_000)
+    (Spec.paper_dims Spec.XLarge)
+
+let test_generate_shapes () =
+  let t = Generate.generate small in
+  Alcotest.(check (pair int int)) "matrix" (80, 60) (Mat.dims t.expression);
+  Alcotest.(check int) "patients" 80 (Array.length t.patients);
+  Alcotest.(check int) "genes" 60 (Array.length t.genes);
+  Alcotest.(check bool) "go nonempty" (Array.length t.go > 0) true
+
+let test_generate_deterministic () =
+  let a = Generate.generate ~seed:5L small in
+  let b = Generate.generate ~seed:5L small in
+  Alcotest.(check bool) "same expression" (Mat.equal a.expression b.expression)
+    true;
+  Alcotest.(check bool) "same patients" (a.patients = b.patients) true;
+  Alcotest.(check bool) "same go" (a.go = b.go) true
+
+let test_generate_seed_sensitive () =
+  let a = Generate.generate ~seed:1L small in
+  let b = Generate.generate ~seed:2L small in
+  Alcotest.(check bool) "different data"
+    (not (Mat.equal a.expression b.expression))
+    true
+
+let test_patient_fields_valid () =
+  let t = Generate.generate small in
+  Array.iter
+    (fun (p : Generate.patient) ->
+      Alcotest.(check bool) "age" (p.age >= 18 && p.age <= 95) true;
+      Alcotest.(check bool) "gender" (p.gender = 0 || p.gender = 1) true;
+      Alcotest.(check bool) "disease"
+        (p.disease_id >= 1 && p.disease_id <= 21)
+        true;
+      Alcotest.(check bool) "zip" (p.zipcode >= 10_000 && p.zipcode <= 99_999)
+        true)
+    t.patients
+
+let test_gene_fields_valid () =
+  let t = Generate.generate small in
+  let last_pos = ref (-1) in
+  Array.iter
+    (fun (g : Generate.gene) ->
+      Alcotest.(check bool) "func" (g.func >= 0 && g.func < 1000) true;
+      Alcotest.(check bool) "target in range"
+        (g.target >= 0 && g.target < 60)
+        true;
+      Alcotest.(check bool) "positions increase" (g.position > !last_pos) true;
+      last_pos := g.position)
+    t.genes
+
+let test_planted_regression_recoverable () =
+  let t = Generate.generate small in
+  let p = t.planted in
+  Alcotest.(check bool) "signal genes exist"
+    (Array.length p.signal_genes > 0)
+    true;
+  (* Signal genes must pass the Q1 filter. *)
+  Array.iter
+    (fun gid ->
+      Alcotest.(check bool) "func below threshold"
+        (t.genes.(gid).Generate.func < Generate.func_threshold)
+        true)
+    p.signal_genes;
+  (* Fitting on exactly the signal genes recovers the coefficients. *)
+  let x = Mat.sub_cols t.expression p.signal_genes in
+  let y = Array.map (fun (pt : Generate.patient) -> pt.drug_response) t.patients in
+  let m = Gb_linalg.Linreg.fit x y in
+  Alcotest.(check bool) "r2 high" (m.Gb_linalg.Linreg.r_squared > 0.9) true;
+  Array.iteri
+    (fun k c ->
+      Alcotest.(check bool) "coef close"
+        (Float.abs (c -. m.Gb_linalg.Linreg.coefficients.(k)) < 0.2)
+        true)
+    p.signal_coefs
+
+let test_planted_bicluster_coherent () =
+  let t = Generate.generate small in
+  let p = t.planted in
+  Alcotest.(check bool) "rows planted" (Array.length p.bicluster_rows >= 2) true;
+  let msr =
+    Gb_bicluster.Cheng_church.mean_squared_residue t.expression
+      p.bicluster_rows p.bicluster_cols
+  in
+  Alcotest.(check bool) "planted block coherent" (msr < 0.05) true;
+  (* Planted rows are young males, so Q3's selection sees them. *)
+  Array.iter
+    (fun pid ->
+      let pt = t.patients.(pid) in
+      Alcotest.(check bool) "young male"
+        (pt.Generate.gender = 1 && pt.Generate.age < 40)
+        true)
+    p.bicluster_rows
+
+let test_planted_enrichment_detectable () =
+  let t = Generate.generate small in
+  let terms = t.planted.enriched_terms in
+  Alcotest.(check bool) "enriched terms exist" (Array.length terms > 0) true;
+  (* The enriched terms' member genes should have elevated mean
+     expression. *)
+  let membership = Generate.go_membership_matrix t in
+  let global_mean =
+    let acc = ref 0. in
+    Mat.iteri (fun _ _ v -> acc := !acc +. v) t.expression;
+    !acc /. float_of_int (80 * 60)
+  in
+  Array.iter
+    (fun term ->
+      let member_mean = ref 0. and count = ref 0 in
+      Array.iteri
+        (fun g row ->
+          if row.(term) then begin
+            for i = 0 to 79 do
+              member_mean := !member_mean +. Mat.get t.expression i g
+            done;
+            incr count
+          end)
+        membership;
+      if !count > 0 then begin
+        let mm = !member_mean /. float_of_int (!count * 80) in
+        Alcotest.(check bool) "elevated" (mm > global_mean +. 1.) true
+      end)
+    terms
+
+let test_go_membership_matrix () =
+  let t = Generate.generate small in
+  let m = Generate.go_membership_matrix t in
+  let pairs_count =
+    Array.fold_left
+      (fun acc row ->
+        acc + Array.fold_left (fun a b -> if b then a + 1 else a) 0 row)
+      0 m
+  in
+  Alcotest.(check int) "pairs match" (Array.length t.go) pairs_count
+
+let test_io_roundtrip () =
+  let t = Generate.generate (Spec.custom ~genes:10 ~patients:12) in
+  let dir = Filename.temp_file "genbase" "" in
+  Sys.remove dir;
+  Io.write ~dir t;
+  let back = Io.read ~dir in
+  Alcotest.(check bool) "expression survives"
+    (Mat.max_abs_diff t.expression back.expression = 0.)
+    true;
+  Alcotest.(check int) "patients" 12 (Array.length back.patients);
+  Alcotest.(check bool) "patient rows equal" (t.patients = back.patients) true;
+  Alcotest.(check bool) "genes equal" (t.genes = back.genes) true;
+  Alcotest.(check bool) "go equal" (t.go = back.go) true
+
+let test_custom_spec_validation () =
+  Alcotest.check_raises "bad dims" (Invalid_argument "Spec.custom: dimensions")
+    (fun () -> ignore (Spec.custom ~genes:0 ~patients:5))
+
+let suite =
+  [
+    ("spec presets", `Quick, test_spec_presets);
+    ("spec paper dims", `Quick, test_spec_paper_dims);
+    ("generate shapes", `Quick, test_generate_shapes);
+    ("generate deterministic", `Quick, test_generate_deterministic);
+    ("generate seed sensitive", `Quick, test_generate_seed_sensitive);
+    ("patient fields valid", `Quick, test_patient_fields_valid);
+    ("gene fields valid", `Quick, test_gene_fields_valid);
+    ("planted regression recoverable", `Quick, test_planted_regression_recoverable);
+    ("planted bicluster coherent", `Quick, test_planted_bicluster_coherent);
+    ("planted enrichment detectable", `Quick, test_planted_enrichment_detectable);
+    ("go membership matrix", `Quick, test_go_membership_matrix);
+    ("io roundtrip", `Quick, test_io_roundtrip);
+    ("custom spec validation", `Quick, test_custom_spec_validation);
+  ]

@@ -1,0 +1,127 @@
+(* Dense eigensolver and LU tests, including cross-validation of the
+   iterative solvers against the Jacobi reference. *)
+
+open Gb_linalg
+
+let rng () = Gb_util.Prng.create 0xACE5L
+
+let test_eigen_known () =
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let values, vectors = Eigen.symmetric a in
+  Alcotest.(check (float 1e-10)) "lambda1" 3. values.(0);
+  Alcotest.(check (float 1e-10)) "lambda2" 1. values.(1);
+  (* Eigenvector of 3 is (1,1)/sqrt2 up to sign. *)
+  let v = Mat.col vectors 0 in
+  Alcotest.(check (float 1e-10)) "components equal" (Float.abs v.(0))
+    (Float.abs v.(1))
+
+let test_eigen_reconstructs () =
+  let g = rng () in
+  let b = Mat.random g 15 15 in
+  let a = Blas.ata b in
+  let values, vectors = Eigen.symmetric a in
+  (* A = V diag(values) V^T *)
+  let vd =
+    Mat.init 15 15 (fun i j -> Mat.get vectors i j *. values.(j))
+  in
+  let recon = Blas.gemm vd (Mat.transpose vectors) in
+  Alcotest.(check bool) "reconstructs" (Mat.max_abs_diff a recon < 1e-8) true;
+  (* V orthonormal *)
+  Alcotest.(check bool) "orthonormal"
+    (Mat.max_abs_diff (Blas.ata vectors) (Mat.identity 15) < 1e-10)
+    true
+
+let test_eigen_validates_lanczos () =
+  let g = rng () in
+  let b = Mat.random g 20 20 in
+  let a = Blas.ata b in
+  let dense = Eigen.eigenvalues a in
+  let lanczos = Lanczos.top_eigen ~rng:g a 5 in
+  Array.iteri
+    (fun i lambda ->
+      Alcotest.(check (float 1e-6)) "lanczos matches jacobi" dense.(i) lambda)
+    lanczos.Lanczos.eigenvalues
+
+let test_eigen_validates_tridiag () =
+  let diag = [| 4.; 2.; 7.; 1. |] and off = [| 1.; 0.5; 2. |] in
+  let dense =
+    Eigen.eigenvalues
+      (Mat.init 4 4 (fun i j ->
+           if i = j then diag.(i)
+           else if abs (i - j) = 1 then off.(min i j)
+           else 0.))
+  in
+  let ql = Tridiag.eigenvalues diag off in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-9)) "ql matches jacobi" dense.(i) v)
+    ql
+
+let test_eigen_rejects_asymmetric () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 0.; 1. |] |] in
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Eigen.symmetric: not symmetric") (fun () ->
+      ignore (Eigen.symmetric a))
+
+let test_lu_solve () =
+  let a = Mat.of_arrays [| [| 0.; 2. |]; [| 3.; 1. |] |] in
+  (* Needs pivoting (zero leading pivot). *)
+  let x = Lu.solve_system a [| 4.; 5. |] in
+  Alcotest.(check (float 1e-12)) "x0" 1. x.(0);
+  Alcotest.(check (float 1e-12)) "x1" 2. x.(1)
+
+let test_lu_random_solve () =
+  let g = rng () in
+  let a = Mat.random g 12 12 in
+  let x_true = Array.init 12 (fun _ -> Gb_util.Prng.normal g) in
+  let b = Blas.gemv a x_true in
+  let x = Lu.solve_system a b in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-8)) "solution" x_true.(i) v)
+    x
+
+let test_lu_determinant () =
+  let a = Mat.of_arrays [| [| 2.; 0. |]; [| 0.; 3. |] |] in
+  Alcotest.(check (float 1e-12)) "diag det" 6.
+    (Lu.determinant (Lu.factorize a));
+  let swapped = Mat.of_arrays [| [| 0.; 3. |]; [| 2.; 0. |] |] in
+  Alcotest.(check (float 1e-12)) "swap flips sign" (-6.)
+    (Lu.determinant (Lu.factorize swapped))
+
+let test_lu_inverse () =
+  let g = rng () in
+  let a = Mat.random g 8 8 in
+  let inv = Lu.inverse (Lu.factorize a) in
+  Alcotest.(check bool) "A A^-1 = I"
+    (Mat.max_abs_diff (Blas.gemm a inv) (Mat.identity 8) < 1e-9)
+    true
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" (Failure "Lu: singular matrix") (fun () ->
+      ignore (Lu.factorize a))
+
+let prop_lu_det_matches_eigen_product =
+  QCheck.Test.make ~name:"det(A^T A) = prod eigenvalues" ~count:30
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let g = Gb_util.Prng.create (Int64.of_int seed) in
+      let b = Mat.random g 6 6 in
+      let a = Blas.ata b in
+      let det = Lu.determinant (Lu.factorize a) in
+      let prod = Array.fold_left ( *. ) 1. (Eigen.eigenvalues a) in
+      Float.abs (det -. prod) < 1e-6 *. (1. +. Float.abs det))
+
+let suite =
+  [
+    ("eigen known 2x2", `Quick, test_eigen_known);
+    ("eigen reconstructs", `Quick, test_eigen_reconstructs);
+    ("eigen validates lanczos", `Quick, test_eigen_validates_lanczos);
+    ("eigen validates tridiag", `Quick, test_eigen_validates_tridiag);
+    ("eigen rejects asymmetric", `Quick, test_eigen_rejects_asymmetric);
+    ("lu pivoted solve", `Quick, test_lu_solve);
+    ("lu random solve", `Quick, test_lu_random_solve);
+    ("lu determinant", `Quick, test_lu_determinant);
+    ("lu inverse", `Quick, test_lu_inverse);
+    ("lu singular", `Quick, test_lu_singular);
+    QCheck_alcotest.to_alcotest prop_lu_det_matches_eigen_product;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "genbase"
+    [
+      ("util", Test_util.suite);
+      ("linalg", Test_linalg.suite);
+      ("linalg-dense", Test_linalg2.suite);
+      ("stats", Test_stats.suite);
+      ("stats-tests", Test_stats2.suite);
+      ("bicluster", Test_bicluster.suite);
+      ("clustering", Test_clustering.suite);
+      ("datagen", Test_datagen.suite);
+      ("seqdata", Test_seqdata.suite);
+      ("relational", Test_relational.suite);
+      ("relational-access", Test_relational2.suite);
+      ("storage", Test_storage.suite);
+      ("dataframe", Test_dataframe.suite);
+      ("arraydb", Test_arraydb.suite);
+      ("array-ops", Test_array_ops.suite);
+      ("sparse", Test_sparse.suite);
+      ("mapreduce", Test_mapreduce.suite);
+      ("cluster", Test_cluster.suite);
+      ("coproc", Test_coproc.suite);
+      ("relops", Test_relops.suite);
+      ("core", Test_core.suite);
+      ("scaling", Test_scaling.suite);
+    ]

@@ -1,0 +1,103 @@
+open Gb_datagen
+module Mat = Gb_linalg.Mat
+
+let ds = Generate.generate (Spec.custom ~genes:40 ~patients:60)
+
+let test_shapes () =
+  let s = Seqdata.of_expression ds in
+  Alcotest.(check int) "patients" 60 (Array.length s.Seqdata.counts);
+  Alcotest.(check int) "genes" 40 (Array.length s.Seqdata.counts.(0));
+  Alcotest.(check int) "library sizes" 60 (Array.length s.Seqdata.library_sizes)
+
+let test_deterministic () =
+  let a = Seqdata.of_expression ~seed:3L ds in
+  let b = Seqdata.of_expression ~seed:3L ds in
+  Alcotest.(check bool) "same counts" (a.Seqdata.counts = b.Seqdata.counts) true;
+  let c = Seqdata.of_expression ~seed:4L ds in
+  Alcotest.(check bool) "seed matters"
+    (a.Seqdata.counts <> c.Seqdata.counts)
+    true
+
+let test_counts_nonnegative () =
+  let s = Seqdata.of_expression ds in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c -> Alcotest.(check bool) "nonnegative" (c >= 0) true)
+        row)
+    s.Seqdata.counts
+
+let test_library_sizes_consistent () =
+  let s = Seqdata.of_expression ds in
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check int) "sum matches"
+        (Array.fold_left ( + ) 0 row)
+        s.Seqdata.library_sizes.(i))
+    s.Seqdata.counts
+
+let test_counts_track_expression () =
+  (* Higher expression must produce higher counts on average: compare the
+     mean count of the top-expression decile of cells against the
+     bottom decile. *)
+  let s = Seqdata.of_expression ~mean_depth:50. ds in
+  let cells = ref [] in
+  Mat.iteri
+    (fun i j v -> cells := (v, s.Seqdata.counts.(i).(j)) :: !cells)
+    ds.Generate.expression;
+  let sorted = List.sort compare !cells in
+  let n = List.length sorted in
+  let decile = n / 10 in
+  let avg l =
+    List.fold_left (fun acc (_, c) -> acc +. float_of_int c) 0. l
+    /. float_of_int (List.length l)
+  in
+  let low = avg (List.filteri (fun i _ -> i < decile) sorted) in
+  let high = avg (List.filteri (fun i _ -> i >= n - decile) sorted) in
+  Alcotest.(check bool) "monotone in expression" (high > 2. *. low) true
+
+let test_cpm_normalizes () =
+  let s = Seqdata.of_expression ds in
+  let cpm = Seqdata.counts_per_million s in
+  (* Every row of CPM sums to one million (up to integer count rounding). *)
+  for i = 0 to 59 do
+    let total = Array.fold_left ( +. ) 0. (Mat.row cpm i) in
+    Alcotest.(check (float 1.)) "row sums to 1e6" 1e6 total
+  done
+
+let test_log_cpm_range () =
+  let s = Seqdata.of_expression ds in
+  let l = Seqdata.log_cpm s in
+  Mat.iteri
+    (fun _ _ v -> Alcotest.(check bool) "finite nonneg" (v >= 0. && Float.is_finite v) true)
+    l
+
+let test_write_csv () =
+  let s = Seqdata.of_expression ds in
+  let dir = Filename.temp_file "seq" "" in
+  Sys.remove dir;
+  Seqdata.write_csv ~dir s;
+  let ic = open_in (Filename.concat dir "counts.csv") in
+  let header = input_line ic in
+  let count = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr count
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Alcotest.(check string) "header" "gene_id,patient_id,count" header;
+  Alcotest.(check int) "one line per cell" (60 * 40) !count
+
+let suite =
+  [
+    ("shapes", `Quick, test_shapes);
+    ("deterministic", `Quick, test_deterministic);
+    ("counts nonnegative", `Quick, test_counts_nonnegative);
+    ("library sizes consistent", `Quick, test_library_sizes_consistent);
+    ("counts track expression", `Quick, test_counts_track_expression);
+    ("cpm normalizes", `Quick, test_cpm_normalizes);
+    ("log cpm sane", `Quick, test_log_cpm_range);
+    ("csv output", `Quick, test_write_csv);
+  ]

@@ -1,0 +1,91 @@
+open Gb_arraydb
+module Mat = Gb_linalg.Mat
+
+let sample () =
+  Sparse.of_triples ~rows:4 ~cols:5
+    [ (0, 1, 2.); (0, 4, -1.); (2, 0, 3.); (3, 3, 7.); (3, 4, 1.) ]
+
+let test_basics () =
+  let s = sample () in
+  Alcotest.(check (pair int int)) "dims" (4, 5) (Sparse.dims s);
+  Alcotest.(check int) "nnz" 5 (Sparse.nnz s);
+  Alcotest.(check (float 0.)) "present" 2. (Sparse.get s 0 1);
+  Alcotest.(check (float 0.)) "absent" 0. (Sparse.get s 1 1);
+  Alcotest.(check int) "row nnz" 2 (Sparse.row_nnz s 3);
+  Alcotest.(check int) "empty row" 0 (Sparse.row_nnz s 1);
+  Alcotest.(check (float 1e-9)) "density" 0.25 (Sparse.density s)
+
+let test_duplicates_summed () =
+  let s = Sparse.of_triples ~rows:2 ~cols:2 [ (0, 0, 1.); (0, 0, 2.5) ] in
+  Alcotest.(check (float 0.)) "summed" 3.5 (Sparse.get s 0 0);
+  Alcotest.(check int) "single entry" 1 (Sparse.nnz s)
+
+let test_dense_roundtrip () =
+  let g = Gb_util.Prng.create 9L in
+  let m =
+    Mat.init 20 15 (fun _ _ ->
+        if Gb_util.Prng.uniform g < 0.2 then Gb_util.Prng.normal g else 0.)
+  in
+  let s = Sparse.of_dense m in
+  Alcotest.(check bool) "roundtrip" (Mat.equal m (Sparse.to_dense s)) true
+
+let test_spmv_matches_dense () =
+  let g = Gb_util.Prng.create 10L in
+  let m =
+    Mat.init 12 9 (fun _ _ ->
+        if Gb_util.Prng.uniform g < 0.3 then Gb_util.Prng.normal g else 0.)
+  in
+  let s = Sparse.of_dense m in
+  let x = Array.init 9 (fun _ -> Gb_util.Prng.normal g) in
+  let expect = Gb_linalg.Blas.gemv m x in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-10)) "spmv" expect.(i) v)
+    (Sparse.spmv s x);
+  let y = Array.init 12 (fun _ -> Gb_util.Prng.normal g) in
+  let expect_t = Gb_linalg.Blas.gemv_t m y in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-10)) "spmv_t" expect_t.(i) v)
+    (Sparse.spmv_t s y)
+
+let test_transpose () =
+  let s = sample () in
+  let t = Sparse.transpose s in
+  Alcotest.(check (pair int int)) "dims" (5, 4) (Sparse.dims t);
+  Alcotest.(check (float 0.)) "moved" 2. (Sparse.get t 1 0);
+  Alcotest.(check bool) "involutive"
+    (Mat.equal (Sparse.to_dense s) (Sparse.to_dense (Sparse.transpose t)))
+    true
+
+let test_go_matrix () =
+  let ds = Genbase.Dataset.generate (Gb_datagen.Spec.custom ~genes:100 ~patients:20) in
+  let terms = ds.Gb_datagen.Generate.spec.Gb_datagen.Spec.go_terms in
+  let s =
+    Sparse.of_triples ~rows:100 ~cols:terms
+      (Array.to_list (Array.map (fun (g, t) -> (g, t, 1.)) ds.Gb_datagen.Generate.go))
+  in
+  Alcotest.(check int) "nnz = membership pairs"
+    (Array.length ds.Gb_datagen.Generate.go)
+    (Sparse.nnz s);
+  Alcotest.(check bool) "sparse indeed" (Sparse.density s < 0.5) true;
+  (* Per-term membership counts via spmv_t of the all-ones vector. *)
+  let counts = Sparse.spmv_t s (Array.make 100 1.) in
+  let total = Array.fold_left ( +. ) 0. counts in
+  Alcotest.(check (float 1e-9)) "counts sum to nnz"
+    (float_of_int (Sparse.nnz s))
+    total
+
+let test_bounds () =
+  Alcotest.check_raises "oob entry"
+    (Invalid_argument "Sparse.of_triples: entry out of bounds") (fun () ->
+      ignore (Sparse.of_triples ~rows:2 ~cols:2 [ (2, 0, 1.) ]))
+
+let suite =
+  [
+    ("basics", `Quick, test_basics);
+    ("duplicates summed", `Quick, test_duplicates_summed);
+    ("dense roundtrip", `Quick, test_dense_roundtrip);
+    ("spmv matches dense", `Quick, test_spmv_matches_dense);
+    ("transpose", `Quick, test_transpose);
+    ("go membership", `Quick, test_go_matrix);
+    ("bounds", `Quick, test_bounds);
+  ]

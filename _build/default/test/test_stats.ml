@@ -1,0 +1,138 @@
+open Gb_stats
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_erf_known () =
+  check_float "erf 0" 0. (Distributions.erf 0.);
+  Alcotest.(check (float 1e-6)) "erf 1" 0.8427008 (Distributions.erf 1.);
+  Alcotest.(check (float 1e-6)) "erf -1" (-0.8427008) (Distributions.erf (-1.));
+  Alcotest.(check (float 1e-6)) "erfc 2" 0.0046777 (Distributions.erfc 2.)
+
+let test_normal_cdf () =
+  check_float "cdf 0" 0.5 (Distributions.normal_cdf 0.);
+  Alcotest.(check (float 1e-5)) "cdf 1.96" 0.975 (Distributions.normal_cdf 1.96);
+  Alcotest.(check (float 1e-5)) "sf 1.96" 0.025 (Distributions.normal_sf 1.96);
+  Alcotest.(check (float 1e-5)) "two-sided 1.96" 0.05
+    (Distributions.normal_two_sided_p 1.96)
+
+let test_cdf_sf_complementary () =
+  List.iter
+    (fun z ->
+      Alcotest.(check (float 1e-6)) "cdf + sf = 1" 1.
+        (Distributions.normal_cdf z +. Distributions.normal_sf z))
+    [ -3.; -0.5; 0.; 0.7; 2.5 ]
+
+let test_ranks_simple () =
+  let r = Ranking.ranks [| 10.; 30.; 20. |] in
+  Alcotest.(check (array (float 1e-9))) "ranks" [| 1.; 3.; 2. |] r
+
+let test_ranks_ties () =
+  let r = Ranking.ranks [| 5.; 5.; 1.; 5. |] in
+  Alcotest.(check (array (float 1e-9))) "mid ranks" [| 3.; 3.; 1.; 3. |] r
+
+let test_ranks_sum_invariant () =
+  let g = Gb_util.Prng.create 2L in
+  let a = Array.init 100 (fun _ -> float_of_int (Gb_util.Prng.int g 10)) in
+  let r = Ranking.ranks a in
+  Alcotest.(check (float 1e-6)) "sum = n(n+1)/2" 5050.
+    (Array.fold_left ( +. ) 0. r)
+
+let test_tie_groups () =
+  let groups = Ranking.tie_groups [| 1.; 2.; 2.; 3.; 3.; 3. |] in
+  Alcotest.(check (list int)) "groups" [ 1; 2; 3 ] groups
+
+let test_wilcoxon_separated () =
+  let xs = Array.init 20 (fun i -> 100. +. float_of_int i) in
+  let ys = Array.init 20 (fun i -> float_of_int i) in
+  let r = Wilcoxon.rank_sum_test xs ys in
+  Alcotest.(check bool) "tiny p" (r.Wilcoxon.p_value < 1e-6) true;
+  Alcotest.(check bool) "positive z" (r.Wilcoxon.z > 0.) true
+
+let test_wilcoxon_identical_distribution () =
+  let g = Gb_util.Prng.create 17L in
+  let xs = Array.init 50 (fun _ -> Gb_util.Prng.normal g) in
+  let ys = Array.init 50 (fun _ -> Gb_util.Prng.normal g) in
+  let r = Wilcoxon.rank_sum_test xs ys in
+  Alcotest.(check bool) "not significant" (r.Wilcoxon.p_value > 0.01) true
+
+let test_wilcoxon_symmetry () =
+  let xs = [| 1.; 5.; 9. |] and ys = [| 2.; 3.; 8.; 10. |] in
+  let a = Wilcoxon.rank_sum_test xs ys in
+  let b = Wilcoxon.rank_sum_test ys xs in
+  Alcotest.(check (float 1e-9)) "p symmetric" a.Wilcoxon.p_value b.Wilcoxon.p_value;
+  Alcotest.(check (float 1e-9)) "z antisymmetric" a.Wilcoxon.z (-.b.Wilcoxon.z)
+
+let test_wilcoxon_u_known () =
+  (* Classic example: xs = {1,2}, ys = {3,4,5}: U for xs = 0. *)
+  let r = Wilcoxon.rank_sum_test [| 1.; 2. |] [| 3.; 4.; 5. |] in
+  Alcotest.(check (float 1e-9)) "u" 0. r.Wilcoxon.u;
+  Alcotest.(check (float 1e-9)) "rank sum" 3. r.Wilcoxon.rank_sum
+
+let test_wilcoxon_from_ranks_matches () =
+  let xs = [| 3.1; 0.2; 5.5; 2.2 |] and ys = [| 1.0; 4.4; 0.9; 7.7; 2.0 |] in
+  let direct = Wilcoxon.rank_sum_test xs ys in
+  let all = Array.append xs ys in
+  let ranks = Ranking.ranks all in
+  let in_group = Array.init 9 (fun i -> i < 4) in
+  let via = Wilcoxon.from_ranks ~ranks ~in_group in
+  Alcotest.(check (float 1e-9)) "same z" direct.Wilcoxon.z via.Wilcoxon.z;
+  Alcotest.(check (float 1e-9)) "same p" direct.Wilcoxon.p_value via.Wilcoxon.p_value
+
+let test_wilcoxon_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Wilcoxon.rank_sum_test: empty sample") (fun () ->
+      ignore (Wilcoxon.rank_sum_test [||] [| 1. |]))
+
+let test_descriptive () =
+  let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check (float 1e-9)) "mean" 5. (Descriptive.mean a);
+  Alcotest.(check (float 1e-9)) "variance" (32. /. 7.) (Descriptive.variance a);
+  Alcotest.(check (float 1e-9)) "median" 4.5 (Descriptive.median a);
+  Alcotest.(check (float 1e-9)) "q0" 2. (Descriptive.quantile a 0.);
+  Alcotest.(check (float 1e-9)) "q1" 9. (Descriptive.quantile a 1.)
+
+let test_pearson () =
+  let x = [| 1.; 2.; 3.; 4. |] in
+  let y = [| 2.; 4.; 6.; 8. |] in
+  Alcotest.(check (float 1e-9)) "perfect" 1. (Descriptive.pearson x y);
+  let yneg = [| 8.; 6.; 4.; 2. |] in
+  Alcotest.(check (float 1e-9)) "anti" (-1.) (Descriptive.pearson x yneg)
+
+let prop_ranks_permutation_invariant =
+  QCheck.Test.make ~name:"ranks bounded by n" ~count:100
+    QCheck.(array_of_size (QCheck.Gen.int_range 1 50) (float_range (-5.) 5.))
+    (fun a ->
+      let n = Array.length a in
+      let r = Gb_stats.Ranking.ranks a in
+      Array.for_all (fun v -> v >= 1. && v <= float_of_int n) r)
+
+let prop_wilcoxon_p_in_range =
+  QCheck.Test.make ~name:"wilcoxon p in [0,1]" ~count:100
+    QCheck.(
+      pair
+        (array_of_size (QCheck.Gen.int_range 1 30) (float_range (-3.) 3.))
+        (array_of_size (QCheck.Gen.int_range 1 30) (float_range (-3.) 3.)))
+    (fun (xs, ys) ->
+      let r = Gb_stats.Wilcoxon.rank_sum_test xs ys in
+      r.Gb_stats.Wilcoxon.p_value >= 0. && r.Gb_stats.Wilcoxon.p_value <= 1.)
+
+let suite =
+  [
+    ("erf known values", `Quick, test_erf_known);
+    ("normal cdf", `Quick, test_normal_cdf);
+    ("cdf/sf complementary", `Quick, test_cdf_sf_complementary);
+    ("ranks simple", `Quick, test_ranks_simple);
+    ("ranks ties", `Quick, test_ranks_ties);
+    ("ranks sum invariant", `Quick, test_ranks_sum_invariant);
+    ("tie groups", `Quick, test_tie_groups);
+    ("wilcoxon separated", `Quick, test_wilcoxon_separated);
+    ("wilcoxon identical", `Quick, test_wilcoxon_identical_distribution);
+    ("wilcoxon symmetry", `Quick, test_wilcoxon_symmetry);
+    ("wilcoxon U known", `Quick, test_wilcoxon_u_known);
+    ("wilcoxon from_ranks matches", `Quick, test_wilcoxon_from_ranks_matches);
+    ("wilcoxon empty", `Quick, test_wilcoxon_empty);
+    ("descriptive", `Quick, test_descriptive);
+    ("pearson", `Quick, test_pearson);
+    QCheck_alcotest.to_alcotest prop_ranks_permutation_invariant;
+    QCheck_alcotest.to_alcotest prop_wilcoxon_p_in_range;
+  ]

@@ -1,0 +1,192 @@
+(* Buffer pool, disk-spilling paged store, bitmaps, and the heap/top-k
+   utility. *)
+
+open Gb_relational
+
+let test_pool_roundtrip () =
+  let pool = Buffer_pool.create ~frames:4 ~page_bytes:128 () in
+  let ids = List.init 16 (fun _ -> Buffer_pool.allocate pool) in
+  List.iteri
+    (fun i id ->
+      Buffer_pool.with_page pool id (fun buf ->
+          Bytes.set_int32_le buf 0 (Int32.of_int (i * 7))))
+    ids;
+  (* 16 pages through 4 frames: most must have been evicted and written. *)
+  Alcotest.(check bool) "evictions happened"
+    ((Buffer_pool.stats pool).Buffer_pool.evictions > 0)
+    true;
+  List.iteri
+    (fun i id ->
+      Buffer_pool.read_page pool id (fun buf ->
+          Alcotest.(check int32) "value survives eviction"
+            (Int32.of_int (i * 7))
+            (Bytes.get_int32_le buf 0)))
+    ids;
+  Alcotest.(check int) "resident bounded" 4 (Buffer_pool.resident_pages pool);
+  Buffer_pool.close pool
+
+let test_pool_hit_tracking () =
+  let pool = Buffer_pool.create ~frames:2 ~page_bytes:64 () in
+  let a = Buffer_pool.allocate pool in
+  Buffer_pool.read_page pool a (fun _ -> ());
+  Buffer_pool.read_page pool a (fun _ -> ());
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check bool) "hits recorded" (s.Buffer_pool.hits >= 2) true;
+  Buffer_pool.close pool
+
+let test_pool_closed () =
+  let pool = Buffer_pool.create ~page_bytes:64 () in
+  let id = Buffer_pool.allocate pool in
+  Buffer_pool.close pool;
+  Alcotest.check_raises "closed" (Invalid_argument "Buffer_pool: closed")
+    (fun () -> Buffer_pool.read_page pool id (fun _ -> ()))
+
+let people_schema =
+  Schema.make [ ("id", Value.TInt); ("name", Value.TStr); ("v", Value.TFloat) ]
+
+let mk_rows n =
+  List.init n (fun i ->
+      [| Value.Int i; Value.Str (Printf.sprintf "row%d" i); Value.Float (float_of_int i *. 0.5) |])
+
+let test_paged_store_scan () =
+  let rows = mk_rows 5_000 in
+  (* 4 frames x 64 KB but ~5000 x ~30B rows: a few pages, no spill. *)
+  let ps = Paged_store.of_rows ~pool_frames:4 people_schema rows in
+  Alcotest.(check int) "count" 5_000 (Paged_store.row_count ps);
+  let back = List.of_seq (Paged_store.to_seq ps) in
+  Alcotest.(check int) "all rows" 5_000 (List.length back);
+  List.iteri
+    (fun i row ->
+      Alcotest.(check int) "order" i (Value.to_int row.(0)))
+    back;
+  Paged_store.close ps
+
+let test_paged_store_spills () =
+  (* 2 frames of 64 KB and a large string payload: the table must spill to
+     disk and still scan back exactly. *)
+  let big = String.make 4_000 'z' in
+  let rows =
+    List.init 200 (fun i ->
+        [| Value.Int i; Value.Str big; Value.Float (float_of_int i) |])
+  in
+  let ps = Paged_store.of_rows ~pool_frames:2 people_schema rows in
+  Alcotest.(check bool) "many pages" (Paged_store.page_count ps > 4) true;
+  let stats = Paged_store.pool_stats ps in
+  Alcotest.(check bool) "spilled" (stats.Buffer_pool.evictions > 0) true;
+  let back = List.of_seq (Paged_store.to_seq ps) in
+  Alcotest.(check int) "all rows" 200 (List.length back);
+  List.iteri
+    (fun i row ->
+      Alcotest.(check int) "id" i (Value.to_int row.(0));
+      Alcotest.(check bool) "payload intact"
+        (match row.(1) with Value.Str s -> s = big | _ -> false)
+        true)
+    back;
+  Paged_store.close ps
+
+let test_paged_matches_row_store () =
+  let rows = mk_rows 777 in
+  let rs = Row_store.of_rows people_schema rows in
+  let ps = Paged_store.of_rows ~pool_frames:2 people_schema rows in
+  let a = List.of_seq (Row_store.to_seq rs) in
+  let b = List.of_seq (Paged_store.to_seq ps) in
+  Alcotest.(check bool) "identical scans"
+    (List.for_all2 (fun x y -> Array.for_all2 Value.equal x y) a b)
+    true;
+  Paged_store.close ps
+
+(* --- bitmaps --- *)
+
+let test_bitmap_basics () =
+  let b = Bitmap.create 200 in
+  Bitmap.set b 0;
+  Bitmap.set b 63;
+  Bitmap.set b 199;
+  Alcotest.(check int) "cardinality" 3 (Bitmap.cardinality b);
+  Alcotest.(check bool) "get" (Bitmap.get b 63) true;
+  Bitmap.clear b 63;
+  Alcotest.(check bool) "cleared" (not (Bitmap.get b 63)) true;
+  Alcotest.(check (list int)) "to_list" [ 0; 199 ] (Bitmap.to_list b);
+  Alcotest.check_raises "bounds" (Invalid_argument "Bitmap: index out of range")
+    (fun () -> Bitmap.set b 200)
+
+let test_bitmap_ops () =
+  let a = Bitmap.of_list 100 [ 1; 5; 50; 99 ] in
+  let b = Bitmap.of_list 100 [ 5; 50; 80 ] in
+  Alcotest.(check (list int)) "and" [ 5; 50 ] (Bitmap.to_list (Bitmap.band a b));
+  Alcotest.(check (list int)) "or" [ 1; 5; 50; 80; 99 ]
+    (Bitmap.to_list (Bitmap.bor a b));
+  Alcotest.(check (list int)) "xor" [ 1; 80; 99 ]
+    (Bitmap.to_list (Bitmap.bxor a b));
+  Alcotest.(check int) "inter count" 2 (Bitmap.inter_count a b);
+  let n = Bitmap.bnot a in
+  Alcotest.(check int) "not cardinality" 96 (Bitmap.cardinality n);
+  Alcotest.(check bool) "not flips" (Bitmap.get n 0) true
+
+let test_bitmap_go_membership () =
+  (* The GO matrix use case: genes per term as bitmaps; intersecting two
+     terms counts co-annotated genes. *)
+  let ds = Genbase.Dataset.generate (Gb_datagen.Spec.custom ~genes:80 ~patients:30) in
+  let terms = ds.Gb_datagen.Generate.spec.Gb_datagen.Spec.go_terms in
+  let maps = Array.init terms (fun _ -> Bitmap.create 80) in
+  Array.iter
+    (fun (g, t) -> Bitmap.set maps.(t) g)
+    ds.Gb_datagen.Generate.go;
+  let total =
+    Array.fold_left (fun acc m -> acc + Bitmap.cardinality m) 0 maps
+  in
+  Alcotest.(check int) "pairs preserved"
+    (Array.length ds.Gb_datagen.Generate.go)
+    total
+
+let prop_bitmap_demorgan =
+  QCheck.Test.make ~name:"de morgan on bitmaps" ~count:50
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 50) (int_range 0 99))
+              (list_of_size (QCheck.Gen.int_range 0 50) (int_range 0 99)))
+    (fun (xs, ys) ->
+      let a = Bitmap.of_list 100 xs and b = Bitmap.of_list 100 ys in
+      Bitmap.to_list (Bitmap.bnot (Bitmap.band a b))
+      = Bitmap.to_list (Bitmap.bor (Bitmap.bnot a) (Bitmap.bnot b)))
+
+(* --- heap --- *)
+
+let test_heap_sorts () =
+  let h = Gb_util.Heap.create ~cmp:Int.compare in
+  List.iter (Gb_util.Heap.push h) [ 5; 1; 4; 1; 5; 9; 2; 6 ];
+  Alcotest.(check (list int)) "ascending" [ 1; 1; 2; 4; 5; 5; 6; 9 ]
+    (Gb_util.Heap.to_sorted_list h)
+
+let test_heap_top_k () =
+  let xs = List.init 1000 (fun i -> (i * 37) mod 1000) in
+  let top = Gb_util.Heap.top_k ~cmp:Int.compare 5 (List.to_seq xs) in
+  Alcotest.(check (list int)) "five largest" [ 999; 998; 997; 996; 995 ] top;
+  Alcotest.(check (list int)) "k > n" [ 2; 1 ]
+    (Gb_util.Heap.top_k ~cmp:Int.compare 5 (List.to_seq [ 1; 2 ]));
+  Alcotest.(check (list int)) "k = 0" []
+    (Gb_util.Heap.top_k ~cmp:Int.compare 0 (List.to_seq [ 1; 2 ]))
+
+let prop_top_k_matches_sort =
+  QCheck.Test.make ~name:"top_k = take k of sort" ~count:100
+    QCheck.(pair (int_range 1 20) (list_of_size (QCheck.Gen.int_range 0 200) int))
+    (fun (k, xs) ->
+      let expected =
+        List.filteri (fun i _ -> i < k) (List.sort (Fun.flip Int.compare) xs)
+      in
+      Gb_util.Heap.top_k ~cmp:Int.compare k (List.to_seq xs) = expected)
+
+let suite =
+  [
+    ("pool roundtrip with eviction", `Quick, test_pool_roundtrip);
+    ("pool hit tracking", `Quick, test_pool_hit_tracking);
+    ("pool closed", `Quick, test_pool_closed);
+    ("paged store scan", `Quick, test_paged_store_scan);
+    ("paged store spills to disk", `Quick, test_paged_store_spills);
+    ("paged store = row store", `Quick, test_paged_matches_row_store);
+    ("bitmap basics", `Quick, test_bitmap_basics);
+    ("bitmap ops", `Quick, test_bitmap_ops);
+    ("bitmap GO membership", `Quick, test_bitmap_go_membership);
+    QCheck_alcotest.to_alcotest prop_bitmap_demorgan;
+    ("heap sorts", `Quick, test_heap_sorts);
+    ("heap top-k", `Quick, test_heap_top_k);
+    QCheck_alcotest.to_alcotest prop_top_k_matches_sort;
+  ]

@@ -1,0 +1,139 @@
+open Gb_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_prng_deterministic () =
+  let a = Prng.create 7L and b = Prng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 7L in
+  let a = Prng.split g in
+  let b = Prng.split g in
+  Alcotest.(check bool) "different streams"
+    (Prng.next_int64 a <> Prng.next_int64 b)
+    true
+
+let test_prng_int_bounds () =
+  let g = Prng.create 42L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" (v >= 0 && v < 17) true
+  done
+
+let test_prng_uniform_range () =
+  let g = Prng.create 9L in
+  for _ = 1 to 10_000 do
+    let u = Prng.uniform g in
+    Alcotest.(check bool) "in [0,1)" (u >= 0. && u < 1.) true
+  done
+
+let test_prng_normal_moments () =
+  let g = Prng.create 3L in
+  let n = 50_000 in
+  let sum = ref 0. and sum2 = ref 0. in
+  for _ = 1 to n do
+    let x = Prng.normal g in
+    sum := !sum +. x;
+    sum2 := !sum2 +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" (Float.abs mean < 0.02) true;
+  Alcotest.(check bool) "var near 1" (Float.abs (var -. 1.) < 0.05) true
+
+let test_prng_sample_distinct () =
+  let g = Prng.create 11L in
+  let s = Prng.sample g 50 100 in
+  Alcotest.(check int) "size" 50 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 49 do
+    Alcotest.(check bool) "distinct" (sorted.(i) <> sorted.(i - 1)) true
+  done;
+  Array.iter (fun v -> Alcotest.(check bool) "in range" (v >= 0 && v < 100) true) s
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create 5L in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_argsort () =
+  let a = [| 3.; 1.; 2. |] in
+  Alcotest.(check (array int)) "ascending" [| 1; 2; 0 |] (Order.argsort a);
+  Alcotest.(check (array int)) "descending" [| 0; 2; 1 |]
+    (Order.argsort ~descending:true a)
+
+let test_argsort_stable_on_ties () =
+  let a = [| 1.; 1.; 0. |] in
+  Alcotest.(check (array int)) "ties keep index order" [| 2; 0; 1 |]
+    (Order.argsort a)
+
+let test_top_k () =
+  let a = [| 5.; 9.; 1.; 7. |] in
+  Alcotest.(check (array int)) "top2" [| 1; 3 |] (Order.top_k 2 a);
+  Alcotest.(check int) "clamped" 4 (Array.length (Order.top_k 10 a))
+
+let test_quantile_threshold () =
+  let a = Array.init 100 (fun i -> float_of_int i) in
+  check_float "top 10%" 90. (Order.quantile_threshold a 0.1);
+  check_float "all" 0. (Order.quantile_threshold a 1.)
+
+let test_sim_clock () =
+  let c = Clock.Sim.create () in
+  Clock.Sim.advance c 1.5;
+  Clock.Sim.advance c 0.5;
+  check_float "advances" 2.0 (Clock.Sim.now c)
+
+let test_sim_run_scaled () =
+  let c = Clock.Sim.create () in
+  let () = Clock.Sim.run_scaled c ~speedup:2.0 (fun () -> Unix.sleepf 0.02) in
+  let t = Clock.Sim.now c in
+  Alcotest.(check bool) "scaled below real" (t < 0.02) true;
+  Alcotest.(check bool) "positive" (t > 0.) true
+
+let test_deadline () =
+  let d = Deadline.start ~seconds:0.01 in
+  Alcotest.(check bool) "not yet" (not (Deadline.expired d)) true;
+  Unix.sleepf 0.02;
+  Alcotest.check_raises "raises" Deadline.Timeout (fun () -> Deadline.check d)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_render_table () =
+  let s = Render.table ~headers:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ] ] in
+  Alcotest.(check bool) "has border" (String.length s > 0 && s.[0] = '+') true;
+  Alcotest.(check bool) "mentions header" (contains s "bb") true
+
+let test_render_seconds () =
+  Alcotest.(check string) "inf" "INF" (Render.seconds infinity);
+  Alcotest.(check string) "ms" "0.034" (Render.seconds 0.034);
+  Alcotest.(check string) "hundreds" "123" (Render.seconds 123.4)
+
+let suite =
+  [
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng split independent", `Quick, test_prng_split_independent);
+    ("prng int bounds", `Quick, test_prng_int_bounds);
+    ("prng uniform range", `Quick, test_prng_uniform_range);
+    ("prng normal moments", `Quick, test_prng_normal_moments);
+    ("prng sample distinct", `Quick, test_prng_sample_distinct);
+    ("prng shuffle permutation", `Quick, test_prng_shuffle_permutation);
+    ("argsort", `Quick, test_argsort);
+    ("argsort stable", `Quick, test_argsort_stable_on_ties);
+    ("top_k", `Quick, test_top_k);
+    ("quantile threshold", `Quick, test_quantile_threshold);
+    ("sim clock", `Quick, test_sim_clock);
+    ("sim run_scaled", `Quick, test_sim_run_scaled);
+    ("deadline", `Quick, test_deadline);
+    ("render table", `Quick, test_render_table);
+    ("render seconds", `Quick, test_render_seconds);
+  ]
