@@ -1,0 +1,10 @@
+(* Chaos scenario: the multi-node grid of Figures 3/4 rerun under the
+   default deterministic fault plan, summarized as per-engine availability
+   and recovery work. Fault placements derive from the chaos seed, not the
+   data seed, so the same data is measured with and without faults. *)
+
+module H = Genbase.Harness
+
+let run config =
+  let cells = H.chaos_cells config in
+  print_endline (H.availability cells)

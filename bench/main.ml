@@ -10,7 +10,7 @@ module H = Genbase.Harness
 
 let sections =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
-    "weak"; "crossover" ]
+    "weak"; "crossover"; "chaos" ]
 
 let parse_args () =
   let selected = ref [] in
@@ -94,6 +94,11 @@ let () =
   if want "crossover" then begin
     banner "DM/analytics crossover (Section 6.1)";
     Crossover.run ()
+  end;
+
+  if want "chaos" then begin
+    banner "Availability under fault injection (chaos scenario)";
+    Chaos.run config
   end;
 
   if want "micro" then begin

@@ -300,6 +300,91 @@ let suite_cmd =
        ~doc:"Run the full single-node grid and dump raw results as CSV.")
     Term.(const run $ seed_arg $ out $ timeout $ sizes)
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Optional CSV file for the raw cells.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 60.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Benchmark cut-off window.")
+  in
+  let d = Genbase.Harness.default_chaos in
+  let prob name ~doc default =
+    Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt int64 d.Genbase.Harness.fault_seed
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed every fault placement derives from.")
+  in
+  let crash =
+    prob "crash" d.Genbase.Harness.crash_p
+      ~doc:"Per (node, superstep) crash probability."
+  in
+  let straggler =
+    prob "straggler" d.Genbase.Harness.straggler_p
+      ~doc:"Per (node, superstep) straggler probability."
+  in
+  let oom =
+    prob "oom" d.Genbase.Harness.oom_p
+      ~doc:"Per (node, superstep) transient out-of-memory probability."
+  in
+  let drop =
+    prob "drop" d.Genbase.Harness.drop_p
+      ~doc:"Per communication-op message-loss probability."
+  in
+  let task_fail =
+    prob "task-fail" d.Genbase.Harness.task_fail_p
+      ~doc:"Per MapReduce job transient task-failure probability."
+  in
+  let run size seed out timeout fault_seed crash straggler oom drop task_fail =
+    let chaos =
+      {
+        Genbase.Harness.default_chaos with
+        Genbase.Harness.fault_seed;
+        crash_p = crash;
+        straggler_p = straggler;
+        oom_p = oom;
+        drop_p = drop;
+        task_fail_p = task_fail;
+      }
+    in
+    let config =
+      {
+        Genbase.Harness.timeout_s = timeout;
+        sizes = [ size ];
+        seed;
+        progress = Some (fun s -> Printf.eprintf "%s\n%!" s);
+      }
+    in
+    let cells = Genbase.Harness.chaos_cells ~chaos config in
+    (match out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Genbase.Harness.to_csv cells);
+      close_out oc;
+      Printf.printf "wrote %d cells to %s\n" (List.length cells) file);
+    print_endline (Genbase.Harness.availability cells)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the multi-node grid under deterministic fault injection and \
+          report per-engine availability.")
+    Term.(
+      const run $ size_arg $ seed_arg $ out $ timeout $ fault_seed $ crash
+      $ straggler $ oom $ drop $ task_fail)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -330,4 +415,10 @@ let () =
     Cmd.info "genbase" ~version:"1.0.0"
       ~doc:"The GenBase complex-analytics genomics benchmark."
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; run_cmd; suite_cmd; explain_cmd; seqgen_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; run_cmd; suite_cmd; chaos_cmd; explain_cmd;
+            seqgen_cmd; list_cmd;
+          ]))

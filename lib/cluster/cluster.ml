@@ -1,5 +1,35 @@
 module Sim = Gb_util.Clock.Sim
 module Stopwatch = Gb_util.Clock.Stopwatch
+module Fault = Gb_fault.Fault
+module Retry = Gb_fault.Retry
+
+type recovery_stats = {
+  crashes_recovered : int;
+  oom_retries : int;
+  speculative_restarts : int;
+  messages_dropped : int;
+  messages_delayed : int;
+  wasted_seconds : float;
+  checkpoint_seconds : float;
+}
+
+let no_recovery =
+  {
+    crashes_recovered = 0;
+    oom_retries = 0;
+    speculative_restarts = 0;
+    messages_dropped = 0;
+    messages_delayed = 0;
+    wasted_seconds = 0.;
+    checkpoint_seconds = 0.;
+  }
+
+(* Acknowledgement timeout before a lost message is retransmitted. *)
+let retransmit_timeout_s = 0.01
+
+(* State shipped to the recovery node when no checkpoint size is
+   configured (a closure plus partition metadata, not the data block). *)
+let default_recovery_bytes = 4096
 
 type t = {
   nodes : int;
@@ -7,55 +37,252 @@ type t = {
   clock : Sim.t;
   mutable comm_bytes : int;
   mutable comm_seconds : float;
-  mutable deadline : float;
+  mutable deadline : Gb_util.Deadline.Sim.t;
   mutable compute_speedup : float;
+  (* fault injection + recovery *)
+  mutable plan : Fault.plan;
+  mutable frng : Gb_util.Prng.t;
+  mutable retry_policy : Retry.policy;
+  mutable step : int;
+  mutable ops : int;
+  dead : bool array;
+  since_ckpt : float array;
+  mutable ckpt_every : int; (* 0 = checkpointing off *)
+  mutable ckpt_bytes : int;
+  mutable task_cost : float option;
+  mutable stats : recovery_stats;
 }
 
 let create ?(net = Netmodel.default) ~nodes () =
   if nodes < 1 then invalid_arg "Cluster.create: nodes";
+  let clock = Sim.create () in
   {
     nodes;
     net;
-    clock = Sim.create ();
+    clock;
     comm_bytes = 0;
     comm_seconds = 0.;
-    deadline = infinity;
+    deadline = Gb_util.Deadline.Sim.unlimited ~clock;
     compute_speedup = 1.;
+    plan = Fault.empty;
+    frng = Fault.rng Fault.empty;
+    retry_policy = Retry.default;
+    step = 0;
+    ops = 0;
+    dead = Array.make nodes false;
+    since_ckpt = Array.make nodes 0.;
+    ckpt_every = 0;
+    ckpt_bytes = default_recovery_bytes;
+    task_cost = None;
+    stats = no_recovery;
   }
 
 let nodes t = t.nodes
 let elapsed t = Sim.now t.clock
 let comm_bytes t = t.comm_bytes
 let comm_seconds t = t.comm_seconds
+let check t = Gb_util.Deadline.Sim.check t.deadline
 
-let check t =
-  if Sim.now t.clock > t.deadline then raise Gb_util.Deadline.Timeout
+let set_deadline t d =
+  t.deadline <- Gb_util.Deadline.Sim.at ~clock:t.clock ~time:d
 
-let set_deadline t d = t.deadline <- d
+let set_fault_plan t plan =
+  t.plan <- plan;
+  t.frng <- Fault.rng plan
+
+let set_retry_policy t p = t.retry_policy <- p
+
+let set_checkpoint t ~every ~bytes_per_node =
+  if every < 0 || bytes_per_node < 0 then invalid_arg "Cluster.set_checkpoint";
+  t.ckpt_every <- every;
+  t.ckpt_bytes <- max bytes_per_node default_recovery_bytes
+
+let set_task_cost t c = t.task_cost <- c
+let stats t = t.stats
+let degraded t = t.stats <> no_recovery
+
+let live_nodes t =
+  Array.fold_left (fun n d -> if d then n else n + 1) 0 t.dead
+
+let charge_comm t ~bytes ~seconds =
+  let op = t.ops in
+  t.ops <- op + 1;
+  let seconds =
+    if Fault.dropped t.plan ~op then begin
+      (* The payload is lost: wait out the ack timeout, then send again. *)
+      t.stats <-
+        {
+          t.stats with
+          messages_dropped = t.stats.messages_dropped + 1;
+          wasted_seconds =
+            t.stats.wasted_seconds +. seconds +. retransmit_timeout_s;
+        };
+      (2. *. seconds) +. retransmit_timeout_s
+    end
+    else seconds
+  in
+  let seconds =
+    let d = Fault.delay t.plan ~op in
+    if d > 0. then begin
+      t.stats <- { t.stats with messages_delayed = t.stats.messages_delayed + 1 };
+      seconds +. d
+    end
+    else seconds
+  in
+  t.comm_bytes <- t.comm_bytes + bytes;
+  t.comm_seconds <- t.comm_seconds +. seconds;
+  Sim.advance t.clock seconds;
+  check t
+
+(* A crash at superstep [step] loses everything the node computed since
+   the last checkpoint; a surviving node re-executes that work (charged
+   serially — the survivor cannot overlap it with new supersteps) after
+   fetching the dead node's last checkpointed state. *)
+let handle_crashes t step =
+  for node = 0 to t.nodes - 1 do
+    if
+      (not t.dead.(node))
+      && Fault.crash_at t.plan ~node ~superstep:step
+      && live_nodes t > 1
+    then begin
+      t.dead.(node) <- true;
+      let redo = t.since_ckpt.(node) in
+      t.since_ckpt.(node) <- 0.;
+      t.stats <-
+        {
+          t.stats with
+          crashes_recovered = t.stats.crashes_recovered + 1;
+          wasted_seconds = t.stats.wasted_seconds +. redo;
+        };
+      Sim.advance t.clock redo;
+      charge_comm t ~bytes:t.ckpt_bytes
+        ~seconds:(Netmodel.transfer_time t.net ~bytes:t.ckpt_bytes)
+    end
+  done;
+  if live_nodes t = 0 then
+    raise (Fault.Node_lost "Cluster: every node has crashed")
+
+let maybe_checkpoint t step =
+  if t.ckpt_every > 0 && (step + 1) mod t.ckpt_every = 0 then begin
+    (* Every live node writes its state to replicated storage in
+       parallel; the superstep stalls for one transfer. *)
+    let secs = Netmodel.transfer_time t.net ~bytes:t.ckpt_bytes in
+    Sim.advance t.clock secs;
+    t.stats <-
+      { t.stats with checkpoint_seconds = t.stats.checkpoint_seconds +. secs };
+    Array.fill t.since_ckpt 0 t.nodes 0.
+  end
 
 let superstep_scaled t ~speedup f =
   check t;
-  let worst = ref 0. in
-  let results =
-    Array.init t.nodes (fun node ->
-        let r, dt = Stopwatch.time (fun () -> f node) in
-        if dt > !worst then worst := dt;
-        r)
-  in
-  Sim.advance t.clock (!worst /. (speedup *. t.compute_speedup));
-  results
+  let step = t.step in
+  t.step <- step + 1;
+  handle_crashes t step;
+  let scale = speedup *. t.compute_speedup in
+  let busy = Array.make t.nodes 0. in
+  let results = Array.make t.nodes None in
+  for node = 0 to t.nodes - 1 do
+    let r, dt =
+      match t.task_cost with
+      | Some c -> (f node, c)
+      | None -> Stopwatch.time (fun () -> f node)
+    in
+    results.(node) <- Some r;
+    (* Floor at 1ns: a measured 0 (below clock resolution) would make a
+       straggler's endured stall vanish ([slowed -. dt = 0.]), so whether
+       the run reports as degraded would depend on timer granularity. *)
+    let dt = Float.max (dt /. scale) 1e-9 in
+    (* A dead node's task runs on the least-loaded survivor. *)
+    let executor =
+      if not t.dead.(node) then node
+      else begin
+        let best = ref (-1) in
+        for i = 0 to t.nodes - 1 do
+          if (not t.dead.(i)) && (!best < 0 || busy.(i) < busy.(!best)) then
+            best := i
+        done;
+        !best
+      end
+    in
+    (* Straggler slowdown, capped by speculative re-execution: when a
+       backup copy on a healthy node (input transfer + one clean run)
+       beats waiting for the straggler, the backup's finish time counts
+       and the straggling attempt is wasted work. *)
+    let dt =
+      let slow = Fault.slowdown t.plan ~node ~superstep:step in
+      if slow <= 1. then dt
+      else begin
+        let slowed = dt *. slow in
+        let backup =
+          dt +. Netmodel.transfer_time t.net ~bytes:t.ckpt_bytes
+        in
+        if backup < slowed && live_nodes t > 1 then begin
+          t.stats <-
+            {
+              t.stats with
+              speculative_restarts = t.stats.speculative_restarts + 1;
+              wasted_seconds = t.stats.wasted_seconds +. dt;
+            };
+          backup
+        end
+        else begin
+          (* No backup worth launching (or nobody to run it): the stall
+             is endured, but it is still fault-induced overhead. *)
+          t.stats <-
+            {
+              t.stats with
+              wasted_seconds = t.stats.wasted_seconds +. (slowed -. dt);
+            };
+          slowed
+        end
+      end
+    in
+    (* Transient memory failures: each failed attempt runs (and is
+       thrown away), then backs off before retrying; past the retry
+       budget the failure is permanent. *)
+    let dt =
+      let failures = Fault.oom_failures t.plan ~node ~superstep:step in
+      if failures = 0 then dt
+      else if failures >= t.retry_policy.Retry.max_attempts then
+        raise
+          (Fault.Injected_oom
+             (Printf.sprintf
+                "node %d superstep %d: memory allocation failed %d times"
+                node step failures))
+      else begin
+        let backoff = ref 0. in
+        for attempt = 1 to failures do
+          backoff :=
+            !backoff +. Retry.delay_for t.retry_policy ~rng:t.frng ~attempt
+        done;
+        t.stats <-
+          {
+            t.stats with
+            oom_retries = t.stats.oom_retries + failures;
+            wasted_seconds =
+              t.stats.wasted_seconds
+              +. (dt *. float_of_int failures)
+              +. !backoff;
+          };
+        (dt *. float_of_int (failures + 1)) +. !backoff
+      end
+    in
+    busy.(executor) <- busy.(executor) +. dt;
+    t.since_ckpt.(executor) <- t.since_ckpt.(executor) +. dt
+  done;
+  let worst = Array.fold_left Float.max 0. busy in
+  Sim.advance t.clock worst;
+  maybe_checkpoint t step;
+  check t;
+  Array.map
+    (fun r -> match r with Some r -> r | None -> assert false)
+    results
 
 let superstep t f = superstep_scaled t ~speedup:1. f
 
 let set_compute_speedup t s =
   if s <= 0. then invalid_arg "Cluster.set_compute_speedup";
   t.compute_speedup <- s
-
-let charge_comm t ~bytes ~seconds =
-  t.comm_bytes <- t.comm_bytes + bytes;
-  t.comm_seconds <- t.comm_seconds +. seconds;
-  Sim.advance t.clock seconds;
-  check t
 
 let allreduce_sum t parts =
   if Array.length parts <> t.nodes then invalid_arg "Cluster.allreduce_sum";

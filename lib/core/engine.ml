@@ -9,12 +9,36 @@ type timing = { dm : float; analytics : float }
 
 let total t = t.dm +. t.analytics
 
+type recovery = {
+  retries : int;
+  recovered_nodes : int;
+  speculative : int;
+  wasted_s : float;
+}
+
+let no_recovery =
+  { retries = 0; recovered_nodes = 0; speculative = 0; wasted_s = 0. }
+
 type outcome =
   | Completed of timing * payload
+  | Degraded of timing * recovery * payload
   | Timed_out
   | Out_of_memory
   | Errored of string
   | Unsupported
+
+let completed t ?(recovery = no_recovery) p =
+  if recovery = no_recovery then Completed (t, p) else Degraded (t, recovery, p)
+
+let timing_of = function
+  | Completed (t, _) | Degraded (t, _, _) -> Some t
+  | Timed_out | Out_of_memory | Errored _ | Unsupported -> None
+
+let payload_of = function
+  | Completed (_, p) | Degraded (_, _, p) -> Some p
+  | Timed_out | Out_of_memory | Errored _ | Unsupported -> None
+
+let recovery_of = function Degraded (_, r, _) -> Some r | _ -> None
 
 type t = {
   name : string;
@@ -30,13 +54,24 @@ let run e ds q ?(params = Query.default_params) ~timeout_s () =
   else
     try e.load ds q ~params ~timeout_s with
     | Gb_util.Deadline.Timeout | Gb_mapreduce.Mr.Timeout -> Timed_out
-    | Memory_exceeded | Out_of_memory -> Out_of_memory
+    | Memory_exceeded | Out_of_memory | Gb_fault.Fault.Injected_oom _ ->
+      Out_of_memory
     | Stack_overflow -> Out_of_memory
     | Invalid_argument msg | Failure msg -> Errored msg
+    | exn ->
+      (* Catch-all: one bad kernel must never abort a whole harness grid;
+         anything that is not a timeout or a memory failure is an error
+         result for this cell only. *)
+      Errored (Printexc.to_string exn)
 
 let pp_outcome fmt = function
   | Completed (t, _) ->
     Format.fprintf fmt "ok dm=%.3fs analytics=%.3fs" t.dm t.analytics
+  | Degraded (t, r, _) ->
+    Format.fprintf fmt
+      "degraded dm=%.3fs analytics=%.3fs (retries=%d recovered=%d spec=%d \
+       wasted=%.3fs)"
+      t.dm t.analytics r.retries r.recovered_nodes r.speculative r.wasted_s
   | Timed_out -> Format.pp_print_string fmt "timeout"
   | Out_of_memory -> Format.pp_print_string fmt "out-of-memory"
   | Errored msg -> Format.fprintf fmt "error: %s" msg

@@ -18,8 +18,25 @@ type timing = { dm : float; analytics : float }
 
 val total : timing -> float
 
+type recovery = {
+  retries : int;
+      (** transient-failure re-executions: per-node memory retries,
+          MapReduce task re-attempts, message retransmissions *)
+  recovered_nodes : int;  (** node crashes absorbed by re-execution *)
+  speculative : int;  (** straggler tasks rescued by a backup copy *)
+  wasted_s : float;
+      (** simulated seconds of redone work, abandoned attempts and
+          backoff waits — the price of finishing *)
+}
+
+val no_recovery : recovery
+
 type outcome =
   | Completed of timing * payload
+  | Degraded of timing * recovery * payload
+      (** the query finished and its answer is valid, but only after the
+          fault-tolerance machinery absorbed injected failures; [recovery]
+          quantifies the overhead *)
   | Timed_out
   | Out_of_memory
   | Errored of string
@@ -27,6 +44,17 @@ type outcome =
           made a kernel's preconditions fail); treated like a failure, not
           a crash *)
   | Unsupported
+
+val completed : timing -> ?recovery:recovery -> payload -> outcome
+(** [Completed] when [recovery] is absent or {!no_recovery}, [Degraded]
+    otherwise — engines finish every query through this so fault-free
+    runs are bit-identical with and without the fault machinery. *)
+
+val timing_of : outcome -> timing option
+(** The phase timings of a (possibly degraded) completion. *)
+
+val payload_of : outcome -> payload option
+val recovery_of : outcome -> recovery option
 
 type t = {
   name : string;
@@ -38,7 +66,10 @@ type t = {
 val run : t -> Dataset.t -> Query.t -> ?params:Query.params ->
   timeout_s:float -> unit -> outcome
 (** Drives [load], translating [Deadline.Timeout], [Mr.Timeout] and
-    memory-budget failures into the corresponding outcomes. *)
+    memory-budget failures (including injected ones that exhaust their
+    retry budget) into the corresponding outcomes. Any other exception
+    becomes [Errored] — a misbehaving engine can fail its own cell but
+    never abort the grid. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

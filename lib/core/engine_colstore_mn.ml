@@ -58,10 +58,11 @@ let cross m = function
     else Export.roundtrip_matrix m
   | `Udf -> m
 
-let run ~boundary ~nodes ds query ~(params : Query.params) ~timeout_s =
+let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:(2. *. timeout_s) in
   let cluster = Cluster.create ~nodes () in
   Cluster.set_deadline cluster timeout_s;
+  Qcommon.arm_cluster cluster fault;
   let check () = Gb_util.Deadline.check dl in
   let data = partition ds nodes ~check in
   let phase f =
@@ -102,7 +103,8 @@ let run ~boundary ~nodes ds query ~(params : Query.params) ~timeout_s =
               r2;
             })
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q2_covariance ->
     let parts, dm0 =
       phase (fun () ->
@@ -126,7 +128,8 @@ let run ~boundary ~nodes ds query ~(params : Query.params) ~timeout_s =
       phase (fun () ->
           head_only (fun () -> Relops.q2_join_metadata data.(0).db pairs))
     in
-    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+    Engine.completed { dm = dm0 +. dm1; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q3_biclustering ->
     let head_matrix, dm =
       phase (fun () ->
@@ -152,7 +155,8 @@ let run ~boundary ~nodes ds query ~(params : Query.params) ~timeout_s =
               | `Export_to_pbdr -> ());
               Qcommon.biclusters_of head_matrix))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q4_svd ->
     let parts, dm =
       phase (fun () ->
@@ -166,7 +170,8 @@ let run ~boundary ~nodes ds query ~(params : Query.params) ~timeout_s =
           Engine.Singular_values
             (Array.map (fun e -> sqrt (Float.max 0. e)) eigs))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q5_statistics ->
     let scores, dm =
       phase (fun () ->
@@ -208,20 +213,28 @@ let run ~boundary ~nodes ds query ~(params : Query.params) ~timeout_s =
               Qcommon.enrichment_of ~n_genes ~go_pairs:ds.G.go ~go_terms
                 ~p_threshold:params.p_threshold ~scores))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
+
+let make ~name ~boundary ~fault ~nodes =
+  {
+    Engine.name = name;
+    kind = `Multi_node nodes;
+    supports = (fun _ -> true);
+    load =
+      (fun ds q ~params ~timeout_s ->
+        run ~boundary ?fault ~nodes ds q ~params ~timeout_s);
+  }
 
 let pbdr ~nodes =
-  {
-    Engine.name = "Column store + pbdR";
-    kind = `Multi_node nodes;
-    supports = (fun _ -> true);
-    load = run ~boundary:`Export_to_pbdr ~nodes;
-  }
+  make ~name:"Column store + pbdR" ~boundary:`Export_to_pbdr ~fault:None ~nodes
 
 let udf ~nodes =
-  {
-    Engine.name = "Column store + UDFs";
-    kind = `Multi_node nodes;
-    supports = (fun _ -> true);
-    load = run ~boundary:`Udf ~nodes;
-  }
+  make ~name:"Column store + UDFs" ~boundary:`Udf ~fault:None ~nodes
+
+let pbdr_faulty ~fault ~nodes =
+  make ~name:"Column store + pbdR" ~boundary:`Export_to_pbdr
+    ~fault:(Some fault) ~nodes
+
+let udf_faulty ~fault ~nodes =
+  make ~name:"Column store + UDFs" ~boundary:`Udf ~fault:(Some fault) ~nodes

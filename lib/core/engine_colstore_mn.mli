@@ -12,3 +12,8 @@
 
 val pbdr : nodes:int -> Engine.t
 val udf : nodes:int -> Engine.t
+
+val pbdr_faulty : fault:Gb_fault.Fault.plan -> nodes:int -> Engine.t
+val udf_faulty : fault:Gb_fault.Fault.plan -> nodes:int -> Engine.t
+(** The same configurations with a deterministic fault plan armed on the
+    simulated cluster; absorbed faults surface as [Engine.Degraded]. *)

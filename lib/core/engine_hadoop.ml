@@ -25,10 +25,11 @@ let to_dense_triples mr table ~id_field ~other_field ~value_field ~index
       else [ Printf.sprintf "%s,%d,%s" other dense v ])
     table
 
-let run ~nodes ds query ~(params : Query.params) ~timeout_s =
+let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:(2. *. timeout_s) in
   let mr = Mr.create ~nodes () in
   Mr.set_deadline mr timeout_s;
+  Option.iter (Mr.set_fault_plan mr) fault;
   let hdb = Dataset.load_hadoop_db ds in
   let phase f =
     let t0 = Mr.elapsed mr in
@@ -88,7 +89,8 @@ let run ~nodes ds query ~(params : Query.params) ~timeout_s =
               r2 = Float.nan;
             })
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics } ~recovery:(Qcommon.mr_recovery mr)
+      payload
   | Query.Q2_covariance ->
     let (triples, n_sel), dm0 =
       phase (fun () ->
@@ -134,7 +136,8 @@ let run ~nodes ds query ~(params : Query.params) ~timeout_s =
           Hive.join mr ~name:"pairs-meta" ~left_key:0 ~right_key:0 pair_table
             hdb.Dataset.genes_h)
     in
-    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+    Engine.completed { dm = dm0 +. dm1; analytics }
+      ~recovery:(Qcommon.mr_recovery mr) payload
   | Query.Q3_biclustering | Query.Q5_statistics -> Engine.Unsupported
   | Query.Q4_svd ->
     let (triples, gene_ids), dm =
@@ -151,7 +154,8 @@ let run ~nodes ds query ~(params : Query.params) ~timeout_s =
           Engine.Singular_values
             (Array.map (fun e -> sqrt (Float.max 0. e)) eigs))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics } ~recovery:(Qcommon.mr_recovery mr)
+      payload
 
 let supports = function
   | Query.Q1_regression | Query.Q2_covariance | Query.Q4_svd -> true
@@ -162,13 +166,16 @@ let engine =
     Engine.name = "Hadoop";
     kind = `Single_node;
     supports;
-    load = run ~nodes:1;
+    load = (fun ds q ~params ~timeout_s -> run ~nodes:1 ds q ~params ~timeout_s);
   }
 
-let engine_multinode ~nodes =
+let make_multinode ~fault ~nodes =
   {
     Engine.name = "Hadoop";
     kind = `Multi_node nodes;
     supports;
-    load = run ~nodes;
+    load = (fun ds q ~params ~timeout_s -> run ?fault ~nodes ds q ~params ~timeout_s);
   }
+
+let engine_multinode ~nodes = make_multinode ~fault:None ~nodes
+let multinode_faulty ~fault ~nodes = make_multinode ~fault:(Some fault) ~nodes

@@ -26,10 +26,11 @@ let mat_bytes m =
   let r, c = Mat.dims m in
   8 * r * c
 
-let run ~nodes ds query ~(params : Query.params) ~timeout_s =
+let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:(2. *. timeout_s) in
   let cluster = Cluster.create ~nodes () in
   Cluster.set_deadline cluster timeout_s;
+  Qcommon.arm_cluster cluster fault;
   let data = partition ds nodes in
   let phase f =
     let t0 = Cluster.elapsed cluster in
@@ -69,7 +70,8 @@ let run ~nodes ds query ~(params : Query.params) ~timeout_s =
               r2;
             })
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q2_covariance ->
     let parts, dm0 =
       phase (fun () ->
@@ -110,7 +112,8 @@ let run ~nodes ds query ~(params : Query.params) ~timeout_s =
                     p.top_pairs
                 | _ -> ()))
     in
-    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+    Engine.completed { dm = dm0 +. dm1; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q3_biclustering ->
     let head_matrix, dm =
       phase (fun () ->
@@ -142,7 +145,8 @@ let run ~nodes ds query ~(params : Query.params) ~timeout_s =
           in
           !out)
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q4_svd ->
     let parts, dm =
       phase (fun () ->
@@ -158,7 +162,8 @@ let run ~nodes ds query ~(params : Query.params) ~timeout_s =
           Engine.Singular_values
             (Array.map (fun e -> sqrt (Float.max 0. e)) eigs))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q5_statistics ->
     let scores, dm =
       phase (fun () ->
@@ -195,12 +200,16 @@ let run ~nodes ds query ~(params : Query.params) ~timeout_s =
           in
           !out)
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
 
-let engine ~nodes =
+let make ~fault ~nodes =
   {
     Engine.name = "pbdR";
     kind = `Multi_node nodes;
     supports = (fun _ -> true);
-    load = run ~nodes;
+    load = (fun ds q ~params ~timeout_s -> run ?fault ~nodes ds q ~params ~timeout_s);
   }
+
+let engine ~nodes = make ~fault:None ~nodes
+let faulty ~fault ~nodes = make ~fault:(Some fault) ~nodes

@@ -5,3 +5,8 @@
     why pbdR scales best among the multi-node systems. *)
 
 val engine : nodes:int -> Engine.t
+
+val faulty : fault:Gb_fault.Fault.plan -> nodes:int -> Engine.t
+(** [engine] with a deterministic fault plan armed on the simulated
+    cluster (checkpointing enabled, see [Qcommon.arm_cluster]); absorbed
+    faults surface as [Engine.Degraded] outcomes. *)

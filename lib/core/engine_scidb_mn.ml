@@ -29,10 +29,11 @@ let mat_bytes m =
   let r, c = Mat.dims m in
   8 * r * c
 
-let run ?device ~nodes ds query ~(params : Query.params) ~timeout_s =
+let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:(2. *. timeout_s) in
   let cluster = Cluster.create ~nodes () in
   Cluster.set_deadline cluster timeout_s;
+  Qcommon.arm_cluster cluster fault;
   let data = partition ds nodes in
   let phase f =
     let t0 = Cluster.elapsed cluster in
@@ -121,7 +122,8 @@ let run ?device ~nodes ds query ~(params : Query.params) ~timeout_s =
                   r2;
                 }))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q2_covariance ->
     let parts, dm0 =
       phase (fun () ->
@@ -164,7 +166,8 @@ let run ?device ~nodes ds query ~(params : Query.params) ~timeout_s =
                   p.top_pairs
               | _ -> ()))
     in
-    Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+    Engine.completed { dm = dm0 +. dm1; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q3_biclustering ->
     let head_matrix, dm =
       phase (fun () ->
@@ -192,7 +195,8 @@ let run ?device ~nodes ds query ~(params : Query.params) ~timeout_s =
           analytics_with Device.Light ~bytes_per_node:(mat_bytes head_matrix)
             (fun () -> head_only (fun () -> Qcommon.biclusters_of head_matrix)))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q4_svd ->
     let parts, dm =
       phase (fun () ->
@@ -216,7 +220,8 @@ let run ?device ~nodes ds query ~(params : Query.params) ~timeout_s =
               Engine.Singular_values
                 (Array.map (fun e -> sqrt (Float.max 0. e)) eigs)))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q5_statistics ->
     let scores, dm =
       phase (fun () ->
@@ -250,20 +255,26 @@ let run ?device ~nodes ds query ~(params : Query.params) ~timeout_s =
                   Qcommon.enrichment_of ~n_genes ~go_pairs:ds.G.go ~go_terms
                     ~p_threshold:params.p_threshold ~scores)))
     in
-    Engine.Completed ({ dm; analytics }, payload)
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
 
-let engine ~nodes =
+let make ~fault ~nodes =
   {
     Engine.name = "SciDB";
     kind = `Multi_node nodes;
     supports = (fun _ -> true);
-    load = (fun ds q ~params ~timeout_s -> run ~nodes ds q ~params ~timeout_s);
+    load = (fun ds q ~params ~timeout_s -> run ?fault ~nodes ds q ~params ~timeout_s);
   }
+
+let engine ~nodes = make ~fault:None ~nodes
+let faulty ~fault ~nodes = make ~fault:(Some fault) ~nodes
 
 let engine_phi ~nodes =
   {
     Engine.name = "SciDB + Xeon Phi";
     kind = `Multi_node nodes;
     supports = (fun _ -> true);
-    load = run ~device:Device.xeon_phi_5110p ~nodes;
+    load =
+      (fun ds q ~params ~timeout_s ->
+        run ~device:Device.xeon_phi_5110p ~nodes ds q ~params ~timeout_s);
   }

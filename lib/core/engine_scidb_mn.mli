@@ -9,6 +9,10 @@
 
 val engine : nodes:int -> Engine.t
 
+val faulty : fault:Gb_fault.Fault.plan -> nodes:int -> Engine.t
+(** [engine] with a deterministic fault plan armed on the simulated
+    cluster; absorbed faults surface as [Engine.Degraded] outcomes. *)
+
 val engine_phi : nodes:int -> Engine.t
 (** Per-node coprocessor: superstep compute is scaled by the device's
     kernel-class speedup and per-node PCIe transfers are charged. *)

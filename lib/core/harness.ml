@@ -38,19 +38,20 @@ let run_cell e ds query ~timeout_s =
 
 let total_seconds c =
   match c.outcome with
-  | Engine.Completed (t, _) -> Some (Engine.total t)
+  | Engine.Completed (t, _) | Engine.Degraded (t, _, _) -> Some (Engine.total t)
   | Engine.Timed_out | Engine.Out_of_memory | Engine.Errored _ -> Some infinity
   | Engine.Unsupported -> None
 
 let dm_seconds c =
   match c.outcome with
-  | Engine.Completed (t, _) -> Some t.Engine.dm
+  | Engine.Completed (t, _) | Engine.Degraded (t, _, _) -> Some t.Engine.dm
   | Engine.Timed_out | Engine.Out_of_memory | Engine.Errored _ -> Some infinity
   | Engine.Unsupported -> None
 
 let analytics_seconds c =
   match c.outcome with
-  | Engine.Completed (t, _) -> Some t.Engine.analytics
+  | Engine.Completed (t, _) | Engine.Degraded (t, _, _) ->
+    Some t.Engine.analytics
   | Engine.Timed_out | Engine.Out_of_memory | Engine.Errored _ -> Some infinity
   | Engine.Unsupported -> None
 
@@ -369,25 +370,151 @@ let table1 cells =
          :: List.map (fun n -> Printf.sprintf "%d node%s" n (if n = 1 then "" else "s")) node_counts)
        ~rows)
 
+(* --- chaos: fault-injected grids --- *)
+
+type chaos = {
+  fault_seed : int64;
+  crash_p : float;
+  straggler_p : float;
+  straggler_factor : float;
+  oom_p : float;
+  drop_p : float;
+  delay_p : float;
+  delay_s : float;
+  task_fail_p : float;
+}
+
+let default_chaos =
+  {
+    fault_seed = 0xC7A05L;
+    crash_p = 0.015;
+    straggler_p = 0.05;
+    straggler_factor = 4.;
+    oom_p = 0.02;
+    drop_p = 0.02;
+    delay_p = 0.05;
+    delay_s = 0.05;
+    task_fail_p = 0.08;
+  }
+
+(* Each (engine, node count) pair gets its own derived seed so the same
+   chaos config exercises different fault placements across the grid while
+   staying a pure function of [fault_seed]. *)
+let chaos_plan chaos ~engine ~nodes =
+  let seed =
+    Int64.add chaos.fault_seed
+      (Int64.of_int (Hashtbl.hash (engine, nodes) land 0xFFFFFF))
+  in
+  Gb_fault.Fault.scatter ~seed ~nodes ~supersteps:64 ~crash_p:chaos.crash_p
+    ~straggler_p:chaos.straggler_p ~straggler_factor:chaos.straggler_factor
+    ~oom_p:chaos.oom_p ~comm_ops:512 ~drop_p:chaos.drop_p
+    ~delay_p:chaos.delay_p ~delay_s:chaos.delay_s ~jobs:24
+    ~task_fail_p:chaos.task_fail_p ()
+
+let chaos_engines chaos ~nodes =
+  let plan name = chaos_plan chaos ~engine:name ~nodes in
+  [
+    Engine_pbdr.faulty ~fault:(plan "pbdR") ~nodes;
+    Engine_scidb_mn.faulty ~fault:(plan "SciDB") ~nodes;
+    Engine_colstore_mn.pbdr_faulty ~fault:(plan "Column store + pbdR") ~nodes;
+    Engine_colstore_mn.udf_faulty ~fault:(plan "Column store + UDFs") ~nodes;
+    Engine_hadoop.multinode_faulty ~fault:(plan "Hadoop") ~nodes;
+  ]
+
+let chaos_cells ?(chaos = default_chaos) config =
+  run_grid config
+    (fun nodes -> chaos_engines chaos ~nodes)
+    ~node_counts:[ 1; 2; 4 ] ~queries:Query.all ~sizes:[ largest config ]
+
+let availability cells =
+  let sum_recovery cs =
+    List.fold_left
+      (fun acc c ->
+        match Engine.recovery_of c.outcome with
+        | None -> acc
+        | Some r ->
+          {
+            Engine.retries = acc.Engine.retries + r.Engine.retries;
+            recovered_nodes = acc.Engine.recovered_nodes + r.Engine.recovered_nodes;
+            speculative = acc.Engine.speculative + r.Engine.speculative;
+            wasted_s = acc.Engine.wasted_s +. r.Engine.wasted_s;
+          })
+      Engine.no_recovery cs
+  in
+  let rows =
+    List.map
+      (fun engine ->
+        let cs = List.filter (fun c -> c.engine = engine) cells in
+        let count p = List.length (List.filter (fun c -> p c.outcome) cs) in
+        let ok = count (function Engine.Completed _ -> true | _ -> false) in
+        let degraded =
+          count (function Engine.Degraded _ -> true | _ -> false)
+        in
+        let failed =
+          count (function
+            | Engine.Timed_out | Engine.Out_of_memory | Engine.Errored _ ->
+              true
+            | _ -> false)
+        in
+        let attempted = ok + degraded + failed in
+        let avail =
+          if attempted = 0 then "-"
+          else
+            Printf.sprintf "%.1f%%"
+              (100. *. float_of_int (ok + degraded) /. float_of_int attempted)
+        in
+        let r = sum_recovery cs in
+        [
+          engine;
+          string_of_int ok;
+          string_of_int degraded;
+          string_of_int failed;
+          avail;
+          string_of_int r.Engine.retries;
+          string_of_int r.Engine.recovered_nodes;
+          string_of_int r.Engine.speculative;
+          Printf.sprintf "%.2f" r.Engine.wasted_s;
+        ])
+      (engines_of cells)
+  in
+  Printf.sprintf "Availability under fault injection\n%s"
+    (Render.table
+       ~headers:
+         [
+           "Engine"; "ok"; "degraded"; "failed"; "avail";
+           "retries"; "nodes recovered"; "speculative"; "wasted (s)";
+         ]
+       ~rows)
+
 let to_csv cells =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "engine,nodes,query,size,status,dm_s,analytics_s,total_s\n";
+  Buffer.add_string buf
+    "engine,nodes,query,size,status,dm_s,analytics_s,total_s,retries,\
+     recovered_nodes,speculative,wasted_s\n";
   List.iter
     (fun c ->
-      let status, dm, an, total =
+      let timed status t r =
+        ( status,
+          Printf.sprintf "%.6f" t.Engine.dm,
+          Printf.sprintf "%.6f" t.Engine.analytics,
+          Printf.sprintf "%.6f" (Engine.total t),
+          string_of_int r.Engine.retries,
+          string_of_int r.Engine.recovered_nodes,
+          string_of_int r.Engine.speculative,
+          Printf.sprintf "%.6f" r.Engine.wasted_s )
+      in
+      let status, dm, an, total, retries, recovered, spec, wasted =
         match c.outcome with
-        | Engine.Completed (t, _) ->
-          ( "ok",
-            Printf.sprintf "%.6f" t.Engine.dm,
-            Printf.sprintf "%.6f" t.Engine.analytics,
-            Printf.sprintf "%.6f" (Engine.total t) )
-        | Engine.Timed_out -> ("timeout", "", "", "")
-        | Engine.Out_of_memory -> ("oom", "", "", "")
-        | Engine.Errored _ -> ("error", "", "", "")
-        | Engine.Unsupported -> ("unsupported", "", "", "")
+        | Engine.Completed (t, _) -> timed "ok" t Engine.no_recovery
+        | Engine.Degraded (t, r, _) -> timed "degraded" t r
+        | Engine.Timed_out -> ("timeout", "", "", "", "", "", "", "")
+        | Engine.Out_of_memory -> ("oom", "", "", "", "", "", "", "")
+        | Engine.Errored _ -> ("error", "", "", "", "", "", "", "")
+        | Engine.Unsupported -> ("unsupported", "", "", "", "", "", "", "")
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%s,%s,%s,%s,%s,%s\n" c.engine c.nodes
-           (Query.name c.query) (Spec.label c.size) status dm an total))
+        (Printf.sprintf "%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n" c.engine
+           c.nodes (Query.name c.query) (Spec.label c.size) status dm an total
+           retries recovered spec wasted))
     cells;
   Buffer.contents buf

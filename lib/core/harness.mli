@@ -51,6 +51,43 @@ val phi_mn_cells : config -> cell list
 (** Table 1: SciDB vs SciDB+Phi x 4 queries x {1,2,4} nodes, largest
     size. *)
 
+(** {1 Chaos} — the same grids under deterministic fault injection. *)
+
+type chaos = {
+  fault_seed : int64;  (** every fault placement derives from this *)
+  crash_p : float;  (** per (node, superstep) crash probability *)
+  straggler_p : float;
+  straggler_factor : float;
+  oom_p : float;
+  drop_p : float;  (** per communication-op message loss *)
+  delay_p : float;
+  delay_s : float;
+  task_fail_p : float;  (** per MapReduce job transient task failure *)
+}
+
+val default_chaos : chaos
+
+val chaos_plan : chaos -> engine:string -> nodes:int -> Gb_fault.Fault.plan
+(** The fault plan a chaos grid arms for one (engine, node count) cell
+    group: [fault_seed] perturbed by a hash of the pair, so placements
+    differ across the grid but are a pure function of the config. *)
+
+val chaos_engines : chaos -> nodes:int -> Engine.t list
+(** {!multi_node_engines} with each engine armed with its chaos plan. *)
+
+val chaos_cells : ?chaos:chaos -> config -> cell list
+(** The {!multi_node_cells} grid under fault injection: 5 systems x 5
+    queries x {1,2,4} nodes, largest configured size. Cells complete
+    ([Completed] when no fault landed, [Degraded] when recovery absorbed
+    some), or fail in isolation ([Timed_out] / [Out_of_memory] /
+    [Errored]) — never by raising. *)
+
+val availability : cell list -> string
+(** Per-engine summary table of a (chaos) grid: completed / degraded /
+    failed cell counts, availability percentage, and aggregate recovery
+    work (retries, node recoveries, speculative re-executions, wasted
+    simulated seconds). *)
+
 (** {1 Rendering} — turn cells into the paper's figures. *)
 
 val fig1 : cell list -> string list
@@ -62,4 +99,6 @@ val table1 : cell list -> string
 
 val to_csv : cell list -> string
 (** Machine-readable dump of a cell grid: one line per cell with engine,
-    nodes, query, size, status and the phase timings. *)
+    nodes, query, size, status, the phase timings, and the recovery
+    counters (retries, recovered_nodes, speculative, wasted_s — zeros for
+    clean completions, blank for cells with no timing). *)

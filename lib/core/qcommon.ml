@@ -100,3 +100,31 @@ let enrichment_of ~n_genes ~go_pairs ~go_terms ~p_threshold ~scores =
       !results
   in
   Engine.Enrichment sorted
+
+(* --- recovery accounting shared by the fault-tolerant engines --- *)
+
+let cluster_recovery cluster =
+  let s = Gb_cluster.Cluster.stats cluster in
+  {
+    Engine.retries =
+      s.Gb_cluster.Cluster.oom_retries + s.Gb_cluster.Cluster.messages_dropped;
+    recovered_nodes = s.Gb_cluster.Cluster.crashes_recovered;
+    speculative = s.Gb_cluster.Cluster.speculative_restarts;
+    wasted_s = s.Gb_cluster.Cluster.wasted_seconds;
+  }
+
+let mr_recovery mr =
+  {
+    Engine.retries = Gb_mapreduce.Mr.task_retries mr;
+    recovered_nodes = 0;
+    speculative = 0;
+    wasted_s = Gb_mapreduce.Mr.wasted_seconds mr;
+  }
+
+let arm_cluster cluster = function
+  | None -> ()
+  | Some plan ->
+    Gb_cluster.Cluster.set_fault_plan cluster plan;
+    (* Crash recovery is only interesting with something to restore from:
+       checkpoint every 4 supersteps, 64 KiB of state per node. *)
+    Gb_cluster.Cluster.set_checkpoint cluster ~every:4 ~bytes_per_node:65536

@@ -28,3 +28,16 @@ val enrichment_of :
   Engine.payload
 (** Rank [scores], Wilcoxon rank-sum per GO term, keep significant terms
     ascending by p-value. *)
+
+val cluster_recovery : Gb_cluster.Cluster.t -> Engine.recovery
+(** The cluster's absorbed faults as degraded-completion metadata
+    ({!Engine.no_recovery} when the run was clean). *)
+
+val mr_recovery : Gb_mapreduce.Mr.t -> Engine.recovery
+(** Likewise for the MapReduce runtime's task retries. *)
+
+val arm_cluster : Gb_cluster.Cluster.t -> Gb_fault.Fault.plan option -> unit
+(** Arm an optional fault plan on a freshly created cluster, enabling
+    periodic superstep checkpointing alongside it (every 4 supersteps,
+    64 KiB per node) so injected crashes exercise restore-from-checkpoint
+    rather than full re-execution. No-op on [None]. *)

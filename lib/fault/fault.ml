@@ -1,0 +1,112 @@
+module Prng = Gb_util.Prng
+
+type event =
+  | Node_crash of { node : int; superstep : int }
+  | Straggler of { node : int; superstep : int; factor : float }
+  | Transient_oom of { node : int; superstep : int; failures : int }
+  | Message_drop of { op : int }
+  | Message_delay of { op : int; seconds : float }
+  | Task_fail of { job : int; failures : int }
+
+type plan = { seed : int64; events : event list }
+
+exception Injected_oom of string
+exception Node_lost of string
+
+let empty = { seed = 0L; events = [] }
+let is_empty p = p.events = []
+let of_events ?(seed = 0L) events = { seed; events }
+
+let scatter ~seed ~nodes ~supersteps ?(crash_p = 0.) ?(straggler_p = 0.)
+    ?(straggler_factor = 4.) ?(oom_p = 0.) ?(comm_ops = 0) ?(drop_p = 0.)
+    ?(delay_p = 0.) ?(delay_s = 0.05) ?(jobs = 0) ?(task_fail_p = 0.) () =
+  if nodes < 1 then invalid_arg "Fault.scatter: nodes";
+  let g = Prng.create seed in
+  let events = ref [] in
+  let add e = events := e :: !events in
+  (* One uniform draw per grid cell keeps the plan independent of which
+     probabilities are zero, so enabling one fault class does not reshuffle
+     the others. At most one compute fault per (node, superstep). *)
+  for superstep = 0 to supersteps - 1 do
+    for node = 0 to nodes - 1 do
+      let u = Prng.uniform g in
+      if u < crash_p then add (Node_crash { node; superstep })
+      else if u < crash_p +. straggler_p then
+        add (Straggler { node; superstep; factor = straggler_factor })
+      else if u < crash_p +. straggler_p +. oom_p then
+        add (Transient_oom { node; superstep; failures = 1 })
+    done
+  done;
+  for op = 0 to comm_ops - 1 do
+    let u = Prng.uniform g in
+    if u < drop_p then add (Message_drop { op })
+    else if u < drop_p +. delay_p then
+      add (Message_delay { op; seconds = delay_s })
+  done;
+  for job = 0 to jobs - 1 do
+    if Prng.uniform g < task_fail_p then add (Task_fail { job; failures = 1 })
+  done;
+  { seed; events = List.rev !events }
+
+let crash_at p ~node ~superstep =
+  List.exists
+    (function
+      | Node_crash c -> c.node = node && c.superstep = superstep
+      | _ -> false)
+    p.events
+
+let slowdown p ~node ~superstep =
+  List.fold_left
+    (fun acc -> function
+      | Straggler s when s.node = node && s.superstep = superstep ->
+        acc *. s.factor
+      | _ -> acc)
+    1. p.events
+
+let oom_failures p ~node ~superstep =
+  List.fold_left
+    (fun acc -> function
+      | Transient_oom o when o.node = node && o.superstep = superstep ->
+        acc + o.failures
+      | _ -> acc)
+    0 p.events
+
+let dropped p ~op =
+  List.exists (function Message_drop d -> d.op = op | _ -> false) p.events
+
+let delay p ~op =
+  List.fold_left
+    (fun acc -> function
+      | Message_delay d when d.op = op -> acc +. d.seconds
+      | _ -> acc)
+    0. p.events
+
+let task_failures p ~job =
+  List.fold_left
+    (fun acc -> function
+      | Task_fail f when f.job = job -> acc + f.failures
+      | _ -> acc)
+    0 p.events
+
+let rng p = Prng.create (Int64.logxor p.seed 0x9E3779B97F4A7C15L)
+
+let pp_event fmt = function
+  | Node_crash c ->
+    Format.fprintf fmt "crash(node=%d,step=%d)" c.node c.superstep
+  | Straggler s ->
+    Format.fprintf fmt "straggler(node=%d,step=%d,x%.1f)" s.node s.superstep
+      s.factor
+  | Transient_oom o ->
+    Format.fprintf fmt "oom(node=%d,step=%d,fails=%d)" o.node o.superstep
+      o.failures
+  | Message_drop d -> Format.fprintf fmt "drop(op=%d)" d.op
+  | Message_delay d ->
+    Format.fprintf fmt "delay(op=%d,%.3fs)" d.op d.seconds
+  | Task_fail f -> Format.fprintf fmt "task-fail(job=%d,fails=%d)" f.job f.failures
+
+let pp fmt p =
+  Format.fprintf fmt "plan[seed=%Ld;%a]" p.seed
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       pp_event)
+    p.events

@@ -1,0 +1,82 @@
+(** Deterministic, seedable fault plans for the simulated cluster and the
+    MapReduce runtime.
+
+    A plan is a fixed set of injection points — node crashes at a given
+    superstep, straggler slowdowns, transient per-node memory-allocation
+    failures, dropped or delayed messages, failed MapReduce task attempts
+    — either listed explicitly ({!of_events}) or scattered pseudo-randomly
+    from a seed ({!scatter}). The same plan always injects the same faults
+    at the same points, so a faulty run can be replayed bit-for-bit. *)
+
+type event =
+  | Node_crash of { node : int; superstep : int }
+      (** The node is lost at the start of [superstep] and never rejoins;
+          its work moves to survivors. *)
+  | Straggler of { node : int; superstep : int; factor : float }
+      (** The node's compute in that superstep runs [factor] times slower
+          (degraded disk / background load). *)
+  | Transient_oom of { node : int; superstep : int; failures : int }
+      (** The node's task in that superstep fails [failures] times with a
+          memory-allocation error before succeeding on a retry. *)
+  | Message_drop of { op : int }
+      (** The [op]-th communication operation loses its payload and must
+          be retransmitted after a timeout. *)
+  | Message_delay of { op : int; seconds : float }
+      (** The [op]-th communication operation is delayed by [seconds]. *)
+  | Task_fail of { job : int; failures : int }
+      (** The [job]-th MapReduce job has a task attempt fail [failures]
+          times (each re-attempt re-runs the work). *)
+
+type plan = { seed : int64; events : event list }
+
+exception Injected_oom of string
+(** Raised when injected memory failures outlast the retry budget —
+    mapped by the harness to an out-of-memory ("infinite") outcome. *)
+
+exception Node_lost of string
+(** Raised when a fault cannot be recovered from (e.g. every node in the
+    cluster has crashed) — mapped by the harness to an errored outcome. *)
+
+val empty : plan
+val is_empty : plan -> bool
+
+val of_events : ?seed:int64 -> event list -> plan
+
+val scatter :
+  seed:int64 ->
+  nodes:int ->
+  supersteps:int ->
+  ?crash_p:float ->
+  ?straggler_p:float ->
+  ?straggler_factor:float ->
+  ?oom_p:float ->
+  ?comm_ops:int ->
+  ?drop_p:float ->
+  ?delay_p:float ->
+  ?delay_s:float ->
+  ?jobs:int ->
+  ?task_fail_p:float ->
+  unit ->
+  plan
+(** Scatter faults over a [nodes] x [supersteps] grid (plus [comm_ops]
+    communication operations and [jobs] MapReduce jobs) with the given
+    per-cell probabilities. Fully determined by [seed]; all probabilities
+    default to [0.]. *)
+
+(** {1 Plan queries} — all pure; the executors consult these at each
+    injection point. *)
+
+val crash_at : plan -> node:int -> superstep:int -> bool
+val slowdown : plan -> node:int -> superstep:int -> float
+(** Product of straggler factors for that cell; [1.] when none. *)
+
+val oom_failures : plan -> node:int -> superstep:int -> int
+val dropped : plan -> op:int -> bool
+val delay : plan -> op:int -> float
+val task_failures : plan -> job:int -> int
+
+val rng : plan -> Gb_util.Prng.t
+(** A fresh generator derived from the plan seed — used for backoff
+    jitter so that replaying a plan reproduces the same schedule. *)
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,41 @@
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  multiplier : float;
+  max_delay_s : float;
+  jitter : float;
+}
+
+let default =
+  {
+    max_attempts = 4;
+    base_delay_s = 0.05;
+    multiplier = 2.;
+    max_delay_s = 2.;
+    jitter = 0.25;
+  }
+
+let delay_for policy ~rng ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay_for: attempt";
+  let d =
+    Float.min policy.max_delay_s
+      (policy.base_delay_s
+      *. (policy.multiplier ** float_of_int (attempt - 1)))
+  in
+  d *. (1. +. (policy.jitter *. Gb_util.Prng.uniform rng))
+
+type 'a outcome = { value : 'a; attempts : int; backoff_s : float }
+
+let run ?(policy = default) ~rng ~charge
+    ?(retry_on = function Gb_util.Deadline.Timeout -> false | _ -> true) f =
+  let backoff = ref 0. in
+  let rec go attempt =
+    match f ~attempt with
+    | value -> { value; attempts = attempt; backoff_s = !backoff }
+    | exception e when attempt < policy.max_attempts && retry_on e ->
+      let d = delay_for policy ~rng ~attempt in
+      backoff := !backoff +. d;
+      charge d;
+      go (attempt + 1)
+  in
+  go 1

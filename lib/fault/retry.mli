@@ -1,0 +1,41 @@
+(** Bounded retries with exponential backoff.
+
+    Backoff delays are not slept: they are *charged* through a caller-
+    supplied [charge] function, normally [Cluster.advance] or
+    [Clock.Sim.advance], so waiting consumes simulated seconds. Because
+    charging advances the simulated clock, a deadline armed on that clock
+    fires during backoff — retrying is deadline-aware for free. Jitter is
+    drawn from an explicit PRNG so a schedule replays identically from a
+    seed. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_delay_s : float;  (** delay before the first retry *)
+  multiplier : float;  (** exponential growth per failure *)
+  max_delay_s : float;  (** cap on the un-jittered delay *)
+  jitter : float;  (** uniform extra delay, as a fraction of the delay *)
+}
+
+val default : policy
+(** 4 attempts, 50 ms base, doubling, 2 s cap, 25% jitter. *)
+
+val delay_for : policy -> rng:Gb_util.Prng.t -> attempt:int -> float
+(** Backoff before the retry that follows the [attempt]-th failure
+    (1-based): [base * multiplier^(attempt-1)], capped at [max_delay_s],
+    plus jitter. The result is in
+    [[d, d * (1 + jitter))] where [d] is the capped deterministic part. *)
+
+type 'a outcome = { value : 'a; attempts : int; backoff_s : float }
+
+val run :
+  ?policy:policy ->
+  rng:Gb_util.Prng.t ->
+  charge:(float -> unit) ->
+  ?retry_on:(exn -> bool) ->
+  (attempt:int -> 'a) ->
+  'a outcome
+(** [run ~rng ~charge f] calls [f ~attempt:1]; on an exception for which
+    [retry_on] holds (default: everything except
+    [Gb_util.Deadline.Timeout]), charges the backoff delay and tries
+    again, up to [policy.max_attempts] attempts, then re-raises the last
+    exception. *)

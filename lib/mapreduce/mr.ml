@@ -1,5 +1,6 @@
 module Sim = Gb_util.Clock.Sim
 module Stopwatch = Gb_util.Clock.Stopwatch
+module Fault = Gb_fault.Fault
 
 type t = {
   clock : Sim.t;
@@ -9,12 +10,17 @@ type t = {
   shuffle_bps : float;
   mutable jobs : int;
   mutable deadline : float;
+  mutable plan : Fault.plan;
+  mutable max_task_attempts : int;
+  mutable task_retries : int;
+  mutable wasted_seconds : float;
 }
 
 exception Timeout
+exception Job_failed of string
 
 let create ?(job_overhead_s = 0.15) ?(nodes = 1) ?(parallel_efficiency = 0.75)
-    ?(shuffle_bps = 1e9) () =
+    ?(shuffle_bps = 1e9) ?(max_task_attempts = 4) () =
   {
     clock = Sim.create ();
     job_overhead_s;
@@ -23,6 +29,10 @@ let create ?(job_overhead_s = 0.15) ?(nodes = 1) ?(parallel_efficiency = 0.75)
     shuffle_bps;
     jobs = 0;
     deadline = infinity;
+    plan = Fault.empty;
+    max_task_attempts;
+    task_retries = 0;
+    wasted_seconds = 0.;
   }
 
 let compute_speedup t =
@@ -33,6 +43,27 @@ let check_deadline t = if Sim.now t.clock > t.deadline then raise Timeout
 
 let elapsed t = Sim.now t.clock
 let jobs_run t = t.jobs
+let set_fault_plan t plan = t.plan <- plan
+let task_retries t = t.task_retries
+let wasted_seconds t = t.wasted_seconds
+
+(* Hadoop-style task retry: a failed attempt throws its work away and is
+   rescheduled (paying the launch overhead again); past
+   [max_task_attempts] failures the whole job aborts, as the JobTracker
+   would. [dt] is the job's simulated compute time for one attempt. *)
+let charge_task_faults t ~job ~name ~dt =
+  let failures = Fault.task_failures t.plan ~job in
+  if failures > 0 then begin
+    if failures >= t.max_task_attempts then
+      raise
+        (Job_failed
+           (Printf.sprintf "%s: task failed %d times (max attempts %d)" name
+              failures t.max_task_attempts));
+    let redone = float_of_int failures *. (dt +. t.job_overhead_s) in
+    t.task_retries <- t.task_retries + failures;
+    t.wasted_seconds <- t.wasted_seconds +. redone;
+    Sim.advance t.clock redone
+  end
 
 (* The shuffle writes the intermediate key/value stream out as tab-
    separated text and reads it back, exactly as data hits HDFS between the
@@ -69,9 +100,9 @@ let shuffle pairs =
   (List.map (fun k -> (k, List.rev (Hashtbl.find groups k))) keys, shuffled_bytes)
 
 let run_job t ~name ?combiner ~mapper ~reducer inputs =
-  ignore name;
   check_deadline t;
-  t.jobs <- t.jobs + 1;
+  let job = t.jobs in
+  t.jobs <- job + 1;
   Sim.advance t.clock t.job_overhead_s;
   let (out, shuffled_bytes), dt =
     Stopwatch.time (fun () ->
@@ -102,7 +133,9 @@ let run_job t ~name ?combiner ~mapper ~reducer inputs =
         let grouped, bytes = shuffle pairs in
         (List.concat_map (fun (k, vs) -> reducer k vs) grouped, bytes))
   in
-  Sim.advance t.clock (dt /. compute_speedup t);
+  let dt = dt /. compute_speedup t in
+  Sim.advance t.clock dt;
+  charge_task_faults t ~job ~name ~dt;
   if t.nodes > 1 then begin
     (* Cross-node fraction of the shuffle goes over the wire. *)
     let n = float_of_int t.nodes in
@@ -111,38 +144,35 @@ let run_job t ~name ?combiner ~mapper ~reducer inputs =
   end;
   out
 
-let map_only t ~name ~mapper inputs =
-  ignore name;
+let text_job t ~name f inputs =
   check_deadline t;
-  t.jobs <- t.jobs + 1;
+  let job = t.jobs in
+  t.jobs <- job + 1;
   Sim.advance t.clock t.job_overhead_s;
-  Sim.run_scaled t.clock ~speedup:(compute_speedup t) (fun () ->
-      let out = List.concat_map mapper inputs in
-      (* Materialize as text, as the job's output would be written. *)
-      let buf = Buffer.create 4096 in
-      List.iter
-        (fun line ->
-          Buffer.add_string buf line;
-          Buffer.add_char buf '\n')
-        out;
-      String.split_on_char '\n' (Buffer.contents buf)
-      |> List.filter (fun l -> l <> ""))
+  let out, dt =
+    Stopwatch.time (fun () ->
+        let out = f inputs in
+        (* Materialize as text, as the job's output would be written. *)
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun line ->
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n')
+          out;
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun l -> l <> ""))
+  in
+  let dt = dt /. compute_speedup t in
+  Sim.advance t.clock dt;
+  charge_task_faults t ~job ~name ~dt;
+  out
+
+let map_only t ~name ~mapper inputs =
+  text_job t ~name (fun inputs -> List.concat_map mapper inputs) inputs
 
 let set_deadline t d = t.deadline <- d
 
 let run_combine t ~name ~init ~fold ~emit inputs =
-  ignore name;
-  check_deadline t;
-  t.jobs <- t.jobs + 1;
-  Sim.advance t.clock t.job_overhead_s;
-  Sim.run_scaled t.clock ~speedup:(compute_speedup t) (fun () ->
-      let acc = List.fold_left fold init inputs in
-      let out = emit acc in
-      let buf = Buffer.create 4096 in
-      List.iter
-        (fun line ->
-          Buffer.add_string buf line;
-          Buffer.add_char buf '\n')
-        out;
-      String.split_on_char '\n' (Buffer.contents buf)
-      |> List.filter (fun l -> l <> ""))
+  text_job t ~name
+    (fun inputs -> emit (List.fold_left fold init inputs))
+    inputs

@@ -14,6 +14,7 @@ val create :
   ?nodes:int ->
   ?parallel_efficiency:float ->
   ?shuffle_bps:float ->
+  ?max_task_attempts:int ->
   unit ->
   t
 (** Default overhead 0.15 s per job (scaled to this reproduction's
@@ -21,7 +22,8 @@ val create :
     job latency). With [nodes > 1], measured map/reduce compute is divided
     by [nodes * parallel_efficiency] (default 0.75 — Hadoop never scales
     linearly) and the cross-node share of each job's shuffle is charged at
-    [shuffle_bps] per node. *)
+    [shuffle_bps] per node. [max_task_attempts] (default 4, Hadoop's
+    [mapreduce.map.maxattempts]) bounds injected task retries. *)
 
 val elapsed : t -> float
 (** Simulated seconds consumed so far (overhead + measured compute). *)
@@ -63,4 +65,22 @@ exception Timeout
 val set_deadline : t -> float -> unit
 (** Abort (raise {!Timeout}) when a job starts after the simulated clock
     passes this many seconds — the benchmark's cut-off for runaway
-    computations. *)
+    computations. Simulated-clock semantics, like [Cluster.set_deadline]
+    (and unlike the wall-clock [Gb_util.Deadline]): charged overheads and
+    retries count against the window even when no wall time passes. *)
+
+(** {1 Fault injection} *)
+
+exception Job_failed of string
+(** A job whose injected task failures outlast [max_task_attempts] — the
+    JobTracker gives up on the job. *)
+
+val set_fault_plan : t -> Gb_fault.Fault.plan -> unit
+(** Arm a deterministic fault plan; [Task_fail] events are consulted by
+    job index. A failed task attempt re-runs the job's compute (plus the
+    launch overhead) on the simulated clock — Hadoop-style task retry —
+    and is reported through {!task_retries} / {!wasted_seconds}. *)
+
+val task_retries : t -> int
+val wasted_seconds : t -> float
+(** Simulated seconds consumed by re-executed task attempts. *)

@@ -1,5 +1,13 @@
 exception Timeout
 
+module type S = sig
+  type t
+
+  val expired : t -> bool
+  val check : t -> unit
+  val remaining : t -> float
+end
+
 type t = float (* absolute wall time *)
 
 let start ~seconds = Unix.gettimeofday () +. seconds
@@ -7,3 +15,14 @@ let unlimited () = infinity
 let expired t = Unix.gettimeofday () > t
 let check t = if expired t then raise Timeout
 let remaining t = t -. Unix.gettimeofday ()
+
+module Sim = struct
+  type t = { clock : Clock.Sim.t; at : float }
+
+  let at ~clock ~time = { clock; at = time }
+  let start ~clock ~seconds = { clock; at = Clock.Sim.now clock +. seconds }
+  let unlimited ~clock = { clock; at = infinity }
+  let expired t = Clock.Sim.now t.clock > t.at
+  let check t = if expired t then raise Timeout
+  let remaining t = t.at -. Clock.Sim.now t.clock
+end

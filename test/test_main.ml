@@ -19,6 +19,7 @@ let () =
       ("sparse", Test_sparse.suite);
       ("mapreduce", Test_mapreduce.suite);
       ("cluster", Test_cluster.suite);
+      ("fault", Test_fault.suite);
       ("coproc", Test_coproc.suite);
       ("relops", Test_relops.suite);
       ("core", Test_core.suite);
