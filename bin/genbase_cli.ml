@@ -385,6 +385,95 @@ let chaos_cmd =
       const run $ size_arg $ seed_arg $ out $ timeout $ fault_seed $ crash
       $ straggler $ oom $ drop $ task_fail)
 
+(* --- conformance --- *)
+
+let conformance_cmd =
+  let module M = Gb_conformance.Matrix in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Preset for CI: small data, 3 seeds, short timeout, fuzzed \
+             parameters, 2-node chaos check.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of data-set seeds (derived from --seed).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 60.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-cell cut-off window.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"CSV file for the raw conformance cells (the CI artifact).")
+  in
+  let no_fuzz =
+    Arg.(
+      value & flag
+      & info [ "no-fuzz" ]
+          ~doc:"Run the paper's default query parameters on every seed.")
+  in
+  let no_chaos =
+    Arg.(
+      value & flag
+      & info [ "no-chaos" ]
+          ~doc:
+            "Skip the fault-injection conformance grid (degraded runs \
+             checked against fault-free ones).")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt (list int) [ 2 ]
+      & info [ "nodes" ] ~docv:"NODES"
+          ~doc:"Node counts for the chaos conformance grid.")
+  in
+  let run size seed quick seeds timeout out no_fuzz no_chaos nodes =
+    let timeout = if quick then 30. else timeout in
+    let config =
+      {
+        M.spec = Spec.of_size (if quick then Spec.Small else size);
+        seeds = M.seeds_from ~base:seed (max 1 seeds);
+        timeout_s = timeout;
+        fuzz = not no_fuzz;
+        progress = Some (fun s -> Printf.eprintf "%s\n%!" s);
+      }
+    in
+    let cells = M.differential config in
+    let chaos_cells =
+      if no_chaos then [] else M.chaos_conformance ~node_counts:nodes config
+    in
+    let all = cells @ chaos_cells in
+    print_endline (M.render all);
+    print_string (M.summary all);
+    (match out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (M.to_csv all);
+      close_out oc;
+      Printf.printf "wrote %d cells to %s\n" (List.length all) file);
+    if not (M.conforming all) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Check every engine's answers against the Vanilla R reference \
+          (differential + fault-injected grids); exit 1 on any mismatch.")
+    Term.(
+      const run $ size_arg $ seed_arg $ quick $ seeds $ timeout $ out $ no_fuzz
+      $ no_chaos $ nodes)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -419,6 +508,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; run_cmd; suite_cmd; chaos_cmd; explain_cmd;
-            seqgen_cmd; list_cmd;
+            generate_cmd; run_cmd; suite_cmd; chaos_cmd; conformance_cmd;
+            explain_cmd; seqgen_cmd; list_cmd;
           ]))

@@ -1,0 +1,339 @@
+module Engine = Genbase.Engine
+
+type tol = {
+  rel_eps : float;
+  cov_eps : float;
+  spectral_eps : float;
+  spectral_top : int;
+  overlap_min : float;
+  p_eps : float;
+}
+
+let strict =
+  {
+    rel_eps = 1e-8;
+    cov_eps = 1e-8;
+    spectral_eps = 1e-8;
+    spectral_top = 0;
+    overlap_min = 0.999;
+    p_eps = 1e-8;
+  }
+
+let numeric =
+  {
+    rel_eps = 1e-5;
+    cov_eps = 1e-5;
+    spectral_eps = 1e-5;
+    spectral_top = 0;
+    overlap_min = 0.95;
+    p_eps = 1e-6;
+  }
+
+let approximate = { numeric with spectral_eps = 0.05; spectral_top = 1 }
+
+type verdict =
+  | Equivalent of float
+  | Divergent of { divergence : float; detail : string }
+  | Incomparable of string
+
+let equivalent = function Equivalent _ -> true | _ -> false
+
+let divergence = function
+  | Equivalent d -> d
+  | Divergent { divergence; _ } -> divergence
+  | Incomparable _ -> infinity
+
+(* A verdict accumulator: collect the max divergence seen so far, flip to
+   Divergent on the first check that exceeds its budget. *)
+type acc = { mutable max_d : float; mutable failed : (float * string) option }
+
+let fresh () = { max_d = 0.; failed = None }
+
+let record acc d ~limit detail =
+  acc.max_d <- Float.max acc.max_d d;
+  if (not (d <= limit)) && acc.failed = None then
+    (* [not (<=)] also trips on NaN divergence. *)
+    acc.failed <- Some (d, detail ())
+
+let fail acc detail = record acc infinity ~limit:0. detail
+
+let close acc =
+  match acc.failed with
+  | None -> Equivalent acc.max_d
+  | Some (d, detail) ->
+    Divergent { divergence = Float.max d acc.max_d; detail }
+
+let rel_diff a b =
+  if Float.is_nan a || Float.is_nan b then
+    if Float.is_nan a && Float.is_nan b then 0. else infinity
+  else Float.abs (a -. b) /. Float.max 1. (Float.abs a)
+
+(* --- regression --- *)
+
+let compare_regression tol (a : Engine.payload) (b : Engine.payload) =
+  match (a, b) with
+  | ( Engine.Regression ra,
+      Engine.Regression rb ) ->
+    let acc = fresh () in
+    if Array.length ra.coefficients <> Array.length rb.coefficients then
+      fail acc (fun () ->
+          Printf.sprintf "coefficient count %d vs %d"
+            (Array.length ra.coefficients)
+            (Array.length rb.coefficients))
+    else begin
+      record acc
+        (rel_diff ra.intercept rb.intercept)
+        ~limit:tol.rel_eps
+        (fun () ->
+          Printf.sprintf "intercept %.9g vs %.9g" ra.intercept rb.intercept);
+      Array.iteri
+        (fun i c ->
+          record acc
+            (rel_diff c rb.coefficients.(i))
+            ~limit:tol.rel_eps
+            (fun () ->
+              Printf.sprintf "coefficient %d: %.9g vs %.9g" i c
+                rb.coefficients.(i)))
+        ra.coefficients;
+      (* Some engines (Mahout) legitimately do not report R²; skip the
+         check when either side is NaN. *)
+      if not (Float.is_nan ra.r2 || Float.is_nan rb.r2) then
+        record acc (rel_diff ra.r2 rb.r2) ~limit:tol.rel_eps (fun () ->
+            Printf.sprintf "R² %.9g vs %.9g" ra.r2 rb.r2)
+    end;
+    close acc
+  | _ -> assert false
+
+(* --- covariance top pairs --- *)
+
+let pair_key (a, b, _) = if a <= b then (a, b) else (b, a)
+
+let compare_cov tol a b =
+  match (a, b) with
+  | Engine.Cov_pairs ca, Engine.Cov_pairs cb ->
+    let acc = fresh () in
+    if ca.n_genes <> cb.n_genes then
+      fail acc (fun () ->
+          Printf.sprintf "gene universe %d vs %d" ca.n_genes cb.n_genes)
+    else begin
+      let index pairs =
+        let t = Hashtbl.create (List.length pairs) in
+        List.iter (fun p -> Hashtbl.replace t (pair_key p) p) pairs;
+        t
+      in
+      let ta = index ca.top_pairs and tb = index cb.top_pairs in
+      let min_abs pairs =
+        List.fold_left
+          (fun m (_, _, v) -> Float.min m (Float.abs v))
+          infinity pairs
+      in
+      (* A pair present on one side only is forgiven when its score sits
+         within the tolerance of the other side's selection cutoff: the
+         top-fraction boundary can legitimately flip on near-ties. *)
+      let orphan key (_, _, v) other_cutoff =
+        let d = rel_diff (Float.abs v) other_cutoff in
+        record acc d ~limit:tol.cov_eps (fun () ->
+            Printf.sprintf
+              "pair (%d,%d) score %.9g on one side only (cutoff %.9g)"
+              (fst key) (snd key) v other_cutoff)
+      in
+      let cutoff_a = min_abs ca.top_pairs and cutoff_b = min_abs cb.top_pairs in
+      Hashtbl.iter
+        (fun key p ->
+          match Hashtbl.find_opt tb key with
+          | None -> orphan key p cutoff_b
+          | Some (_, _, vb) ->
+            let _, _, va = p in
+            record acc (rel_diff va vb) ~limit:tol.cov_eps (fun () ->
+                Printf.sprintf "pair (%d,%d) score %.9g vs %.9g" (fst key)
+                  (snd key) va vb))
+        ta;
+      Hashtbl.iter
+        (fun key p ->
+          if not (Hashtbl.mem ta key) then orphan key p cutoff_a)
+        tb
+    end;
+    close acc
+  | _ -> assert false
+
+(* --- singular values --- *)
+
+let compare_spectrum tol a b =
+  match (a, b) with
+  | Engine.Singular_values sa, Engine.Singular_values sb ->
+    let acc = fresh () in
+    let la = Array.length sa and lb = Array.length sb in
+    let n =
+      if tol.spectral_top > 0 then min tol.spectral_top (min la lb)
+      else if la <> lb then begin
+        fail acc (fun () -> Printf.sprintf "spectrum length %d vs %d" la lb);
+        0
+      end
+      else la
+    in
+    let scale = if la > 0 then Float.max 1e-12 (Float.abs sa.(0)) else 1. in
+    for i = 0 to n - 1 do
+      let d = Float.abs (sa.(i) -. sb.(i)) /. scale in
+      record acc d ~limit:tol.spectral_eps (fun () ->
+          Printf.sprintf "singular value %d: %.9g vs %.9g" i sa.(i) sb.(i))
+    done;
+    close acc
+  | _ -> assert false
+
+(* --- biclusters --- *)
+
+let jaccard a b =
+  let sa = Hashtbl.create (Array.length a) in
+  Array.iter (fun x -> Hashtbl.replace sa x ()) a;
+  let inter = ref 0 in
+  let sb = Hashtbl.create (Array.length b) in
+  Array.iter
+    (fun x ->
+      if not (Hashtbl.mem sb x) then begin
+        Hashtbl.replace sb x ();
+        if Hashtbl.mem sa x then incr inter
+      end)
+    b;
+  let union = Hashtbl.length sa + Hashtbl.length sb - !inter in
+  if union = 0 then 1. else float_of_int !inter /. float_of_int union
+
+let cluster_overlap (r1, c1, _) (r2, c2, _) =
+  0.5 *. (jaccard r1 r2 +. jaccard c1 c2)
+
+let compare_biclusters tol a b =
+  match (a, b) with
+  | Engine.Biclusters ba, Engine.Biclusters bb ->
+    let acc = fresh () in
+    let na = List.length ba.clusters and nb = List.length bb.clusters in
+    if na <> nb then
+      fail acc (fun () -> Printf.sprintf "cluster count %d vs %d" na nb)
+    else begin
+      (* Greedy best assignment: clusters may come out in a different
+         order, so each reference cluster claims its best unmatched
+         counterpart by row/column overlap. *)
+      let remaining = ref bb.clusters in
+      List.iteri
+        (fun i ca ->
+          match
+            List.fold_left
+              (fun best cb ->
+                let o = cluster_overlap ca cb in
+                match best with
+                | Some (bo, _) when bo >= o -> best
+                | _ -> Some (o, cb))
+              None !remaining
+          with
+          | None -> ()
+          | Some (o, cb) ->
+            remaining := List.filter (fun c -> c != cb) !remaining;
+            record acc (1. -. o)
+              ~limit:(1. -. tol.overlap_min)
+              (fun () ->
+                Printf.sprintf "cluster %d best overlap %.3f < %.3f" i o
+                  tol.overlap_min);
+            let _, _, ma = ca and _, _, mb = cb in
+            record acc (rel_diff ma mb) ~limit:tol.rel_eps (fun () ->
+                Printf.sprintf "cluster %d MSR %.9g vs %.9g" i ma mb))
+        ba.clusters
+    end;
+    close acc
+  | _ -> assert false
+
+(* --- enrichment --- *)
+
+let compare_enrichment tol p_threshold a b =
+  match (a, b) with
+  | Engine.Enrichment ea, Engine.Enrichment eb ->
+    let acc = fresh () in
+    let index l =
+      let t = Hashtbl.create (List.length l) in
+      List.iter (fun (go, p) -> Hashtbl.replace t go p) l;
+      t
+    in
+    let ta = index ea and tb = index eb in
+    (* A term one side deems significant and the other does not is
+       forgiven only when its p-value sits within the tolerance of the
+       cutoff (a near-threshold flip). *)
+    let orphan go p =
+      let d =
+        match p_threshold with
+        | Some thr -> Float.abs (p -. thr)
+        | None -> infinity
+      in
+      record acc d ~limit:tol.p_eps (fun () ->
+          Printf.sprintf "GO %d (p=%.3e) significant on one side only" go p)
+    in
+    Hashtbl.iter
+      (fun go pa ->
+        match Hashtbl.find_opt tb go with
+        | None -> orphan go pa
+        | Some pb ->
+          record acc (Float.abs (pa -. pb)) ~limit:tol.p_eps (fun () ->
+              Printf.sprintf "GO %d p %.9e vs %.9e" go pa pb))
+      ta;
+    Hashtbl.iter (fun go pb -> if not (Hashtbl.mem ta go) then orphan go pb) tb;
+    close acc
+  | _ -> assert false
+
+let compare_payload ?(tol = strict) ?p_threshold ~reference candidate =
+  match (reference, candidate) with
+  | Engine.Regression _, Engine.Regression _ ->
+    compare_regression tol reference candidate
+  | Engine.Cov_pairs _, Engine.Cov_pairs _ -> compare_cov tol reference candidate
+  | Engine.Singular_values _, Engine.Singular_values _ ->
+    compare_spectrum tol reference candidate
+  | Engine.Biclusters _, Engine.Biclusters _ ->
+    compare_biclusters tol reference candidate
+  | Engine.Enrichment _, Engine.Enrichment _ ->
+    compare_enrichment tol p_threshold reference candidate
+  | _ ->
+    Incomparable
+      (Printf.sprintf "payload kind %s vs %s"
+         (Engine.payload_kind reference)
+         (Engine.payload_kind candidate))
+
+(* --- canonical fingerprint --- *)
+
+let fingerprint payload =
+  let buf = Buffer.create 512 in
+  let f x = Buffer.add_string buf (Printf.sprintf "%Lx;" (Int64.bits_of_float x)) in
+  let i x =
+    Buffer.add_string buf (string_of_int x);
+    Buffer.add_char buf ';'
+  in
+  (match payload with
+  | Engine.Regression r ->
+    Buffer.add_string buf "regression:";
+    f r.intercept;
+    Array.iter f r.coefficients;
+    f r.r2
+  | Engine.Cov_pairs c ->
+    Buffer.add_string buf "cov_pairs:";
+    i c.n_genes;
+    List.iter
+      (fun (a, b, v) ->
+        i a;
+        i b;
+        f v)
+      c.top_pairs
+  | Engine.Biclusters b ->
+    Buffer.add_string buf "biclusters:";
+    List.iter
+      (fun (rows, cols, msr) ->
+        Array.iter i rows;
+        Buffer.add_char buf '|';
+        Array.iter i cols;
+        Buffer.add_char buf '|';
+        f msr)
+      b.clusters
+  | Engine.Singular_values s ->
+    Buffer.add_string buf "singular_values:";
+    Array.iter f s
+  | Engine.Enrichment e ->
+    Buffer.add_string buf "enrichment:";
+    List.iter
+      (fun (go, p) ->
+        i go;
+        f p)
+      e);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

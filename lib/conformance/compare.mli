@@ -1,0 +1,69 @@
+(** Tolerance-aware comparators over {!Genbase.Engine.payload}.
+
+    The benchmark's premise is that every system configuration answers the
+    same five queries; the timing figures are only meaningful if the
+    answers agree. Floating-point answers computed through different
+    storage layouts, summation orders and kernels can never be compared
+    bit-for-bit, so each payload kind gets its own notion of equivalence:
+
+    - regression: intercept, coefficients and R² within a relative epsilon
+      (an unreported R² — NaN, as Hadoop's Mahout path returns — is
+      skipped on either side);
+    - covariance top-pairs: order-insensitive set of gene pairs, scores
+      within epsilon, with pairs sitting within epsilon of the selection
+      cutoff forgiven on either side (near-ties at the top-fraction
+      boundary legitimately flip);
+    - singular values: within a spectral epsilon relative to the leading
+      singular value (optionally only the first [spectral_top] values, for
+      power-iteration engines that only resolve the head of the spectrum);
+    - biclusters: matched by greedy best assignment on mean row/column
+      Jaccard overlap, mean squared residue within the relative epsilon;
+    - enrichment: order-insensitive on (go_id, p) with a p-value epsilon;
+      terms within epsilon of the significance threshold are forgiven. *)
+
+type tol = {
+  rel_eps : float;  (** regression intercept/coefficients/R², relative *)
+  cov_eps : float;  (** covariance scores and cutoff slack, relative *)
+  spectral_eps : float;  (** singular values, relative to the leading one *)
+  spectral_top : int;
+      (** compare only the first [n] singular values; [0] compares all and
+          requires equal lengths *)
+  overlap_min : float;  (** minimum mean Jaccard overlap per bicluster *)
+  p_eps : float;  (** enrichment p-values, absolute *)
+}
+
+val strict : tol
+(** For engines sharing the reference kernels: agreement to ~1e-8. *)
+
+val numeric : tol
+(** For engines recomputing the same answer through different kernels
+    (normal equations, MapReduce summation orders): agreement to ~1e-5. *)
+
+val approximate : tol
+(** For genuinely approximate algorithms (MADlib's 8-step power
+    iteration): 5% on the leading singular value only. *)
+
+type verdict =
+  | Equivalent of float  (** max divergence observed, within tolerance *)
+  | Divergent of { divergence : float; detail : string }
+  | Incomparable of string  (** payload kinds differ *)
+
+val equivalent : verdict -> bool
+val divergence : verdict -> float
+(** [infinity] for [Incomparable]. *)
+
+val compare_payload :
+  ?tol:tol ->
+  ?p_threshold:float ->
+  reference:Genbase.Engine.payload ->
+  Genbase.Engine.payload ->
+  verdict
+(** [compare_payload ~reference candidate] under [tol] (default
+    {!strict}). [p_threshold] is the enrichment significance cutoff the
+    query ran with; when given, terms whose p-value sits within [p_eps] of
+    it may appear on one side only without divergence. *)
+
+val fingerprint : Genbase.Engine.payload -> string
+(** Canonical hex digest of a payload, bit-exact on floats (via
+    {!Int64.bits_of_float}); two payloads fingerprint equally iff they are
+    structurally identical. Guards seed-stability across process runs. *)

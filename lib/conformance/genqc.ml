@@ -1,0 +1,57 @@
+module Spec = Gb_datagen.Spec
+module Query = Genbase.Query
+module Gen = QCheck.Gen
+
+let spec_gen =
+  Gen.(
+    int_range 24 60 >>= fun genes ->
+    int_range (2 * genes) 220 >|= fun patients -> Spec.custom ~genes ~patients)
+
+(* Ranges chosen so every draw selects enough rows/columns on the tiny
+   specs above: func_threshold keeps 15–40% of genes (and so fewer
+   columns than patients), disease ids stay in the dense low range, the
+   age cutoff keeps a workable young cohort for biclustering. *)
+let params_gen =
+  Gen.(
+    int_range 150 400 >>= fun func_threshold ->
+    int_range 1 2 >>= fun disease_id ->
+    int_range 38 60 >>= fun max_age ->
+    float_range 0.05 0.20 >>= fun cov_top_fraction ->
+    int_range 5 40 >>= fun svd_k ->
+    float_range 0.05 0.25 >>= fun sample_fraction ->
+    float_range 0.01 0.10 >|= fun p_threshold ->
+    {
+      Query.default_params with
+      Query.func_threshold;
+      disease_id;
+      max_age;
+      cov_top_fraction;
+      svd_k;
+      sample_fraction;
+      p_threshold;
+    })
+
+let seed_gen = Gen.(int_range 1 0x3FFFFFFF >|= Int64.of_int)
+
+let print_params (p : Query.params) =
+  Printf.sprintf
+    "{func<%d; disease=%d; age<%d; gender=%d; top=%.3f; k=%d; sample=%.3f; \
+     p<%.3f}"
+    p.Query.func_threshold p.Query.disease_id p.Query.max_age p.Query.gender
+    p.Query.cov_top_fraction p.Query.svd_k p.Query.sample_fraction
+    p.Query.p_threshold
+
+let print_spec s =
+  Printf.sprintf "%d genes x %d patients" s.Spec.genes s.Spec.patients
+
+let arb_spec = QCheck.make ~print:print_spec spec_gen
+let arb_params = QCheck.make ~print:print_params params_gen
+let arb_seed = QCheck.make ~print:Int64.to_string seed_gen
+
+let params_of_seed seed =
+  (* Fold the seed into a Random.State so a grid cell's fuzzed parameters
+     are a pure function of its seed. *)
+  let lo = Int64.to_int (Int64.logand seed 0x3FFFFFFFL) in
+  let hi = Int64.to_int (Int64.logand (Int64.shift_right_logical seed 30) 0x3FFFFFFFL) in
+  let st = Random.State.make [| lo; hi; 0x9E3779B9 |] in
+  Gen.generate1 ~rand:st params_gen

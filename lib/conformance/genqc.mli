@@ -1,0 +1,32 @@
+(** Seeded qcheck generators for benchmark inputs.
+
+    The conformance grid and the metamorphic property tests fuzz the data
+    set shape ({!Gb_datagen.Spec}) and the query parameters rather than
+    pinning the paper's defaults. Ranges are constrained so every draw is
+    well-posed on small data: selections stay non-empty, regression
+    systems stay overdetermined, and thresholds stay inside the ranges
+    the generator actually plants signal in. *)
+
+val spec_gen : Gb_datagen.Spec.t QCheck.Gen.t
+(** Tiny custom specs (tens of genes, a few hundred patients) with
+    [patients >= 2 * genes] so every derived least-squares system has
+    more rows than columns. *)
+
+val params_gen : Genbase.Query.params QCheck.Gen.t
+(** Fuzzes [func_threshold], [disease_id], [max_age], [cov_top_fraction],
+    [svd_k], [sample_fraction] and [p_threshold] inside safe ranges;
+    [gender] stays at the default (the planted bicluster's cohort). *)
+
+val seed_gen : int64 QCheck.Gen.t
+(** Positive generator seeds. *)
+
+val arb_spec : Gb_datagen.Spec.t QCheck.arbitrary
+val arb_params : Genbase.Query.params QCheck.arbitrary
+val arb_seed : int64 QCheck.arbitrary
+
+val params_of_seed : int64 -> Genbase.Query.params
+(** Deterministic draw from {!params_gen}: the conformance grid derives
+    each non-base seed's parameter set this way, so a grid is a pure
+    function of its seed list. *)
+
+val print_params : Genbase.Query.params -> string

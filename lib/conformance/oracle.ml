@@ -1,0 +1,98 @@
+module Engine = Genbase.Engine
+module Query = Genbase.Query
+
+type classification =
+  | Match of { divergence : float }
+  | Degraded_match of { divergence : float; recovery : Engine.recovery }
+  | Mismatch of { divergence : float; detail : string }
+  | Unsupported_cell
+  | Engine_failed of string
+  | Reference_failed of string
+  | Both_failed of string
+
+let reference = Genbase.Engine_r.engine
+
+let tolerance_for ~engine (q : Query.t) =
+  match (engine, q) with
+  (* MADlib's SVD is an 8-step power iteration: only the head of the
+     spectrum is resolved, to ~5%. *)
+  | "Postgres + Madlib", Query.Q4_svd -> Compare.approximate
+  (* Normal-equations regression (MADlib's streaming aggregate, Mahout's
+     X'X assembly) squares the conditioning; agreement is ~1e-5, not
+     bit-level. *)
+  | "Postgres + Madlib", Query.Q1_regression -> Compare.numeric
+  | "Hadoop", Query.Q1_regression -> Compare.numeric
+  (* SQL / MapReduce covariance re-sums in a different order and its own
+     Lanczos runs mat-vecs through simulated jobs. *)
+  | "Postgres + Madlib", Query.Q2_covariance -> Compare.numeric
+  | "Hadoop", (Query.Q2_covariance | Query.Q4_svd) -> Compare.numeric
+  | "Postgres + Madlib", Query.Q5_statistics -> Compare.numeric
+  (* Cluster engines partition rows across nodes and reduce partial sums
+     in tree order; their distributed Lanczos matches to ~1e-5. *)
+  | ("pbdR" | "SciDB + Xeon Phi" | "Column store + pbdR"), _ -> Compare.numeric
+  | "Column store + UDFs", _ -> Compare.numeric
+  | "SciDB", Query.Q4_svd -> Compare.numeric
+  | _ -> Compare.strict
+
+let whitelisted_unsupported ~engine (q : Query.t) =
+  match (engine, q) with
+  | "Postgres + Madlib", Query.Q3_biclustering -> true
+  | "Hadoop", (Query.Q3_biclustering | Query.Q5_statistics) -> true
+  | _ -> false
+
+let outcome_text o = Format.asprintf "%a" Engine.pp_outcome o
+
+let classify ?(tol = Compare.strict) ?p_threshold ~reference:ref_outcome
+    outcome =
+  match outcome with
+  | Engine.Unsupported -> Unsupported_cell
+  | _ -> (
+    match (Engine.payload_of ref_outcome, Engine.payload_of outcome) with
+    | None, None ->
+      Both_failed
+        (Printf.sprintf "reference: %s / engine: %s" (outcome_text ref_outcome)
+           (outcome_text outcome))
+    | None, Some _ -> Reference_failed (outcome_text ref_outcome)
+    | Some _, None -> Engine_failed (outcome_text outcome)
+    | Some ref_payload, Some payload -> (
+      let verdict =
+        Compare.compare_payload ~tol ?p_threshold ~reference:ref_payload
+          payload
+      in
+      match (verdict, Engine.recovery_of outcome) with
+      | Compare.Equivalent d, None -> Match { divergence = d }
+      | Compare.Equivalent d, Some recovery ->
+        Degraded_match { divergence = d; recovery }
+      | Compare.Divergent { divergence; detail }, _ ->
+        Mismatch { divergence; detail }
+      | Compare.Incomparable detail, _ ->
+        Mismatch { divergence = infinity; detail }))
+
+let is_mismatch = function Mismatch _ -> true | _ -> false
+
+let short_div d = if d = 0. then "0" else Printf.sprintf "%.0e" d
+
+let label = function
+  | Match { divergence } -> "ok " ^ short_div divergence
+  | Degraded_match { divergence; _ } -> "dg " ^ short_div divergence
+  | Mismatch _ -> "MISMATCH"
+  | Unsupported_cell -> "n/s"
+  | Engine_failed _ -> "fail"
+  | Reference_failed _ -> "ref?"
+  | Both_failed _ -> "--"
+
+let describe = function
+  | Match { divergence } ->
+    Printf.sprintf "match (max divergence %.3e)" divergence
+  | Degraded_match { divergence; recovery } ->
+    Printf.sprintf
+      "degraded but equal (max divergence %.3e; retries=%d recovered=%d \
+       speculative=%d wasted=%.3fs)"
+      divergence recovery.Engine.retries recovery.Engine.recovered_nodes
+      recovery.Engine.speculative recovery.Engine.wasted_s
+  | Mismatch { divergence; detail } ->
+    Printf.sprintf "MISMATCH (divergence %.3e): %s" divergence detail
+  | Unsupported_cell -> "unsupported"
+  | Engine_failed s -> "engine failed: " ^ s
+  | Reference_failed s -> "reference failed: " ^ s
+  | Both_failed s -> "both failed: " ^ s

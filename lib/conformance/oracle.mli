@@ -1,0 +1,59 @@
+(** The differential-testing oracle.
+
+    Vanilla R is the golden reference: it is the most direct transcription
+    of the benchmark's mathematical definitions (every phase runs through
+    the shared {!Genbase.Qcommon} kernels on dense in-memory data, with no
+    storage or communication layer in between). Every other engine's
+    payload is checked against it under an (engine, query)-specific
+    tolerance profile, and each grid cell is classified. *)
+
+type classification =
+  | Match of { divergence : float }
+  | Degraded_match of { divergence : float; recovery : Genbase.Engine.recovery }
+      (** the fault-tolerance machinery absorbed injected failures and the
+          answer still agrees with the fault-free reference — the chaos
+          grid's correctness requirement *)
+  | Mismatch of { divergence : float; detail : string }
+  | Unsupported_cell
+      (** the engine reported [Unsupported]; legitimate only where the
+          paper's support matrix says so (see {!whitelisted_unsupported}) *)
+  | Engine_failed of string
+      (** timeout / out-of-memory / error on the candidate side: not a
+          conformance violation, but nothing was verified. [Errored]
+          cells land here, matching their "infinite" classification in
+          {!Genbase.Harness.total_seconds}. *)
+  | Reference_failed of string
+      (** the reference itself did not complete; the cell is vacuous *)
+  | Both_failed of string
+      (** both sides failed — e.g. a fuzzed parameter set produced a
+          degenerate selection everywhere, or a doomed fault plan *)
+
+val reference : Genbase.Engine.t
+(** {!Genbase.Engine_r.engine}. *)
+
+val tolerance_for : engine:string -> Genbase.Query.t -> Compare.tol
+(** The comparison profile for one grid cell. Engines that reuse the
+    reference kernels get {!Compare.strict}; engines recomputing through
+    different kernels (normal equations, MapReduce summations) get
+    {!Compare.numeric}; MADlib's power-iteration SVD gets
+    {!Compare.approximate}. *)
+
+val whitelisted_unsupported : engine:string -> Genbase.Query.t -> bool
+(** The paper's support matrix: MADlib has no biclustering, Hadoop has
+    neither biclustering nor the statistics query. An [Unsupported] from
+    any other cell is a conformance failure. *)
+
+val classify :
+  ?tol:Compare.tol ->
+  ?p_threshold:float ->
+  reference:Genbase.Engine.outcome ->
+  Genbase.Engine.outcome ->
+  classification
+
+val is_mismatch : classification -> bool
+val label : classification -> string
+(** Short fixed-width cell text for the conformance matrix, e.g.
+    ["ok 3e-12"], ["dg 0"], ["MISMATCH"], ["n/s"]. *)
+
+val describe : classification -> string
+(** One-line diagnostic, including the mismatch detail. *)

@@ -1,0 +1,95 @@
+module G = Gb_datagen.Generate
+module Mat = Gb_linalg.Mat
+module Prng = Gb_util.Prng
+
+let check_perm perm n =
+  if Array.length perm <> n then
+    invalid_arg "Transform.permute_patients: length";
+  let seen = Array.make n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then
+        invalid_arg "Transform.permute_patients: not a permutation";
+      seen.(p) <- true)
+    perm
+
+let permute_patients ~perm (ds : Genbase.Dataset.t) =
+  let n = Array.length ds.G.patients in
+  check_perm perm n;
+  (* [perm] maps old id -> new id; build the inverse so row [j] of the new
+     expression matrix is the old row of the patient now labeled [j]. *)
+  let old_of = Array.make n 0 in
+  Array.iteri (fun old_id new_id -> old_of.(new_id) <- old_id) perm;
+  let expression = Mat.sub_rows ds.G.expression old_of in
+  let patients =
+    Array.init n (fun j -> { ds.G.patients.(old_of.(j)) with G.patient_id = j })
+  in
+  let bicluster_rows =
+    Array.map (fun p -> perm.(p)) ds.G.planted.G.bicluster_rows
+  in
+  Array.sort compare bicluster_rows;
+  { ds with G.expression; patients; planted = { ds.G.planted with G.bicluster_rows } }
+
+let shuffle_patients ?(fixed_prefix = 0) ~seed (ds : Genbase.Dataset.t) =
+  let n = Array.length ds.G.patients in
+  let k = max 0 (min fixed_prefix n) in
+  let rng = Prng.create seed in
+  let perm = Array.init n Fun.id in
+  (* Shuffle the prefix and the remainder independently so the first [k]
+     ids remain the first [k] ids (in some order). *)
+  let head = Array.sub perm 0 k and tail = Array.sub perm k (n - k) in
+  Prng.shuffle rng head;
+  Prng.shuffle rng tail;
+  Array.blit head 0 perm 0 k;
+  Array.blit tail 0 perm k (n - k);
+  permute_patients ~perm ds
+
+let dataset_fingerprint (ds : Genbase.Dataset.t) =
+  let buf = Buffer.create 4096 in
+  let f x = Buffer.add_string buf (Printf.sprintf "%Lx;" (Int64.bits_of_float x)) in
+  let i x =
+    Buffer.add_string buf (string_of_int x);
+    Buffer.add_char buf ';'
+  in
+  let spec = ds.G.spec in
+  i spec.Gb_datagen.Spec.genes;
+  i spec.Gb_datagen.Spec.patients;
+  i spec.Gb_datagen.Spec.go_terms;
+  i spec.Gb_datagen.Spec.diseases;
+  let rows, cols = Mat.dims ds.G.expression in
+  i rows;
+  i cols;
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      f (Mat.get ds.G.expression r c)
+    done
+  done;
+  Array.iter
+    (fun (p : G.patient) ->
+      i p.patient_id;
+      i p.age;
+      i p.gender;
+      i p.zipcode;
+      i p.disease_id;
+      f p.drug_response)
+    ds.G.patients;
+  Array.iter
+    (fun (g : G.gene) ->
+      i g.gene_id;
+      i g.target;
+      i g.position;
+      i g.length;
+      i g.func)
+    ds.G.genes;
+  Array.iter
+    (fun (gene, term) ->
+      i gene;
+      i term)
+    ds.G.go;
+  Array.iter i ds.G.planted.G.signal_genes;
+  Array.iter f ds.G.planted.G.signal_coefs;
+  f ds.G.planted.G.signal_intercept;
+  Array.iter i ds.G.planted.G.bicluster_rows;
+  Array.iter i ds.G.planted.G.bicluster_cols;
+  Array.iter i ds.G.planted.G.enriched_terms;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

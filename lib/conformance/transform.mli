@@ -1,0 +1,29 @@
+(** Semantics-preserving data-set transforms for metamorphic testing.
+
+    These need no oracle at all: the benchmark queries are defined over
+    the *set* of patients, so relabeling patient ids (and permuting the
+    expression rows to match) must leave every answer unchanged up to
+    floating-point reassociation. A query whose answer moves under a
+    patient permutation has a bug, whichever engine ran it. *)
+
+val permute_patients : perm:int array -> Genbase.Dataset.t -> Genbase.Dataset.t
+(** [permute_patients ~perm ds] relabels patient [p] as [perm.(p)]: the
+    expression row, the patient record (with its [patient_id] rewritten)
+    and the planted bicluster membership all move together, so the
+    transformed data set describes the same cohort under new ids. [perm]
+    must be a permutation of [0 .. patients-1] ([Invalid_argument]
+    otherwise). *)
+
+val shuffle_patients :
+  ?fixed_prefix:int -> seed:int64 -> Genbase.Dataset.t -> Genbase.Dataset.t
+(** A seeded random {!permute_patients}. [fixed_prefix] (default [0])
+    keeps the first [k] patients within the first [k] positions — the Q5
+    sampling rule deterministically takes the id prefix, so shuffling
+    within the sample and within the remainder separately preserves the
+    sample *set* while still exercising row order. *)
+
+val dataset_fingerprint : Genbase.Dataset.t -> string
+(** Canonical hex digest of everything the generator produced, bit-exact
+    on floats. Equal fingerprints mean bit-identical data sets; guards
+    the PRNG and generator against accidental nondeterminism across
+    process runs. *)

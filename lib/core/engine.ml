@@ -5,6 +5,13 @@ type payload =
   | Singular_values of float array
   | Enrichment of (int * float) list
 
+let payload_kind = function
+  | Regression _ -> "regression"
+  | Cov_pairs _ -> "cov_pairs"
+  | Biclusters _ -> "biclusters"
+  | Singular_values _ -> "singular_values"
+  | Enrichment _ -> "enrichment"
+
 type timing = { dm : float; analytics : float }
 
 let total t = t.dm +. t.analytics

@@ -14,6 +14,9 @@ type payload =
   | Enrichment of (int * float) list
       (** significantly enriched (go_id, p-value), ascending p *)
 
+val payload_kind : payload -> string
+(** Constructor name, e.g. ["regression"] — diagnostics and CSV dumps. *)
+
 type timing = { dm : float; analytics : float }
 
 val total : timing -> float

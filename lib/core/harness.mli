@@ -15,8 +15,13 @@ type cell = {
 val run_cell : Engine.t -> Dataset.t -> Query.t -> timeout_s:float -> cell
 
 val total_seconds : cell -> float option
-(** [Some total] when completed, [Some infinity] for timeout / memory
-    failure, [None] when the engine lacks the functionality. *)
+(** [Some total] for a (possibly degraded) completion; [Some infinity]
+    for timeout, memory failure, or an [Errored] cell — all three are the
+    paper's "infinite" results, and an execution error is charged like a
+    crash, not excused; [None] only when the engine lacks the
+    functionality ([Unsupported]). The conformance matrix
+    ({!Gb_conformance.Matrix}) mirrors this split: [Errored] cells
+    classify as [Engine_failed] (nothing verified), never as conforming. *)
 
 val dm_seconds : cell -> float option
 val analytics_seconds : cell -> float option

@@ -1,0 +1,114 @@
+(* Property-based checks on the linear-algebra kernels: QR orthogonality,
+   SVD reconstruction, and Lanczos against the dense Jacobi eigensolver on
+   random symmetric matrices. *)
+
+module Mat = Gb_linalg.Mat
+module Blas = Gb_linalg.Blas
+module Qr = Gb_linalg.Qr
+module Svd = Gb_linalg.Svd
+module Lanczos = Gb_linalg.Lanczos
+module Eigen = Gb_linalg.Eigen
+module Prng = Gb_util.Prng
+
+let seed_gen = QCheck.Gen.(map Int64.of_int (int_range 1 1_000_000))
+
+let arb_tall =
+  (* rows >= cols, as Householder QR requires *)
+  QCheck.make
+    ~print:(fun (r, c, s) -> Printf.sprintf "%dx%d seed %Ld" r c s)
+    QCheck.Gen.(
+      int_range 1 12 >>= fun c ->
+      int_range c 30 >>= fun r ->
+      seed_gen >|= fun s -> (r, c, s))
+
+let random_mat rows cols seed = Mat.random (Prng.create seed) rows cols
+
+let prop_qr_orthogonal =
+  QCheck.Test.make ~name:"QR: Q has orthonormal columns" ~count:100 arb_tall
+    (fun (rows, cols, seed) ->
+      let q = Qr.q (Qr.factorize (random_mat rows cols seed)) in
+      let qtq = Blas.ata q in
+      let d = Mat.max_abs_diff qtq (Mat.identity cols) in
+      if d < 1e-10 then true
+      else QCheck.Test.fail_reportf "max |QᵀQ - I| = %g" d)
+
+let prop_qr_reproduces =
+  QCheck.Test.make ~name:"QR: Q·R reproduces the input" ~count:100 arb_tall
+    (fun (rows, cols, seed) ->
+      let m = random_mat rows cols seed in
+      let f = Qr.factorize m in
+      let d = Mat.max_abs_diff (Blas.gemm (Qr.q f) (Qr.r f)) m in
+      if d < 1e-10 then true else QCheck.Test.fail_reportf "max |QR - M| = %g" d)
+
+let prop_svd_reconstructs =
+  QCheck.Test.make ~name:"SVD: full-rank reconstruction" ~count:60 arb_tall
+    (fun (rows, cols, seed) ->
+      let m = random_mat rows cols seed in
+      let k = min rows cols in
+      let svd = Svd.top_k ~rng:(Prng.create 1L) m k in
+      let err = Svd.reconstruction_error m svd in
+      let budget = 1e-6 *. Float.max 1. (Mat.frobenius m) in
+      if err < budget then true
+      else QCheck.Test.fail_reportf "‖M - USVᵀ‖ = %g (budget %g)" err budget)
+
+let prop_svd_descending =
+  QCheck.Test.make ~name:"SVD: singular values descending, non-negative"
+    ~count:100 arb_tall (fun (rows, cols, seed) ->
+      let svd = Svd.top_k ~rng:(Prng.create 1L) (random_mat rows cols seed) (min rows cols) in
+      let ok = ref (Array.for_all (fun s -> s >= 0.) svd.Svd.s) in
+      Array.iteri
+        (fun i s -> if i > 0 && s > svd.Svd.s.(i - 1) +. 1e-12 then ok := false)
+        svd.Svd.s;
+      !ok)
+
+let arb_sym =
+  QCheck.make
+    ~print:(fun (n, s) -> Printf.sprintf "%dx%d seed %Ld" n n s)
+    QCheck.Gen.(pair (int_range 3 15) seed_gen)
+
+(* B·Bᵀ: symmetric positive semi-definite with a generic spectrum. *)
+let random_sym n seed = Blas.aat (random_mat n n seed)
+
+let prop_lanczos_matches_dense =
+  QCheck.Test.make ~name:"Lanczos matches dense Jacobi eigenvalues" ~count:60
+    arb_sym (fun (n, seed) ->
+      let a = random_sym n seed in
+      let k = min n 5 in
+      let lz = Lanczos.top_eigen ~rng:(Prng.create 2L) a k in
+      let dense = Eigen.eigenvalues a in
+      let scale = Float.max 1. (Float.abs dense.(0)) in
+      let ok = ref true in
+      for i = 0 to k - 1 do
+        if Float.abs (lz.Lanczos.eigenvalues.(i) -. dense.(i)) /. scale > 1e-7
+        then ok := false
+      done;
+      if !ok then true
+      else
+        QCheck.Test.fail_reportf "lanczos %s vs dense %s"
+          (String.concat " "
+             (Array.to_list (Array.map (Printf.sprintf "%.9g") lz.Lanczos.eigenvalues)))
+          (String.concat " "
+             (Array.to_list
+                (Array.map (Printf.sprintf "%.9g") (Array.sub dense 0 k)))))
+
+let prop_eigen_trace =
+  QCheck.Test.make ~name:"dense eigenvalues sum to the trace" ~count:100
+    arb_sym (fun (n, seed) ->
+      let a = random_sym n seed in
+      let trace = ref 0. in
+      for i = 0 to n - 1 do
+        trace := !trace +. Mat.get a i i
+      done;
+      let sum = Array.fold_left ( +. ) 0. (Eigen.eigenvalues a) in
+      Float.abs (sum -. !trace) /. Float.max 1. (Float.abs !trace) < 1e-9)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_qr_orthogonal;
+      prop_qr_reproduces;
+      prop_svd_reconstructs;
+      prop_svd_descending;
+      prop_lanczos_matches_dense;
+      prop_eigen_trace;
+    ]
