@@ -10,7 +10,7 @@ module H = Genbase.Harness
 
 let sections =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
-    "weak"; "crossover"; "chaos" ]
+    "weak"; "crossover"; "chaos"; "obs" ]
 
 let parse_args () =
   let selected = ref [] in
@@ -104,6 +104,11 @@ let () =
   if want "micro" then begin
     banner "Kernel microbenchmarks (Bechamel)";
     Microbench.run ~quick
+  end;
+
+  if want "obs" then begin
+    banner "Observability hook overhead (Bechamel)";
+    Obsbench.run ()
   end;
 
   Printf.eprintf "[%7.1fs] done\n%!" (Unix.gettimeofday () -. t0)

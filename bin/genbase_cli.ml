@@ -178,7 +178,9 @@ let explain_cmd =
     in
     let cat =
       {
-        Plan.scan = (fun t cols -> Ops.scan_col_store (table t) cols);
+        Plan.scan =
+          (fun t cols ->
+            Ops.traced ~name:("scan:" ^ t) (Ops.scan_col_store (table t) cols));
         schema_of = (fun t -> Col_store.schema (table t));
         row_count = (fun t -> Col_store.row_count (table t));
       }
@@ -474,6 +476,199 @@ let conformance_cmd =
       const run $ size_arg $ seed_arg $ quick $ seeds $ timeout $ out $ no_fuzz
       $ no_chaos $ nodes)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let module Obs = Gb_obs.Obs in
+  let module Metric = Gb_obs.Metric in
+  let module Tx = Gb_obs.Trace_export in
+  let module H = Genbase.Harness in
+  let query =
+    Arg.(
+      value
+      & opt string "1"
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:"Query: 1-5, or regression, covariance, biclustering, svd, \
+                statistics.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt string "sql"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Engine name (see $(b,genbase list)); $(b,sql) is an alias for \
+             the column store with in-database UDFs.")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "nodes" ] ~docv:"N" ~doc:"Node count for multi-node engines.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 120.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Benchmark cut-off window.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Output file for the Chrome trace_event JSON.")
+  in
+  let overhead_check =
+    Arg.(
+      value & flag
+      & info [ "overhead-check" ]
+          ~doc:
+            "Instead of exporting a trace, measure the cell with tracing \
+             disabled and enabled and exit 1 if the enabled run is more \
+             than the budget slower.")
+  in
+  let overhead_budget =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "overhead-budget" ] ~docv:"PERCENT"
+          ~doc:"Allowed tracing overhead for --overhead-check.")
+  in
+  let resolve_query s =
+    match s with
+    | "1" -> Some Genbase.Query.Q1_regression
+    | "2" -> Some Genbase.Query.Q2_covariance
+    | "3" -> Some Genbase.Query.Q3_biclustering
+    | "4" -> Some Genbase.Query.Q4_svd
+    | "5" -> Some Genbase.Query.Q5_statistics
+    | s -> Genbase.Query.of_name s
+  in
+  let resolve_engine nodes name =
+    let key = if name = "sql" then "colstore-udf" else name in
+    List.assoc_opt key (engine_table nodes)
+  in
+  (* The check compares two measurements of the same cell taken moments
+     apart, so it interleaves the disabled and enabled runs and keeps each
+     side's best of several repetitions — otherwise transient machine load
+     drowns the few-percent effect it is after (same trick as the
+     harness's Phi comparison). One such round is still a single sample of
+     a ~10ms cell, so the check takes the median ratio over several
+     independent rounds: a round polluted by a scheduler hiccup gets
+     voted out instead of failing CI. *)
+  let overhead_pct e ds q ~timeout_s =
+    let one enabled =
+      Obs.set_enabled enabled;
+      Obs.reset ();
+      Metric.reset ();
+      match Genbase.Engine.run e ds q ~timeout_s () with
+      | Genbase.Engine.Completed (t, _) | Genbase.Engine.Degraded (t, _, _) ->
+        Genbase.Engine.total t
+      | o ->
+        Printf.eprintf "engine did not complete: %s\n"
+          (Format.asprintf "%a" Genbase.Engine.pp_outcome o);
+        exit 1
+    in
+    let round () =
+      let off = ref infinity and on_ = ref infinity in
+      for _ = 1 to 6 do
+        off := Float.min !off (one false);
+        on_ := Float.min !on_ (one true)
+      done;
+      (!off, !on_)
+    in
+    let rounds = List.init 5 (fun _ -> round ()) in
+    Obs.set_enabled false;
+    let pcts =
+      List.sort compare
+        (List.map (fun (off, on) -> 100. *. ((on /. off) -. 1.)) rounds)
+    in
+    let median = List.nth pcts (List.length pcts / 2) in
+    (rounds, median)
+  in
+  let run size seed query engine nodes timeout out overhead_check budget =
+    match (resolve_query query, resolve_engine nodes engine) with
+    | None, _ ->
+      Printf.eprintf "unknown query %s\n" query;
+      exit 2
+    | _, None ->
+      Printf.eprintf "unknown engine %s (try `genbase list`)\n" engine;
+      exit 2
+    | Some q, Some e ->
+      let ds = Gb_datagen.Generate.generate ~seed (Spec.of_size size) in
+      if overhead_check then begin
+        let rounds, median = overhead_pct e ds q ~timeout_s:timeout in
+        List.iteri
+          (fun i (off, on) ->
+            Printf.printf
+              "round %d: disabled best %.6fs  enabled best %.6fs  %+.2f%%\n" i
+              off on
+              (100. *. ((on /. off) -. 1.)))
+          rounds;
+        Printf.printf "median overhead: %+.2f%% (budget %.2f%%)\n" median
+          budget;
+        if median > budget then begin
+          Printf.eprintf "tracing overhead exceeds budget\n";
+          exit 1
+        end
+      end
+      else begin
+        Obs.set_enabled true;
+        Obs.reset ();
+        Metric.reset ();
+        let cell = H.run_cell e ds q ~timeout_s:timeout in
+        Obs.set_enabled false;
+        let events = Obs.events () in
+        let json = Tx.chrome_json events in
+        let oc = open_out out in
+        output_string oc json;
+        close_out oc;
+        (match Tx.validate_chrome json with
+        | Ok n ->
+          Printf.printf
+            "wrote %s: %d events, valid Chrome trace JSON (load in \
+             chrome://tracing or ui.perfetto.dev)\n"
+            out n
+        | Error msg ->
+          Printf.eprintf "exported trace failed validation: %s\n" msg;
+          exit 1);
+        print_newline ();
+        print_endline (Tx.flame events);
+        print_endline (Tx.summary ~exclude_cat:"cell" events);
+        (match cell.H.counters with
+        | [] -> ()
+        | counters ->
+          print_endline "counters:";
+          List.iter
+            (fun (name, v) -> Printf.printf "  %-28s %.6g\n" name v)
+            counters);
+        let root =
+          List.find_map
+            (function
+              | Obs.Span_ev s when s.Obs.cat = "cell" -> Some s.Obs.dur
+              | _ -> None)
+            events
+        in
+        match (root, H.total_seconds cell) with
+        | Some dur, Some total when Float.is_finite total ->
+          Printf.printf "\nroot span %.6fs vs harness total %.6fs (%+.3f%%)\n"
+            dur total
+            (if total > 0. then 100. *. ((dur /. total) -. 1.) else 0.)
+        | _ ->
+          Printf.printf "\ncell outcome: %s\n"
+            (Format.asprintf "%a" Genbase.Engine.pp_outcome cell.H.outcome)
+      end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one cell with tracing enabled and export a \
+          Perfetto-loadable Chrome trace, or check the tracing overhead \
+          budget with --overhead-check.")
+    Term.(
+      const run $ size_arg $ seed_arg $ query $ engine $ nodes $ timeout $ out
+      $ overhead_check $ overhead_budget)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -509,5 +704,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; run_cmd; suite_cmd; chaos_cmd; conformance_cmd;
-            explain_cmd; seqgen_cmd; list_cmd;
+            explain_cmd; seqgen_cmd; trace_cmd; list_cmd;
           ]))

@@ -2,6 +2,22 @@ module Sim = Gb_util.Clock.Sim
 module Stopwatch = Gb_util.Clock.Stopwatch
 module Fault = Gb_fault.Fault
 module Retry = Gb_fault.Retry
+module Obs = Gb_obs.Obs
+module Metric = Gb_obs.Metric
+
+(* Trace counters (no-ops while tracing is disabled). The sim spans
+   emitted below land on the simulated-clock track with the node rank as
+   the thread id, so Perfetto shows one lane per node. *)
+let c_comm_bytes = Metric.counter ~unit_:"byte" "cluster.comm_bytes"
+let c_supersteps = Metric.counter ~unit_:"superstep" "cluster.supersteps"
+let c_checkpoint_s = Metric.counter ~unit_:"s" "cluster.checkpoint_s"
+let c_retries = Metric.counter ~unit_:"retry" "fault.retries"
+let c_backoff_s = Metric.counter ~unit_:"s" "fault.backoff_s"
+let c_dropped = Metric.counter ~unit_:"message" "fault.messages_dropped"
+let c_delayed = Metric.counter ~unit_:"message" "fault.messages_delayed"
+let c_speculative = Metric.counter ~unit_:"restart" "fault.speculative_restarts"
+let c_crashes = Metric.counter ~unit_:"crash" "fault.crashes_recovered"
+let c_wasted_s = Metric.counter ~unit_:"s" "fault.wasted_s"
 
 type recovery_stats = {
   crashes_recovered : int;
@@ -104,7 +120,7 @@ let degraded t = t.stats <> no_recovery
 let live_nodes t =
   Array.fold_left (fun n d -> if d then n else n + 1) 0 t.dead
 
-let charge_comm t ~bytes ~seconds =
+let charge_comm ?(label = "transfer") t ~bytes ~seconds =
   let op = t.ops in
   t.ops <- op + 1;
   let seconds =
@@ -117,6 +133,8 @@ let charge_comm t ~bytes ~seconds =
           wasted_seconds =
             t.stats.wasted_seconds +. seconds +. retransmit_timeout_s;
         };
+      Metric.add c_dropped 1;
+      Metric.addf c_wasted_s (seconds +. retransmit_timeout_s);
       (2. *. seconds) +. retransmit_timeout_s
     end
     else seconds
@@ -125,13 +143,24 @@ let charge_comm t ~bytes ~seconds =
     let d = Fault.delay t.plan ~op in
     if d > 0. then begin
       t.stats <- { t.stats with messages_delayed = t.stats.messages_delayed + 1 };
+      Metric.add c_delayed 1;
       seconds +. d
     end
     else seconds
   in
   t.comm_bytes <- t.comm_bytes + bytes;
   t.comm_seconds <- t.comm_seconds +. seconds;
+  Metric.add c_comm_bytes bytes;
+  let t0 = Sim.now t.clock in
   Sim.advance t.clock seconds;
+  Obs.Span.emit ~cat:"comm" ~name:("comm:" ^ label)
+    ~attrs:
+      [
+        ("bytes", Obs.Int bytes);
+        ("latency_s", Obs.Float t.net.Netmodel.latency_s);
+        ("bandwidth_bps", Obs.Float t.net.Netmodel.bandwidth_bps);
+      ]
+    ~t0 ~t1:(Sim.now t.clock) ();
   check t
 
 (* A crash at superstep [step] loses everything the node computed since
@@ -154,9 +183,15 @@ let handle_crashes t step =
           crashes_recovered = t.stats.crashes_recovered + 1;
           wasted_seconds = t.stats.wasted_seconds +. redo;
         };
+      Metric.add c_crashes 1;
+      Metric.addf c_wasted_s redo;
+      let t0 = Sim.now t.clock in
       Sim.advance t.clock redo;
-      charge_comm t ~bytes:t.ckpt_bytes
-        ~seconds:(Netmodel.transfer_time t.net ~bytes:t.ckpt_bytes)
+      charge_comm ~label:"checkpoint-fetch" t ~bytes:t.ckpt_bytes
+        ~seconds:(Netmodel.transfer_time t.net ~bytes:t.ckpt_bytes);
+      Obs.Span.emit ~cat:"recovery" ~name:"recovery:crash" ~tid:(node + 1)
+        ~attrs:[ ("superstep", Obs.Int step); ("redo_s", Obs.Float redo) ]
+        ~t0 ~t1:(Sim.now t.clock) ()
     end
   done;
   if live_nodes t = 0 then
@@ -167,9 +202,15 @@ let maybe_checkpoint t step =
     (* Every live node writes its state to replicated storage in
        parallel; the superstep stalls for one transfer. *)
     let secs = Netmodel.transfer_time t.net ~bytes:t.ckpt_bytes in
+    let t0 = Sim.now t.clock in
     Sim.advance t.clock secs;
     t.stats <-
       { t.stats with checkpoint_seconds = t.stats.checkpoint_seconds +. secs };
+    Metric.addf c_checkpoint_s secs;
+    Obs.Span.emit ~cat:"checkpoint" ~name:"checkpoint"
+      ~attrs:
+        [ ("superstep", Obs.Int step); ("bytes_per_node", Obs.Int t.ckpt_bytes) ]
+      ~t0 ~t1:(Sim.now t.clock) ();
     Array.fill t.since_ckpt 0 t.nodes 0.
   end
 
@@ -177,7 +218,9 @@ let superstep_scaled t ~speedup f =
   check t;
   let step = t.step in
   t.step <- step + 1;
+  let step_t0 = Sim.now t.clock in
   handle_crashes t step;
+  let tasks_t0 = Sim.now t.clock in
   let scale = speedup *. t.compute_speedup in
   let busy = Array.make t.nodes 0. in
   let results = Array.make t.nodes None in
@@ -223,6 +266,12 @@ let superstep_scaled t ~speedup f =
               speculative_restarts = t.stats.speculative_restarts + 1;
               wasted_seconds = t.stats.wasted_seconds +. dt;
             };
+          Metric.add c_speculative 1;
+          Metric.addf c_wasted_s dt;
+          Obs.Span.instant ~track:Obs.Sim ~tid:(node + 1) ~ts:tasks_t0
+            ~name:"speculative-restart"
+            ~attrs:[ ("superstep", Obs.Int step) ]
+            ();
           backup
         end
         else begin
@@ -233,6 +282,7 @@ let superstep_scaled t ~speedup f =
               t.stats with
               wasted_seconds = t.stats.wasted_seconds +. (slowed -. dt);
             };
+          Metric.addf c_wasted_s (slowed -. dt);
           slowed
         end
       end
@@ -264,6 +314,14 @@ let superstep_scaled t ~speedup f =
               +. (dt *. float_of_int failures)
               +. !backoff;
           };
+        Metric.add c_retries failures;
+        Metric.addf c_backoff_s !backoff;
+        Metric.addf c_wasted_s ((dt *. float_of_int failures) +. !backoff);
+        Obs.Span.instant ~track:Obs.Sim ~tid:(node + 1) ~ts:tasks_t0
+          ~name:"oom-retry"
+          ~attrs:
+            [ ("superstep", Obs.Int step); ("failures", Obs.Int failures) ]
+          ();
         (dt *. float_of_int (failures + 1)) +. !backoff
       end
     in
@@ -272,7 +330,23 @@ let superstep_scaled t ~speedup f =
   done;
   let worst = Array.fold_left Float.max 0. busy in
   Sim.advance t.clock worst;
+  Metric.add c_supersteps 1;
+  if Obs.enabled () then
+    (* Per-node task spans: every node's work starts when the compute
+       phase does and lasts that executor's accumulated busy time. *)
+    for e = 0 to t.nodes - 1 do
+      if busy.(e) > 0. then
+        Obs.Span.emit ~cat:"task"
+          ~name:(Printf.sprintf "task:step%d" step)
+          ~tid:(e + 1)
+          ~attrs:[ ("superstep", Obs.Int step) ]
+          ~t0:tasks_t0 ~t1:(tasks_t0 +. busy.(e)) ()
+    done;
   maybe_checkpoint t step;
+  Obs.Span.emit ~cat:"superstep"
+    ~name:(Printf.sprintf "superstep:%d" step)
+    ~attrs:[ ("live_nodes", Obs.Int (live_nodes t)) ]
+    ~t0:step_t0 ~t1:(Sim.now t.clock) ();
   check t;
   Array.map
     (fun r -> match r with Some r -> r | None -> assert false)
@@ -294,7 +368,7 @@ let allreduce_sum t parts =
   let out = Array.make n 0. in
   Array.iter (fun p -> Gb_linalg.Vec.axpy 1. p out) parts;
   let bytes = 8 * n in
-  charge_comm t ~bytes
+  charge_comm ~label:"allreduce" t ~bytes
     ~seconds:(Netmodel.allreduce_time t.net ~nodes:t.nodes ~bytes);
   out
 
@@ -311,24 +385,24 @@ let allreduce_mat t parts =
   done;
   let rows, cols = Gb_linalg.Mat.dims first in
   let bytes = 8 * rows * cols in
-  charge_comm t ~bytes
+  charge_comm ~label:"allreduce" t ~bytes
     ~seconds:(Netmodel.allreduce_time t.net ~nodes:t.nodes ~bytes);
   acc
 
 let broadcast t ~bytes =
-  charge_comm t ~bytes
+  charge_comm ~label:"broadcast" t ~bytes
     ~seconds:(Netmodel.broadcast_time t.net ~nodes:t.nodes ~bytes)
 
 let gather t ~bytes_per_node =
   let bytes = bytes_per_node * (t.nodes - 1) in
-  charge_comm t ~bytes
+  charge_comm ~label:"gather" t ~bytes
     ~seconds:
       (if t.nodes <= 1 then 0.
        else
          float_of_int (t.nodes - 1) *. Netmodel.transfer_time t.net ~bytes:bytes_per_node)
 
 let shuffle t ~total_bytes =
-  charge_comm t ~bytes:total_bytes
+  charge_comm ~label:"shuffle" t ~bytes:total_bytes
     ~seconds:(Netmodel.shuffle_time t.net ~nodes:t.nodes ~total_bytes)
 
 let advance t dt =

@@ -1,7 +1,20 @@
 module Mat = Gb_linalg.Mat
 module Blas = Gb_linalg.Blas
 
+(* Bracket a distributed kernel with a simulated-clock span: t0/t1 are
+   cluster sim time, so the span sits on the sim track alongside the
+   superstep and comm spans it contains. *)
+let par_span cluster name f =
+  if not (Gb_obs.Obs.enabled ()) then f ()
+  else begin
+    let t0 = Cluster.elapsed cluster in
+    let r = f () in
+    Gb_obs.Obs.Span.emit ~cat:"par" ~name ~t0 ~t1:(Cluster.elapsed cluster) ();
+    r
+  end
+
 let ata cluster parts =
+  par_span cluster "par.ata" @@ fun () ->
   let locals = Cluster.superstep cluster (fun node -> Blas.ata parts.(node)) in
   Cluster.allreduce_mat cluster locals
 
@@ -22,6 +35,7 @@ let col_means cluster parts =
   Array.map (fun s -> s /. float_of_int (max 1 total_rows)) sum
 
 let covariance cluster parts =
+  par_span cluster "par.covariance" @@ fun () ->
   let means = col_means cluster parts in
   let total_rows = Array.fold_left (fun acc p -> acc + p.Mat.rows) 0 parts in
   let locals =
@@ -43,6 +57,7 @@ let with_intercept p =
 let regression cluster parts ys =
   if Array.length ys <> Array.length parts then
     invalid_arg "Par_linalg.regression";
+  par_span cluster "par.regression" @@ fun () ->
   let d = (if Array.length parts = 0 then 0 else parts.(0).Mat.cols) + 1 in
   let locals =
     Cluster.superstep cluster (fun node ->
@@ -81,12 +96,14 @@ let matvec_t cluster parts v =
   Cluster.allreduce_sum cluster locals
 
 let lanczos_eigs cluster ~k parts =
+  par_span cluster "par.lanczos_eigs" @@ fun () ->
   let cols = if Array.length parts = 0 then 0 else parts.(0).Mat.cols in
   let apply v = matvec_t cluster parts (matvec cluster parts v) in
   let res = Gb_linalg.Lanczos.symmetric ~n:cols ~k:(min k cols) apply in
   res.Gb_linalg.Lanczos.eigenvalues
 
 let r_squared cluster parts ys ~beta =
+  par_span cluster "par.r_squared" @@ fun () ->
   let partials =
     Cluster.superstep cluster (fun node ->
         let x = parts.(node) and y = ys.(node) in

@@ -12,6 +12,7 @@ type cell = {
   query : Query.t;
   seed : int64;
   fuzzed : bool;
+  payload : string;  (* Engine.payload_kind of the tested outcome, or "" *)
   classification : Oracle.classification;
 }
 
@@ -22,6 +23,14 @@ type config = {
   fuzz : bool;
   progress : (string -> unit) option;
 }
+
+(* The payload kind of the engine-under-test's outcome, for the CSV. *)
+let payload_of = function
+  | Engine.Completed (_, p) | Engine.Degraded (_, _, p) ->
+    Engine.payload_kind p
+  | Engine.Timed_out | Engine.Out_of_memory | Engine.Errored _
+  | Engine.Unsupported ->
+    ""
 
 let seeds_from ~base n =
   let g = Prng.create base in
@@ -108,6 +117,7 @@ let differential ?(engines = default_engines) config =
                 query;
                 seed;
                 fuzzed;
+                payload = payload_of outcome;
                 classification;
               })
             Query.all)
@@ -152,6 +162,7 @@ let chaos_conformance ?(chaos = Harness.default_chaos) ?(node_counts = [ 2; 4 ])
                     query;
                     seed;
                     fuzzed;
+                    payload = payload_of outcome;
                     classification;
                   })
                 Query.all)
@@ -258,7 +269,8 @@ let csv_escape s =
 
 let to_csv cells =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "engine,nodes,query,seed,fuzzed,status,divergence,detail\n";
+  Buffer.add_string buf
+    "engine,nodes,query,seed,fuzzed,payload,status,divergence,detail\n";
   List.iter
     (fun c ->
       let divergence, detail =
@@ -274,8 +286,8 @@ let to_csv cells =
           ("", s)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%s,%Ld,%b,%s,%s,%s\n" (csv_escape c.engine)
-           c.nodes (Query.name c.query) c.seed c.fuzzed
+        (Printf.sprintf "%s,%d,%s,%Ld,%b,%s,%s,%s,%s\n" (csv_escape c.engine)
+           c.nodes (Query.name c.query) c.seed c.fuzzed c.payload
            (status_name c.classification)
            divergence (csv_escape detail)))
     cells;

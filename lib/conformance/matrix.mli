@@ -15,6 +15,9 @@ type cell = {
   query : Genbase.Query.t;
   seed : int64;
   fuzzed : bool;  (** parameters drawn from {!Genqc.params_of_seed} *)
+  payload : string;
+      (** {!Genbase.Engine.payload_kind} of the tested outcome, [""] when
+          the engine produced no payload *)
   classification : Oracle.classification;
 }
 

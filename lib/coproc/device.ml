@@ -33,10 +33,25 @@ let transfer_time t ~bytes =
     base +. (3. *. float_of_int excess /. t.pcie_bandwidth_bps)
   end
 
+let c_pcie_bytes = Gb_obs.Metric.counter ~unit_:"byte" "device.pcie_bytes"
+
 let offload t clock ~bytes_in ~bytes_out cls f =
+  Gb_obs.Metric.add c_pcie_bytes (bytes_in + bytes_out);
+  let t_in = Sim.now clock in
   Sim.advance clock (transfer_time t ~bytes:bytes_in);
+  let t_kernel = Sim.now clock in
   let result = Sim.run_scaled clock ~speedup:(t.speedup cls) f in
+  let t_out = Sim.now clock in
   Sim.advance clock (transfer_time t ~bytes:bytes_out);
+  Gb_obs.Obs.Span.emit ~cat:"device" ~name:"pcie:in"
+    ~attrs:[ ("bytes", Gb_obs.Obs.Int bytes_in) ]
+    ~t0:t_in ~t1:t_kernel ();
+  Gb_obs.Obs.Span.emit ~cat:"device" ~name:"device:kernel"
+    ~attrs:[ ("speedup", Gb_obs.Obs.Float (t.speedup cls)) ]
+    ~t0:t_kernel ~t1:t_out ();
+  Gb_obs.Obs.Span.emit ~cat:"device" ~name:"pcie:out"
+    ~attrs:[ ("bytes", Gb_obs.Obs.Int bytes_out) ]
+    ~t0:t_out ~t1:(Sim.now clock) ();
   result
 
 let host_time clock f = Sim.run_measured clock f

@@ -65,11 +65,13 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   Qcommon.arm_cluster cluster fault;
   let check () = Gb_util.Deadline.check dl in
   let data = partition ds nodes ~check in
-  let phase f =
+  let phase name f =
     let t0 = Cluster.elapsed cluster in
     let r = f () in
     check ();
-    (r, Cluster.elapsed cluster -. t0)
+    let t1 = Cluster.elapsed cluster in
+    Gb_obs.Obs.Span.emit ~cat:"phase" ~name ~t0 ~t1 ();
+    (r, t1 -. t0)
   in
   let n_genes = Array.length ds.G.genes in
   let go_terms = ds.G.spec.Gb_datagen.Spec.go_terms in
@@ -84,7 +86,7 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   match query with
   | Query.Q1_regression ->
     let (parts, ys), dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let locals =
             Cluster.superstep cluster (fun node ->
                 let x, y, _ = Relops.q1_dm data.(node).db params in
@@ -93,7 +95,7 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           (Array.map fst locals, Array.map snd locals))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let beta = Par.regression cluster parts ys in
           let r2 = Par.r_squared cluster parts ys ~beta in
           Engine.Regression
@@ -107,13 +109,13 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q2_covariance ->
     let parts, dm0 =
-      phase (fun () ->
+      phase "dm" (fun () ->
           Cluster.superstep cluster (fun node ->
               let m, _ = Relops.q2_dm data.(node).db params in
               cross (pad_empty m n_genes) boundary))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let c = Par.covariance cluster parts in
           let pairs =
             head_only (fun () ->
@@ -125,14 +127,14 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       match payload with Engine.Cov_pairs p -> p.top_pairs | _ -> []
     in
     let _n, dm1 =
-      phase (fun () ->
+      phase "dm:join_metadata" (fun () ->
           head_only (fun () -> Relops.q2_join_metadata data.(0).db pairs))
     in
     Engine.completed { dm = dm0 +. dm1; analytics }
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q3_biclustering ->
     let head_matrix, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let parts =
             Cluster.superstep cluster (fun node ->
                 let m = Relops.q3_dm data.(node).db params in
@@ -145,7 +147,7 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           Partition.concat_rows parts)
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           head_only (fun () ->
               (match boundary with
               | `Udf ->
@@ -159,13 +161,13 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q4_svd ->
     let parts, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           Cluster.superstep cluster (fun node ->
               let x, _ = Relops.q4_dm data.(node).db params in
               cross x boundary))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let eigs = Par.lanczos_eigs cluster ~k:params.svd_k parts in
           Engine.Singular_values
             (Array.map (fun e -> sqrt (Float.max 0. e)) eigs))
@@ -174,7 +176,7 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q5_statistics ->
     let scores, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let sample = Qcommon.sampled_patients ds params.sample_fraction in
           let k = Array.length sample in
           let partials =
@@ -208,7 +210,7 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           Array.init n_genes (fun j -> t.(j) /. count))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           head_only (fun () ->
               Qcommon.enrichment_of ~n_genes ~go_pairs:ds.G.go ~go_terms
                 ~p_threshold:params.p_threshold ~scores))

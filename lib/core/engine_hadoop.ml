@@ -31,11 +31,13 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   Mr.set_deadline mr timeout_s;
   Option.iter (Mr.set_fault_plan mr) fault;
   let hdb = Dataset.load_hadoop_db ds in
-  let phase f =
+  let phase name f =
     let t0 = Mr.elapsed mr in
     let r = f () in
     Gb_util.Deadline.check dl;
-    (r, Mr.elapsed mr -. t0)
+    let t1 = Mr.elapsed mr in
+    Gb_obs.Obs.Span.emit ~cat:"phase" ~name ~t0 ~t1 ();
+    (r, t1 -. t0)
   in
   let n_patients = Array.length ds.Gb_datagen.Generate.patients in
   let n_genes = Array.length ds.Gb_datagen.Generate.genes in
@@ -64,7 +66,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   match query with
   | Query.Q1_regression ->
     let (triples, gene_ids, y), dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let triples, gene_ids = select_genes_and_join () in
           let resp =
             Hive.project mr ~name:"responses" [ 0; 5 ] hdb.Dataset.patients_h
@@ -77,7 +79,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           (triples, gene_ids, y))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let beta =
             Mahout.regression mr ~rows:n_patients ~cols:(Array.length gene_ids)
               triples y
@@ -93,7 +95,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       payload
   | Query.Q2_covariance ->
     let (triples, n_sel), dm0 =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let sel =
             Hive.select mr ~name:"sel-patients"
               (fun f -> int_of_string f.(4) = params.disease_id)
@@ -115,7 +117,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           (triples, Array.length pat_ids))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let cov =
             Mahout.covariance mr ~rows:n_sel ~cols:n_genes triples
           in
@@ -129,7 +131,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       match payload with Engine.Cov_pairs p -> p.top_pairs | _ -> []
     in
     let _joined, dm1 =
-      phase (fun () ->
+      phase "dm:join_metadata" (fun () ->
           let pair_table =
             List.map (fun (a, b, v) -> Printf.sprintf "%d,%d,%.12g" a b v) pairs
           in
@@ -141,10 +143,10 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   | Query.Q3_biclustering | Query.Q5_statistics -> Engine.Unsupported
   | Query.Q4_svd ->
     let (triples, gene_ids), dm =
-      phase (fun () -> select_genes_and_join ())
+      phase "dm" (fun () -> select_genes_and_join ())
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let eigs =
             Mahout.lanczos_eigs mr ~rows:n_patients
               ~cols:(Array.length gene_ids)

@@ -34,19 +34,22 @@ let run ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:timeout_s in
   let check () = Gb_util.Deadline.check dl in
   let db = Engine_sql.make_db Engine_sql.Row_backend ds ~check in
-  let time f =
-    let r, t = Stopwatch.time f in
-    check ();
-    (r, t)
+  let time name f =
+    Gb_obs.Obs.Span.with_ ~cat:"phase" ~name
+      ~dur_of:(fun (_, t) -> Some t)
+      (fun () ->
+        let r, t = Stopwatch.time f in
+        check ();
+        (r, t))
   in
   let n_genes = Array.length ds.Gb_datagen.Generate.genes in
   match query with
   | Query.Q1_regression ->
     (* MADlib's linear regression is a native C++ aggregate: one streaming
        pass assembling the normal equations. *)
-    let (x, y, _gene_ids), dm = time (fun () -> Relops.q1_dm db params) in
+    let (x, y, _gene_ids), dm = time "dm" (fun () -> Relops.q1_dm db params) in
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           let m = Gb_linalg.Linreg.fit_normal_equations x y in
           Engine.Regression
             {
@@ -60,7 +63,7 @@ let run ds query ~(params : Query.params) ~timeout_s =
     (* Covariance "simulated in SQL": joins and aggregates over the triple
        relation, no native kernel. *)
     let (triples, n_sel), dm0 =
-      time (fun () ->
+      time "dm" (fun () ->
           let joined =
             Ops.filter
               Expr.(col "disease_id" =% int params.disease_id)
@@ -80,7 +83,7 @@ let run ds query ~(params : Query.params) ~timeout_s =
           (Ops.of_list Sql_linalg.triple_schema rows, Hashtbl.length distinct))
     in
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           let cov_rel = Sql_linalg.covariance ~check ~rows:n_sel triples in
           let c = Sql_linalg.to_matrix ~rows:n_genes ~cols:n_genes cov_rel in
           let pairs =
@@ -91,12 +94,12 @@ let run ds query ~(params : Query.params) ~timeout_s =
     let pairs =
       match payload with Engine.Cov_pairs p -> p.top_pairs | _ -> []
     in
-    let _n, dm1 = time (fun () -> Relops.q2_join_metadata db pairs) in
+    let _n, dm1 = time "dm:join_metadata" (fun () -> Relops.q2_join_metadata db pairs) in
     Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
   | Query.Q3_biclustering -> Engine.Unsupported
   | Query.Q4_svd ->
     let (triples, n_patients, n_sel_genes), dm =
-      time (fun () ->
+      time "dm" (fun () ->
           let genes_sel =
             Ops.filter
               Expr.(col "func" <% int params.func_threshold)
@@ -126,7 +129,7 @@ let run ds query ~(params : Query.params) ~timeout_s =
             Array.length gene_ids ))
     in
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           let eigs =
             Sql_linalg.power_iteration_eigs ~check ~rows:n_patients
               ~cols:n_sel_genes
@@ -139,13 +142,13 @@ let run ds query ~(params : Query.params) ~timeout_s =
     Engine.Completed ({ dm; analytics }, payload)
   | Query.Q5_statistics ->
     let (scores, go_pairs), dm =
-      time (fun () ->
+      time "dm" (fun () ->
           Relops.q5_dm db params
             ~n_patients:(Array.length ds.Gb_datagen.Generate.patients))
     in
     (* The Wilcoxon test runs in plpython inside the database. *)
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           Qcommon.enrichment_of ~n_genes:(Array.length scores) ~go_pairs
             ~go_terms:ds.Gb_datagen.Generate.spec.Gb_datagen.Spec.go_terms
             ~p_threshold:params.p_threshold ~scores)

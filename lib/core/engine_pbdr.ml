@@ -32,18 +32,20 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   Cluster.set_deadline cluster timeout_s;
   Qcommon.arm_cluster cluster fault;
   let data = partition ds nodes in
-  let phase f =
+  let phase name f =
     let t0 = Cluster.elapsed cluster in
     let r = f () in
     Gb_util.Deadline.check dl;
-    (r, Cluster.elapsed cluster -. t0)
+    let t1 = Cluster.elapsed cluster in
+    Gb_obs.Obs.Span.emit ~cat:"phase" ~name ~t0 ~t1 ();
+    (r, t1 -. t0)
   in
   let n_genes = Array.length ds.G.genes in
   let go_terms = ds.G.spec.Gb_datagen.Spec.go_terms in
   match query with
   | Query.Q1_regression ->
     let (parts, ys, _gene_ids), dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let gene_ids =
             Qcommon.genes_with_func_below ds params.func_threshold
           in
@@ -60,7 +62,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           (parts, ys, gene_ids))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let beta = Par.regression cluster parts ys in
           let r2 = Par.r_squared cluster parts ys ~beta in
           Engine.Regression
@@ -74,7 +76,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q2_covariance ->
     let parts, dm0 =
-      phase (fun () ->
+      phase "dm" (fun () ->
           Cluster.superstep cluster (fun node ->
               let d = data.(node) in
               let ids =
@@ -87,7 +89,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
               Mat.sub_rows d.expr ids))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let c = Par.covariance cluster parts in
           (* The full covariance matrix lands on the head node, which
              thresholds the pairs. *)
@@ -102,7 +104,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
     in
     (* Step 4 join against the (replicated) gene metadata on the head. *)
     let _meta, dm1 =
-      phase (fun () ->
+      phase "dm:metadata" (fun () ->
           Cluster.superstep cluster (fun node ->
               if node = 0 then
                 match payload with
@@ -116,7 +118,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q3_biclustering ->
     let head_matrix, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let parts =
             Cluster.superstep cluster (fun node ->
                 let d = data.(node) in
@@ -137,7 +139,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           Partition.concat_rows parts)
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let out = ref (Engine.Biclusters { clusters = [] }) in
           let _ =
             Cluster.superstep cluster (fun node ->
@@ -149,7 +151,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q4_svd ->
     let parts, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let gene_ids =
             Qcommon.genes_with_func_below ds params.func_threshold
           in
@@ -157,7 +159,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
               Mat.sub_cols data.(node).expr gene_ids))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let eigs = Par.lanczos_eigs cluster ~k:params.svd_k parts in
           Engine.Singular_values
             (Array.map (fun e -> sqrt (Float.max 0. e)) eigs))
@@ -166,7 +168,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q5_statistics ->
     let scores, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let sample = Qcommon.sampled_patients ds params.sample_fraction in
           let k = Array.length sample in
           let partials =
@@ -189,7 +191,7 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           Array.init n_genes (fun j -> t.(j) /. count))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           let out = ref (Engine.Enrichment []) in
           let _ =
             Cluster.superstep cluster (fun node ->

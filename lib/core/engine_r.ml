@@ -38,15 +38,18 @@ let run ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:timeout_s in
   let base = 2 * cells ds in
   charge 0 base;
-  let time f =
-    let r, t = Stopwatch.time f in
-    Gb_util.Deadline.check dl;
-    (r, t)
+  let time name f =
+    Gb_obs.Obs.Span.with_ ~cat:"phase" ~name
+      ~dur_of:(fun (_, t) -> Some t)
+      (fun () ->
+        let r, t = Stopwatch.time f in
+        Gb_util.Deadline.check dl;
+        (r, t))
   in
   match query with
   | Query.Q1_regression ->
     let (x, y), dm =
-      time (fun () ->
+      time "dm" (fun () ->
           (* subset(genes, func < t); then slice the expression matrix on
              the selected gene columns. *)
           let genes = genes_frame ds in
@@ -61,11 +64,11 @@ let run ds query ~(params : Query.params) ~timeout_s =
           let y = Df.floats (patients_frame ds) "drug_response" in
           (x, y))
     in
-    let payload, analytics = time (fun () -> Qcommon.regression_of x y) in
+    let payload, analytics = time "analytics" (fun () -> Qcommon.regression_of x y) in
     Engine.Completed ({ dm; analytics }, payload)
   | Query.Q2_covariance ->
     let (m, gene_ids), dm =
-      time (fun () ->
+      time "dm" (fun () ->
           let patients = patients_frame ds in
           let disease = Df.ints patients "disease_id" in
           let pat_ids =
@@ -78,14 +81,14 @@ let run ds query ~(params : Query.params) ~timeout_s =
           (Mat.sub_rows ds.G.expression pat_ids, Array.init g Fun.id))
     in
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           Qcommon.covariance_of ~gene_ids ~top_fraction:params.cov_top_fraction
             m)
     in
     Engine.Completed ({ dm; analytics }, payload)
   | Query.Q3_biclustering ->
     let m, dm =
-      time (fun () ->
+      time "dm" (fun () ->
           let patients = patients_frame ds in
           let age = Df.ints patients "age" in
           let gender = Df.ints patients "gender" in
@@ -98,11 +101,11 @@ let run ds query ~(params : Query.params) ~timeout_s =
           charge base (2 * Array.length pat_ids * Array.length ds.G.genes);
           Mat.sub_rows ds.G.expression pat_ids)
     in
-    let payload, analytics = time (fun () -> Qcommon.biclusters_of m) in
+    let payload, analytics = time "analytics" (fun () -> Qcommon.biclusters_of m) in
     Engine.Completed ({ dm; analytics }, payload)
   | Query.Q4_svd ->
     let x, dm =
-      time (fun () ->
+      time "dm" (fun () ->
           let genes = genes_frame ds in
           let funcs = Df.ints genes "func" in
           let gene_ids =
@@ -114,18 +117,18 @@ let run ds query ~(params : Query.params) ~timeout_s =
           Mat.sub_cols ds.G.expression gene_ids)
     in
     let payload, analytics =
-      time (fun () -> Qcommon.svd_of ~k:params.svd_k x)
+      time "analytics" (fun () -> Qcommon.svd_of ~k:params.svd_k x)
     in
     Engine.Completed ({ dm; analytics }, payload)
   | Query.Q5_statistics ->
     let scores, dm =
-      time (fun () ->
+      time "dm" (fun () ->
           let sample = Qcommon.sampled_patients ds params.sample_fraction in
           charge base (2 * Array.length sample * Array.length ds.G.genes);
           Qcommon.enrichment_scores (Mat.sub_rows ds.G.expression sample))
     in
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           Qcommon.enrichment_of
             ~n_genes:(Array.length ds.G.genes)
             ~go_pairs:ds.G.go

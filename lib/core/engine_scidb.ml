@@ -12,11 +12,13 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:timeout_s in
   let clock = Sim.create () in
   let adb = Dataset.load_array_db ds in
-  let phase f =
+  let phase name f =
     let t0 = Sim.now clock in
     let r = Sim.run_measured clock f in
     Gb_util.Deadline.check dl;
-    (r, Sim.now clock -. t0)
+    let t1 = Sim.now clock in
+    Gb_obs.Obs.Span.emit ~cat:"phase" ~name ~t0 ~t1 ();
+    (r, t1 -. t0)
   in
   (* Analytics dispatch: host custom code, or offload to the coprocessor
      (charging PCIe transfers and dividing measured kernel time by the
@@ -29,13 +31,15 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
       | Some dev -> Device.offload dev clock ~bytes_in ~bytes_out cls f
     in
     Gb_util.Deadline.check dl;
-    (r, Sim.now clock -. t0)
+    let t1 = Sim.now clock in
+    Gb_obs.Obs.Span.emit ~cat:"phase" ~name:"analytics" ~t0 ~t1 ();
+    (r, t1 -. t0)
   in
   let go_terms = ds.Gb_datagen.Generate.spec.Gb_datagen.Spec.go_terms in
   match query with
   | Query.Q1_regression ->
     let (x, y), dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let gene_ids =
             Attr.filter adb.Dataset.gene_attrs (fun i ->
                 Attr.get adb.Dataset.gene_attrs "func" i
@@ -55,7 +59,7 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
     Engine.Completed ({ dm; analytics }, payload)
   | Query.Q2_covariance ->
     let (m, gene_ids), dm0 =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let pat_ids =
             Attr.filter adb.Dataset.patient_attrs (fun i ->
                 Attr.get adb.Dataset.patient_attrs "disease_id" i
@@ -79,7 +83,7 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
       match payload with Engine.Cov_pairs p -> p.top_pairs | _ -> []
     in
     let _meta, dm1 =
-      phase (fun () ->
+      phase "dm:metadata" (fun () ->
           List.rev_map
             (fun (g1, _, _) ->
               Attr.get adb.Dataset.gene_attrs "func" g1)
@@ -88,7 +92,7 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
     Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
   | Query.Q3_biclustering ->
     let m, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let pat_ids =
             Attr.filter adb.Dataset.patient_attrs (fun i ->
                 Attr.get adb.Dataset.patient_attrs "age" i
@@ -105,7 +109,7 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
     Engine.Completed ({ dm; analytics }, payload)
   | Query.Q4_svd ->
     let x, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let gene_ids =
             Attr.filter adb.Dataset.gene_attrs (fun i ->
                 Attr.get adb.Dataset.gene_attrs "func" i
@@ -122,7 +126,7 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
     Engine.Completed ({ dm; analytics }, payload)
   | Query.Q5_statistics ->
     let scores, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let sample =
             Qcommon.sampled_patients ds params.sample_fraction
           in

@@ -35,11 +35,13 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   Cluster.set_deadline cluster timeout_s;
   Qcommon.arm_cluster cluster fault;
   let data = partition ds nodes in
-  let phase f =
+  let phase name f =
     let t0 = Cluster.elapsed cluster in
     let r = f () in
     Gb_util.Deadline.check dl;
-    (r, Cluster.elapsed cluster -. t0)
+    let t1 = Cluster.elapsed cluster in
+    Gb_obs.Obs.Span.emit ~cat:"phase" ~name ~t0 ~t1 ();
+    (r, t1 -. t0)
   in
   (* Chunk realignment before analytics: going multi-node forces SciDB to
      redistribute the (whole) array so the selection's chunks align with
@@ -90,7 +92,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   match query with
   | Query.Q1_regression ->
     let (parts, ys), dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let gene_ids =
             Qcommon.genes_with_func_below ds params.func_threshold
           in
@@ -111,7 +113,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       Array.fold_left (fun acc p -> max acc (mat_bytes p)) 0 parts
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           analytics_with Device.Blas3 ~bytes_per_node (fun () ->
               let beta = Par.regression cluster parts ys in
               let r2 = Par.r_squared cluster parts ys ~beta in
@@ -126,7 +128,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q2_covariance ->
     let parts, dm0 =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let parts =
             Cluster.superstep cluster (fun node ->
                 let d = data.(node) in
@@ -147,7 +149,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       Array.fold_left (fun acc p -> max acc (mat_bytes p)) 0 parts
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           analytics_with Device.Blas3 ~bytes_per_node (fun () ->
               let c = Par.covariance cluster parts in
               let pairs =
@@ -157,7 +159,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
               Engine.Cov_pairs { n_genes; top_pairs = pairs }))
     in
     let _meta, dm1 =
-      phase (fun () ->
+      phase "dm:metadata" (fun () ->
           head_only (fun () ->
               match payload with
               | Engine.Cov_pairs p ->
@@ -170,7 +172,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q3_biclustering ->
     let head_matrix, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let parts =
             Cluster.superstep cluster (fun node ->
                 let d = data.(node) in
@@ -191,7 +193,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           Partition.concat_rows parts)
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           analytics_with Device.Light ~bytes_per_node:(mat_bytes head_matrix)
             (fun () -> head_only (fun () -> Qcommon.biclusters_of head_matrix)))
     in
@@ -199,7 +201,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q4_svd ->
     let parts, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let gene_ids =
             Qcommon.genes_with_func_below ds params.func_threshold
           in
@@ -214,7 +216,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       Array.fold_left (fun acc p -> max acc (mat_bytes p)) 0 parts
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           analytics_with Device.Blas2 ~bytes_per_node (fun () ->
               let eigs = Par.lanczos_eigs cluster ~k:params.svd_k parts in
               Engine.Singular_values
@@ -224,7 +226,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
       ~recovery:(Qcommon.cluster_recovery cluster) payload
   | Query.Q5_statistics ->
     let scores, dm =
-      phase (fun () ->
+      phase "dm" (fun () ->
           let sample = Qcommon.sampled_patients ds params.sample_fraction in
           let k = Array.length sample in
           let partials =
@@ -247,7 +249,7 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           Array.init n_genes (fun j -> t.(j) /. count))
     in
     let payload, analytics =
-      phase (fun () ->
+      phase "analytics" (fun () ->
           analytics_with Device.Stat
             ~bytes_per_node:(8 * n_genes)
             (fun () ->

@@ -72,24 +72,30 @@ let run ~backend ~boundary ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:timeout_s in
   let check () = Gb_util.Deadline.check dl in
   let db = make_db backend ds ~check in
-  let time f =
-    let r, t = Stopwatch.time f in
-    check ();
-    (r, t)
+  let time name f =
+    Gb_obs.Obs.Span.with_ ~cat:"phase" ~name
+      ~dur_of:(fun (_, t) -> Some t)
+      (fun () ->
+        let r, t = Stopwatch.time f in
+        check ();
+        (r, t))
   in
   match query with
   | Query.Q1_regression ->
-    let (x, y, _gene_ids), dm0 = time (fun () -> Relops.q1_dm db params) in
+    let (x, y, _gene_ids), dm0 = time "dm" (fun () -> Relops.q1_dm db params) in
     let (x, y), dm1 =
-      time (fun () -> (cross_boundary boundary x, cross_boundary_vec boundary y))
+      time "boundary" (fun () ->
+          (cross_boundary boundary x, cross_boundary_vec boundary y))
     in
-    let payload, analytics = time (fun () -> Qcommon.regression_of x y) in
+    let payload, analytics =
+      time "analytics" (fun () -> Qcommon.regression_of x y)
+    in
     Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
   | Query.Q2_covariance ->
-    let (m, gene_ids), dm0 = time (fun () -> Relops.q2_dm db params) in
-    let m, dm1 = time (fun () -> cross_boundary boundary m) in
+    let (m, gene_ids), dm0 = time "dm" (fun () -> Relops.q2_dm db params) in
+    let m, dm1 = time "boundary" (fun () -> cross_boundary boundary m) in
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           Qcommon.covariance_of ~gene_ids ~top_fraction:params.cov_top_fraction
             m)
     in
@@ -98,13 +104,15 @@ let run ~backend ~boundary ds query ~(params : Query.params) ~timeout_s =
     let pairs =
       match payload with Engine.Cov_pairs p -> p.top_pairs | _ -> []
     in
-    let _n, dm2 = time (fun () -> Relops.q2_join_metadata db pairs) in
+    let _n, dm2 =
+      time "dm:join_metadata" (fun () -> Relops.q2_join_metadata db pairs)
+    in
     Engine.Completed ({ dm = dm0 +. dm1 +. dm2; analytics }, payload)
   | Query.Q3_biclustering ->
-    let m, dm0 = time (fun () -> Relops.q3_dm db params) in
-    let m, dm1 = time (fun () -> cross_boundary boundary m) in
+    let m, dm0 = time "dm" (fun () -> Relops.q3_dm db params) in
+    let m, dm1 = time "boundary" (fun () -> cross_boundary boundary m) in
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           (match boundary with
           | `Udf ->
             (* The in-DB R-UDF interface marshals the matrix through the
@@ -117,18 +125,22 @@ let run ~backend ~boundary ds query ~(params : Query.params) ~timeout_s =
     in
     Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
   | Query.Q4_svd ->
-    let (x, _gene_ids), dm0 = time (fun () -> Relops.q4_dm db params) in
-    let x, dm1 = time (fun () -> cross_boundary boundary x) in
-    let payload, analytics = time (fun () -> Qcommon.svd_of ~k:params.svd_k x) in
+    let (x, _gene_ids), dm0 = time "dm" (fun () -> Relops.q4_dm db params) in
+    let x, dm1 = time "boundary" (fun () -> cross_boundary boundary x) in
+    let payload, analytics =
+      time "analytics" (fun () -> Qcommon.svd_of ~k:params.svd_k x)
+    in
     Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
   | Query.Q5_statistics ->
     let (scores, go_pairs), dm0 =
-      time (fun () ->
+      time "dm" (fun () ->
           Relops.q5_dm db params ~n_patients:(Array.length ds.Gb_datagen.Generate.patients))
     in
-    let scores, dm1 = time (fun () -> cross_boundary_vec boundary scores) in
+    let scores, dm1 =
+      time "boundary" (fun () -> cross_boundary_vec boundary scores)
+    in
     let payload, analytics =
-      time (fun () ->
+      time "analytics" (fun () ->
           Qcommon.enrichment_of
             ~n_genes:(Array.length scores)
             ~go_pairs

@@ -7,6 +7,8 @@ type cell = {
   query : Query.t;
   size : Spec.size;
   outcome : Engine.outcome;
+  breakdown : (string * float) list;
+  counters : (string * float) list;
 }
 
 (* Sub-second cells are rerun a few times and the fastest kept:
@@ -27,13 +29,40 @@ let run_cell e ds query ~timeout_s =
       best better (tries - 1)
     | _ -> outcome
   in
-  let outcome = best (Engine.run e ds query ~timeout_s ()) 4 in
+  let size = ds.Gb_datagen.Generate.spec.Spec.size in
+  let root_name =
+    Printf.sprintf "cell:%s/%s/%s" e.Engine.name (Query.name query)
+      (Spec.label size)
+  in
+  let mark = Gb_obs.Obs.mark () in
+  let before = Gb_obs.Metric.snapshot () in
+  (* The root span's duration is the engine-reported total of the kept
+     attempt, not wall elapsed: wall time would fold in the untimed
+     dataset loading and the discarded re-runs. *)
+  let outcome =
+    Gb_obs.Obs.Span.with_ ~cat:"cell" ~name:root_name
+      ~dur_of:(fun outcome ->
+        match outcome with
+        | Engine.Completed (t, _) | Engine.Degraded (t, _, _) ->
+          Some (Engine.total t)
+        | _ -> None)
+      (fun () -> best (Engine.run e ds query ~timeout_s ()) 4)
+  in
+  let breakdown, counters =
+    if Gb_obs.Obs.enabled () then
+      ( Gb_obs.Trace_export.top_spans ~k:5 ~exclude_cat:"cell"
+          (Gb_obs.Obs.events_since mark),
+        Gb_obs.Metric.delta before )
+    else ([], [])
+  in
   {
     engine = e.Engine.name;
     nodes = (match e.Engine.kind with `Single_node -> 1 | `Multi_node n -> n);
     query;
-    size = ds.Gb_datagen.Generate.spec.Spec.size;
+    size;
     outcome;
+    breakdown;
+    counters;
   }
 
 let total_seconds c =
@@ -68,9 +97,11 @@ let default_config =
 let quick_config =
   { timeout_s = 10.; sizes = [ Spec.Small ]; seed = 0x6E0BA5EL; progress = None }
 
+(* Progress lines go through the Obs log channel: timestamped for the
+   configured sink, and interleaved with spans when tracing is on. *)
 let note config fmt =
   Printf.ksprintf
-    (fun s -> match config.progress with None -> () | Some f -> f s)
+    (fun s -> Gb_obs.Obs.Log.line ?sink:config.progress s)
     fmt
 
 let datasets config =
@@ -161,6 +192,8 @@ let run_pair_interleaved ~iterations e_host e_phi ds q ~timeout_s =
       query = q;
       size = ds.Gb_datagen.Generate.spec.Spec.size;
       outcome;
+      breakdown = [];
+      counters = [];
     }
   in
   [ cell e_host !host; cell e_phi !phi ]
@@ -486,11 +519,21 @@ let availability cells =
          ]
        ~rows)
 
+(* Counter columns are the sorted union of counter names seen across the
+   grid, so the header order is stable for a given cell set regardless of
+   which engine ran first. *)
+let counter_columns cells =
+  List.concat_map (fun c -> List.map fst c.counters) cells
+  |> List.sort_uniq compare
+
 let to_csv cells =
+  let ctr_cols = counter_columns cells in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "engine,nodes,query,size,status,dm_s,analytics_s,total_s,retries,\
-     recovered_nodes,speculative,wasted_s\n";
+    "engine,nodes,query,size,status,payload,dm_s,analytics_s,total_s,retries,\
+     recovered_nodes,speculative,wasted_s";
+  List.iter (fun name -> Buffer.add_string buf ("," ^ name)) ctr_cols;
+  Buffer.add_string buf ",top_spans\n";
   List.iter
     (fun c ->
       let timed status t r =
@@ -512,9 +555,28 @@ let to_csv cells =
         | Engine.Errored _ -> ("error", "", "", "", "", "", "", "")
         | Engine.Unsupported -> ("unsupported", "", "", "", "", "", "", "")
       in
+      let payload =
+        match c.outcome with
+        | Engine.Completed (_, p) | Engine.Degraded (_, _, p) ->
+          Engine.payload_kind p
+        | _ -> ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n" c.engine
-           c.nodes (Query.name c.query) (Spec.label c.size) status dm an total
-           retries recovered spec wasted))
+        (Printf.sprintf "%s,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s" c.engine
+           c.nodes (Query.name c.query) (Spec.label c.size) status payload dm
+           an total retries recovered spec wasted);
+      List.iter
+        (fun name ->
+          match List.assoc_opt name c.counters with
+          | Some v -> Buffer.add_string buf (Printf.sprintf ",%.6g" v)
+          | None -> Buffer.add_char buf ',')
+        ctr_cols;
+      let tops =
+        List.map
+          (fun (name, s) -> Printf.sprintf "%s=%.6f" name s)
+          c.breakdown
+        |> String.concat ";"
+      in
+      Buffer.add_string buf ("," ^ tops ^ "\n"))
     cells;
   Buffer.contents buf

@@ -10,9 +10,20 @@ type cell = {
   query : Query.t;
   size : Gb_datagen.Spec.size;
   outcome : Engine.outcome;
+  breakdown : (string * float) list;
+      (** top span names by total duration for this cell — empty unless
+          tracing was enabled ({!Gb_obs.Obs.set_enabled}) during the run *)
+  counters : (string * float) list;
+      (** counter deltas attributable to this cell — empty unless tracing
+          was enabled *)
 }
 
 val run_cell : Engine.t -> Dataset.t -> Query.t -> timeout_s:float -> cell
+(** Run one (engine, query, data set) cell. When tracing is enabled the
+    run is wrapped in a ["cell:<engine>/<query>/<size>"] root span whose
+    duration equals the engine-reported total (matching
+    {!total_seconds}), and the cell carries its span breakdown and
+    counter deltas. *)
 
 val total_seconds : cell -> float option
 (** [Some total] for a (possibly degraded) completion; [Some infinity]
@@ -104,6 +115,10 @@ val table1 : cell list -> string
 
 val to_csv : cell list -> string
 (** Machine-readable dump of a cell grid: one line per cell with engine,
-    nodes, query, size, status, the phase timings, and the recovery
-    counters (retries, recovered_nodes, speculative, wasted_s — zeros for
-    clean completions, blank for cells with no timing). *)
+    nodes, query, size, status, the payload kind, the phase timings, the
+    recovery counters (retries, recovered_nodes, speculative, wasted_s —
+    zeros for clean completions, blank for cells with no timing), one
+    column per Obs counter observed anywhere in the grid (sorted by name
+    for a stable header order), and a [top_spans] breakdown column
+    ([name=seconds] pairs separated by [;]). Counter and breakdown cells
+    are blank when tracing was disabled. *)

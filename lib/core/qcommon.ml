@@ -54,7 +54,15 @@ let biclusters_of ?seed m =
     | None -> Gb_bicluster.Cheng_church.default_config
     | Some s -> { Gb_bicluster.Cheng_church.default_config with seed = s }
   in
-  let found = Gb_bicluster.Cheng_church.run ~config m in
+  let found =
+    Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"cheng_church"
+      ~attrs:
+        [
+          ("rows", Gb_obs.Obs.Int m.Mat.rows);
+          ("cols", Gb_obs.Obs.Int m.Mat.cols);
+        ]
+      (fun () -> Gb_bicluster.Cheng_church.run ~config m)
+  in
   Engine.Biclusters
     {
       clusters =
@@ -75,6 +83,13 @@ let enrichment_scores sample_matrix =
 let enrichment_of ~n_genes ~go_pairs ~go_terms ~p_threshold ~scores =
   if Array.length scores <> n_genes then
     invalid_arg "Qcommon.enrichment_of: scores length";
+  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"wilcoxon_enrichment"
+    ~attrs:
+      [
+        ("genes", Gb_obs.Obs.Int n_genes);
+        ("go_terms", Gb_obs.Obs.Int go_terms);
+      ]
+  @@ fun () ->
   let ranks = Gb_stats.Ranking.ranks scores in
   let members = Array.make go_terms [] in
   Array.iter

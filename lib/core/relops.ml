@@ -16,12 +16,15 @@ let table_schema = function
 
 let catalog db =
   {
-    Plan.scan = (fun t cols -> Ops.guard db.check (db.scan t cols));
+    Plan.scan =
+      (fun t cols ->
+        Ops.guard ~trace:("scan:" ^ t) db.check (db.scan t cols));
     schema_of = table_schema;
     row_count = db.row_count;
   }
 
-let guarded db table cols = Ops.guard db.check (db.scan table cols)
+let guarded db table cols =
+  Ops.guard ~trace:("scan:" ^ table) db.check (db.scan table cols)
 
 (* Join selected genes (small) against the microarray, keeping
    (patient_id, gene_id, value); expressed as a logical plan so the
@@ -40,8 +43,9 @@ let micro_join_genes db pred =
                } ) ))
 
 let pivot_triples rel =
-  Pivot.of_triples ~row_col:"patient_id" ~col_col:"gene_id" ~value_col:"value"
-    rel
+  Gb_obs.Obs.Span.with_ ~cat:"op" ~name:"pivot" (fun () ->
+      Pivot.of_triples ~row_col:"patient_id" ~col_col:"gene_id"
+        ~value_col:"value" rel)
 
 let q1_dm db (params : Query.params) =
   let joined =
@@ -50,7 +54,10 @@ let q1_dm db (params : Query.params) =
   let piv = pivot_triples joined in
   (* Project the drug response and align it with the pivot's row order. *)
   let resp = Hashtbl.create 1024 in
-  let patients = db.scan "patients" [ "patient_id"; "drug_response" ] in
+  let patients =
+    Ops.traced ~name:"scan:patients"
+      (db.scan "patients" [ "patient_id"; "drug_response" ])
+  in
   let pi = Schema.index patients.Ops.schema "patient_id" in
   let di = Schema.index patients.Ops.schema "drug_response" in
   Seq.iter
@@ -129,8 +136,10 @@ let q5_dm db (params : Query.params) ~n_patients =
       [ "patient_id" ]
   in
   let means =
-    Ops.aggregate ~group_by:[ "gene_id" ] ~aggs:[ ("score", Ops.Avg "value") ]
-      joined
+    Ops.traced ~name:"aggregate"
+      (Ops.aggregate ~group_by:[ "gene_id" ]
+         ~aggs:[ ("score", Ops.Avg "value") ]
+         joined)
   in
   let pairs_tbl = Hashtbl.create 1024 in
   let gi = Schema.index means.Ops.schema "gene_id" in

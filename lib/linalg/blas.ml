@@ -1,7 +1,11 @@
 module A = Bigarray.Array1
 
+let flops = Gb_obs.Metric.counter ~unit_:"flop" "linalg.flops"
+let fi = float_of_int
+
 let gemv (m : Mat.t) x =
   if Array.length x <> m.cols then invalid_arg "Blas.gemv: dimension";
+  Gb_obs.Metric.addf flops (2. *. fi m.rows *. fi m.cols);
   let y = Array.make m.rows 0. in
   let data = m.data in
   for i = 0 to m.rows - 1 do
@@ -16,6 +20,7 @@ let gemv (m : Mat.t) x =
 
 let gemv_t (m : Mat.t) x =
   if Array.length x <> m.rows then invalid_arg "Blas.gemv_t: dimension";
+  Gb_obs.Metric.addf flops (2. *. fi m.rows *. fi m.cols);
   let y = Array.make m.cols 0. in
   let data = m.data in
   for i = 0 to m.rows - 1 do
@@ -37,6 +42,7 @@ let block = 64
 let gemm (a : Mat.t) (b : Mat.t) =
   if a.cols <> b.rows then invalid_arg "Blas.gemm: dimension";
   let m = a.rows and k = a.cols and n = b.cols in
+  Gb_obs.Metric.addf flops (2. *. fi m *. fi k *. fi n);
   let c = Mat.create m n in
   let ad = a.data and bd = b.data and cd = c.data in
   let ii = ref 0 in
@@ -72,6 +78,7 @@ let gemm (a : Mat.t) (b : Mat.t) =
 
 let gemm_naive (a : Mat.t) (b : Mat.t) =
   if a.cols <> b.rows then invalid_arg "Blas.gemm_naive: dimension";
+  Gb_obs.Metric.addf flops (2. *. fi a.rows *. fi a.cols *. fi b.cols);
   let c = Mat.create a.rows b.cols in
   for i = 0 to a.rows - 1 do
     for j = 0 to b.cols - 1 do
@@ -89,6 +96,7 @@ let gemm_naive (a : Mat.t) (b : Mat.t) =
 let atb (a : Mat.t) (b : Mat.t) =
   if a.rows <> b.rows then invalid_arg "Blas.atb: dimension";
   let k = a.rows and m = a.cols and n = b.cols in
+  Gb_obs.Metric.addf flops (2. *. fi k *. fi m *. fi n);
   let c = Mat.create m n in
   let ad = a.data and bd = b.data and cd = c.data in
   for i = 0 to k - 1 do
@@ -111,6 +119,7 @@ let ata a = atb a a
 
 let aat (a : Mat.t) =
   let m = a.rows and k = a.cols in
+  Gb_obs.Metric.addf flops (fi m *. fi m *. fi k);
   let c = Mat.create m m in
   let ad = a.data in
   for i = 0 to m - 1 do

@@ -6,8 +6,13 @@ type result = {
 
 (* One full-reorthogonalization Lanczos sweep building at most [max_iter]
    basis vectors, then a Ritz extraction from the tridiagonal matrix. *)
+let iters = Gb_obs.Metric.counter ~unit_:"iteration" "linalg.lanczos_iters"
+
 let symmetric ?rng ?max_iter ?(tol = 1e-10) ~n ~k apply =
   if k <= 0 || k > n then invalid_arg "Lanczos.symmetric: bad k";
+  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"lanczos.symmetric"
+    ~attrs:[ ("n", Gb_obs.Obs.Int n); ("k", Gb_obs.Obs.Int k) ]
+  @@ fun () ->
   let rng =
     match rng with Some r -> r | None -> Gb_util.Prng.create 0x1a2c05L
   in
@@ -44,6 +49,7 @@ let symmetric ?rng ?max_iter ?(tol = 1e-10) ~n ~k apply =
      done
    with Exit -> ());
   let m = !m in
+  Gb_obs.Metric.add iters m;
   let diag = Array.sub alphas 0 m in
   let off = Array.sub betas 0 (max 0 (m - 1)) in
   let values, vectors = Tridiag.eigen diag off in

@@ -10,6 +10,13 @@ type t = {
 let factorize src =
   let m, n = Mat.dims src in
   if m < n then invalid_arg "Qr.factorize: rows < cols";
+  let fm = float_of_int m and fn = float_of_int n in
+  Gb_obs.Metric.addf
+    (Gb_obs.Metric.counter ~unit_:"flop" "linalg.flops")
+    ((2. *. fm *. fn *. fn) -. (2. /. 3. *. fn *. fn *. fn));
+  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"qr.factorize"
+    ~attrs:[ ("rows", Gb_obs.Obs.Int m); ("cols", Gb_obs.Obs.Int n) ]
+  @@ fun () ->
   let a = Mat.copy src in
   let betas = Array.make n 0. in
   for j = 0 to n - 1 do

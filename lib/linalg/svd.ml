@@ -4,6 +4,14 @@ let top_k ?rng m k =
   let rows, cols = Mat.dims m in
   if rows = 0 || cols = 0 then invalid_arg "Svd.top_k: empty matrix";
   let k = max 1 (min k (min rows cols)) in
+  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"svd.top_k"
+    ~attrs:
+      [
+        ("rows", Gb_obs.Obs.Int rows);
+        ("cols", Gb_obs.Obs.Int cols);
+        ("k", Gb_obs.Obs.Int k);
+      ]
+  @@ fun () ->
   if cols <= rows then begin
     (* Lanczos on M^T M (cols x cols), applied implicitly. *)
     let apply v = Blas.gemv_t m (Blas.gemv m v) in

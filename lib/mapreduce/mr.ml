@@ -1,6 +1,13 @@
 module Sim = Gb_util.Clock.Sim
 module Stopwatch = Gb_util.Clock.Stopwatch
 module Fault = Gb_fault.Fault
+module Obs = Gb_obs.Obs
+module Metric = Gb_obs.Metric
+
+let c_jobs = Metric.counter ~unit_:"job" "mr.jobs"
+let c_shuffle_bytes = Metric.counter ~unit_:"byte" "mr.shuffle_bytes"
+let c_retries = Metric.counter ~unit_:"retry" "fault.retries"
+let c_wasted_s = Metric.counter ~unit_:"s" "fault.wasted_s"
 
 type t = {
   clock : Sim.t;
@@ -62,7 +69,13 @@ let charge_task_faults t ~job ~name ~dt =
     let redone = float_of_int failures *. (dt +. t.job_overhead_s) in
     t.task_retries <- t.task_retries + failures;
     t.wasted_seconds <- t.wasted_seconds +. redone;
-    Sim.advance t.clock redone
+    Metric.add c_retries failures;
+    Metric.addf c_wasted_s redone;
+    let t0 = Sim.now t.clock in
+    Sim.advance t.clock redone;
+    Obs.Span.emit ~cat:"recovery" ~name:("retry:" ^ name)
+      ~attrs:[ ("job", Obs.Int job); ("failures", Obs.Int failures) ]
+      ~t0 ~t1:(Sim.now t.clock) ()
   end
 
 (* The shuffle writes the intermediate key/value stream out as tab-
@@ -103,6 +116,8 @@ let run_job t ~name ?combiner ~mapper ~reducer inputs =
   check_deadline t;
   let job = t.jobs in
   t.jobs <- job + 1;
+  Metric.add c_jobs 1;
+  let job_t0 = Sim.now t.clock in
   Sim.advance t.clock t.job_overhead_s;
   let (out, shuffled_bytes), dt =
     Stopwatch.time (fun () ->
@@ -142,12 +157,19 @@ let run_job t ~name ?combiner ~mapper ~reducer inputs =
     let wire = float_of_int shuffled_bytes *. ((n -. 1.) /. n) in
     Sim.advance t.clock (wire /. (t.shuffle_bps *. n))
   end;
+  Metric.add c_shuffle_bytes shuffled_bytes;
+  Obs.Span.emit ~cat:"mr" ~name:("mr:" ^ name)
+    ~attrs:
+      [ ("job", Obs.Int job); ("shuffle_bytes", Obs.Int shuffled_bytes) ]
+    ~t0:job_t0 ~t1:(Sim.now t.clock) ();
   out
 
 let text_job t ~name f inputs =
   check_deadline t;
   let job = t.jobs in
   t.jobs <- job + 1;
+  Metric.add c_jobs 1;
+  let job_t0 = Sim.now t.clock in
   Sim.advance t.clock t.job_overhead_s;
   let out, dt =
     Stopwatch.time (fun () ->
@@ -165,6 +187,9 @@ let text_job t ~name f inputs =
   let dt = dt /. compute_speedup t in
   Sim.advance t.clock dt;
   charge_task_faults t ~job ~name ~dt;
+  Obs.Span.emit ~cat:"mr" ~name:("mr:" ^ name)
+    ~attrs:[ ("job", Obs.Int job) ]
+    ~t0:job_t0 ~t1:(Sim.now t.clock) ();
   out
 
 let map_only t ~name ~mapper inputs =

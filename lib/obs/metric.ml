@@ -1,0 +1,139 @@
+(* Monotonic counters and log-bucketed histograms, registered per
+   subsystem in a process-global registry. Additions are gated on
+   [Obs.enabled] so the disabled mode costs one branch and perturbs
+   nothing. Snapshots are sorted by name, giving CSV consumers a stable
+   column order independent of registration order. *)
+
+type counter = { name : string; unit_ : string; mutable v : float }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter ?(unit_ = "") name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { name; unit_; v = 0. } in
+    Hashtbl.add counters name c;
+    c
+
+let add c n = if Obs.enabled () then c.v <- c.v +. float_of_int n
+let addf c x = if Obs.enabled () then c.v <- c.v +. x
+let value c = c.v
+let counter_unit c = c.unit_
+
+(* --- histograms: power-of-two buckets over positive observations --- *)
+
+let n_buckets = 64
+
+type histogram = {
+  h_name : string;
+  h_unit : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : int array;  (** index = clamped binary exponent + 32 *)
+}
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let histogram ?(unit_ = "") name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_unit = unit_;
+        count = 0;
+        sum = 0.;
+        min_v = infinity;
+        max_v = neg_infinity;
+        buckets = Array.make n_buckets 0;
+      }
+    in
+    Hashtbl.add histograms name h;
+    h
+
+let bucket_of x =
+  if x <= 0. then 0
+  else
+    let _, e = Float.frexp x in
+    max 0 (min (n_buckets - 1) (e + 32))
+
+let bucket_upper i = Float.ldexp 1.0 (i - 32)
+
+let observe h x =
+  if Obs.enabled () then begin
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. x;
+    if x < h.min_v then h.min_v <- x;
+    if x > h.max_v then h.max_v <- x;
+    let i = bucket_of x in
+    h.buckets.(i) <- h.buckets.(i) + 1
+  end
+
+type hist_stats = {
+  count : int;
+  sum : float;
+  mean : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;  (** bucket upper bound — a factor-of-2 approximation *)
+  p99 : float;
+}
+
+let percentile (h : histogram) q =
+  if h.count = 0 then 0.
+  else begin
+    let target = Float.to_int (Float.of_int h.count *. q) + 1 in
+    let seen = ref 0 and ans = ref h.max_v in
+    (try
+       for i = 0 to n_buckets - 1 do
+         seen := !seen + h.buckets.(i);
+         if !seen >= target then begin
+           ans := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min !ans h.max_v
+  end
+
+let stats (h : histogram) =
+  {
+    count = h.count;
+    sum = h.sum;
+    mean = (if h.count = 0 then 0. else h.sum /. Float.of_int h.count);
+    min_v = (if h.count = 0 then 0. else h.min_v);
+    max_v = (if h.count = 0 then 0. else h.max_v);
+    p50 = percentile h 0.5;
+    p99 = percentile h 0.99;
+  }
+
+(* --- snapshots --- *)
+
+let snapshot () =
+  Hashtbl.fold (fun _ c acc -> (c.name, c.v) :: acc) counters []
+  |> List.sort compare
+
+let hist_snapshot () =
+  Hashtbl.fold (fun _ h acc -> (h.h_name, stats h) :: acc) histograms []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let delta before =
+  snapshot ()
+  |> List.filter_map (fun (n, v) ->
+         let b = Option.value (List.assoc_opt n before) ~default:0. in
+         if v -. b <> 0. then Some (n, v -. b) else None)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.v <- 0.) counters;
+  Hashtbl.iter
+    (fun _ (h : histogram) ->
+      h.count <- 0;
+      h.sum <- 0.;
+      h.min_v <- infinity;
+      h.max_v <- neg_infinity;
+      Array.fill h.buckets 0 n_buckets 0)
+    histograms

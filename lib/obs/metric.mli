@@ -1,0 +1,47 @@
+(** Monotonic counters and log-bucketed histograms in a process-global
+    registry. All additions are gated on {!Obs.enabled}; the disabled
+    mode costs one branch per hook. Snapshots sort by name so CSV
+    columns have a stable order independent of registration order. *)
+
+type counter
+
+val counter : ?unit_:string -> string -> counter
+(** Find or register a counter. Names are conventionally
+    ["subsystem.metric"], e.g. ["storage.tuples_decoded"]. Repeat calls
+    with the same name return the same counter, so call sites may bind
+    one at module top level. *)
+
+val add : counter -> int -> unit
+val addf : counter -> float -> unit
+val value : counter -> float
+val counter_unit : counter -> string
+
+type histogram
+
+val histogram : ?unit_:string -> string -> histogram
+(** Find or register a histogram with power-of-two buckets. *)
+
+val observe : histogram -> float -> unit
+
+type hist_stats = {
+  count : int;
+  sum : float;
+  mean : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;  (** bucket upper bound — a factor-of-2 approximation *)
+  p99 : float;
+}
+
+val stats : histogram -> hist_stats
+
+val snapshot : unit -> (string * float) list
+(** All counter values, sorted by name. *)
+
+val hist_snapshot : unit -> (string * hist_stats) list
+
+val delta : (string * float) list -> (string * float) list
+(** Counters that moved since a previous {!snapshot}, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered counter and histogram (registrations stay). *)

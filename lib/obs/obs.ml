@@ -1,0 +1,153 @@
+(* Tracing core: hierarchical spans on a wall clock, flat spans charged to
+   the simulated clock, instant events, and a process-global collector.
+
+   The whole subsystem hangs off one flag. When disabled (the default)
+   every hook reduces to a single load-and-branch and records nothing, so
+   fault-free conformance runs stay bit-identical and timings
+   unperturbed. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type attrs = (string * value) list
+
+type track = Wall | Sim
+
+type span = {
+  id : int;
+  parent : int;  (** span id, or -1 for a root *)
+  name : string;
+  cat : string;
+  track : track;
+  tid : int;  (** 0 = main; cluster nodes use 1-based ranks *)
+  t0 : float;  (** seconds since the trace epoch (wall) or sim-clock time *)
+  dur : float;
+  attrs : attrs;
+}
+
+type event =
+  | Span_ev of span
+  | Instant_ev of { name : string; track : track; tid : int; ts : float; attrs : attrs }
+
+let string_of_value = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+(* --- global state --- *)
+
+let on = ref false
+let epoch = ref (Unix.gettimeofday ())
+let buf : event list ref = ref []
+let count = ref 0
+let next_id = ref 0
+
+type frame = { f_id : int; f_t0 : float }
+
+let stack : frame list ref = ref []
+
+let enabled () = !on
+let set_enabled b = on := b
+
+let reset () =
+  buf := [];
+  count := 0;
+  next_id := 0;
+  stack := [];
+  epoch := Unix.gettimeofday ()
+
+let now () = Unix.gettimeofday () -. !epoch
+let record ev =
+  buf := ev :: !buf;
+  incr count
+
+let events () = List.rev !buf
+let event_count () = !count
+let mark () = !count
+
+let events_since m =
+  let rec take acc n l =
+    if n <= 0 then acc
+    else match l with [] -> acc | e :: tl -> take (e :: acc) (n - 1) tl
+  in
+  take [] (!count - m) !buf
+
+let open_depth () = List.length !stack
+
+module Span = struct
+  let current_parent () = match !stack with [] -> -1 | f :: _ -> f.f_id
+
+  let with_ ?(cat = "span") ?(attrs = []) ?dur_of ~name f =
+    if not !on then f ()
+    else begin
+      let id = !next_id in
+      incr next_id;
+      let parent = current_parent () in
+      let t0 = now () in
+      stack := { f_id = id; f_t0 = t0 } :: !stack;
+      let finish ~error ~dur =
+        (* Pop our frame; if a callee leaked frames (it would have to
+           bypass [with_] to do so), discard them too so the stack stays
+           balanced for our callers. *)
+        let rec pop = function
+          | f :: rest -> if f.f_id = id then rest else pop rest
+          | [] -> []
+        in
+        stack := pop !stack;
+        let attrs = if error then ("error", Bool true) :: attrs else attrs in
+        record
+          (Span_ev
+             { id; parent; name; cat; track = Wall; tid = 0; t0; dur; attrs })
+      in
+      match f () with
+      | r ->
+        let dur =
+          match dur_of with
+          | Some g -> (
+            match g r with Some d -> d | None -> now () -. t0)
+          | None -> now () -. t0
+        in
+        finish ~error:false ~dur;
+        r
+      | exception e ->
+        finish ~error:true ~dur:(now () -. t0);
+        raise e
+    end
+
+  let emit ?(cat = "span") ?(attrs = []) ?(track = Sim) ?(tid = 0) ~name ~t0
+      ~t1 () =
+    if !on then begin
+      let id = !next_id in
+      incr next_id;
+      let parent = match track with Wall -> current_parent () | Sim -> -1 in
+      record
+        (Span_ev
+           {
+             id;
+             parent;
+             name;
+             cat;
+             track;
+             tid;
+             t0;
+             dur = Float.max 0. (t1 -. t0);
+             attrs;
+           })
+    end
+
+  let instant ?(attrs = []) ?(track = Wall) ?(tid = 0) ?ts ~name () =
+    if !on then begin
+      let ts = match ts with Some t -> t | None -> now () in
+      record (Instant_ev { name; track; tid; ts; attrs })
+    end
+end
+
+module Log = struct
+  let line ?sink msg =
+    (match sink with
+    | None -> ()
+    | Some f ->
+      f (Printf.sprintf "[+%8.3fs] %s" (Unix.gettimeofday () -. !epoch) msg));
+    if !on then
+      record (Instant_ev { name = msg; track = Wall; tid = 0; ts = now (); attrs = [ ("kind", Str "log") ] })
+end

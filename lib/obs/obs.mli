@@ -1,0 +1,103 @@
+(** Tracing core: hierarchical wall-clock spans, flat simulated-clock
+    spans, instant events, and a process-global in-memory collector.
+
+    Everything is gated on one flag ({!set_enabled}), off by default.
+    Disabled hooks reduce to a load-and-branch and record nothing, so
+    fault-free conformance runs stay bit-identical and timings
+    unperturbed. The subsystem depends only on [Unix.gettimeofday].
+
+    Clock duality: spans opened with {!Span.with_} measure wall time and
+    nest via an explicit span stack; engines that charge a simulated
+    clock ({!Gb_cluster.Cluster}, {!Gb_mapreduce.Mr}, the SciDB/Phi
+    device model) instead {!Span.emit} spans with explicit simulated
+    timestamps. Both land in the same trace on separate tracks. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type attrs = (string * value) list
+
+type track = Wall  (** real time, relative to the trace epoch *)
+           | Sim  (** simulated-clock seconds *)
+
+type span = {
+  id : int;
+  parent : int;  (** span id, or -1 for a root *)
+  name : string;
+  cat : string;
+  track : track;
+  tid : int;  (** 0 = main; cluster nodes use 1-based ranks *)
+  t0 : float;
+  dur : float;
+  attrs : attrs;
+}
+
+type event =
+  | Span_ev of span
+  | Instant_ev of { name : string; track : track; tid : int; ts : float; attrs : attrs }
+
+val string_of_value : value -> string
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Clear collected events and re-anchor the wall-clock epoch. Does not
+    change the enabled flag. *)
+
+val now : unit -> float
+(** Wall seconds since the trace epoch. *)
+
+val events : unit -> event list
+(** All collected events, oldest first. *)
+
+val event_count : unit -> int
+
+val mark : unit -> int
+(** A cursor into the event stream; pass to {!events_since}. *)
+
+val events_since : int -> event list
+(** Events recorded after the given {!mark}, oldest first. *)
+
+val open_depth : unit -> int
+(** Number of currently open {!Span.with_} frames (0 when balanced). *)
+
+module Span : sig
+  val with_ :
+    ?cat:string ->
+    ?attrs:attrs ->
+    ?dur_of:('a -> float option) ->
+    name:string ->
+    (unit -> 'a) ->
+    'a
+  (** Run [f] inside a wall-clock span. Exception-safe: the span is
+      closed (and flagged [error]) if [f] raises. [dur_of] may override
+      the recorded duration from the result — the harness uses it to
+      make a cell's root span equal the engine-reported total rather
+      than raw wall elapsed (which would include untimed setup). *)
+
+  val emit :
+    ?cat:string ->
+    ?attrs:attrs ->
+    ?track:track ->
+    ?tid:int ->
+    name:string ->
+    t0:float ->
+    t1:float ->
+    unit ->
+    unit
+  (** Record a completed span with explicit timestamps — the vehicle for
+      simulated-clock spans (default [track] is [Sim]). Wall-track emits
+      attach to the currently open {!with_} span; Sim spans nest by time
+      containment instead of parent links. *)
+
+  val instant :
+    ?attrs:attrs -> ?track:track -> ?tid:int -> ?ts:float -> name:string -> unit -> unit
+end
+
+module Log : sig
+  val line : ?sink:(string -> unit) -> string -> unit
+  (** One timestamped channel for progress lines: prefixes the message
+      with [+seconds] since the trace epoch and hands it to [sink], and
+      (when tracing is enabled) records it as an instant event so log
+      lines interleave with spans in the exported trace. *)
+end

@@ -1,0 +1,454 @@
+(* Sinks for the collected trace: a Chrome trace_event JSON exporter
+   (loadable in chrome://tracing and Perfetto), a minimal JSON parser
+   used to validate what we emit, and a text flame/summary renderer for
+   the CLI. *)
+
+(* --- JSON escaping --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_value = function
+  | Obs.Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Obs.Int i -> string_of_int i
+  | Obs.Float f ->
+    if Float.is_finite f then Printf.sprintf "%.9g" f
+    else Printf.sprintf "\"%s\"" (Float.to_string f)
+  | Obs.Bool b -> string_of_bool b
+
+let args_json attrs =
+  attrs
+  |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (json_of_value v))
+  |> String.concat ","
+
+(* --- Chrome trace_event export --- *)
+
+let pid_of = function Obs.Wall -> 1 | Obs.Sim -> 2
+
+let us t = t *. 1e6
+
+let chrome_json events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf line
+  in
+  (* Process/thread naming metadata so Perfetto labels the two clock
+     domains and per-node tracks. *)
+  emit
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"wall clock\"}}";
+  emit
+    "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"simulated clock\"}}";
+  let tids = Hashtbl.create 8 in
+  let note_tid track tid =
+    let key = (pid_of track, tid) in
+    if tid > 0 && not (Hashtbl.mem tids key) then begin
+      Hashtbl.add tids key ();
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"node %d\"}}"
+           (fst key) tid tid)
+    end
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Obs.Span_ev s ->
+        note_tid s.track s.tid;
+        let args =
+          args_json
+            (s.attrs
+            @ (if s.parent >= 0 then [ ("parent", Obs.Int s.parent) ] else []))
+        in
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
+             (pid_of s.track) s.tid (escape s.name) (escape s.cat) (us s.t0)
+             (us s.dur) args)
+      | Obs.Instant_ev i ->
+        note_tid i.track i.tid;
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"ts\":%.3f,\"args\":{%s}}"
+             (pid_of i.track) i.tid (escape i.name) (us i.ts)
+             (args_json i.attrs)))
+    events;
+  Buffer.add_string buf "\n]}";
+  Buffer.contents buf
+
+(* --- minimal JSON parser, for round-trip validation of our output --- *)
+
+type json =
+  | Null
+  | JBool of bool
+  | Num of float
+  | JStr of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_lit lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else fail ("bad literal " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "bad escape");
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "bad \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          let code =
+            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+          in
+          (* ASCII only — enough for our own output *)
+          Buffer.add_char buf (Char.chr (code land 0x7f));
+          pos := !pos + 4
+        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let str = String.sub s start (!pos - start) in
+    match float_of_string_opt str with
+    | Some f -> Num f
+    | None -> fail ("bad number " ^ str)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | '"' -> JStr (parse_string ())
+    | 't' -> parse_lit "true" (JBool true)
+    | 'f' -> parse_lit "false" (JBool false)
+    | 'n' -> parse_lit "null" Null
+    | _ -> parse_number ()
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* Validate a serialized trace against the trace_event schema essentials:
+   top-level object with a traceEvents array; every event an object with
+   string "ph"/"name" and numeric "pid"/"tid"/"ts" (metadata "M" events
+   are exempt from "ts"); complete ("X") events carry a non-negative
+   numeric "dur". Returns the number of non-metadata events. *)
+let validate_chrome serialized =
+  match parse serialized with
+  | Error e -> Error ("trace is not valid JSON: " ^ e)
+  | Ok (Obj fields) -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Arr evs) -> (
+      let check i = function
+        | Obj f -> (
+          let str k = match List.assoc_opt k f with Some (JStr s) -> Some s | _ -> None in
+          let num k = match List.assoc_opt k f with Some (Num x) -> Some x | _ -> None in
+          match str "ph", str "name" with
+          | None, _ -> Error (Printf.sprintf "event %d: missing ph" i)
+          | _, None -> Error (Printf.sprintf "event %d: missing name" i)
+          | Some ph, Some _ ->
+            if num "pid" = None || num "tid" = None then
+              Error (Printf.sprintf "event %d: missing pid/tid" i)
+            else if ph = "M" then Ok 0
+            else if num "ts" = None then
+              Error (Printf.sprintf "event %d: missing ts" i)
+            else if
+              ph = "X"
+              && match num "dur" with Some d -> d < 0. | None -> true
+            then Error (Printf.sprintf "event %d: X event needs dur >= 0" i)
+            else Ok 1)
+        | _ -> Error (Printf.sprintf "event %d: not an object" i)
+      in
+      let rec go i count = function
+        | [] -> Ok count
+        | ev :: tl -> (
+          match check i ev with
+          | Error e -> Error e
+          | Ok k -> go (i + 1) (count + k) tl)
+      in
+      go 0 0 evs)
+    | _ -> Error "missing traceEvents array")
+  | Ok _ -> Error "top level is not an object"
+
+(* --- tree reconstruction ---
+
+   Wall spans carry parent ids; Sim spans are flat per (track, tid) and
+   nest by time containment. One containment pass per track group covers
+   both (parent links and containment agree for well-nested wall spans
+   because children are recorded before parents but share the parent's
+   window). *)
+
+type node = {
+  span : Obs.span;
+  depth : int;
+  mutable child_sum : float;
+}
+
+let spans_of events =
+  List.filter_map (function Obs.Span_ev s -> Some s | _ -> None) events
+
+let group_key s = (s.Obs.track, s.Obs.tid)
+
+(* Returns nodes in (t0, -dur) order with depth and child-duration sums
+   filled in, grouped per (track, tid). *)
+let tree events =
+  let spans = spans_of events in
+  let keys =
+    List.fold_left
+      (fun acc s -> if List.mem (group_key s) acc then acc else acc @ [ group_key s ])
+      [] spans
+  in
+  List.concat_map
+    (fun key ->
+      let group = List.filter (fun s -> group_key s = key) spans in
+      let sorted =
+        List.sort
+          (fun a b ->
+            match compare a.Obs.t0 b.Obs.t0 with
+            | 0 -> (
+              match compare b.Obs.dur a.Obs.dur with
+              | 0 -> compare a.Obs.id b.Obs.id
+              | c -> c)
+            | c -> c)
+          group
+      in
+      let eps = 1e-9 in
+      let open_stack : node list ref = ref [] in
+      let out = ref [] in
+      List.iter
+        (fun s ->
+          let rec unwind () =
+            match !open_stack with
+            | top :: rest
+              when top.span.Obs.t0 +. top.span.Obs.dur <= s.Obs.t0 +. eps ->
+              open_stack := rest;
+              unwind ()
+            | _ -> ()
+          in
+          unwind ();
+          let depth = List.length !open_stack in
+          (match !open_stack with
+          | parent :: _ -> parent.child_sum <- parent.child_sum +. s.Obs.dur
+          | [] -> ());
+          let node = { span = s; depth; child_sum = 0. } in
+          out := node :: !out;
+          open_stack := node :: !open_stack)
+        sorted;
+      List.rev !out)
+    keys
+
+(* --- aggregated summary --- *)
+
+type agg = { name : string; calls : int; total : float; self : float }
+
+let span_summary ?exclude_cat events =
+  let keep s =
+    match exclude_cat with None -> true | Some c -> s.Obs.cat <> c
+  in
+  let tbl : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let order = ref [] in
+  List.iter
+    (fun node ->
+      let s = node.span in
+      if keep s then begin
+        let calls, total, self =
+          match Hashtbl.find_opt tbl s.Obs.name with
+          | Some e -> e
+          | None ->
+            let e = (ref 0, ref 0., ref 0.) in
+            Hashtbl.add tbl s.Obs.name e;
+            order := s.Obs.name :: !order;
+            e
+        in
+        incr calls;
+        total := !total +. s.Obs.dur;
+        self := !self +. Float.max 0. (s.Obs.dur -. node.child_sum)
+      end)
+    (tree events);
+  !order
+  |> List.rev_map (fun name ->
+         let calls, total, self = Hashtbl.find tbl name in
+         { name; calls = !calls; total = !total; self = !self })
+  |> List.sort (fun a b -> compare b.total a.total)
+
+let top_spans ?(k = 5) ?exclude_cat events =
+  span_summary ?exclude_cat events
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map (fun a -> (a.name, a.total))
+
+(* --- text flame + summary renderer --- *)
+
+let track_label = function Obs.Wall -> "wall clock" | Obs.Sim -> "simulated clock"
+
+let flame ?(max_lines = 120) events =
+  let buf = Buffer.create 1024 in
+  let nodes = tree events in
+  let last_key = ref None in
+  let printed = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun node ->
+      let s = node.span in
+      let key = group_key s in
+      if !last_key <> Some key then begin
+        last_key := Some key;
+        Buffer.add_string buf
+          (Printf.sprintf "-- %s%s --\n" (track_label s.Obs.track)
+             (if s.Obs.tid > 0 then Printf.sprintf ", node %d" s.Obs.tid else ""))
+      end;
+      if !printed < max_lines then begin
+        incr printed;
+        let attrs =
+          match s.Obs.attrs with
+          | [] -> ""
+          | l ->
+            "  ["
+            ^ String.concat ", "
+                (List.map
+                   (fun (k, v) -> k ^ "=" ^ Obs.string_of_value v)
+                   l)
+            ^ "]"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%-*s %10.6fs%s\n"
+             (String.make (2 * node.depth) ' ')
+             (max 1 (44 - (2 * node.depth)))
+             s.Obs.name s.Obs.dur attrs)
+      end
+      else incr skipped)
+    nodes;
+  if !skipped > 0 then
+    Buffer.add_string buf (Printf.sprintf "... (%d more spans)\n" !skipped);
+  Buffer.contents buf
+
+let summary ?exclude_cat events =
+  let aggs = span_summary ?exclude_cat events in
+  let grand = List.fold_left (fun acc a -> acc +. a.self) 0. aggs in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-44s %6s %12s %12s %6s\n" "span" "calls" "total_s"
+       "self_s" "self%");
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-44s %6d %12.6f %12.6f %5.1f%%\n" a.name a.calls
+           a.total a.self
+           (if grand > 0. then 100. *. a.self /. grand else 0.)))
+    aggs;
+  Buffer.contents buf

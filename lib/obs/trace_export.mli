@@ -1,0 +1,44 @@
+(** Trace sinks: Chrome [trace_event] JSON export, a minimal JSON parser
+    to validate the export, and text flame/summary renderers. *)
+
+val chrome_json : Obs.event list -> string
+(** Serialize events in the Chrome trace_event JSON-object format,
+    loadable in chrome://tracing and Perfetto. Wall-track events land on
+    pid 1 ("wall clock"), simulated-clock events on pid 2 ("simulated
+    clock"); cluster node ids become thread tracks. Timestamps are
+    microseconds; spans use "X" complete events, instants use "i". *)
+
+type json =
+  | Null
+  | JBool of bool
+  | Num of float
+  | JStr of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+(** Minimal JSON parser (ASCII escapes only) — enough to round-trip what
+    {!chrome_json} emits. *)
+
+val validate_chrome : string -> (int, string) result
+(** Parse a serialized trace and check the trace_event essentials: a
+    [traceEvents] array whose members carry [ph]/[name]/[pid]/[tid], a
+    numeric [ts] on non-metadata events, and a non-negative [dur] on "X"
+    events. [Ok n] gives the number of non-metadata events. *)
+
+type agg = { name : string; calls : int; total : float; self : float }
+
+val span_summary : ?exclude_cat:string -> Obs.event list -> agg list
+(** Per-name aggregation, sorted by total duration descending. Self time
+    excludes child spans, which are reconstructed from parent links and
+    time containment per (track, node) group. *)
+
+val top_spans : ?k:int -> ?exclude_cat:string -> Obs.event list -> (string * float) list
+(** The [k] span names with the largest total duration — the harness
+    puts these in its CSV breakdown column. *)
+
+val flame : ?max_lines:int -> Obs.event list -> string
+(** Indented span tree per clock track and node, durations in seconds. *)
+
+val summary : ?exclude_cat:string -> Obs.event list -> string
+(** Table form of {!span_summary}. *)

@@ -14,16 +14,66 @@ let scan_col_store cs names =
     rows = Col_store.to_seq cs names;
   }
 
-let filter e r =
-  let pred = Expr.compile_pred r.schema e in
-  { r with rows = Seq.filter pred r.rows }
+let rows_out = Gb_obs.Metric.counter ~unit_:"row" "relops.rows"
 
-let project names r =
+let emit_op_span ~name ~t0 n =
+  Gb_obs.Metric.add rows_out n;
+  Gb_obs.Obs.Span.emit ~track:Gb_obs.Obs.Wall ~cat:"op"
+    ~attrs:[ ("rows", Gb_obs.Obs.Int n) ]
+    ~name ~t0
+    ~t1:(Gb_obs.Obs.now ())
+    ()
+
+(* [?trace] fuses the operator's span into its own streaming loop: the
+   row count and first-pull-to-exhaustion timing cost an int increment
+   on top of the work the operator does anyway, instead of the extra
+   Seq layer a generic [traced] wrap would add. *)
+let filter ?trace e r =
+  let pred = Expr.compile_pred r.schema e in
+  match trace with
+  | Some name when Gb_obs.Obs.enabled () ->
+    let rows () =
+      let t0 = Gb_obs.Obs.now () in
+      let n = ref 0 in
+      let rec next s () =
+        match s () with
+        | Seq.Nil ->
+          emit_op_span ~name ~t0 !n;
+          Seq.Nil
+        | Seq.Cons (x, rest) ->
+          if pred x then begin
+            incr n;
+            Seq.Cons (x, next rest)
+          end
+          else next rest ()
+      in
+      next r.rows ()
+    in
+    { r with rows }
+  | _ -> { r with rows = Seq.filter pred r.rows }
+
+let project ?trace names r =
   let idx = Array.of_list (List.map (Schema.index r.schema) names) in
-  {
-    schema = Schema.project r.schema names;
-    rows = Seq.map (fun row -> Array.map (fun i -> row.(i)) idx) r.rows;
-  }
+  let schema = Schema.project r.schema names in
+  let f row = Array.map (fun i -> row.(i)) idx in
+  match trace with
+  | Some name when Gb_obs.Obs.enabled () ->
+    let rows () =
+      let t0 = Gb_obs.Obs.now () in
+      let n = ref 0 in
+      let rec next s () =
+        match s () with
+        | Seq.Nil ->
+          emit_op_span ~name ~t0 !n;
+          Seq.Nil
+        | Seq.Cons (x, rest) ->
+          incr n;
+          Seq.Cons (f x, next rest)
+      in
+      next r.rows ()
+    in
+    { schema; rows }
+  | _ -> { schema; rows = Seq.map f r.rows }
 
 let map_column name e r =
   let f = Expr.compile r.schema e in
@@ -44,12 +94,12 @@ let map_column name e r =
     rows = Seq.map (fun row -> Array.append row [| f row |]) r.rows;
   }
 
-let hash_join ~on left right =
+let hash_join ?trace ~on left right =
   let lidx = List.map (fun (l, _) -> Schema.index left.schema l) on in
   let ridx = List.map (fun (_, r) -> Schema.index right.schema r) on in
   let key idx row = List.map (fun i -> row.(i)) idx in
   let out_schema = Schema.concat left.schema right.schema in
-  let rows () =
+  let build () =
     let table = Hashtbl.create 1024 in
     Seq.iter
       (fun row ->
@@ -57,15 +107,38 @@ let hash_join ~on left right =
         let existing = try Hashtbl.find table k with Not_found -> [] in
         Hashtbl.replace table k (row :: existing))
       right.rows;
-    (Seq.concat_map
-       (fun lrow ->
-         match Hashtbl.find_opt table (key lidx lrow) with
-         | None -> Seq.empty
-         | Some matches ->
-           List.to_seq (List.rev matches)
-           |> Seq.map (fun rrow -> Array.append lrow rrow))
-       left.rows)
-      ()
+    table
+  in
+  (* Direct probe loop (cheaper than [Seq.concat_map] over per-match
+     sub-sequences). [?trace] adds an int increment per output row and a
+     span at exhaustion; it costs nothing when tracing is disabled. *)
+  let rows () =
+    let tr =
+      match trace with
+      | Some name when Gb_obs.Obs.enabled () -> Some (name, Gb_obs.Obs.now ())
+      | _ -> None
+    in
+    let table = build () in
+    let n = ref 0 in
+    let rec outer l () =
+      match l () with
+      | Seq.Nil ->
+        (match tr with
+        | Some (name, t0) -> emit_op_span ~name ~t0 !n
+        | None -> ());
+        Seq.Nil
+      | Seq.Cons (lrow, lrest) -> (
+        match Hashtbl.find_opt table (key lidx lrow) with
+        | None -> outer lrest ()
+        | Some matches -> inner lrow (List.rev matches) lrest ())
+    and inner lrow ms lrest () =
+      match ms with
+      | [] -> outer lrest ()
+      | rrow :: tl ->
+        incr n;
+        Seq.Cons (Array.append lrow rrow, inner lrow tl lrest)
+    in
+    outer left.rows ()
   in
   { schema = out_schema; rows }
 
@@ -170,18 +243,69 @@ let column_floats r name =
   Seq.iter (fun row -> out := Value.to_float row.(i) :: !out) r.rows;
   Array.of_list (List.rev !out)
 
-let guard ?(interval = 4096) check r =
-  let n = ref 0 in
-  {
-    r with
-    rows =
-      Seq.map
-        (fun row ->
+let guard ?(interval = 4096) ?trace check r =
+  match trace with
+  | Some name when Gb_obs.Obs.enabled () ->
+    (* Fused: the guard already touches every row, so the scan span's
+       count and timing ride its loop instead of adding a layer. *)
+    let rows () =
+      let t0 = Gb_obs.Obs.now () in
+      let n = ref 0 in
+      let rec next s () =
+        match s () with
+        | Seq.Nil ->
+          emit_op_span ~name ~t0 !n;
+          Seq.Nil
+        | Seq.Cons (row, rest) ->
           incr n;
           if !n mod interval = 0 then check ();
-          row)
-        r.rows;
-  }
+          Seq.Cons (row, next rest)
+      in
+      next r.rows ()
+    in
+    { r with rows }
+  | _ ->
+    let n = ref 0 in
+    {
+      r with
+      rows =
+        Seq.map
+          (fun row ->
+            incr n;
+            if !n mod interval = 0 then check ();
+            row)
+          r.rows;
+    }
+
+(* Wrap a relation so that one full consumption emits a wall-clock span
+   covering first pull to exhaustion, carrying the row count. Volcano
+   operators are lazy, so construction time is meaningless; the span
+   brackets the work the operator actually forced. Per-element cost when
+   tracing is an int increment plus one extra Seq node — operators with
+   a streaming loop of their own should prefer their fused [?trace]
+   argument, which avoids the extra layer entirely. Disabled tracing
+   returns the relation untouched. *)
+let traced ?(cat = "op") ?(attrs = []) ~name r =
+  if not (Gb_obs.Obs.enabled ()) then r
+  else
+    let rows () =
+      let t0 = Gb_obs.Obs.now () in
+      let n = ref 0 in
+      let rec wrap s () =
+        match s () with
+        | Seq.Nil ->
+          Gb_obs.Metric.add rows_out !n;
+          Gb_obs.Obs.Span.emit ~track:Gb_obs.Obs.Wall ~cat
+            ~attrs:(("rows", Gb_obs.Obs.Int !n) :: attrs)
+            ~name ~t0 ~t1:(Gb_obs.Obs.now ()) ();
+          Seq.Nil
+        | Seq.Cons (x, rest) ->
+          incr n;
+          Seq.Cons (x, wrap rest)
+      in
+      wrap r.rows ()
+    in
+    { r with rows }
 
 let merge_join ~on left right =
   let lidx = List.map (fun (l, _) -> Schema.index left.schema l) on in

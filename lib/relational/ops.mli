@@ -16,15 +16,23 @@ val scan_col_store : Col_store.t -> string list -> rel
 (** Late-materialization scan: only the named columns are read; the
     output schema is restricted to them (in that order). *)
 
-val filter : Expr.t -> rel -> rel
-val project : string list -> rel -> rel
+val filter : ?trace:string -> Expr.t -> rel -> rel
+(** [?trace] names a tracing span fused into the operator's own
+    streaming loop (first pull to exhaustion, row count attached) —
+    cheaper than wrapping the output in {!traced} because it adds no
+    extra [Seq] layer. No-op while tracing is disabled. *)
+
+val project : ?trace:string -> string list -> rel -> rel
+(** [?trace] as in {!filter}. *)
+
 val map_column : string -> Expr.t -> rel -> rel
 (** [map_column name e r] appends a computed column. *)
 
-val hash_join : on:(string * string) list -> rel -> rel -> rel
+val hash_join : ?trace:string -> on:(string * string) list -> rel -> rel -> rel
 (** [hash_join ~on left right] equi-joins; builds a hash table on [right]
     (choose the smaller input as [right]); output schema is
-    [Schema.concat left right]. *)
+    [Schema.concat left right]. [?trace] as in {!filter}, fused into the
+    probe loop. *)
 
 type agg = Count | Sum of string | Avg of string | Min of string | Max of string
 
@@ -38,10 +46,19 @@ val limit : int -> rel -> rel
 val column_floats : rel -> string -> float array
 (** Materialize one column as floats (consumes the stream). *)
 
-val guard : ?interval:int -> (unit -> unit) -> rel -> rel
+val guard : ?interval:int -> ?trace:string -> (unit -> unit) -> rel -> rel
 (** [guard check r] invokes [check] every [interval] (default 4096) rows
     pulled through — the hook the engines use for cooperative query
-    timeouts. *)
+    timeouts. [?trace] as in {!filter}: since the guard already touches
+    every row, a scan span fused here costs no extra [Seq] layer. *)
+
+val traced : ?cat:string -> ?attrs:Gb_obs.Obs.attrs -> name:string -> rel -> rel
+(** Wrap a relation so that one full consumption emits a wall-clock
+    tracing span (first pull to exhaustion) carrying the row count, and
+    bumps the ["relops.rows"] counter. The per-element cost while
+    tracing is one int increment plus one extra [Seq] node; with tracing
+    disabled this is the identity. {!Plan.run} applies it to plan nodes
+    that lack a fused [?trace] equivalent. *)
 
 val merge_join : on:(string * string) list -> rel -> rel -> rel
 (** Sort-merge equi-join: sorts both inputs on the key columns, then

@@ -222,17 +222,26 @@ let optimize cat plan =
   let plan = prune cat top plan in
   choose_builds cat plan
 
+(* Each plan node carries a tracing span, so an enabled trace shows one
+   span per operator bracketing the work it forced (lazy pulls nest the
+   spans by time containment). Filter, project and join fuse the span
+   into their own loop via [?trace]; aggregate/sort/limit wrap their
+   output in [Ops.traced]. Scan spans are the catalog's job — its [scan]
+   should fuse one via [Ops.guard ~trace] or wrap with [Ops.traced] — so
+   hot scans need not pay for an extra per-row layer here. With tracing
+   disabled every hook is the identity. *)
 let rec run cat = function
   | Scan (table, []) ->
     cat.scan table (List.map fst (Schema.columns (cat.schema_of table)))
   | Scan (table, cols) -> cat.scan table cols
-  | Filter (e, p) -> Ops.filter e (run cat p)
-  | Project (cols, p) -> Ops.project cols (run cat p)
-  | Join { left; right; on } -> Ops.hash_join ~on (run cat left) (run cat right)
+  | Filter (e, p) -> Ops.filter ~trace:"filter" e (run cat p)
+  | Project (cols, p) -> Ops.project ~trace:"project" cols (run cat p)
+  | Join { left; right; on } ->
+    Ops.hash_join ~trace:"hash_join" ~on (run cat left) (run cat right)
   | Aggregate { group_by; aggs; input } ->
-    Ops.aggregate ~group_by ~aggs (run cat input)
-  | Sort (by, p) -> Ops.sort ~by (run cat p)
-  | Limit (n, p) -> Ops.limit n (run cat p)
+    Ops.traced ~name:"aggregate" (Ops.aggregate ~group_by ~aggs (run cat input))
+  | Sort (by, p) -> Ops.traced ~name:"sort" (Ops.sort ~by (run cat p))
+  | Limit (n, p) -> Ops.traced ~name:"limit" (Ops.limit n (run cat p))
 
 let execute ?(optimize_first = true) cat plan =
   let plan = if optimize_first then optimize cat plan else plan in

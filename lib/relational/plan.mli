@@ -23,6 +23,10 @@ type t =
 
 type catalog = {
   scan : string -> string list -> Ops.rel;
+      (** Also owns the scan's tracing span: fuse one with
+          [Ops.guard ~trace:("scan:" ^ table)] (or wrap with
+          {!Ops.traced}) so executed plans show per-operator spans.
+          Interior operators get theirs from {!execute} itself. *)
   schema_of : string -> Schema.t;
   row_count : string -> int;
 }

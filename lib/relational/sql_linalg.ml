@@ -76,14 +76,18 @@ let center_columns ~rows rel =
 let covariance ?check ~rows rel =
   let centered = center_columns ~rows rel in
   (* Materialize: the product consumes the centered relation twice. *)
-  let cached = Ops.of_list triple_schema (Ops.to_list centered) in
+  let cached =
+    Gb_obs.Obs.Span.with_ ~cat:"op" ~name:"sql.center_columns" (fun () ->
+        Ops.of_list triple_schema (Ops.to_list centered))
+  in
   let prod = matmul ?check (transpose cached) cached in
   let scale = 1. /. float_of_int (rows - 1) in
   let scaled =
     Ops.map_column "sv" Expr.(Arith (Mul, col "v", float scale)) prod
   in
   let out = Ops.project [ "i"; "j"; "sv" ] scaled in
-  { Ops.schema = triple_schema; rows = out.Ops.rows }
+  Ops.traced ~name:"sql.covariance"
+    { Ops.schema = triple_schema; rows = out.Ops.rows }
 
 (* Mat-vec in SQL: join the matrix triples against a vector relation
    (j, x) and sum per row. *)
@@ -109,6 +113,15 @@ let vec_of_rel ~n rel =
   out
 
 let power_iteration_eigs ?(check = fun () -> ()) ~rows ~cols ~k ~iters rel =
+  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"sql.power_iteration"
+    ~attrs:
+      [
+        ("rows", Gb_obs.Obs.Int rows);
+        ("cols", Gb_obs.Obs.Int cols);
+        ("k", Gb_obs.Obs.Int k);
+        ("iters", Gb_obs.Obs.Int iters);
+      ]
+  @@ fun () ->
   let a = Ops.of_list triple_schema (Ops.to_list (rename rel)) in
   let at = Ops.of_list triple_schema (Ops.to_list (transpose a)) in
   let rng = Gb_util.Prng.create 0x5AD5AD5AL in

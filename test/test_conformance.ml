@@ -236,7 +236,7 @@ let test_targeted_crash_degraded_match () =
 let test_render_and_csv () =
   let cell classification =
     { Matrix.engine = "Fake engine"; nodes = 1; query = Query.Q1_regression;
-      seed = 1L; fuzzed = false; classification }
+      seed = 1L; fuzzed = false; payload = ""; classification }
   in
   let ok = cell (Oracle.Match { divergence = 1e-12 }) in
   let bad = cell (Oracle.Mismatch { divergence = 0.5; detail = "with, comma" }) in
@@ -246,10 +246,11 @@ let test_render_and_csv () =
   let csv = Matrix.to_csv [ ok; bad ] in
   let lines = String.split_on_char '\n' (String.trim csv) in
   check Alcotest.int "header + one line per cell" 3 (List.length lines);
-  check Alcotest.string "header" "engine,nodes,query,seed,fuzzed,status,divergence,detail"
+  check Alcotest.string "header"
+    "engine,nodes,query,seed,fuzzed,payload,status,divergence,detail"
     (List.hd lines);
   checkb "detail commas escaped" true
-    (List.for_all (fun l -> List.length (String.split_on_char ',' l) = 8) lines);
+    (List.for_all (fun l -> List.length (String.split_on_char ',' l) = 9) lines);
   checkb "mismatch breaks conformance" false (Matrix.conforming [ ok; bad ]);
   checkb "summary flags it" true (contains (Matrix.summary [ ok; bad ]) "MISMATCH");
   checkb "clean grid conforms" true (Matrix.conforming [ ok ])
@@ -313,6 +314,13 @@ let arb_case =
 let invariance_prop name query ~params ?p_threshold ?fixed_prefix_of count =
   QCheck.Test.make ~name ~count arb_case (fun (dseed, pseed, spec) ->
       let ds = Dataset.generate ~seed:dseed spec in
+      (* A tiny random dataset can be degenerate for the query (e.g. the
+         disease filter leaving < 2 patients for covariance); if even
+         the reference cannot complete on the unpermuted data there is
+         no answer whose invariance could be checked — discard. *)
+      QCheck.assume
+        (Engine.payload_of (Engine.run reference ds query ~params ~timeout_s:60. ())
+        <> None);
       let fixed_prefix =
         match fixed_prefix_of with None -> 0 | Some f -> f ds
       in

@@ -278,6 +278,8 @@ let test_harness_total_seconds () =
       query = Query.Q1_regression;
       size = Spec.Small;
       outcome = Engine.Timed_out;
+      breakdown = [];
+      counters = [];
     }
   in
   Alcotest.(check (option (float 0.))) "timeout is infinite" (Some infinity)
@@ -308,6 +310,8 @@ let test_errored_counts_as_infinite () =
       query = Query.Q2_covariance;
       size = Spec.Small;
       outcome = Engine.Errored "boom";
+      breakdown = [];
+      counters = [];
     }
   in
   Alcotest.(check (option (float 0.))) "infinite" (Some infinity)

@@ -348,7 +348,7 @@ let test_grid_mixed_outcomes () =
   let csv = Harness.to_csv cells in
   List.iter
     (fun line ->
-      Alcotest.(check int) "csv has recovery columns" 12
+      Alcotest.(check int) "csv has recovery columns" 14
         (List.length (String.split_on_char ',' line)))
     (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv));
   let table = Harness.availability cells in

@@ -1,0 +1,218 @@
+(* Observability subsystem: span discipline (nesting, exception safety,
+   balance), the disabled-mode zero-event contract, simulated-clock span
+   determinism, counter snapshots, and the Chrome trace_event export
+   round-trip. *)
+
+open Gb_obs
+module Cluster = Gb_cluster.Cluster
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* Every test runs with the collector reset and tracing enabled unless
+   it says otherwise, and must leave tracing disabled for the rest of
+   the suite (the flag is process-global). *)
+let with_tracing ?(enabled = true) f =
+  Obs.set_enabled enabled;
+  Obs.reset ();
+  Metric.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let spans events =
+  List.filter_map
+    (function Obs.Span_ev s -> Some s | Obs.Instant_ev _ -> None)
+    events
+
+(* --- span nesting, balance, exception safety --- *)
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      let r =
+        Obs.Span.with_ ~name:"outer" (fun () ->
+            Obs.Span.with_ ~name:"inner" (fun () -> 42))
+      in
+      check Alcotest.int "result passes through" 42 r;
+      check Alcotest.int "balanced after use" 0 (Obs.open_depth ());
+      match spans (Obs.events ()) with
+      | [ inner; outer ] ->
+        (* Spans are recorded at close, so the inner span lands first. *)
+        check Alcotest.string "inner first" "inner" inner.Obs.name;
+        check Alcotest.string "outer second" "outer" outer.Obs.name;
+        check Alcotest.int "inner's parent is outer" outer.Obs.id
+          inner.Obs.parent;
+        check Alcotest.int "outer is a root" (-1) outer.Obs.parent;
+        checkb "inner contained in outer" true
+          (inner.Obs.t0 >= outer.Obs.t0
+          && inner.Obs.t0 +. inner.Obs.dur
+             <= outer.Obs.t0 +. outer.Obs.dur +. 1e-9)
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l))
+
+exception Boom
+
+let test_span_exception_balance () =
+  with_tracing (fun () ->
+      (try
+         Obs.Span.with_ ~name:"outer" (fun () ->
+             Obs.Span.with_ ~name:"failing" (fun () -> raise Boom))
+       with Boom -> ());
+      check Alcotest.int "stack balanced after raise" 0 (Obs.open_depth ());
+      let ss = spans (Obs.events ()) in
+      check Alcotest.int "both spans closed" 2 (List.length ss);
+      let failing = List.find (fun s -> s.Obs.name = "failing") ss in
+      checkb "raising span flagged as error" true
+        (List.mem_assoc "error" failing.Obs.attrs);
+      (* The collector must still be usable after an exception. *)
+      Obs.Span.with_ ~name:"after" (fun () -> ());
+      check Alcotest.int "subsequent spans are roots again" (-1)
+        (List.find (fun s -> s.Obs.name = "after") (spans (Obs.events ())))
+          .Obs.parent)
+
+let test_dur_of_override () =
+  with_tracing (fun () ->
+      let r =
+        Obs.Span.with_ ~name:"fixed" ~dur_of:(fun x -> Some (float_of_int x))
+          (fun () -> 3)
+      in
+      check Alcotest.int "result" 3 r;
+      match spans (Obs.events ()) with
+      | [ s ] -> check (Alcotest.float 1e-12) "duration overridden" 3. s.Obs.dur
+      | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
+
+(* --- disabled mode records nothing --- *)
+
+let test_disabled_zero_events () =
+  with_tracing ~enabled:false (fun () ->
+      let c = Metric.counter ~unit_:"op" "test.disabled" in
+      Obs.Span.with_ ~name:"invisible" (fun () ->
+          Obs.Span.emit ~name:"sim" ~t0:0. ~t1:1. ();
+          Obs.Span.instant ~name:"blip" ();
+          Metric.add c 7;
+          Obs.Log.line ~sink:ignore "progress");
+      check Alcotest.int "no events collected" 0 (Obs.event_count ());
+      check (Alcotest.float 0.) "counter untouched" 0. (Metric.value c);
+      check Alcotest.int "no open frames" 0 (Obs.open_depth ()))
+
+(* --- simulated-clock spans are a pure function of the seed --- *)
+
+let sim_run () =
+  Obs.reset ();
+  Metric.reset ();
+  let c = Cluster.create ~nodes:3 () in
+  Cluster.set_task_cost c (Some 0.02);
+  Cluster.set_fault_plan c
+    (Genbase.Harness.chaos_plan Genbase.Harness.default_chaos
+       ~engine:"obs-test" ~nodes:3);
+  for _ = 1 to 4 do
+    ignore (Cluster.superstep c (fun rank -> rank));
+    ignore (Cluster.allreduce_sum c (Array.make 3 [| 1.; 2. |]))
+  done;
+  Cluster.shuffle c ~total_bytes:(1 lsl 16);
+  List.filter
+    (fun s -> s.Obs.track = Obs.Sim)
+    (spans (Obs.events ()))
+
+let test_sim_spans_deterministic () =
+  with_tracing (fun () ->
+      let a = sim_run () and b = sim_run () in
+      checkb "sim trace non-empty" true (List.length a > 0);
+      check Alcotest.int "same span count" (List.length a) (List.length b);
+      List.iter2
+        (fun x y ->
+          check Alcotest.string "same name" x.Obs.name y.Obs.name;
+          check Alcotest.int "same node" x.Obs.tid y.Obs.tid;
+          check (Alcotest.float 0.) "same start" x.Obs.t0 y.Obs.t0;
+          check (Alcotest.float 0.) "same duration" x.Obs.dur y.Obs.dur)
+        a b;
+      checkb "per-node attribution present" true
+        (List.exists (fun s -> s.Obs.tid > 1) a))
+
+(* --- counters --- *)
+
+let test_counter_snapshot_sorted () =
+  with_tracing (fun () ->
+      let cb = Metric.counter "test.bbb" and ca = Metric.counter "test.aaa" in
+      Metric.add cb 2;
+      let before = Metric.snapshot () in
+      Metric.add ca 1;
+      Metric.addf cb 0.5;
+      let snap = Metric.snapshot () in
+      checkb "snapshot sorted by name" true
+        (let names = List.map fst snap in
+         names = List.sort compare names);
+      check (Alcotest.float 0.) "int and float adds accumulate" 2.5
+        (List.assoc "test.bbb" snap);
+      let d = Metric.delta before in
+      check (Alcotest.float 0.) "delta isolates movement" 1.
+        (List.assoc "test.aaa" d);
+      check (Alcotest.float 0.) "delta of moved counter" 0.5
+        (List.assoc "test.bbb" d))
+
+(* --- Chrome trace_event export round-trip --- *)
+
+let test_chrome_roundtrip () =
+  with_tracing (fun () ->
+      Obs.Span.with_ ~name:"wall \"quoted\"" ~attrs:[ ("k", Obs.Int 3) ]
+        (fun () -> Obs.Span.instant ~name:"blip" ());
+      Obs.Span.emit ~name:"sim-task" ~tid:2 ~t0:1.5 ~t1:2.25 ();
+      let events = Obs.events () in
+      let json = Trace_export.chrome_json events in
+      (match Trace_export.validate_chrome json with
+      | Ok n -> check Alcotest.int "non-metadata event count" 3 n
+      | Error e -> Alcotest.failf "invalid chrome trace: %s" e);
+      match Trace_export.parse json with
+      | Error e -> Alcotest.failf "parse failed: %s" e
+      | Ok (Trace_export.Obj fields) -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (Trace_export.Arr evs) ->
+          let pids =
+            List.filter_map
+              (function
+                | Trace_export.Obj f -> (
+                  match
+                    (List.assoc_opt "ph" f, List.assoc_opt "pid" f)
+                  with
+                  | Some (Trace_export.JStr ph), Some (Trace_export.Num pid)
+                    when ph <> "M" ->
+                    Some (int_of_float pid)
+                  | _ -> None)
+                | _ -> None)
+              evs
+          in
+          checkb "wall events on pid 1" true (List.mem 1 pids);
+          checkb "sim events on pid 2" true (List.mem 2 pids);
+          checkb "sim tid preserved" true
+            (List.exists
+               (function
+                 | Trace_export.Obj f ->
+                   List.assoc_opt "tid" f = Some (Trace_export.Num 2.)
+                   && List.assoc_opt "pid" f = Some (Trace_export.Num 2.)
+                 | _ -> false)
+               evs)
+        | _ -> Alcotest.fail "traceEvents array missing")
+      | Ok _ -> Alcotest.fail "top level is not an object")
+
+let test_top_spans () =
+  with_tracing (fun () ->
+      Obs.Span.emit ~track:Obs.Wall ~cat:"cell" ~name:"root" ~t0:0. ~t1:10. ();
+      Obs.Span.emit ~track:Obs.Wall ~name:"big" ~t0:0. ~t1:3. ();
+      Obs.Span.emit ~track:Obs.Wall ~name:"small" ~t0:3. ~t1:4. ();
+      match Trace_export.top_spans ~k:1 ~exclude_cat:"cell" (Obs.events ()) with
+      | [ (name, total) ] ->
+        check Alcotest.string "largest non-cell span" "big" name;
+        check (Alcotest.float 1e-9) "total" 3. total
+      | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l))
+
+let suite =
+  [
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "exception-safe balance" `Quick
+      test_span_exception_balance;
+    Alcotest.test_case "dur_of override" `Quick test_dur_of_override;
+    Alcotest.test_case "disabled mode records nothing" `Quick
+      test_disabled_zero_events;
+    Alcotest.test_case "sim spans deterministic" `Quick
+      test_sim_spans_deterministic;
+    Alcotest.test_case "counter snapshots" `Quick test_counter_snapshot_sorted;
+    Alcotest.test_case "chrome JSON round-trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "top spans for CSV breakdown" `Quick test_top_spans;
+  ]
