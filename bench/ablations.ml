@@ -18,9 +18,14 @@ open Gb_relational
 let time f = snd (Stopwatch.time f)
 let fmt = Gb_util.Render.seconds
 
+(* One structured record per timed measurement, so ablation timings land
+   in BENCH_ablation.json alongside the printed tables. *)
+let rec_ ~name ?size t =
+  Option.to_list (Gb_obs.Bench_json.make ~name ?size ~unit_:"s" [ t ])
+
 let storage_formats () =
   print_endline "Ablation: storage format (microarray table scans)";
-  let rows =
+  let measured =
     List.map
       (fun size ->
         let ds = Genbase.Dataset.of_size size in
@@ -44,14 +49,18 @@ let storage_formats () =
             (Col_store.compression_report cs)
         in
         let raw = Row_store.page_count rs * Row_store.page_size in
-        [
-          Gb_datagen.Spec.label size;
-          string_of_int (Row_store.row_count rs);
-          fmt t_row;
-          fmt t_col_all;
-          fmt t_col_one;
-          Printf.sprintf "%.2fx" (float_of_int raw /. float_of_int compressed);
-        ])
+        let label = Gb_datagen.Spec.label size in
+        ( [
+            label;
+            string_of_int (Row_store.row_count rs);
+            fmt t_row;
+            fmt t_col_all;
+            fmt t_col_one;
+            Printf.sprintf "%.2fx" (float_of_int raw /. float_of_int compressed);
+          ],
+          rec_ ~name:"row scan" ~size:label t_row
+          @ rec_ ~name:"col scan (3 cols)" ~size:label t_col_all
+          @ rec_ ~name:"col scan (1 col)" ~size:label t_col_one ))
       [ Gb_datagen.Spec.Small; Gb_datagen.Spec.Medium ]
   in
   print_endline
@@ -59,35 +68,41 @@ let storage_formats () =
        ~headers:
          [ "size"; "tuples"; "row scan"; "col scan (3 cols)";
            "col scan (1 col)"; "compression" ]
-       ~rows)
+       ~rows:(List.map fst measured));
+  List.concat_map snd measured
 
 let export_boundary () =
   print_endline
     "Ablation: external-package boundary (CSV round-trip, Section 6.2's O(N) \
      conversion)";
   let g = Gb_util.Prng.create 9L in
-  let rows =
+  let measured =
     List.map
       (fun n ->
         let m = Mat.random g n n in
         let t = time (fun () -> ignore (Export.roundtrip_matrix m)) in
-        [
-          Printf.sprintf "%dx%d" n n;
-          fmt t;
-          Printf.sprintf "%.1f MB/s"
-            (float_of_int (8 * n * n) /. t /. 1e6);
-        ])
+        let label = Printf.sprintf "%dx%d" n n in
+        ( [
+            label;
+            fmt t;
+            Printf.sprintf "%.1f MB/s"
+              (float_of_int (8 * n * n) /. t /. 1e6);
+          ],
+          rec_ ~name:"csv round-trip" ~size:label t ))
       [ 100; 200; 400; 800 ]
   in
   print_endline
-    (Gb_util.Render.table ~headers:[ "matrix"; "round-trip"; "throughput" ] ~rows)
+    (Gb_util.Render.table
+       ~headers:[ "matrix"; "round-trip"; "throughput" ]
+       ~rows:(List.map fst measured));
+  List.concat_map snd measured
 
 let kernel_implementations () =
   print_endline
     "Ablation: the same multiply, three implementations (blocked BLAS-style \
      / naive loops / simulated in SQL)";
   let g = Gb_util.Prng.create 10L in
-  let rows =
+  let measured =
     List.map
       (fun n ->
         let a = Mat.random g n n and b = Mat.random g n n in
@@ -103,25 +118,33 @@ let kernel_implementations () =
                         (Sql_linalg.matmul (Sql_linalg.of_matrix a)
                            (Sql_linalg.of_matrix b)))))
         in
-        [
-          Printf.sprintf "%dx%d" n n;
-          fmt t_blocked;
-          fmt t_naive;
-          (match t_sql with Some t -> fmt t | None -> "(skipped)");
-        ])
+        let label = Printf.sprintf "%dx%d" n n in
+        ( [
+            label;
+            fmt t_blocked;
+            fmt t_naive;
+            (match t_sql with Some t -> fmt t | None -> "(skipped)");
+          ],
+          rec_ ~name:"gemm blocked" ~size:label t_blocked
+          @ rec_ ~name:"gemm naive" ~size:label t_naive
+          @
+          match t_sql with
+          | Some t -> rec_ ~name:"gemm sql-simulated" ~size:label t
+          | None -> [] ))
       [ 64; 128; 256 ]
   in
   print_endline
     (Gb_util.Render.table
        ~headers:[ "matrix"; "blocked"; "naive"; "SQL-simulated" ]
-       ~rows)
+       ~rows:(List.map fst measured));
+  List.concat_map snd measured
 
 let approximate_algorithms () =
   print_endline
     "Ablation: exact vs approximate analytics (Section 6.3's suggestion for \
      scaling past the largest data set)";
-  let rows =
-    List.concat_map
+  let measured =
+    List.map
       (fun size ->
         let ds = Genbase.Dataset.of_size size in
         let gene_ids =
@@ -174,22 +197,27 @@ let approximate_algorithms () =
           Mat.max_abs_diff (Option.get !cov_exact) (Option.get !cov_approx)
           /. Float.max 1e-9 (Mat.frobenius (Option.get !cov_exact))
         in
-        [
-          [
-            Gb_datagen.Spec.label size ^ " svd";
-            fmt t_exact;
-            fmt t_approx;
-            Printf.sprintf "%.2fx" (t_exact /. t_approx);
-            Printf.sprintf "%.4f%%" (100. *. rel_err);
-          ];
-          [
-            Gb_datagen.Spec.label size ^ " covariance";
-            fmt t_cov;
-            fmt t_cov_s;
-            Printf.sprintf "%.2fx" (t_cov /. t_cov_s);
-            Printf.sprintf "%.4f%%" (100. *. cov_err);
-          ];
-        ])
+        let label = Gb_datagen.Spec.label size in
+        ( [
+            [
+              label ^ " svd";
+              fmt t_exact;
+              fmt t_approx;
+              Printf.sprintf "%.2fx" (t_exact /. t_approx);
+              Printf.sprintf "%.4f%%" (100. *. rel_err);
+            ];
+            [
+              label ^ " covariance";
+              fmt t_cov;
+              fmt t_cov_s;
+              Printf.sprintf "%.2fx" (t_cov /. t_cov_s);
+              Printf.sprintf "%.4f%%" (100. *. cov_err);
+            ];
+          ],
+          rec_ ~name:"svd exact" ~size:label t_exact
+          @ rec_ ~name:"svd randomized" ~size:label t_approx
+          @ rec_ ~name:"covariance exact" ~size:label t_cov
+          @ rec_ ~name:"covariance sampled" ~size:label t_cov_s ))
       [ Gb_datagen.Spec.Medium; Gb_datagen.Spec.Large; Gb_datagen.Spec.XLarge ]
   in
   print_endline
@@ -197,7 +225,8 @@ let approximate_algorithms () =
        ~headers:
          [ "workload"; "exact"; "approximate"; "speedup";
            "rel. error" ]
-       ~rows)
+       ~rows:(List.concat_map fst measured));
+  List.concat_map snd measured
 
 let larger_than_memory () =
   print_endline
@@ -207,7 +236,7 @@ let larger_than_memory () =
   let rel_rows = Genbase.Dataset.microarray_rows ds in
   let rs = Row_store.of_rows Genbase.Dataset.microarray_schema rel_rows in
   let t_ram = time (fun () -> Row_store.iter rs (fun _ -> ())) in
-  let rows =
+  let measured =
     List.map
       (fun frames ->
         let ps =
@@ -218,25 +247,31 @@ let larger_than_memory () =
         let stats = Paged_store.pool_stats ps in
         let total_pages = Paged_store.page_count ps in
         Paged_store.close ps;
-        [
-          Printf.sprintf "%d frames / %d pages" frames total_pages;
-          fmt t;
-          Printf.sprintf "%.1fx" (t /. t_ram);
-          string_of_int stats.Buffer_pool.evictions;
-        ])
+        ( [
+            Printf.sprintf "%d frames / %d pages" frames total_pages;
+            fmt t;
+            Printf.sprintf "%.1fx" (t /. t_ram);
+            string_of_int stats.Buffer_pool.evictions;
+          ],
+          rec_ ~name:"paged scan"
+            ~size:(Printf.sprintf "%d frames" frames)
+            t ))
       [ 64; 8; 2 ]
   in
   print_endline
     (Gb_util.Render.table
        ~headers:
          [ "buffer pool"; "full scan"; "vs in-memory"; "evictions" ]
-       ~rows:([ [ "in-memory row store"; fmt t_ram; "1.0x"; "-" ] ] @ rows))
+       ~rows:
+         ([ [ "in-memory row store"; fmt t_ram; "1.0x"; "-" ] ]
+         @ List.map fst measured));
+  rec_ ~name:"in-memory row scan" t_ram @ List.concat_map snd measured
 
 let biclustering_algorithms () =
   print_endline
     "Ablation: biclustering algorithm choice (Cheng-Church greedy deletion \
      vs Dhillon spectral co-clustering) on the Q3 selection";
-  let rows =
+  let measured =
     List.map
       (fun size ->
         let ds = Genbase.Dataset.of_size size in
@@ -271,30 +306,29 @@ let biclustering_algorithms () =
               (Gb_bicluster.Cheng_church.mean_squared_residue m c.rows c.cols)
           | [] -> "-"
         in
-        [
-          Gb_datagen.Spec.label size;
-          fmt t_cc;
-          cc_msr;
-          fmt t_sp;
-          sp_msr;
-        ])
+        let label = Gb_datagen.Spec.label size in
+        ( [ label; fmt t_cc; cc_msr; fmt t_sp; sp_msr ],
+          rec_ ~name:"cheng-church" ~size:label t_cc
+          @ rec_ ~name:"spectral cocluster" ~size:label t_sp ))
       [ Gb_datagen.Spec.Small; Gb_datagen.Spec.Medium ]
   in
   print_endline
     (Gb_util.Render.table
        ~headers:
          [ "size"; "cheng-church"; "msr"; "spectral"; "msr (1st cocluster)" ]
-       ~rows)
+       ~rows:(List.map fst measured));
+  List.concat_map snd measured
 
 let run () =
-  storage_formats ();
+  let r1 = storage_formats () in
   print_newline ();
-  larger_than_memory ();
+  let r2 = larger_than_memory () in
   print_newline ();
-  export_boundary ();
+  let r3 = export_boundary () in
   print_newline ();
-  kernel_implementations ();
+  let r4 = kernel_implementations () in
   print_newline ();
-  biclustering_algorithms ();
+  let r5 = biclustering_algorithms () in
   print_newline ();
-  approximate_algorithms ()
+  let r6 = approximate_algorithms () in
+  r1 @ r2 @ r3 @ r4 @ r5 @ r6

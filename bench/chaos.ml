@@ -7,4 +7,5 @@ module H = Genbase.Harness
 
 let run config =
   let cells = H.chaos_cells config in
-  print_endline (H.availability cells)
+  print_endline (H.availability cells);
+  H.bench_records cells @ H.availability_records cells

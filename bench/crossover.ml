@@ -24,19 +24,36 @@ let run () =
       Gb_datagen.Spec.XLarge ]
   in
   let datasets = List.map (fun s -> (s, Genbase.Dataset.of_size s)) sizes in
-  let rows =
+  let measured =
     List.map
       (fun q ->
-        Genbase.Query.title q
-        :: List.map
-             (fun (_, ds) ->
-               match analytics_fraction ds q with
-               | Some f -> Printf.sprintf "%.0f%%" (100. *. f)
-               | None -> "-")
-             datasets)
+        let fracs =
+          List.map (fun (s, ds) -> (s, analytics_fraction ds q)) datasets
+        in
+        let row =
+          Genbase.Query.title q
+          :: List.map
+               (fun (_, f) ->
+                 match f with
+                 | Some f -> Printf.sprintf "%.0f%%" (100. *. f)
+                 | None -> "-")
+               fracs
+        in
+        let recs =
+          List.filter_map
+            (fun (s, f) ->
+              Option.bind f (fun f ->
+                  Gb_obs.Bench_json.make ~name:"analytics share"
+                    ~query:(Genbase.Query.name q)
+                    ~size:(Gb_datagen.Spec.label s) ~unit_:"pct"
+                    [ 100. *. f ]))
+            fracs
+        in
+        (row, recs))
       Genbase.Query.all
   in
   print_endline
     (Gb_util.Render.table
        ~headers:("Query" :: List.map (fun s -> Gb_datagen.Spec.label s) sizes)
-       ~rows)
+       ~rows:(List.map fst measured));
+  List.concat_map snd measured

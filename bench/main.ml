@@ -1,16 +1,25 @@
 (* GenBase benchmark driver: regenerates every table and figure from the
-   paper's evaluation (Figures 1-5 and Table 1) plus Bechamel
+   paper's evaluation (Figures 1-5 and Table 1) plus the ablation, weak
+   scaling, crossover, chaos and observability sections, and Bechamel
    microbenchmarks of the core kernels.
 
-   Usage: main.exe [fig1] [fig2] [fig3] [fig4] [fig5] [table1] [micro]
-                   [--quick] [--timeout SECONDS]
-   With no selection, everything runs. *)
+   The section list below is the single source of truth: the usage
+   string and argument parsing both derive from it, so adding a section
+   cannot leave a stale usage message behind. With no selection,
+   everything runs. Every section additionally writes its measurements
+   as structured records to BENCH_<section>.json in the working
+   directory (see Gb_obs.Bench_json; compare runs with
+   `genbase bench-diff`). *)
 
 module H = Genbase.Harness
 
 let sections =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
     "weak"; "crossover"; "chaos"; "obs" ]
+
+let usage () =
+  Printf.sprintf "usage: main.exe [%s] [--quick] [--timeout SECONDS]"
+    (String.concat "|" sections)
 
 let parse_args () =
   let selected = ref [] in
@@ -28,8 +37,7 @@ let parse_args () =
       selected := arg :: !selected;
       go rest
     | arg :: _ ->
-      Printf.eprintf "unknown argument %s\nknown: %s --quick --timeout N\n" arg
-        (String.concat " " sections);
+      Printf.eprintf "unknown argument %s\n%s\n" arg (usage ());
       exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -56,59 +64,82 @@ let () =
     print_endline s;
     print_endline (String.make 72 '=')
   in
+  let emit section records =
+    let path = Gb_obs.Bench_json.write ~section ~quick records in
+    progress
+      (Printf.sprintf "wrote %s (%d records)" path (List.length records))
+  in
 
   if want "fig1" || want "fig2" then begin
     banner "Single-node results (Figures 1 and 2)";
     let cells = H.single_node_cells config in
-    if want "fig1" then List.iter print_endline (H.fig1 cells);
-    if want "fig2" then List.iter print_endline (H.fig2 cells)
+    let records = H.bench_records cells in
+    if want "fig1" then begin
+      List.iter print_endline (H.fig1 cells);
+      emit "fig1" records
+    end;
+    if want "fig2" then begin
+      List.iter print_endline (H.fig2 cells);
+      emit "fig2" records
+    end
   end;
 
   if want "fig3" || want "fig4" then begin
     banner "Multi-node results (Figures 3 and 4)";
     let cells = H.multi_node_cells config in
-    if want "fig3" then List.iter print_endline (H.fig3 cells);
-    if want "fig4" then List.iter print_endline (H.fig4 cells)
+    let records = H.bench_records cells in
+    if want "fig3" then begin
+      List.iter print_endline (H.fig3 cells);
+      emit "fig3" records
+    end;
+    if want "fig4" then begin
+      List.iter print_endline (H.fig4 cells);
+      emit "fig4" records
+    end
   end;
 
   if want "fig5" then begin
     banner "Coprocessor results (Figure 5)";
-    List.iter print_endline (H.fig5 (H.phi_cells config))
+    let cells = H.phi_cells config in
+    List.iter print_endline (H.fig5 cells);
+    emit "fig5" (H.bench_records cells)
   end;
 
   if want "table1" then begin
     banner "Coprocessor analytics speedup (Table 1)";
-    print_endline (H.table1 (H.phi_mn_cells config))
+    let cells = H.phi_mn_cells config in
+    print_endline (H.table1 cells);
+    emit "table1" (H.bench_records cells)
   end;
 
   if want "ablation" then begin
     banner "Design ablations (Section 6 discussion points)";
-    Ablations.run ()
+    emit "ablation" (Ablations.run ())
   end;
 
   if want "weak" then begin
     banner "Weak scaling (the experiment Section 5 announces)";
-    Weak_scaling.run ()
+    emit "weak" (Weak_scaling.run ())
   end;
 
   if want "crossover" then begin
     banner "DM/analytics crossover (Section 6.1)";
-    Crossover.run ()
+    emit "crossover" (Crossover.run ())
   end;
 
   if want "chaos" then begin
     banner "Availability under fault injection (chaos scenario)";
-    Chaos.run config
+    emit "chaos" (Chaos.run config)
   end;
 
   if want "micro" then begin
     banner "Kernel microbenchmarks (Bechamel)";
-    Microbench.run ~quick
+    emit "micro" (Microbench.run ~quick)
   end;
 
   if want "obs" then begin
     banner "Observability hook overhead (Bechamel)";
-    Obsbench.run ()
+    emit "obs" (Obsbench.run ())
   end;
 
   Printf.eprintf "[%7.1fs] done\n%!" (Unix.gettimeofday () -. t0)

@@ -103,4 +103,11 @@ let run ~quick =
       results
   in
   print_endline
-    (Gb_util.Render.table ~headers:[ "kernel"; "time/run" ] ~rows)
+    (Gb_util.Render.table ~headers:[ "kernel"; "time/run" ] ~rows);
+  (* The OLS estimate is already a per-run statistic over Bechamel's many
+     samples; it becomes the record's single "sample". *)
+  List.filter_map
+    (fun (name, est) ->
+      Option.bind est (fun ns ->
+          Gb_obs.Bench_json.make ~name ~unit_:"ns" [ ns ]))
+    results

@@ -110,7 +110,16 @@ let run () =
       results
   in
   print_endline (Gb_util.Render.table ~headers:[ "hook"; "time/run" ] ~rows);
+  let overhead = cell_overhead () in
   Printf.printf
     "Q1 small (colstore-udf), median of 5 interleaved best-of-6 rounds: \
      overhead %+.2f%%\n"
-    (cell_overhead ())
+    overhead;
+  List.filter_map
+    (fun (name, est) ->
+      Option.bind est (fun ns ->
+          Gb_obs.Bench_json.make ~name ~unit_:"ns" [ ns ]))
+    results
+  @ Option.to_list
+      (Gb_obs.Bench_json.make ~name:"cell overhead (Q1 small)" ~unit_:"pct"
+         [ overhead ])

@@ -37,18 +37,37 @@ let run () =
         fun nodes -> Genbase.Engine_colstore_mn.pbdr ~nodes );
     ]
   in
-  List.iter
+  List.concat_map
     (fun q ->
-      let rows =
+      let measured =
         List.map
           (fun (name, engine_of) ->
-            name
-            :: List.map
-                 (fun (nodes, ds) ->
-                   match run_query engine_of ds nodes q with
-                   | Some t -> Gb_util.Render.seconds t
-                   | None -> "-")
-                 datasets)
+            let cells =
+              List.map
+                (fun (nodes, ds) -> (nodes, run_query engine_of ds nodes q))
+                datasets
+            in
+            let row =
+              name
+              :: List.map
+                   (fun (_, t) ->
+                     match t with
+                     | Some t -> Gb_util.Render.seconds t
+                     | None -> "-")
+                   cells
+            in
+            let recs =
+              List.filter_map
+                (fun (nodes, t) ->
+                  Option.bind t (fun t ->
+                      Gb_obs.Bench_json.make
+                        ~name:(Printf.sprintf "weak-n%d" nodes)
+                        ~engine:name
+                        ~query:(Genbase.Query.name q)
+                        ~unit_:"s" [ t ]))
+                cells
+            in
+            (row, recs))
           systems
       in
       Printf.printf "Weak scaling, %s query\n" (Genbase.Query.title q);
@@ -62,6 +81,7 @@ let run () =
                       (if n = 1 then "" else "s")
                       (base_patients * n))
                   node_counts)
-           ~rows))
+           ~rows:(List.map fst measured));
+      List.concat_map snd measured)
     [ Genbase.Query.Q1_regression; Genbase.Query.Q2_covariance;
       Genbase.Query.Q4_svd ]

@@ -220,12 +220,16 @@ let explain_cmd =
     in
     List.iter
       (fun (title, p) ->
-        Printf.printf "=== %s ===\n%s\n" title (Plan.explain cat p))
+        Printf.printf "=== %s ===\n%s" title (Plan.explain cat p);
+        Printf.printf "EXPLAIN ANALYZE:\n%s\n" (Plan.explain_analyze cat p))
       plans
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Show optimized query plans for the benchmark's DM phases.")
+       ~doc:
+         "Show optimized query plans for the benchmark's DM phases, then \
+          execute each and report estimated vs actual per-operator row \
+          counts (EXPLAIN ANALYZE).")
     Term.(const run $ size_arg $ seed_arg)
 
 (* --- seqgen --- *)
@@ -614,10 +618,15 @@ let trace_cmd =
       end
       else begin
         Obs.set_enabled true;
+        (* Export mode also profiles the GC, so cell spans and counters
+           carry allocation deltas; the overhead check above leaves
+           profiling off, matching the default-off contract it bounds. *)
+        Gb_obs.Profile.set_enabled true;
         Obs.reset ();
         Metric.reset ();
         let cell = H.run_cell e ds q ~timeout_s:timeout in
         Obs.set_enabled false;
+        Gb_obs.Profile.set_enabled false;
         let events = Obs.events () in
         let json = Tx.chrome_json events in
         let oc = open_out out in
@@ -669,6 +678,57 @@ let trace_cmd =
       const run $ size_arg $ seed_arg $ query $ engine $ nodes $ timeout $ out
       $ overhead_check $ overhead_budget)
 
+(* --- bench-diff --- *)
+
+let bench_diff_cmd =
+  let module B = Gb_obs.Bench_json in
+  let base =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASE" ~doc:"Baseline BENCH_<section>.json file.")
+  in
+  let cand =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate BENCH_<section>.json file.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt float 20.
+      & info [ "threshold" ] ~docv:"PERCENT"
+          ~env:(Cmd.Env.info "GENBASE_BENCH_THRESHOLD")
+          ~doc:
+            "Relative median change below which a difference is noise \
+             (an absolute per-unit floor also applies).")
+  in
+  let run base cand threshold =
+    match (B.read base, B.read cand) with
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+    | Ok b, Ok c ->
+      if b.B.section <> c.B.section then
+        Printf.printf "note: comparing section %S against %S\n" b.B.section
+          c.B.section;
+      Printf.printf "base:      %s (rev %s%s)\n" base b.B.git_rev
+        (if b.B.quick then ", quick" else "");
+      Printf.printf "candidate: %s (rev %s%s)\n" cand c.B.git_rev
+        (if c.B.quick then ", quick" else "");
+      let report = B.diff ~threshold_pct:threshold b c in
+      print_string (B.render_report report);
+      if B.regressions report <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_<section>.json files written by the benchmark \
+          driver; exit 1 when any benchmark's median worsened past the \
+          noise threshold.")
+    Term.(const run $ base $ cand $ threshold)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -704,5 +764,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; run_cmd; suite_cmd; chaos_cmd; conformance_cmd;
-            explain_cmd; seqgen_cmd; trace_cmd; list_cmd;
+            explain_cmd; seqgen_cmd; trace_cmd; bench_diff_cmd; list_cmd;
           ]))

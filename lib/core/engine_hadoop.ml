@@ -33,10 +33,13 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   let hdb = Dataset.load_hadoop_db ds in
   let phase name f =
     let t0 = Mr.elapsed mr in
+    let gc = Gb_obs.Profile.start () in
     let r = f () in
     Gb_util.Deadline.check dl;
     let t1 = Mr.elapsed mr in
-    Gb_obs.Obs.Span.emit ~cat:"phase" ~name ~t0 ~t1 ();
+    Gb_obs.Obs.Span.emit ~cat:"phase"
+      ~attrs:(Gb_obs.Profile.delta_attrs gc)
+      ~name ~t0 ~t1 ();
     (r, t1 -. t0)
   in
   let n_patients = Array.length ds.Gb_datagen.Generate.patients in

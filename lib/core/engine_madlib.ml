@@ -35,7 +35,7 @@ let run ds query ~(params : Query.params) ~timeout_s =
   let check () = Gb_util.Deadline.check dl in
   let db = Engine_sql.make_db Engine_sql.Row_backend ds ~check in
   let time name f =
-    Gb_obs.Obs.Span.with_ ~cat:"phase" ~name
+    Gb_obs.Profile.with_ ~cat:"phase" ~name
       ~dur_of:(fun (_, t) -> Some t)
       (fun () ->
         let r, t = Stopwatch.time f in

@@ -39,7 +39,7 @@ let run ds query ~(params : Query.params) ~timeout_s =
   let base = 2 * cells ds in
   charge 0 base;
   let time name f =
-    Gb_obs.Obs.Span.with_ ~cat:"phase" ~name
+    Gb_obs.Profile.with_ ~cat:"phase" ~name
       ~dur_of:(fun (_, t) -> Some t)
       (fun () ->
         let r, t = Stopwatch.time f in

@@ -14,10 +14,13 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
   let adb = Dataset.load_array_db ds in
   let phase name f =
     let t0 = Sim.now clock in
+    let gc = Gb_obs.Profile.start () in
     let r = Sim.run_measured clock f in
     Gb_util.Deadline.check dl;
     let t1 = Sim.now clock in
-    Gb_obs.Obs.Span.emit ~cat:"phase" ~name ~t0 ~t1 ();
+    Gb_obs.Obs.Span.emit ~cat:"phase"
+      ~attrs:(Gb_obs.Profile.delta_attrs gc)
+      ~name ~t0 ~t1 ();
     (r, t1 -. t0)
   in
   (* Analytics dispatch: host custom code, or offload to the coprocessor

@@ -37,10 +37,13 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
   let data = partition ds nodes in
   let phase name f =
     let t0 = Cluster.elapsed cluster in
+    let gc = Gb_obs.Profile.start () in
     let r = f () in
     Gb_util.Deadline.check dl;
     let t1 = Cluster.elapsed cluster in
-    Gb_obs.Obs.Span.emit ~cat:"phase" ~name ~t0 ~t1 ();
+    Gb_obs.Obs.Span.emit ~cat:"phase"
+      ~attrs:(Gb_obs.Profile.delta_attrs gc)
+      ~name ~t0 ~t1 ();
     (r, t1 -. t0)
   in
   (* Chunk realignment before analytics: going multi-node forces SciDB to

@@ -40,7 +40,7 @@ let run_cell e ds query ~timeout_s =
      attempt, not wall elapsed: wall time would fold in the untimed
      dataset loading and the discarded re-runs. *)
   let outcome =
-    Gb_obs.Obs.Span.with_ ~cat:"cell" ~name:root_name
+    Gb_obs.Profile.with_ ~cat:"cell" ~name:root_name
       ~dur_of:(fun outcome ->
         match outcome with
         | Engine.Completed (t, _) | Engine.Degraded (t, _, _) ->
@@ -518,6 +518,60 @@ let availability cells =
            "retries"; "nodes recovered"; "speculative"; "wasted (s)";
          ]
        ~rows)
+
+(* --- structured bench records ---
+
+   One {!Gb_obs.Bench_json.record} per measurable cell, keyed so two
+   runs of the same grid compare cell-for-cell. A cell is a single kept
+   measurement, so the record's statistics collapse to that one sample;
+   the DM/analytics split and any observability counter deltas ride
+   along as counters. Failed cells (infinite totals) carry no magnitude
+   to diff and are dropped, as are [Unsupported] ones. *)
+let bench_records cells =
+  List.filter_map
+    (fun c ->
+      match total_seconds c with
+      | None -> None
+      | Some total ->
+        let phase name v =
+          match v with
+          | Some x when Float.is_finite x -> [ (name, x) ]
+          | _ -> []
+        in
+        let counters =
+          phase "dm_s" (dm_seconds c)
+          @ phase "analytics_s" (analytics_seconds c)
+          @ c.counters
+        in
+        Gb_obs.Bench_json.make
+          ~name:(Printf.sprintf "cell-n%d" c.nodes)
+          ~engine:c.engine
+          ~query:(Query.name c.query)
+          ~size:(Spec.label c.size)
+          ~unit_:"s" ~counters [ total ])
+    cells
+
+(* Per-engine availability as higher-is-better percentage records, the
+   diffable form of the {!availability} table (chaos grids). *)
+let availability_records cells =
+  List.filter_map
+    (fun engine ->
+      let cs = List.filter (fun c -> c.engine = engine) cells in
+      let count p = List.length (List.filter (fun c -> p c.outcome) cs) in
+      let ok = count (function Engine.Completed _ -> true | _ -> false) in
+      let degraded = count (function Engine.Degraded _ -> true | _ -> false) in
+      let failed =
+        count (function
+          | Engine.Timed_out | Engine.Out_of_memory | Engine.Errored _ -> true
+          | _ -> false)
+      in
+      let attempted = ok + degraded + failed in
+      if attempted = 0 then None
+      else
+        Gb_obs.Bench_json.make ~name:"availability" ~engine ~unit_:"pct"
+          ~better:Gb_obs.Bench_json.Higher
+          [ 100. *. float_of_int (ok + degraded) /. float_of_int attempted ])
+    (engines_of cells)
 
 (* Counter columns are the sorted union of counter names seen across the
    grid, so the header order is stable for a given cell set regardless of

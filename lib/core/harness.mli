@@ -104,6 +104,18 @@ val availability : cell list -> string
     work (retries, node recoveries, speculative re-executions, wasted
     simulated seconds). *)
 
+val bench_records : cell list -> Gb_obs.Bench_json.record list
+(** One structured bench record per measurable cell, keyed
+    (["cell-n<nodes>"], engine, query, size) so two runs of the same
+    grid diff cell-for-cell with [genbase bench-diff]. DM/analytics
+    splits and the cell's observability counter deltas ride along as
+    record counters. Failed (infinite) and [Unsupported] cells are
+    dropped. *)
+
+val availability_records : cell list -> Gb_obs.Bench_json.record list
+(** Per-engine availability percentages of a (chaos) grid as
+    higher-is-better records — the diffable form of {!availability}. *)
+
 (** {1 Rendering} — turn cells into the paper's figures. *)
 
 val fig1 : cell list -> string list

@@ -55,7 +55,7 @@ let biclusters_of ?seed m =
     | Some s -> { Gb_bicluster.Cheng_church.default_config with seed = s }
   in
   let found =
-    Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"cheng_church"
+    Gb_obs.Profile.with_ ~cat:"kernel" ~name:"cheng_church"
       ~attrs:
         [
           ("rows", Gb_obs.Obs.Int m.Mat.rows);
@@ -83,7 +83,7 @@ let enrichment_scores sample_matrix =
 let enrichment_of ~n_genes ~go_pairs ~go_terms ~p_threshold ~scores =
   if Array.length scores <> n_genes then
     invalid_arg "Qcommon.enrichment_of: scores length";
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"wilcoxon_enrichment"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"wilcoxon_enrichment"
     ~attrs:
       [
         ("genes", Gb_obs.Obs.Int n_genes);

@@ -43,7 +43,7 @@ let micro_join_genes db pred =
                } ) ))
 
 let pivot_triples rel =
-  Gb_obs.Obs.Span.with_ ~cat:"op" ~name:"pivot" (fun () ->
+  Gb_obs.Profile.with_ ~cat:"op" ~name:"pivot" (fun () ->
       Pivot.of_triples ~row_col:"patient_id" ~col_col:"gene_id"
         ~value_col:"value" rel)
 

@@ -3,14 +3,14 @@ let scale_factor rows =
   1. /. float_of_int (rows - 1)
 
 let matrix m =
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"covariance.matrix"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"covariance.matrix"
     ~attrs:[ ("rows", Gb_obs.Obs.Int m.Mat.rows); ("cols", Gb_obs.Obs.Int m.Mat.cols) ]
   @@ fun () ->
   let centered = Mat.center_cols m in
   Mat.scale (scale_factor m.Mat.rows) (Blas.ata centered)
 
 let matrix_naive m =
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"covariance.matrix_naive"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"covariance.matrix_naive"
     ~attrs:[ ("rows", Gb_obs.Obs.Int m.Mat.rows); ("cols", Gb_obs.Obs.Int m.Mat.cols) ]
   @@ fun () ->
   let centered = Mat.center_cols m in

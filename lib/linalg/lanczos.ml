@@ -10,7 +10,7 @@ let iters = Gb_obs.Metric.counter ~unit_:"iteration" "linalg.lanczos_iters"
 
 let symmetric ?rng ?max_iter ?(tol = 1e-10) ~n ~k apply =
   if k <= 0 || k > n then invalid_arg "Lanczos.symmetric: bad k";
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"lanczos.symmetric"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"lanczos.symmetric"
     ~attrs:[ ("n", Gb_obs.Obs.Int n); ("k", Gb_obs.Obs.Int k) ]
   @@ fun () ->
   let rng =

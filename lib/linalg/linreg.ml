@@ -30,7 +30,7 @@ let fit x y =
   let m, n = Mat.dims x in
   if Array.length y <> m then invalid_arg "Linreg.fit: length";
   if m <= n then invalid_arg "Linreg.fit: underdetermined";
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"linreg.fit"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"linreg.fit"
     ~attrs:[ ("rows", Gb_obs.Obs.Int m); ("cols", Gb_obs.Obs.Int n) ]
   @@ fun () ->
   let xa = with_intercept x in
@@ -45,7 +45,7 @@ let fit_normal_equations x y =
   let m, n = Mat.dims x in
   if Array.length y <> m then invalid_arg "Linreg.fit_normal_equations: length";
   if m <= n then invalid_arg "Linreg.fit_normal_equations: underdetermined";
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"linreg.normal_equations"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"linreg.normal_equations"
     ~attrs:[ ("rows", Gb_obs.Obs.Int m); ("cols", Gb_obs.Obs.Int n) ]
   @@ fun () ->
   let xa = with_intercept x in

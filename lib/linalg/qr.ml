@@ -14,7 +14,7 @@ let factorize src =
   Gb_obs.Metric.addf
     (Gb_obs.Metric.counter ~unit_:"flop" "linalg.flops")
     ((2. *. fm *. fn *. fn) -. (2. /. 3. *. fn *. fn *. fn));
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"qr.factorize"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"qr.factorize"
     ~attrs:[ ("rows", Gb_obs.Obs.Int m); ("cols", Gb_obs.Obs.Int n) ]
   @@ fun () ->
   let a = Mat.copy src in

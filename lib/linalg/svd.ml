@@ -4,7 +4,7 @@ let top_k ?rng m k =
   let rows, cols = Mat.dims m in
   if rows = 0 || cols = 0 then invalid_arg "Svd.top_k: empty matrix";
   let k = max 1 (min k (min rows cols)) in
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"svd.top_k"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"svd.top_k"
     ~attrs:
       [
         ("rows", Gb_obs.Obs.Int rows);

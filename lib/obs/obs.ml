@@ -77,7 +77,7 @@ let open_depth () = List.length !stack
 module Span = struct
   let current_parent () = match !stack with [] -> -1 | f :: _ -> f.f_id
 
-  let with_ ?(cat = "span") ?(attrs = []) ?dur_of ~name f =
+  let with_ ?(cat = "span") ?(attrs = []) ?attrs_after ?dur_of ~name f =
     if not !on then f ()
     else begin
       let id = !next_id in
@@ -94,6 +94,13 @@ module Span = struct
           | [] -> []
         in
         stack := pop !stack;
+        (* Close-time attributes (the GC profiler's delta hook). A raising
+           thunk must not mask the span or a propagating exception. *)
+        let attrs =
+          match attrs_after with
+          | None -> attrs
+          | Some g -> (try g () with _ -> []) @ attrs
+        in
         let attrs = if error then ("error", Bool true) :: attrs else attrs in
         record
           (Span_ev

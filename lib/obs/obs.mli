@@ -65,6 +65,7 @@ module Span : sig
   val with_ :
     ?cat:string ->
     ?attrs:attrs ->
+    ?attrs_after:(unit -> attrs) ->
     ?dur_of:('a -> float option) ->
     name:string ->
     (unit -> 'a) ->
@@ -73,7 +74,12 @@ module Span : sig
       closed (and flagged [error]) if [f] raises. [dur_of] may override
       the recorded duration from the result — the harness uses it to
       make a cell's root span equal the engine-reported total rather
-      than raw wall elapsed (which would include untimed setup). *)
+      than raw wall elapsed (which would include untimed setup).
+      [attrs_after] is evaluated when the span closes (on both the normal
+      and the exception path) and its result is prepended to [attrs] —
+      the vehicle for measurements only known at close, such as
+      {!Profile}'s GC deltas. It is never evaluated while tracing is
+      disabled. *)
 
   val emit :
     ?cat:string ->

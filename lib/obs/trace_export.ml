@@ -1,25 +1,9 @@
 (* Sinks for the collected trace: a Chrome trace_event JSON exporter
-   (loadable in chrome://tracing and Perfetto), a minimal JSON parser
-   used to validate what we emit, and a text flame/summary renderer for
-   the CLI. *)
+   (loadable in chrome://tracing and Perfetto) validated against the
+   shared minimal JSON parser ({!Json}), and a text flame/summary
+   renderer for the CLI. *)
 
-(* --- JSON escaping --- *)
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape = Json.escape
 
 let json_of_value = function
   | Obs.Str s -> Printf.sprintf "\"%s\"" (escape s)
@@ -92,9 +76,11 @@ let chrome_json events =
   Buffer.add_string buf "\n]}";
   Buffer.contents buf
 
-(* --- minimal JSON parser, for round-trip validation of our output --- *)
+(* --- minimal JSON parser, factored into {!Json} (the bench-baseline
+   pipeline reuses it); re-exported here so trace consumers keep one
+   import. --- *)
 
-type json =
+type json = Json.t =
   | Null
   | JBool of bool
   | Num of float
@@ -102,146 +88,7 @@ type json =
   | Arr of json list
   | Obj of (string * json) list
 
-exception Parse_error of string
-
-let parse (s : string) : (json, string) result =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then s.[!pos] else '\000' in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    if !pos < n then
-      match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
-  in
-  let expect c =
-    if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let parse_lit lit v =
-    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
-    then begin
-      pos := !pos + String.length lit;
-      v
-    end
-    else fail ("bad literal " ^ lit)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string";
-      match s.[!pos] with
-      | '"' -> advance ()
-      | '\\' ->
-        advance ();
-        (if !pos >= n then fail "bad escape");
-        (match s.[!pos] with
-        | '"' -> Buffer.add_char buf '"'
-        | '\\' -> Buffer.add_char buf '\\'
-        | '/' -> Buffer.add_char buf '/'
-        | 'n' -> Buffer.add_char buf '\n'
-        | 'r' -> Buffer.add_char buf '\r'
-        | 't' -> Buffer.add_char buf '\t'
-        | 'b' -> Buffer.add_char buf '\b'
-        | 'f' -> Buffer.add_char buf '\012'
-        | 'u' ->
-          if !pos + 4 >= n then fail "bad \\u escape";
-          let hex = String.sub s (!pos + 1) 4 in
-          let code =
-            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
-          in
-          (* ASCII only — enough for our own output *)
-          Buffer.add_char buf (Char.chr (code land 0x7f));
-          pos := !pos + 4
-        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
-        advance ();
-        go ()
-      | c ->
-        Buffer.add_char buf c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && is_num_char s.[!pos] do
-      advance ()
-    done;
-    let str = String.sub s start (!pos - start) in
-    match float_of_string_opt str with
-    | Some f -> Num f
-    | None -> fail ("bad number " ^ str)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' ->
-            advance ();
-            members ((k, v) :: acc)
-          | '}' ->
-            advance ();
-            Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = ']' then begin
-        advance ();
-        Arr []
-      end
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' ->
-            advance ();
-            elements (v :: acc)
-          | ']' ->
-            advance ();
-            Arr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements []
-      end
-    | '"' -> JStr (parse_string ())
-    | 't' -> parse_lit "true" (JBool true)
-    | 'f' -> parse_lit "false" (JBool false)
-    | 'n' -> parse_lit "null" Null
-    | _ -> parse_number ()
-  in
-  try
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
-    else Ok v
-  with Parse_error msg -> Error msg
+let parse = Json.parse
 
 (* Validate a serialized trace against the trace_event schema essentials:
    top-level object with a traceEvents array; every event an object with

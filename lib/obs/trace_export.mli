@@ -8,17 +8,18 @@ val chrome_json : Obs.event list -> string
     clock"); cluster node ids become thread tracks. Timestamps are
     microseconds; spans use "X" complete events, instants use "i". *)
 
-type json =
+type json = Json.t =
   | Null
   | JBool of bool
   | Num of float
   | JStr of string
   | Arr of json list
   | Obj of (string * json) list
+(** Re-export of {!Json.t} so trace consumers keep one import. *)
 
 val parse : string -> (json, string) result
-(** Minimal JSON parser (ASCII escapes only) — enough to round-trip what
-    {!chrome_json} emits. *)
+(** {!Json.parse}: minimal JSON parser (ASCII escapes only) — enough to
+    round-trip what {!chrome_json} emits. *)
 
 val validate_chrome : string -> (int, string) result
 (** Parse a serialized trace and check the trace_event essentials: a

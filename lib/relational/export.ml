@@ -58,14 +58,14 @@ let csv_to_matrix csv =
 let boundary_bytes = Gb_obs.Metric.counter ~unit_:"byte" "boundary.csv_bytes"
 
 let roundtrip_rel r =
-  Gb_obs.Obs.Span.with_ ~cat:"boundary" ~name:"export.roundtrip_rel"
+  Gb_obs.Profile.with_ ~cat:"boundary" ~name:"export.roundtrip_rel"
   @@ fun () ->
   let csv = rel_to_csv r in
   Gb_obs.Metric.add boundary_bytes (String.length csv);
   Ops.of_list r.Ops.schema (csv_to_rows r.Ops.schema csv)
 
 let roundtrip_matrix m =
-  Gb_obs.Obs.Span.with_ ~cat:"boundary" ~name:"export.roundtrip_matrix"
+  Gb_obs.Profile.with_ ~cat:"boundary" ~name:"export.roundtrip_matrix"
   @@ fun () ->
   let csv = matrix_to_csv m in
   Gb_obs.Metric.add boundary_bytes (String.length csv);

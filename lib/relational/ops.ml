@@ -16,10 +16,14 @@ let scan_col_store cs names =
 
 let rows_out = Gb_obs.Metric.counter ~unit_:"row" "relops.rows"
 
-let emit_op_span ~name ~t0 n =
+(* [gc] is the Profile snapshot taken when the loop first pulled; its
+   delta rides the span as attributes only — fused loops can be
+   abandoned mid-stream, so they never feed the gc.* counters (that is
+   {!Gb_obs.Profile.with_}'s job, which is exception-safe). *)
+let emit_op_span ~name ~t0 ~gc n =
   Gb_obs.Metric.add rows_out n;
   Gb_obs.Obs.Span.emit ~track:Gb_obs.Obs.Wall ~cat:"op"
-    ~attrs:[ ("rows", Gb_obs.Obs.Int n) ]
+    ~attrs:(("rows", Gb_obs.Obs.Int n) :: Gb_obs.Profile.delta_attrs gc)
     ~name ~t0
     ~t1:(Gb_obs.Obs.now ())
     ()
@@ -34,11 +38,12 @@ let filter ?trace e r =
   | Some name when Gb_obs.Obs.enabled () ->
     let rows () =
       let t0 = Gb_obs.Obs.now () in
+      let gc = Gb_obs.Profile.start () in
       let n = ref 0 in
       let rec next s () =
         match s () with
         | Seq.Nil ->
-          emit_op_span ~name ~t0 !n;
+          emit_op_span ~name ~t0 ~gc !n;
           Seq.Nil
         | Seq.Cons (x, rest) ->
           if pred x then begin
@@ -60,11 +65,12 @@ let project ?trace names r =
   | Some name when Gb_obs.Obs.enabled () ->
     let rows () =
       let t0 = Gb_obs.Obs.now () in
+      let gc = Gb_obs.Profile.start () in
       let n = ref 0 in
       let rec next s () =
         match s () with
         | Seq.Nil ->
-          emit_op_span ~name ~t0 !n;
+          emit_op_span ~name ~t0 ~gc !n;
           Seq.Nil
         | Seq.Cons (x, rest) ->
           incr n;
@@ -115,7 +121,8 @@ let hash_join ?trace ~on left right =
   let rows () =
     let tr =
       match trace with
-      | Some name when Gb_obs.Obs.enabled () -> Some (name, Gb_obs.Obs.now ())
+      | Some name when Gb_obs.Obs.enabled () ->
+        Some (name, Gb_obs.Obs.now (), Gb_obs.Profile.start ())
       | _ -> None
     in
     let table = build () in
@@ -124,7 +131,7 @@ let hash_join ?trace ~on left right =
       match l () with
       | Seq.Nil ->
         (match tr with
-        | Some (name, t0) -> emit_op_span ~name ~t0 !n
+        | Some (name, t0, gc) -> emit_op_span ~name ~t0 ~gc !n
         | None -> ());
         Seq.Nil
       | Seq.Cons (lrow, lrest) -> (
@@ -250,11 +257,12 @@ let guard ?(interval = 4096) ?trace check r =
        count and timing ride its loop instead of adding a layer. *)
     let rows () =
       let t0 = Gb_obs.Obs.now () in
+      let gc = Gb_obs.Profile.start () in
       let n = ref 0 in
       let rec next s () =
         match s () with
         | Seq.Nil ->
-          emit_op_span ~name ~t0 !n;
+          emit_op_span ~name ~t0 ~gc !n;
           Seq.Nil
         | Seq.Cons (row, rest) ->
           incr n;
@@ -290,13 +298,16 @@ let traced ?(cat = "op") ?(attrs = []) ~name r =
   else
     let rows () =
       let t0 = Gb_obs.Obs.now () in
+      let gc = Gb_obs.Profile.start () in
       let n = ref 0 in
       let rec wrap s () =
         match s () with
         | Seq.Nil ->
           Gb_obs.Metric.add rows_out !n;
           Gb_obs.Obs.Span.emit ~track:Gb_obs.Obs.Wall ~cat
-            ~attrs:(("rows", Gb_obs.Obs.Int !n) :: attrs)
+            ~attrs:
+              (("rows", Gb_obs.Obs.Int !n)
+              :: (Gb_obs.Profile.delta_attrs gc @ attrs))
             ~name ~t0 ~t1:(Gb_obs.Obs.now ()) ();
           Seq.Nil
         | Seq.Cons (x, rest) ->

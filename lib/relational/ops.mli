@@ -20,7 +20,9 @@ val filter : ?trace:string -> Expr.t -> rel -> rel
 (** [?trace] names a tracing span fused into the operator's own
     streaming loop (first pull to exhaustion, row count attached) —
     cheaper than wrapping the output in {!traced} because it adds no
-    extra [Seq] layer. No-op while tracing is disabled. *)
+    extra [Seq] layer. When GC profiling is on ({!Gb_obs.Profile}) the
+    span also carries the loop's allocation delta as attributes. No-op
+    while tracing is disabled. *)
 
 val project : ?trace:string -> string list -> rel -> rel
 (** [?trace] as in {!filter}. *)

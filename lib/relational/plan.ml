@@ -216,11 +216,27 @@ let rec choose_builds cat plan =
   | Limit (n, p) -> Limit (n, choose_builds cat p)
   | Scan _ as s -> s
 
-let optimize cat plan =
-  let plan = pushdown cat plan in
-  let top = names cat plan in
-  let plan = prune cat top plan in
-  choose_builds cat plan
+(* Run each rewrite separately and record which ones changed the plan —
+   the plan ADT is pure data, so structural inequality is exactly "the
+   rewrite fired". EXPLAIN prints the list so a reader can tell an
+   already-optimal plan from one the optimizer reshaped. *)
+let optimize_steps cat plan =
+  let p1 = pushdown cat plan in
+  let top = names cat p1 in
+  let p2 = prune cat top p1 in
+  let p3 = choose_builds cat p2 in
+  let fired =
+    List.filter_map
+      (fun (name, changed) -> if changed then Some name else None)
+      [
+        ("predicate pushdown", p1 <> plan);
+        ("column pruning", p2 <> p1);
+        ("join build-side swap", p3 <> p2);
+      ]
+  in
+  (p3, fired)
+
+let optimize cat plan = fst (optimize_steps cat plan)
 
 (* Each plan node carries a tracing span, so an enabled trace shows one
    span per operator bracketing the work it forced (lazy pulls nest the
@@ -247,42 +263,124 @@ let execute ?(optimize_first = true) cat plan =
   let plan = if optimize_first then optimize cat plan else plan in
   run cat plan
 
+let describe = function
+  | Scan (t, cols) -> Printf.sprintf "Scan %s [%s]" t (String.concat ", " cols)
+  | Filter (e, _) ->
+    Printf.sprintf "Filter on [%s]" (String.concat ", " (Expr.columns e))
+  | Project (cols, _) -> Printf.sprintf "Project [%s]" (String.concat ", " cols)
+  | Join { on; _ } ->
+    Printf.sprintf "HashJoin on [%s]"
+      (String.concat ", " (List.map (fun (a, b) -> a ^ "=" ^ b) on))
+  | Aggregate { group_by; aggs; _ } ->
+    Printf.sprintf "Aggregate group by [%s] -> [%s]"
+      (String.concat ", " group_by)
+      (String.concat ", " (List.map fst aggs))
+  | Sort (by, _) ->
+    Printf.sprintf "Sort [%s]" (String.concat ", " (List.map fst by))
+  | Limit (n, _) -> Printf.sprintf "Limit %d" n
+
+let children = function
+  | Scan _ -> []
+  | Filter (_, p) | Project (_, p) | Sort (_, p) | Limit (_, p) -> [ p ]
+  | Join { left; right; _ } -> [ left; right ]
+  | Aggregate { input; _ } -> [ input ]
+
+let optimizer_note fired =
+  match fired with
+  | [] -> "-- optimizer: plan unchanged\n"
+  | l -> Printf.sprintf "-- optimizer: %s\n" (String.concat ", " l)
+
 let explain cat plan =
-  let plan = optimize cat plan in
+  let plan, fired = optimize_steps cat plan in
   let buf = Buffer.create 256 in
   let rec go indent p =
-    let pad = String.make indent ' ' in
-    let line fmt =
-      Printf.ksprintf
-        (fun s ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s%s  (~%d rows)\n" pad s (estimate_rows cat p)))
-        fmt
-    in
-    match p with
-    | Scan (t, cols) -> line "Scan %s [%s]" t (String.concat ", " cols)
-    | Filter (e, inner) ->
-      line "Filter on [%s]" (String.concat ", " (Expr.columns e));
-      go (indent + 2) inner
-    | Project (cols, inner) ->
-      line "Project [%s]" (String.concat ", " cols);
-      go (indent + 2) inner
-    | Join { left; right; on } ->
-      line "HashJoin on [%s]"
-        (String.concat ", " (List.map (fun (a, b) -> a ^ "=" ^ b) on));
-      go (indent + 2) left;
-      go (indent + 2) right
-    | Aggregate { group_by; aggs; input } ->
-      line "Aggregate group by [%s] -> [%s]"
-        (String.concat ", " group_by)
-        (String.concat ", " (List.map fst aggs));
-      go (indent + 2) input
-    | Sort (by, inner) ->
-      line "Sort [%s]" (String.concat ", " (List.map fst by));
-      go (indent + 2) inner
-    | Limit (n, inner) ->
-      line "Limit %d" n;
-      go (indent + 2) inner
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  (~%d rows)\n" (String.make indent ' ')
+         (describe p) (estimate_rows cat p));
+    List.iter (go (indent + 2)) (children p)
   in
   go 0 plan;
+  Buffer.add_string buf (optimizer_note fired);
+  Buffer.contents buf
+
+(* --- EXPLAIN ANALYZE ---
+
+   Execute the optimized plan with a per-node row counter spliced in,
+   drain it, then print the same tree with estimated vs actual
+   cardinalities. Join nodes additionally report the hash table's build
+   and probe sizes, which are exactly the right and left child's actual
+   counts: the build phase consumes the right input through its counter
+   before the first output row, and every probed row passes the left
+   counter. The counting layer is one closure per row per node — fine
+   for a diagnostic run, which is not a timed benchmark. *)
+
+type annotated = { node : t; actual : int ref; kids : annotated list }
+
+let rec instrument cat p =
+  let counted rel =
+    let c = ref 0 in
+    ( c,
+      {
+        rel with
+        Ops.rows =
+          Seq.map
+            (fun row ->
+              incr c;
+              row)
+            rel.Ops.rows;
+      } )
+  in
+  let rel, kids =
+    match p with
+    | Scan (table, cols) ->
+      let cols =
+        if cols = [] then List.map fst (Schema.columns (cat.schema_of table))
+        else cols
+      in
+      (cat.scan table cols, [])
+    | Filter (e, inner) ->
+      let irel, ia = instrument cat inner in
+      (Ops.filter e irel, [ ia ])
+    | Project (cols, inner) ->
+      let irel, ia = instrument cat inner in
+      (Ops.project cols irel, [ ia ])
+    | Join { left; right; on } ->
+      let lrel, la = instrument cat left in
+      let rrel, ra = instrument cat right in
+      (Ops.hash_join ~on lrel rrel, [ la; ra ])
+    | Aggregate { group_by; aggs; input } ->
+      let irel, ia = instrument cat input in
+      (Ops.aggregate ~group_by ~aggs irel, [ ia ])
+    | Sort (by, inner) ->
+      let irel, ia = instrument cat inner in
+      (Ops.sort ~by irel, [ ia ])
+    | Limit (n, inner) ->
+      let irel, ia = instrument cat inner in
+      (Ops.limit n irel, [ ia ])
+  in
+  let c, rel = counted rel in
+  (rel, { node = p; actual = c; kids })
+
+let explain_analyze cat plan =
+  let plan, fired = optimize_steps cat plan in
+  let rel, ann = instrument cat plan in
+  Seq.iter ignore rel.Ops.rows;
+  let buf = Buffer.create 256 in
+  let rec go indent a =
+    let extra =
+      match (a.node, a.kids) with
+      | Join _, [ la; ra ] ->
+        Printf.sprintf "; build %d, probe %d" !(ra.actual) !(la.actual)
+      | _ -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  (est %d | actual %d rows%s)\n"
+         (String.make indent ' ')
+         (describe a.node)
+         (estimate_rows cat a.node)
+         !(a.actual) extra);
+    List.iter (go (indent + 2)) a.kids
+  in
+  go 0 ann;
+  Buffer.add_string buf (optimizer_note fired);
   Buffer.contents buf

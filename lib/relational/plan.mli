@@ -40,8 +40,23 @@ val estimate_rows : catalog -> t -> int
 val optimize : catalog -> t -> t
 (** Predicate pushdown, column pruning, join build-side selection. *)
 
+val optimize_steps : catalog -> t -> t * string list
+(** {!optimize} plus the names of the rewrites that actually changed the
+    plan (in application order) — empty when the plan came back
+    structurally identical. *)
+
 val execute : ?optimize_first:bool -> catalog -> t -> Ops.rel
 (** Execute ([optimize_first] defaults to [true]). *)
 
 val explain : catalog -> t -> string
-(** Indented plan tree with row estimates, after optimization. *)
+(** Indented plan tree with row estimates, after optimization, followed
+    by a one-line note naming the optimizer rewrites that fired (or that
+    the plan was unchanged). *)
+
+val explain_analyze : catalog -> t -> string
+(** EXPLAIN ANALYZE: execute the optimized plan with a per-node row
+    counter spliced in, drain it, and render the tree with
+    [est vs actual] cardinalities per node. Join nodes also report hash
+    build/probe input sizes (the right and left child's actual counts).
+    Runs the query to completion — a diagnostic, not a timed
+    benchmark. *)

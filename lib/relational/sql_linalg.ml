@@ -77,7 +77,7 @@ let covariance ?check ~rows rel =
   let centered = center_columns ~rows rel in
   (* Materialize: the product consumes the centered relation twice. *)
   let cached =
-    Gb_obs.Obs.Span.with_ ~cat:"op" ~name:"sql.center_columns" (fun () ->
+    Gb_obs.Profile.with_ ~cat:"op" ~name:"sql.center_columns" (fun () ->
         Ops.of_list triple_schema (Ops.to_list centered))
   in
   let prod = matmul ?check (transpose cached) cached in
@@ -113,7 +113,7 @@ let vec_of_rel ~n rel =
   out
 
 let power_iteration_eigs ?(check = fun () -> ()) ~rows ~cols ~k ~iters rel =
-  Gb_obs.Obs.Span.with_ ~cat:"kernel" ~name:"sql.power_iteration"
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"sql.power_iteration"
     ~attrs:
       [
         ("rows", Gb_obs.Obs.Int rows);

@@ -202,6 +202,222 @@ let test_top_spans () =
         check (Alcotest.float 1e-9) "total" 3. total
       | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l))
 
+(* --- histogram quantiles --- *)
+
+let test_hist_empty () =
+  with_tracing (fun () ->
+      let h = Metric.histogram "test.hist.empty" in
+      let s = Metric.stats h in
+      check Alcotest.int "count" 0 s.Metric.count;
+      check (Alcotest.float 0.) "mean" 0. s.Metric.mean;
+      check (Alcotest.float 0.) "min" 0. s.Metric.min_v;
+      check (Alcotest.float 0.) "max" 0. s.Metric.max_v;
+      check (Alcotest.float 0.) "p50" 0. s.Metric.p50;
+      check (Alcotest.float 0.) "p99" 0. s.Metric.p99)
+
+let test_hist_single_sample () =
+  with_tracing (fun () ->
+      let h = Metric.histogram "test.hist.single" in
+      Metric.observe h 3.0;
+      let s = Metric.stats h in
+      check Alcotest.int "count" 1 s.Metric.count;
+      (* The sample's bucket upper bound is 4, but quantiles are capped
+         at the observed maximum, so a one-sample histogram reports the
+         sample itself. *)
+      check (Alcotest.float 0.) "p50 is the sample" 3.0 s.Metric.p50;
+      check (Alcotest.float 0.) "p99 is the sample" 3.0 s.Metric.p99)
+
+let test_hist_overflow_and_clamping () =
+  with_tracing (fun () ->
+      (* More samples than buckets: quantiles stay within the
+         factor-of-2 bucket guarantee of the true order statistics
+         (true median 64.5, true p99 = 127). *)
+      let h = Metric.histogram "test.hist.many" in
+      for v = 1 to 128 do
+        Metric.observe h (float_of_int v)
+      done;
+      let s = Metric.stats h in
+      check Alcotest.int "count" 128 s.Metric.count;
+      checkb "p50 within a factor of 2" true
+        (s.Metric.p50 >= 64.5 && s.Metric.p50 <= 129.);
+      checkb "p99 within a factor of 2" true
+        (s.Metric.p99 >= 127. && s.Metric.p99 <= 254.);
+      checkb "quantiles ordered" true (s.Metric.p50 <= s.Metric.p99);
+      (* Exponents beyond the bucket range clamp to the edge buckets
+         instead of indexing out of bounds, and the max_v cap keeps the
+         reported quantile finite. *)
+      let e = Metric.histogram "test.hist.extreme" in
+      Metric.observe e 1e-300;
+      Metric.observe e 1e300;
+      Metric.observe e 0.;
+      let se = Metric.stats e in
+      check Alcotest.int "extreme count" 3 se.Metric.count;
+      checkb "extreme p99 finite" true (Float.is_finite se.Metric.p99);
+      checkb "p99 capped at observed max" true
+        (se.Metric.p99 <= se.Metric.max_v))
+
+(* --- GC profiling gates --- *)
+
+let gc_counters_moved before =
+  List.exists
+    (fun (n, _) -> String.length n >= 3 && String.sub n 0 3 = "gc.")
+    (Metric.delta before)
+
+let churn () =
+  (* Enough small allocations to guarantee a visible minor-words delta
+     whenever profiling is live. *)
+  let r = ref [] in
+  for i = 1 to 10_000 do
+    r := [ i ] :: !r
+  done;
+  ignore (Sys.opaque_identity !r)
+
+let test_gc_disabled_moves_nothing () =
+  with_tracing (fun () ->
+      (* Profiling defaults to off: a profiled span degrades to a plain
+         span — no gc.* counters, no gc_* attributes, free snapshots. *)
+      let before = Metric.snapshot () in
+      Profile.with_ ~name:"alloc" churn;
+      checkb "no gc.* counters when profiling off" false
+        (gc_counters_moved before);
+      let s =
+        List.find (fun s -> s.Obs.name = "alloc") (spans (Obs.events ()))
+      in
+      checkb "no gc_* attrs when profiling off" false
+        (List.exists
+           (fun (k, _) -> String.length k >= 3 && String.sub k 0 3 = "gc_")
+           s.Obs.attrs);
+      checkb "start is free when off" true (Profile.start () = None);
+      checkb "delta_attrs of None is empty" true (Profile.delta_attrs None = []))
+
+let test_gc_double_gate () =
+  (* Enabling the profiler without tracing must still record nothing
+     (the bit-identical-conformance contract), while enabling both
+     moves the counters and attaches attributes. *)
+  Fun.protect
+    ~finally:(fun () -> Profile.set_enabled false)
+    (fun () ->
+      with_tracing ~enabled:false (fun () ->
+          Profile.set_enabled true;
+          let before = Metric.snapshot () in
+          Profile.with_ ~name:"dark" churn;
+          check Alcotest.int "no events without tracing" 0 (Obs.event_count ());
+          checkb "no counters without tracing" false
+            (gc_counters_moved before));
+      with_tracing (fun () ->
+          Profile.set_enabled true;
+          let before = Metric.snapshot () in
+          Profile.with_ ~name:"lit" churn;
+          checkb "counters move when both gates open" true
+            (gc_counters_moved before);
+          checkb "minor words observed" true
+            (List.assoc_opt "gc.minor_words" (Metric.delta before)
+             |> Option.fold ~none:false ~some:(fun w -> w > 0.));
+          let s =
+            List.find (fun s -> s.Obs.name = "lit") (spans (Obs.events ()))
+          in
+          checkb "gc_minor_words attr attached" true
+            (List.mem_assoc "gc_minor_words" s.Obs.attrs)))
+
+(* --- bench JSON round-trip and diff --- *)
+
+let checkf = check (Alcotest.float 1e-9)
+
+let check_record_eq (a : Bench_json.record) (b : Bench_json.record) =
+  check Alcotest.string "name" a.Bench_json.name b.Bench_json.name;
+  check Alcotest.string "engine" a.Bench_json.engine b.Bench_json.engine;
+  check Alcotest.string "query" a.Bench_json.query b.Bench_json.query;
+  check Alcotest.string "size" a.Bench_json.size b.Bench_json.size;
+  check Alcotest.string "unit" a.Bench_json.unit_ b.Bench_json.unit_;
+  checkb "better" true (a.Bench_json.better = b.Bench_json.better);
+  check Alcotest.int "iterations" a.Bench_json.iterations
+    b.Bench_json.iterations;
+  checkf "mean" a.Bench_json.mean b.Bench_json.mean;
+  checkf "median" a.Bench_json.median b.Bench_json.median;
+  checkf "p95" a.Bench_json.p95 b.Bench_json.p95;
+  checkf "min" a.Bench_json.min_v b.Bench_json.min_v;
+  checkf "max" a.Bench_json.max_v b.Bench_json.max_v;
+  check Alcotest.int "counter count" (List.length a.Bench_json.counters)
+    (List.length b.Bench_json.counters);
+  List.iter2
+    (fun (ka, va) (kb, vb) ->
+      check Alcotest.string "counter key" ka kb;
+      checkf ("counter " ^ ka) va vb)
+    a.Bench_json.counters b.Bench_json.counters
+
+let test_bench_json_roundtrip () =
+  (* make drops non-finite samples (failed cells report infinite
+     totals) and refuses an all-non-finite batch. *)
+  checkb "all-non-finite is None" true
+    (Bench_json.make ~name:"dead" [ infinity; nan ] = None);
+  let r1 =
+    Option.get
+      (Bench_json.make ~name:"cell-n1" ~engine:"sql" ~query:"q1" ~size:"small"
+         ~counters:[ ("rows", 8400.); ("gc.minor_words", 123456.) ]
+         [ 1.5; 2.5; 3.5; infinity ])
+  in
+  check Alcotest.int "non-finite sample dropped" 3 r1.Bench_json.iterations;
+  let r2 =
+    Option.get
+      (Bench_json.make ~name:"availability" ~engine:"hadoop" ~unit_:"pct"
+         ~better:Bench_json.Higher [ 87.5 ])
+  in
+  let f =
+    {
+      Bench_json.section = "test";
+      git_rev = "deadbeef";
+      quick = true;
+      records = [ r1; r2 ];
+    }
+  in
+  match Bench_json.of_string (Bench_json.to_string f) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok g ->
+    check Alcotest.string "section" "test" g.Bench_json.section;
+    check Alcotest.string "git_rev" "deadbeef" g.Bench_json.git_rev;
+    checkb "quick flag" true g.Bench_json.quick;
+    check Alcotest.int "record count" 2 (List.length g.Bench_json.records);
+    List.iter2 check_record_eq f.Bench_json.records g.Bench_json.records
+
+let test_bench_diff () =
+  let time_rec v = Option.get (Bench_json.make ~name:"kernel" [ v ]) in
+  let avail_rec v =
+    Option.get
+      (Bench_json.make ~name:"availability" ~unit_:"pct"
+         ~better:Bench_json.Higher [ v ])
+  in
+  let file records =
+    { Bench_json.section = "t"; git_rev = "x"; quick = false; records }
+  in
+  (* Identical runs compare clean. *)
+  let same = Bench_json.diff (file [ time_rec 1.0 ]) (file [ time_rec 1.0 ]) in
+  checkb "identical: no regressions" true (Bench_json.regressions same = []);
+  checkb "identical: no improvements" true (Bench_json.improvements same = []);
+  (* A genuine 2x slowdown is flagged. *)
+  let rep = Bench_json.diff (file [ time_rec 1.0 ]) (file [ time_rec 2.0 ]) in
+  (match Bench_json.regressions rep with
+  | [ c ] ->
+    checkf "2x slowdown is +100%" 100. c.Bench_json.change_pct;
+    checkb "verdict" true (c.Bench_json.verdict = Bench_json.Regression)
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* Higher-is-better flips the direction: dropping availability is a
+     regression even though the number went down. *)
+  let repa =
+    Bench_json.diff (file [ avail_rec 100. ]) (file [ avail_rec 50. ])
+  in
+  checkb "availability drop is a regression" true
+    (Bench_json.regressions repa <> []);
+  (* Changes under the unit's absolute floor are noise no matter the
+     relative magnitude (1 ms on a seconds-unit record). *)
+  let repn =
+    Bench_json.diff (file [ time_rec 0.001 ]) (file [ time_rec 0.002 ])
+  in
+  checkb "sub-floor change is noise" true (Bench_json.regressions repn = []);
+  (* Keys present on only one side are reported, not compared. *)
+  let repk = Bench_json.diff (file [ time_rec 1.0 ]) (file [ avail_rec 9. ]) in
+  check Alcotest.int "only_base" 1 (List.length repk.Bench_json.only_base);
+  check Alcotest.int "only_cand" 1 (List.length repk.Bench_json.only_cand)
+
 let suite =
   [
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
@@ -215,4 +431,15 @@ let suite =
     Alcotest.test_case "counter snapshots" `Quick test_counter_snapshot_sorted;
     Alcotest.test_case "chrome JSON round-trip" `Quick test_chrome_roundtrip;
     Alcotest.test_case "top spans for CSV breakdown" `Quick test_top_spans;
+    Alcotest.test_case "histogram: empty" `Quick test_hist_empty;
+    Alcotest.test_case "histogram: single sample" `Quick
+      test_hist_single_sample;
+    Alcotest.test_case "histogram: overflow + clamping" `Quick
+      test_hist_overflow_and_clamping;
+    Alcotest.test_case "gc profiling off by default" `Quick
+      test_gc_disabled_moves_nothing;
+    Alcotest.test_case "gc profiling double gate" `Quick test_gc_double_gate;
+    Alcotest.test_case "bench JSON round-trip" `Quick
+      test_bench_json_roundtrip;
+    Alcotest.test_case "bench diff verdicts" `Quick test_bench_diff;
   ]
