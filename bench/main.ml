@@ -15,7 +15,7 @@ module H = Genbase.Harness
 
 let sections =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
-    "weak"; "crossover"; "chaos"; "obs" ]
+    "weak"; "crossover"; "chaos"; "obs"; "par" ]
 
 let usage () =
   Printf.sprintf "usage: main.exe [%s] [--quick] [--timeout SECONDS]"
@@ -140,6 +140,11 @@ let () =
   if want "obs" then begin
     banner "Observability hook overhead (Bechamel)";
     emit "obs" (Obsbench.run ())
+  end;
+
+  if want "par" then begin
+    banner "Domain-pool scaling (GEMM, covariance, hash join at 1/2/4 domains)";
+    emit "par" (Par_scaling.run ~quick)
   end;
 
   Printf.eprintf "[%7.1fs] done\n%!" (Unix.gettimeofday () -. t0)

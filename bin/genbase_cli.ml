@@ -53,6 +53,34 @@ let size_arg =
     & info [ "size" ] ~docv:"SIZE"
         ~doc:"Data set size: small, medium, large or xlarge.")
 
+(* Domain-pool sizing. The conv rejects 0, negatives and non-numeric
+   input with a usage error; attaching the GENBASE_DOMAINS env var to
+   the flag means env values get the same validation for free. *)
+let jobs_conv =
+  let parse s =
+    match Gb_par.Pool.parse_jobs s with
+    | Ok n -> Ok n
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~env:
+          (Cmd.Env.info Gb_par.Pool.env_var
+             ~doc:"Default for $(b,--jobs); same validation applies.")
+        ~doc:
+          "Size of the shared Domain pool the wall-clock engines run \
+           their kernels on. 1 (the default) is fully sequential and \
+           bitwise-reproduces the single-threaded kernels.")
+
+(* Evaluated before each command body: turns the validated count into
+   the process-wide pool size. *)
+let jobs_term = Term.(const Gb_par.Pool.set_jobs $ jobs_arg)
+
 (* --- generate --- *)
 
 let generate_cmd =
@@ -134,7 +162,7 @@ let run_cmd =
       & opt float 120.
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Benchmark cut-off window.")
   in
-  let run size seed query engine nodes timeout =
+  let run () size seed query engine nodes timeout =
     match Genbase.Query.of_name query with
     | None ->
       Printf.eprintf "unknown query %s\n" query;
@@ -160,12 +188,14 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one benchmark query on one engine.")
-    Term.(const run $ size_arg $ seed_arg $ query $ engine $ nodes $ timeout)
+    Term.(
+      const run $ jobs_term $ size_arg $ seed_arg $ query $ engine $ nodes
+      $ timeout)
 
 (* --- explain --- *)
 
 let explain_cmd =
-  let run size seed =
+  let run () size seed =
     let ds = Gb_datagen.Generate.generate ~seed (Spec.of_size size) in
     let db = Genbase.Dataset.load_col_stores ds in
     let open Gb_relational in
@@ -230,7 +260,7 @@ let explain_cmd =
          "Show optimized query plans for the benchmark's DM phases, then \
           execute each and report estimated vs actual per-operator row \
           counts (EXPLAIN ANALYZE).")
-    Term.(const run $ size_arg $ seed_arg)
+    Term.(const run $ jobs_term $ size_arg $ seed_arg)
 
 (* --- seqgen --- *)
 
@@ -285,7 +315,7 @@ let suite_cmd =
       & info [ "sizes" ] ~docv:"SIZES"
           ~doc:"Comma-separated sizes to run, e.g. small,medium,large.")
   in
-  let run seed out timeout sizes =
+  let run () seed out timeout sizes =
     let config =
       {
         Genbase.Harness.timeout_s = timeout;
@@ -304,7 +334,7 @@ let suite_cmd =
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Run the full single-node grid and dump raw results as CSV.")
-    Term.(const run $ seed_arg $ out $ timeout $ sizes)
+    Term.(const run $ jobs_term $ seed_arg $ out $ timeout $ sizes)
 
 (* --- chaos --- *)
 
@@ -352,7 +382,8 @@ let chaos_cmd =
     prob "task-fail" d.Genbase.Harness.task_fail_p
       ~doc:"Per MapReduce job transient task-failure probability."
   in
-  let run size seed out timeout fault_seed crash straggler oom drop task_fail =
+  let run () size seed out timeout fault_seed crash straggler oom drop task_fail
+      =
     let chaos =
       {
         Genbase.Harness.default_chaos with
@@ -388,8 +419,8 @@ let chaos_cmd =
          "Run the multi-node grid under deterministic fault injection and \
           report per-engine availability.")
     Term.(
-      const run $ size_arg $ seed_arg $ out $ timeout $ fault_seed $ crash
-      $ straggler $ oom $ drop $ task_fail)
+      const run $ jobs_term $ size_arg $ seed_arg $ out $ timeout $ fault_seed
+      $ crash $ straggler $ oom $ drop $ task_fail)
 
 (* --- conformance --- *)
 
@@ -444,7 +475,7 @@ let conformance_cmd =
       & info [ "nodes" ] ~docv:"NODES"
           ~doc:"Node counts for the chaos conformance grid.")
   in
-  let run size seed quick seeds timeout out no_fuzz no_chaos nodes =
+  let run () size seed quick seeds timeout out no_fuzz no_chaos nodes =
     let timeout = if quick then 30. else timeout in
     let config =
       {
@@ -477,8 +508,8 @@ let conformance_cmd =
          "Check every engine's answers against the Vanilla R reference \
           (differential + fault-injected grids); exit 1 on any mismatch.")
     Term.(
-      const run $ size_arg $ seed_arg $ quick $ seeds $ timeout $ out $ no_fuzz
-      $ no_chaos $ nodes)
+      const run $ jobs_term $ size_arg $ seed_arg $ quick $ seeds $ timeout
+      $ out $ no_fuzz $ no_chaos $ nodes)
 
 (* --- trace --- *)
 
@@ -590,7 +621,7 @@ let trace_cmd =
     let median = List.nth pcts (List.length pcts / 2) in
     (rounds, median)
   in
-  let run size seed query engine nodes timeout out overhead_check budget =
+  let run () size seed query engine nodes timeout out overhead_check budget =
     match (resolve_query query, resolve_engine nodes engine) with
     | None, _ ->
       Printf.eprintf "unknown query %s\n" query;
@@ -675,8 +706,8 @@ let trace_cmd =
           Perfetto-loadable Chrome trace, or check the tracing overhead \
           budget with --overhead-check.")
     Term.(
-      const run $ size_arg $ seed_arg $ query $ engine $ nodes $ timeout $ out
-      $ overhead_check $ overhead_budget)
+      const run $ jobs_term $ size_arg $ seed_arg $ query $ engine $ nodes
+      $ timeout $ out $ overhead_check $ overhead_budget)
 
 (* --- bench-diff --- *)
 

@@ -129,25 +129,61 @@ let multi_node_engines ~nodes =
     Engine_hadoop.engine_multinode ~nodes;
   ]
 
+(* Global memory budget throttling concurrent cells. Sized from
+   GENBASE_MEMORY_BUDGET_MB (default 4 GiB); a cell's reservation is a
+   peak-working-set estimate from its expression matrix (engines copy,
+   center and factorize it a handful of times) plus a fixed overhead for
+   the relational stores. Oversized cells still run — alone. *)
+let budget =
+  lazy
+    (let mb =
+       match Sys.getenv_opt "GENBASE_MEMORY_BUDGET_MB" with
+       | Some s -> ( match int_of_string_opt (String.trim s) with
+         | Some n when n > 0 -> n
+         | _ -> 4096)
+       | None -> 4096
+     in
+     Gb_par.Budget.create ~bytes:(mb * 1024 * 1024))
+
+let cell_bytes ds =
+  let rows, cols = Gb_linalg.Mat.dims ds.Gb_datagen.Generate.expression in
+  (rows * cols * 8 * 8) + (64 * 1024 * 1024)
+
+(* Grid cells are independent (engines share no mutable state; each cell
+   regenerates its derived stores from the immutable dataset), so with
+   more than one pool lane they run concurrently — kernels inside a cell
+   then execute inline on that lane, trading kernel-level for cell-level
+   parallelism. Tracing forces the sequential path: span marks, counter
+   deltas and progress interleaving assume one cell at a time. Results
+   keep grid order either way. *)
 let run_grid config engines_of_nodes ~node_counts ~queries ~sizes =
   let data = datasets { config with sizes } in
-  List.concat_map
-    (fun (size, ds) ->
-      List.concat_map
-        (fun nodes ->
-          List.concat_map
-            (fun e ->
-              List.map
-                (fun q ->
-                  let c = run_cell e ds q ~timeout_s:config.timeout_s in
-                  note config "%s | %s | %s | n=%d: %s" (Spec.label size)
-                    (Query.name q) c.engine nodes
-                    (Format.asprintf "%a" Engine.pp_outcome c.outcome);
-                  c)
-                queries)
-            (engines_of_nodes nodes))
-        node_counts)
-    data
+  let specs =
+    List.concat_map
+      (fun (size, ds) ->
+        List.concat_map
+          (fun nodes ->
+            List.concat_map
+              (fun e -> List.map (fun q -> (size, ds, nodes, e, q)) queries)
+              (engines_of_nodes nodes))
+          node_counts)
+      data
+  in
+  let run (size, ds, nodes, e, q) =
+    let c = run_cell e ds q ~timeout_s:config.timeout_s in
+    note config "%s | %s | %s | n=%d: %s" (Spec.label size) (Query.name q)
+      c.engine nodes
+      (Format.asprintf "%a" Engine.pp_outcome c.outcome);
+    c
+  in
+  if Gb_par.Pool.jobs () > 1 && not (Gb_obs.Obs.enabled ()) then
+    Gb_par.Pool.map_list
+      (fun ((_, ds, _, _, _) as spec) ->
+        Gb_par.Budget.with_reservation (Lazy.force budget)
+          ~bytes:(cell_bytes ds)
+          (fun () -> run spec))
+      specs
+  else List.map run specs
 
 let single_node_cells config =
   run_grid config

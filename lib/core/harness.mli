@@ -51,7 +51,13 @@ val quick_config : config
 val single_node_engines : Engine.t list
 val multi_node_engines : nodes:int -> Engine.t list
 
-(** {1 Experiment grids} — each runs its engines and returns raw cells. *)
+(** {1 Experiment grids} — each runs its engines and returns raw cells.
+
+    When the Domain pool ({!Gb_par.Pool}) has more than one lane and
+    tracing is disabled, grid cells run concurrently on the pool under a
+    global memory budget (GENBASE_MEMORY_BUDGET_MB, default 4096);
+    results keep grid order. Tracing forces the sequential path so span
+    attribution and counter deltas keep single-cell semantics. *)
 
 val single_node_cells : config -> cell list
 (** Everything Figures 1 and 2 need: 7 engines x 5 queries x sizes. *)

@@ -129,9 +129,18 @@ let col_means m =
   let n = float_of_int (max 1 m.rows) in
   Array.map (fun s -> s /. n) means
 
+(* Row bands write disjoint output and read only [means], so the
+   centered matrix is bitwise independent of the domain count. *)
 let center_cols m =
   let means = col_means m in
-  init m.rows m.cols (fun i j -> unsafe_get m i j -. means.(j))
+  let out = create m.rows m.cols in
+  Gb_par.Pool.parallel_for ~grain:64 ~lo:0 ~hi:m.rows (fun r_lo r_hi ->
+      for i = r_lo to r_hi - 1 do
+        for j = 0 to m.cols - 1 do
+          unsafe_set out i j (unsafe_get m i j -. means.(j))
+        done
+      done);
+  out
 
 let frobenius m =
   let acc = ref 0. in

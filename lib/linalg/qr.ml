@@ -39,19 +39,24 @@ let factorize src =
         Mat.unsafe_set a i j (Mat.unsafe_get a i j /. v0)
       done;
       Mat.unsafe_set a j j alpha;
-      (* Apply H_j to the remaining columns. *)
-      for k = j + 1 to n - 1 do
-        let dot = ref (Mat.unsafe_get a j k) in
-        for i = j + 1 to m - 1 do
-          dot := !dot +. (Mat.unsafe_get a i j *. Mat.unsafe_get a i k)
-        done;
-        let s = betas.(j) *. !dot in
-        Mat.unsafe_set a j k (Mat.unsafe_get a j k -. s);
-        for i = j + 1 to m - 1 do
-          Mat.unsafe_set a i k
-            (Mat.unsafe_get a i k -. (s *. Mat.unsafe_get a i j))
-        done
-      done
+      (* Apply H_j to the remaining columns. Each trailing column k only
+         reads the (frozen) reflector column j and writes itself, so the
+         panel update partitions over k; per-column arithmetic is
+         unchanged by the partition, keeping the factorization bitwise
+         identical at any domain count. *)
+      Gb_par.Pool.parallel_for ~grain:8 ~lo:(j + 1) ~hi:n (fun k_lo k_hi ->
+          for k = k_lo to k_hi - 1 do
+            let dot = ref (Mat.unsafe_get a j k) in
+            for i = j + 1 to m - 1 do
+              dot := !dot +. (Mat.unsafe_get a i j *. Mat.unsafe_get a i k)
+            done;
+            let s = betas.(j) *. !dot in
+            Mat.unsafe_set a j k (Mat.unsafe_get a j k -. s);
+            for i = j + 1 to m - 1 do
+              Mat.unsafe_set a i k
+                (Mat.unsafe_get a i k -. (s *. Mat.unsafe_get a i j))
+            done
+          done)
     end
   done;
   { a; betas; m; n }
@@ -91,17 +96,21 @@ let apply_q t b =
     end
   done
 
+(* Columns of Q are independent applications of the reflectors to basis
+   vectors; each lane keeps a private scratch vector and owns its output
+   columns. *)
 let q t =
   let out = Mat.create t.m t.n in
-  let e = Array.make t.m 0. in
-  for k = 0 to t.n - 1 do
-    Array.fill e 0 t.m 0.;
-    e.(k) <- 1.;
-    apply_q t e;
-    for i = 0 to t.m - 1 do
-      Mat.unsafe_set out i k e.(i)
-    done
-  done;
+  Gb_par.Pool.parallel_for ~grain:8 ~lo:0 ~hi:t.n (fun k_lo k_hi ->
+      let e = Array.make t.m 0. in
+      for k = k_lo to k_hi - 1 do
+        Array.fill e 0 t.m 0.;
+        e.(k) <- 1.;
+        apply_q t e;
+        for i = 0 to t.m - 1 do
+          Mat.unsafe_set out i k e.(i)
+        done
+      done);
   out
 
 let solve t b =

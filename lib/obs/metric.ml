@@ -2,23 +2,40 @@
    subsystem in a process-global registry. Additions are gated on
    [Obs.enabled] so the disabled mode costs one branch and perturbs
    nothing. Snapshots are sorted by name, giving CSV consumers a stable
-   column order independent of registration order. *)
+   column order independent of registration order.
 
-type counter = { name : string; unit_ : string; mutable v : float }
+   Domain-safety: counter cells are atomics (CAS-loop accumulate, so
+   concurrent adds from pool workers never lose increments), each
+   histogram carries its own lock, and both registries sit behind a
+   mutex. The uncontended cost is a handful of nanoseconds per add —
+   noise against the gated-off fast path that dominates benchmarks. *)
+
+type counter = { name : string; unit_ : string; v : float Atomic.t }
+
+let registry_m = Mutex.create ()
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter ?(unit_ = "") name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { name; unit_; v = 0. } in
-    Hashtbl.add counters name c;
-    c
+  Mutex.lock registry_m;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { name; unit_; v = Atomic.make 0. } in
+      Hashtbl.add counters name c;
+      c
+  in
+  Mutex.unlock registry_m;
+  c
 
-let add c n = if Obs.enabled () then c.v <- c.v +. float_of_int n
-let addf c x = if Obs.enabled () then c.v <- c.v +. x
-let value c = c.v
+let rec atomic_addf cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then atomic_addf cell x
+
+let add c n = if Obs.enabled () then atomic_addf c.v (float_of_int n)
+let addf c x = if Obs.enabled () then atomic_addf c.v x
+let value c = Atomic.get c.v
 let counter_unit c = c.unit_
 
 (* --- histograms: power-of-two buckets over positive observations --- *)
@@ -28,6 +45,7 @@ let n_buckets = 64
 type histogram = {
   h_name : string;
   h_unit : string;
+  h_lock : Mutex.t;
   mutable count : int;
   mutable sum : float;
   mutable min_v : float;
@@ -38,22 +56,28 @@ type histogram = {
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let histogram ?(unit_ = "") name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h =
-      {
-        h_name = name;
-        h_unit = unit_;
-        count = 0;
-        sum = 0.;
-        min_v = infinity;
-        max_v = neg_infinity;
-        buckets = Array.make n_buckets 0;
-      }
-    in
-    Hashtbl.add histograms name h;
-    h
+  Mutex.lock registry_m;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          h_name = name;
+          h_unit = unit_;
+          h_lock = Mutex.create ();
+          count = 0;
+          sum = 0.;
+          min_v = infinity;
+          max_v = neg_infinity;
+          buckets = Array.make n_buckets 0;
+        }
+      in
+      Hashtbl.add histograms name h;
+      h
+  in
+  Mutex.unlock registry_m;
+  h
 
 let bucket_of x =
   if x <= 0. then 0
@@ -65,12 +89,14 @@ let bucket_upper i = Float.ldexp 1.0 (i - 32)
 
 let observe h x =
   if Obs.enabled () then begin
+    Mutex.lock h.h_lock;
     h.count <- h.count + 1;
     h.sum <- h.sum +. x;
     if x < h.min_v then h.min_v <- x;
     if x > h.max_v then h.max_v <- x;
     let i = bucket_of x in
-    h.buckets.(i) <- h.buckets.(i) + 1
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    Mutex.unlock h.h_lock
   end
 
 type hist_stats = {
@@ -101,24 +127,36 @@ let percentile (h : histogram) q =
   end
 
 let stats (h : histogram) =
-  {
-    count = h.count;
-    sum = h.sum;
-    mean = (if h.count = 0 then 0. else h.sum /. Float.of_int h.count);
-    min_v = (if h.count = 0 then 0. else h.min_v);
-    max_v = (if h.count = 0 then 0. else h.max_v);
-    p50 = percentile h 0.5;
-    p99 = percentile h 0.99;
-  }
+  Mutex.lock h.h_lock;
+  let r =
+    {
+      count = h.count;
+      sum = h.sum;
+      mean = (if h.count = 0 then 0. else h.sum /. Float.of_int h.count);
+      min_v = (if h.count = 0 then 0. else h.min_v);
+      max_v = (if h.count = 0 then 0. else h.max_v);
+      p50 = percentile h 0.5;
+      p99 = percentile h 0.99;
+    }
+  in
+  Mutex.unlock h.h_lock;
+  r
 
 (* --- snapshots --- *)
 
 let snapshot () =
-  Hashtbl.fold (fun _ c acc -> (c.name, c.v) :: acc) counters []
-  |> List.sort compare
+  Mutex.lock registry_m;
+  let r =
+    Hashtbl.fold (fun _ c acc -> (c.name, Atomic.get c.v) :: acc) counters []
+  in
+  Mutex.unlock registry_m;
+  List.sort compare r
 
 let hist_snapshot () =
-  Hashtbl.fold (fun _ h acc -> (h.h_name, stats h) :: acc) histograms []
+  Mutex.lock registry_m;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) histograms [] in
+  Mutex.unlock registry_m;
+  List.map (fun h -> (h.h_name, stats h)) hs
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let delta before =
@@ -128,12 +166,18 @@ let delta before =
          if v -. b <> 0. then Some (n, v -. b) else None)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.v <- 0.) counters;
-  Hashtbl.iter
-    (fun _ (h : histogram) ->
+  Mutex.lock registry_m;
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) counters [] in
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) histograms [] in
+  Mutex.unlock registry_m;
+  List.iter (fun c -> Atomic.set c.v 0.) cs;
+  List.iter
+    (fun (h : histogram) ->
+      Mutex.lock h.h_lock;
       h.count <- 0;
       h.sum <- 0.;
       h.min_v <- infinity;
       h.max_v <- neg_infinity;
-      Array.fill h.buckets 0 n_buckets 0)
-    histograms
+      Array.fill h.buckets 0 n_buckets 0;
+      Mutex.unlock h.h_lock)
+    hs

@@ -34,56 +34,100 @@ let string_of_value = function
   | Float f -> Printf.sprintf "%g" f
   | Bool b -> string_of_bool b
 
-(* --- global state --- *)
+(* --- global state ---
 
-let on = ref false
+   Domain-safety: the enabled flag and span-id source are atomics, the
+   event buffer sits behind a mutex, and the span stack lives in
+   domain-local storage so pool workers nest their own spans without
+   seeing each other's frames. Each domain also carries a trace tid
+   (set once by the pool when it spawns a worker) so wall spans land on
+   per-domain tracks, reusing the per-node tid convention the simulated
+   engines already have. *)
+
+let on = Atomic.make false
 let epoch = ref (Unix.gettimeofday ())
+
+(* Guards [buf] and [count]; every reader/writer of the event stream
+   takes it. Uncontended in the sequential default. *)
+let collector_m = Mutex.create ()
+
 let buf : event list ref = ref []
 let count = ref 0
-let next_id = ref 0
+let next_id = Atomic.make 0
 
 type frame = { f_id : int; f_t0 : float }
 
-let stack : frame list ref = ref []
+(* One span stack per domain. The [ref] is created per domain on first
+   use; resetting clears only the calling domain's stack, which is fine
+   because worker stacks are balanced between tasks. *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let enabled () = !on
-let set_enabled b = on := b
+let stack () = Domain.DLS.get stack_key
+
+(* Trace track id of the calling domain: 0 for the main domain, lane
+   numbers for pool workers. *)
+let domain_tid_key = Domain.DLS.new_key (fun () -> 0)
+let domain_tid () = Domain.DLS.get domain_tid_key
+let set_domain_tid t = Domain.DLS.set domain_tid_key t
+
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
 
 let reset () =
+  Mutex.lock collector_m;
   buf := [];
   count := 0;
-  next_id := 0;
-  stack := [];
+  Mutex.unlock collector_m;
+  Atomic.set next_id 0;
+  (stack ()) := [];
   epoch := Unix.gettimeofday ()
 
 let now () = Unix.gettimeofday () -. !epoch
-let record ev =
-  buf := ev :: !buf;
-  incr count
 
-let events () = List.rev !buf
-let event_count () = !count
-let mark () = !count
+let record ev =
+  Mutex.lock collector_m;
+  buf := ev :: !buf;
+  incr count;
+  Mutex.unlock collector_m
+
+let events () =
+  Mutex.lock collector_m;
+  let r = List.rev !buf in
+  Mutex.unlock collector_m;
+  r
+
+let event_count () =
+  Mutex.lock collector_m;
+  let r = !count in
+  Mutex.unlock collector_m;
+  r
+
+let mark () = event_count ()
 
 let events_since m =
   let rec take acc n l =
     if n <= 0 then acc
     else match l with [] -> acc | e :: tl -> take (e :: acc) (n - 1) tl
   in
-  take [] (!count - m) !buf
+  Mutex.lock collector_m;
+  let r = take [] (!count - m) !buf in
+  Mutex.unlock collector_m;
+  r
 
-let open_depth () = List.length !stack
+let open_depth () = List.length !(stack ())
 
 module Span = struct
-  let current_parent () = match !stack with [] -> -1 | f :: _ -> f.f_id
+  let current_parent () = match !(stack ()) with [] -> -1 | f :: _ -> f.f_id
 
   let with_ ?(cat = "span") ?(attrs = []) ?attrs_after ?dur_of ~name f =
-    if not !on then f ()
+    if not (Atomic.get on) then f ()
     else begin
-      let id = !next_id in
-      incr next_id;
+      let id = Atomic.fetch_and_add next_id 1 in
       let parent = current_parent () in
+      let tid = domain_tid () in
       let t0 = now () in
+      let stack = stack () in
       stack := { f_id = id; f_t0 = t0 } :: !stack;
       let finish ~error ~dur =
         (* Pop our frame; if a callee leaked frames (it would have to
@@ -103,8 +147,7 @@ module Span = struct
         in
         let attrs = if error then ("error", Bool true) :: attrs else attrs in
         record
-          (Span_ev
-             { id; parent; name; cat; track = Wall; tid = 0; t0; dur; attrs })
+          (Span_ev { id; parent; name; cat; track = Wall; tid; t0; dur; attrs })
       in
       match f () with
       | r ->
@@ -121,11 +164,16 @@ module Span = struct
         raise e
     end
 
-  let emit ?(cat = "span") ?(attrs = []) ?(track = Sim) ?(tid = 0) ~name ~t0
-      ~t1 () =
-    if !on then begin
-      let id = !next_id in
-      incr next_id;
+  let emit ?(cat = "span") ?(attrs = []) ?(track = Sim) ?tid ~name ~t0 ~t1 () =
+    if Atomic.get on then begin
+      (* Wall emits default to the emitting domain's track; Sim spans
+         keep the explicit per-node tid convention (default 0). *)
+      let tid =
+        match tid with
+        | Some t -> t
+        | None -> ( match track with Wall -> domain_tid () | Sim -> 0)
+      in
+      let id = Atomic.fetch_and_add next_id 1 in
       let parent = match track with Wall -> current_parent () | Sim -> -1 in
       record
         (Span_ev
@@ -142,8 +190,13 @@ module Span = struct
            })
     end
 
-  let instant ?(attrs = []) ?(track = Wall) ?(tid = 0) ?ts ~name () =
-    if !on then begin
+  let instant ?(attrs = []) ?(track = Wall) ?tid ?ts ~name () =
+    if Atomic.get on then begin
+      let tid =
+        match tid with
+        | Some t -> t
+        | None -> ( match track with Wall -> domain_tid () | Sim -> 0)
+      in
       let ts = match ts with Some t -> t | None -> now () in
       record (Instant_ev { name; track; tid; ts; attrs })
     end
@@ -155,6 +208,14 @@ module Log = struct
     | None -> ()
     | Some f ->
       f (Printf.sprintf "[+%8.3fs] %s" (Unix.gettimeofday () -. !epoch) msg));
-    if !on then
-      record (Instant_ev { name = msg; track = Wall; tid = 0; ts = now (); attrs = [ ("kind", Str "log") ] })
+    if Atomic.get on then
+      record
+        (Instant_ev
+           {
+             name = msg;
+             track = Wall;
+             tid = domain_tid ();
+             ts = now ();
+             attrs = [ ("kind", Str "log") ];
+           })
 end

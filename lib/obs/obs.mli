@@ -6,6 +6,11 @@
     fault-free conformance runs stay bit-identical and timings
     unperturbed. The subsystem depends only on [Unix.gettimeofday].
 
+    Domain-safety: the collector is shared (mutex-protected) across
+    domains, span ids come from an atomic source, and the span stack is
+    domain-local ([Domain.DLS]) — pool workers nest their own spans and
+    stamp them with a per-domain {!domain_tid}.
+
     Clock duality: spans opened with {!Span.with_} measure wall time and
     nest via an explicit span stack; engines that charge a simulated
     clock ({!Gb_cluster.Cluster}, {!Gb_mapreduce.Mr}, the SciDB/Phi
@@ -39,6 +44,15 @@ val string_of_value : value -> string
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
+
+val domain_tid : unit -> int
+(** Trace track id of the calling domain: 0 on the main domain; the
+    pool assigns lane numbers to its workers. Wall spans and instants
+    default their [tid] to this. *)
+
+val set_domain_tid : int -> unit
+(** Register the calling domain's trace track id (domain-local; the
+    Domain pool calls this once per worker). *)
 
 val reset : unit -> unit
 (** Clear collected events and re-anchor the wall-clock epoch. Does not

@@ -13,9 +13,9 @@
    records nothing — the bit-identical-conformance contract extends to
    these hooks. *)
 
-let on = ref false
-let enabled () = !on && Obs.enabled ()
-let set_enabled b = on := b
+let on = Atomic.make false
+let enabled () = Atomic.get on && Obs.enabled ()
+let set_enabled b = Atomic.set on b
 
 type snapshot = {
   s_minor_words : float;
@@ -113,17 +113,19 @@ let bump d =
   Metric.add major_c d.major_collections;
   if d.top_heap_growth_words > 0 then Metric.add top_heap d.top_heap_growth_words
 
-(* Depth of nested [with_] frames. Only the outermost profiled span feeds
-   the [gc.*] counters: nested phases and kernels would otherwise count
-   the same allocation two or three times over, making a cell's counter
-   delta meaningless. Attributes are per-span and carry the nested deltas
-   regardless of depth. *)
-let depth = ref 0
+(* Depth of nested [with_] frames, tracked per domain (pool workers
+   profile their own task trees independently). Only the outermost
+   profiled span feeds the [gc.*] counters: nested phases and kernels
+   would otherwise count the same allocation two or three times over,
+   making a cell's counter delta meaningless. Attributes are per-span
+   and carry the nested deltas regardless of depth. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let with_ ?cat ?(attrs = []) ?dur_of ~name f =
   if not (enabled ()) then Obs.Span.with_ ?cat ~attrs ?dur_of ~name f
   else begin
     let s0 = take () in
+    let depth = Domain.DLS.get depth_key in
     incr depth;
     Fun.protect
       ~finally:(fun () -> decr depth)

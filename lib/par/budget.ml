@@ -1,0 +1,36 @@
+(* Global memory budget for concurrent harness cells.
+
+   Cells estimate their peak working set before running; a reservation
+   blocks until the estimate fits under the budget alongside whatever is
+   already running. An estimate larger than the whole budget is admitted
+   when nothing else is running — the budget throttles concurrency, it
+   never rejects work a sequential run could do. *)
+
+type t = {
+  capacity : int;  (** bytes *)
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable used : int;  (** bytes reserved by in-flight work *)
+}
+
+let create ~bytes =
+  if bytes <= 0 then invalid_arg "Budget.create: capacity must be positive";
+  { capacity = bytes; m = Mutex.create (); cv = Condition.create (); used = 0 }
+
+let capacity t = t.capacity
+
+let with_reservation t ~bytes f =
+  let bytes = max 0 bytes in
+  Mutex.lock t.m;
+  while t.used > 0 && t.used + bytes > t.capacity do
+    Condition.wait t.cv t.m
+  done;
+  t.used <- t.used + bytes;
+  Mutex.unlock t.m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      t.used <- t.used - bytes;
+      Condition.broadcast t.cv;
+      Mutex.unlock t.m)
+    f

@@ -1,0 +1,16 @@
+(** Byte-denominated admission control for concurrent work.
+
+    A reservation waits until its estimate fits under the budget next to
+    in-flight reservations. Oversized requests are admitted when the
+    budget is otherwise idle, so any workload a sequential run could
+    execute still runs — the budget caps concurrency, not feasibility. *)
+
+type t
+
+val create : bytes:int -> t
+(** Raises [Invalid_argument] on a non-positive capacity. *)
+
+val capacity : t -> int
+
+val with_reservation : t -> bytes:int -> (unit -> 'a) -> 'a
+(** Blocks until [bytes] fits, runs the thunk, releases on any exit. *)

@@ -1,0 +1,19 @@
+(** Work-stealing deque: the owner pushes/pops at the bottom (LIFO),
+    thieves steal from the top (FIFO). Mutex-serialized — correct under
+    any interleaving; the pool's tasks are chunk-sized, so lock cost is
+    noise. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner: add at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner: take the most recently pushed element. *)
+
+val steal : 'a t -> 'a option
+(** Thief: take the oldest element. *)
+
+val is_empty : 'a t -> bool

@@ -8,8 +8,11 @@ let of_columns schema cols =
     (fun c ->
       if Array.length c <> nrows then invalid_arg "Col_store: ragged columns")
     cols;
+  (* Columns compress independently — one task per column. *)
   let columns =
-    Array.mapi (fun i c -> Column.compress (Schema.ty schema i) c) cols
+    Gb_par.Pool.map_array
+      (fun i -> Column.compress (Schema.ty schema i) cols.(i))
+      (Array.init (Array.length cols) Fun.id)
   in
   { schema; columns; nrows }
 
@@ -53,7 +56,11 @@ let to_seq t names =
   let idx = List.map (Schema.index t.schema) names in
   Gb_obs.Metric.add rows_scanned t.nrows;
   Gb_obs.Metric.add values_decoded (t.nrows * List.length idx);
-  let mats = Array.of_list (List.map (fun i -> Column.to_values t.columns.(i)) idx) in
+  (* Decoding is per-column independent — one task per column. *)
+  let mats =
+    Array.of_list
+      (Gb_par.Pool.map_list (fun i -> Column.to_values t.columns.(i)) idx)
+  in
   let width = Array.length mats in
   let rec go r () =
     if r >= t.nrows then Seq.Nil
@@ -102,20 +109,56 @@ let scan_range t names ~on ~lo ~hi =
   Gb_obs.Metric.add rows_scanned (t.nrows - (skipped * zone_block));
   Gb_obs.Metric.add values_decoded (t.nrows * (1 + List.length idx));
   let mats =
-    Array.of_list (List.map (fun i -> Column.to_values t.columns.(i)) idx)
+    Array.of_list
+      (Gb_par.Pool.map_list (fun i -> Column.to_values t.columns.(i)) idx)
   in
   let on_vals = Column.to_values t.columns.(oi) in
   let width = Array.length mats in
-  let rec go r () =
-    if r >= t.nrows then Seq.Nil
-    else if not live.(r / zone_block) then
-      (* Jump to the next block boundary. *)
-      go (((r / zone_block) + 1) * zone_block) ()
-    else begin
-      let v = Value.to_float on_vals.(r) in
-      if v >= lo && v <= hi then
-        Seq.Cons (Array.init width (fun c -> mats.(c).(r)), go (r + 1))
-      else go (r + 1) ()
-    end
-  in
-  (go 0, skipped)
+  let lanes = Gb_par.Pool.jobs () in
+  if lanes > 1 && not (Gb_par.Pool.in_parallel_region ()) then begin
+    (* Block-parallel filter, deferred to first pull so the operator
+       stays lazy at construction. Zone blocks partition the row space;
+       each task selects its surviving row indices, and block results
+       concatenate in ascending order — the same row sequence the
+       sequential scan below yields. *)
+    let rows () =
+      let nblocks = Array.length live in
+      let selected =
+        Gb_par.Pool.map_list
+          (fun b ->
+            if not live.(b) then []
+            else begin
+              let r_hi = min t.nrows ((b + 1) * zone_block) in
+              let acc = ref [] in
+              for r = r_hi - 1 downto b * zone_block do
+                let v = Value.to_float on_vals.(r) in
+                if v >= lo && v <= hi then acc := r :: !acc
+              done;
+              !acc
+            end)
+          (List.init nblocks Fun.id)
+      in
+      let rec emit = function
+        | [] -> Seq.Nil
+        | r :: rest ->
+          Seq.Cons (Array.init width (fun c -> mats.(c).(r)), fun () -> emit rest)
+      in
+      emit (List.concat selected)
+    in
+    (rows, skipped)
+  end
+  else begin
+    let rec go r () =
+      if r >= t.nrows then Seq.Nil
+      else if not live.(r / zone_block) then
+        (* Jump to the next block boundary. *)
+        go (((r / zone_block) + 1) * zone_block) ()
+      else begin
+        let v = Value.to_float on_vals.(r) in
+        if v >= lo && v <= hi then
+          Seq.Cons (Array.init width (fun c -> mats.(c).(r)), go (r + 1))
+        else go (r + 1) ()
+      end
+    in
+    (go 0, skipped)
+  end

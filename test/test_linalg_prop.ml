@@ -91,6 +91,85 @@ let prop_lanczos_matches_dense =
              (Array.to_list
                 (Array.map (Printf.sprintf "%.9g") (Array.sub dense 0 k)))))
 
+(* --- parallel kernels vs sequential, via the conformance comparators ---
+
+   The Domain-pool kernels partition over output elements, so any domain
+   count must reproduce the sequential bits exactly; the conformance
+   comparator check (the cross-engine tolerance machinery) is the
+   coarser contract the benchmark itself relies on, asserted on top. *)
+
+let with_jobs jobs f =
+  Gb_par.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Gb_par.Pool.reset_jobs ()) f
+
+let arb_cov =
+  (* Covariance.matrix needs at least two rows. *)
+  QCheck.make
+    ~print:(fun (r, c, s) -> Printf.sprintf "%dx%d seed %Ld" r c s)
+    QCheck.Gen.(
+      int_range 2 10 >>= fun c ->
+      int_range (max 2 c) 24 >>= fun r ->
+      seed_gen >|= fun s -> (r, c, s))
+
+let prop_parallel_gemm_bitwise =
+  QCheck.Test.make ~name:"parallel GEMM bitwise-matches sequential" ~count:40
+    arb_cov (fun (rows, cols, seed) ->
+      let a = random_mat rows cols seed in
+      let b = random_mat cols rows (Int64.add seed 1L) in
+      (* One multiply per jobs level, fingerprinted bit-exactly. *)
+      let product jobs =
+        with_jobs jobs (fun () ->
+            let c = Blas.gemm a b in
+            let flat = Array.init (rows * rows) (fun i ->
+                Mat.get c (i / rows) (i mod rows))
+            in
+            Gb_conformance.Compare.fingerprint
+              (Genbase.Engine.Singular_values flat))
+      in
+      let reference = product 1 in
+      if product 1 <> reference then
+        QCheck.Test.fail_report "1-domain GEMM not deterministic"
+      else
+        match List.find_opt (fun j -> product j <> reference) [ 2; 3; 4 ] with
+        | Some j ->
+          QCheck.Test.fail_reportf "GEMM at %d domains diverges bitwise" j
+        | None -> true)
+
+let prop_parallel_covariance_conforms =
+  QCheck.Test.make ~name:"parallel covariance conforms to sequential"
+    ~count:40 arb_cov (fun (rows, cols, seed) ->
+      let m = random_mat rows cols seed in
+      let gene_ids = Array.init cols Fun.id in
+      let payload jobs =
+        with_jobs jobs (fun () ->
+            Genbase.Qcommon.covariance_of ~gene_ids ~top_fraction:0.5 m)
+      in
+      let reference = payload 1 in
+      (* 1 domain is bitwise stable run-to-run. *)
+      if
+        Gb_conformance.Compare.fingerprint (payload 1)
+        <> Gb_conformance.Compare.fingerprint reference
+      then QCheck.Test.fail_report "1-domain covariance not bit-stable"
+      else
+        let bad =
+          List.filter_map
+            (fun jobs ->
+              let v =
+                Gb_conformance.Compare.compare_payload
+                  ~tol:Gb_conformance.Compare.approximate ~reference
+                  (payload jobs)
+              in
+              if Gb_conformance.Compare.equivalent v then None
+              else Some (jobs, Gb_conformance.Compare.divergence v))
+            [ 2; 3; 4 ]
+        in
+        match bad with
+        | [] -> true
+        | (jobs, d) :: _ ->
+          QCheck.Test.fail_reportf
+            "covariance at %d domains diverges by %g under approximate tol"
+            jobs d)
+
 let prop_eigen_trace =
   QCheck.Test.make ~name:"dense eigenvalues sum to the trace" ~count:100
     arb_sym (fun (n, seed) ->
@@ -111,4 +190,6 @@ let suite =
       prop_svd_descending;
       prop_lanczos_matches_dense;
       prop_eigen_trace;
+      prop_parallel_gemm_bitwise;
+      prop_parallel_covariance_conforms;
     ]

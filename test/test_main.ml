@@ -23,6 +23,7 @@ let () =
       ("coproc", Test_coproc.suite);
       ("relops", Test_relops.suite);
       ("core", Test_core.suite);
+      ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("conformance", Test_conformance.suite);
       ("linalg-prop", Test_linalg_prop.suite);

@@ -147,6 +147,36 @@ let test_counter_snapshot_sorted () =
       check (Alcotest.float 0.) "delta of moved counter" 0.5
         (List.assoc "test.bbb" d))
 
+let test_counters_domain_safe () =
+  (* Hammer one counter and one histogram from 4 domains at once; the
+     atomic CAS loop and per-histogram lock must lose no updates. *)
+  with_tracing (fun () ->
+      let c = Metric.counter ~unit_:"op" "test.hammer" in
+      let h = Metric.histogram "test.hammer.hist" in
+      let per_domain = 25_000 in
+      let work () =
+        for i = 1 to per_domain do
+          Metric.add c 1;
+          if i land 255 = 0 then Metric.observe h (float_of_int (i land 31))
+        done
+      in
+      let domains = List.init 4 (fun _ -> Domain.spawn work) in
+      List.iter Domain.join domains;
+      check (Alcotest.float 0.) "no lost counter increments"
+        (float_of_int (4 * per_domain))
+        (Metric.value c);
+      check Alcotest.int "no lost histogram observations"
+        (4 * (per_domain / 256))
+        (Metric.stats h).Metric.count;
+      (* Spans opened on a spawned domain must not corrupt the caller's
+         stack: each domain has its own DLS frame list. *)
+      let d =
+        Domain.spawn (fun () ->
+            Obs.Span.with_ ~name:"other-domain" (fun () -> Obs.open_depth ()))
+      in
+      check Alcotest.int "span depth is per-domain" 1 (Domain.join d);
+      check Alcotest.int "caller stack untouched" 0 (Obs.open_depth ()))
+
 (* --- Chrome trace_event export round-trip --- *)
 
 let test_chrome_roundtrip () =
@@ -429,6 +459,8 @@ let suite =
     Alcotest.test_case "sim spans deterministic" `Quick
       test_sim_spans_deterministic;
     Alcotest.test_case "counter snapshots" `Quick test_counter_snapshot_sorted;
+    Alcotest.test_case "counters safe under 4 domains" `Quick
+      test_counters_domain_safe;
     Alcotest.test_case "chrome JSON round-trip" `Quick test_chrome_roundtrip;
     Alcotest.test_case "top spans for CSV breakdown" `Quick test_top_spans;
     Alcotest.test_case "histogram: empty" `Quick test_hist_empty;
