@@ -15,7 +15,7 @@ module H = Genbase.Harness
 
 let sections =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
-    "weak"; "crossover"; "chaos"; "obs"; "par" ]
+    "weak"; "crossover"; "chaos"; "obs"; "par"; "serve" ]
 
 let usage () =
   Printf.sprintf "usage: main.exe [%s] [--quick] [--timeout SECONDS]"
@@ -145,6 +145,11 @@ let () =
   if want "par" then begin
     banner "Domain-pool scaling (GEMM, covariance, hash join at 1/2/4 domains)";
     emit "par" (Par_scaling.run ~quick)
+  end;
+
+  if want "serve" then begin
+    banner "Overload-safe serving (tail latency, goodput, shedding)";
+    emit "serve" (Serve_bench.run ~quick)
   end;
 
   Printf.eprintf "[%7.1fs] done\n%!" (Unix.gettimeofday () -. t0)

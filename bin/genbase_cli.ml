@@ -760,6 +760,243 @@ let bench_diff_cmd =
           noise threshold.")
     Term.(const run $ base $ cand $ threshold)
 
+(* --- serve / load --- *)
+
+(* Queue-policy flag: the conv rejects unknown names with a usage error
+   and the accepted set is derived from Server.policies, so the flag's
+   doc can never drift from the implementation. *)
+let policy_conv =
+  let parse s =
+    match Gb_serve.Server.policy_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Gb_serve.Server.policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Gb_serve.Server.Fifo
+    & info [ "queue-policy" ] ~docv:"POLICY"
+        ~doc:
+          (Printf.sprintf "Admission queue discipline: %s."
+             (String.concat " or "
+                (List.map
+                   (fun (n, _) -> Printf.sprintf "$(b,%s)" n)
+                   Gb_serve.Server.policies))))
+
+(* Deadline flag: non-numeric, zero and negative values are usage
+   errors, not runtime surprises. *)
+let pos_float_conv what =
+  let parse s =
+    match float_of_string_opt (String.trim s) with
+    | Some f when f > 0. && Float.is_finite f -> Ok f
+    | _ -> Error (`Msg (Printf.sprintf "%s must be a positive number, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let lanes_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "lanes" ] ~docv:"N" ~doc:"Concurrent query executions.")
+
+let queue_depth_arg =
+  Arg.(
+    value
+    & opt int 16
+    & info [ "queue-depth" ] ~docv:"N" ~doc:"Admission queue bound.")
+
+let serve_cmd =
+  let module Serve = Gb_serve in
+  let deadline =
+    Arg.(
+      value
+      & opt (pos_float_conv "DEADLINE") 60.
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-query deadline. Overrunning kernels are cancelled at \
+             their next cooperative checkpoint and reported as \
+             deadline-exceeded.")
+  in
+  let engines =
+    Arg.(
+      value
+      & opt (list string) [ "r"; "colstore-udf"; "scidb" ]
+      & info [ "engines" ] ~docv:"E1,E2,..."
+          ~doc:"Engines to serve (keys as in $(b,genbase list).")
+  in
+  let run () size seed lanes queue_depth policy deadline engines =
+    let table = engine_table 1 in
+    let resolved =
+      List.map
+        (fun key ->
+          match List.assoc_opt key table with
+          | Some e -> e
+          | None ->
+            Printf.eprintf "unknown engine %s (try `genbase list`)\n" key;
+            exit 2)
+        engines
+    in
+    let ds = Gb_datagen.Generate.generate ~seed (Spec.of_size size) in
+    let config =
+      {
+        Serve.Live.lanes;
+        queue_depth;
+        policy;
+        breaker = Serve.Breaker.default_config;
+        budget = Genbase.Harness.memory_budget ();
+      }
+    in
+    let t = Serve.Live.create ~config () in
+    let handles =
+      List.concat_map
+        (fun e ->
+          List.map
+            (fun q ->
+              ( e.Genbase.Engine.name,
+                q,
+                Serve.Live.submit t ~engine:e ~ds ~deadline_s:deadline q ))
+            Genbase.Query.all)
+        resolved
+    in
+    let responses =
+      List.map (fun (en, q, h) -> (en, q, Serve.Live.await h)) handles
+    in
+    Serve.Live.shutdown t;
+    Printf.printf "%-22s %-14s %-18s %10s %10s\n" "engine" "query"
+      "disposition" "wait_s" "exec_s";
+    List.iter
+      (fun (en, q, (r : Serve.Outcome.response)) ->
+        Printf.printf "%-22s %-14s %-18s %10.4f %10.4f\n" en
+          (Genbase.Query.name q)
+          (Serve.Outcome.label r) r.Serve.Outcome.queue_wait_s
+          r.Serve.Outcome.exec_s)
+      responses;
+    let count p = List.length (List.filter (fun (_, _, r) -> p r) responses) in
+    Printf.printf
+      "\nserved %d (ok %d), shed %d, deadline-exceeded %d of %d submissions\n"
+      (count (fun (r : Serve.Outcome.response) ->
+           match r.Serve.Outcome.disposition with
+           | Serve.Outcome.Served _ -> true
+           | _ -> false))
+      (count Serve.Outcome.goodput)
+      (count (fun (r : Serve.Outcome.response) ->
+           match r.Serve.Outcome.disposition with
+           | Serve.Outcome.Shed _ -> true
+           | _ -> false))
+      (count (fun (r : Serve.Outcome.response) ->
+           match r.Serve.Outcome.disposition with
+           | Serve.Outcome.Deadline_exceeded _ -> true
+           | _ -> false))
+      (List.length responses)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the engine fleet behind the overload-safe serving layer: \
+          every (engine, query) pair is submitted through admission \
+          control with a per-query deadline and the responses are \
+          tabulated.")
+    Term.(
+      const run $ jobs_term $ size_arg $ seed_arg $ lanes_arg
+      $ queue_depth_arg $ policy_arg $ deadline $ engines)
+
+let load_cmd =
+  let module Serve = Gb_serve in
+  (* Scenario names and the usage text both come from
+     Loadgen.scenarios, the same single-source pattern the bench driver
+     uses for its section list. *)
+  let scenario_conv =
+    let parse s =
+      match Serve.Loadgen.find_scenario s with
+      | Ok sc -> Ok sc
+      | Error msg -> Error (`Msg msg)
+    in
+    let print fmt (sc : Serve.Loadgen.scenario) =
+      Format.pp_print_string fmt sc.Serve.Loadgen.sc_name
+    in
+    Arg.conv (parse, print)
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt scenario_conv (List.hd Serve.Loadgen.scenarios)
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Load scenario: %s."
+               (String.concat "; "
+                  (List.map
+                     (fun (s : Serve.Loadgen.scenario) ->
+                       Printf.sprintf "$(b,%s) (%s)" s.Serve.Loadgen.sc_name
+                         s.Serve.Loadgen.descr)
+                     Serve.Loadgen.scenarios))))
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (pos_float_conv "DURATION") 60.
+      & info [ "duration" ] ~docv:"N"
+          ~doc:"Arrival horizon, in units of the mean service time.")
+  in
+  let deadline_factor =
+    Arg.(
+      value
+      & opt (pos_float_conv "DEADLINE-FACTOR") 8.
+      & info [ "deadline-factor" ] ~docv:"X"
+          ~doc:"Per-query deadline as a multiple of the mean service time.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the per-response latency table as CSV.")
+  in
+  let run scenario size seed duration lanes queue_depth policy
+      deadline_factor csv_out =
+    let cfg =
+      {
+        (Serve.Loadgen.default_config scenario) with
+        Serve.Loadgen.seed;
+        size;
+        duration;
+        lanes;
+        queue_depth;
+        policy;
+        deadline_factor;
+      }
+    in
+    let responses, stats, summary = Serve.Loadgen.run cfg in
+    Format.printf "%a@." Serve.Loadgen.pp_summary summary;
+    (match stats.Serve.Server.breaker_trips with
+    | [] -> ()
+    | trips ->
+      List.iter
+        (fun (engine, n) ->
+          if n > 0 then Printf.printf "breaker %-24s tripped %d times\n" engine n)
+        trips);
+    match csv_out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Serve.Loadgen.csv_of_responses responses);
+      close_out oc;
+      Printf.printf "wrote %s (%d responses)\n" file (List.length responses)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive the simulated server through a named overload scenario \
+          with deterministic synthetic clients and report goodput, tail \
+          latencies and shed/timeout counts.")
+    Term.(
+      const run $ scenario $ size_arg $ seed_arg $ duration $ lanes_arg
+      $ queue_depth_arg $ policy_arg $ deadline_factor $ csv_out)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -795,5 +1032,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; run_cmd; suite_cmd; chaos_cmd; conformance_cmd;
-            explain_cmd; seqgen_cmd; trace_cmd; bench_diff_cmd; list_cmd;
+            explain_cmd; seqgen_cmd; trace_cmd; bench_diff_cmd; serve_cmd;
+            load_cmd; list_cmd;
           ]))

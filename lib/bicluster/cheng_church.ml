@@ -118,6 +118,7 @@ let multiple_deletion cfg st =
   let progressed = ref true in
   let s = ref (sweep st) in
   while !s.h > cfg.delta && !progressed do
+    Gb_util.Deadline.Ambient.checkpoint ();
     progressed := false;
     if st.nrows > 100 then begin
       let cutoff = cfg.alpha *. !s.h in
@@ -156,6 +157,7 @@ let single_deletion cfg st s0 =
   let s = ref s0 in
   let continue_ = ref true in
   while !s.h > cfg.delta && !continue_ do
+    Gb_util.Deadline.Ambient.checkpoint ();
     let worst_row = ref (-1) and worst_row_v = ref neg_infinity in
     if st.nrows > cfg.min_rows then
       for i = 0 to Array.length st.row_in - 1 do
@@ -193,6 +195,7 @@ let node_addition st s0 =
   let s = ref s0 in
   let changed = ref true in
   while !changed do
+    Gb_util.Deadline.Ambient.checkpoint ();
     changed := false;
     (* Column addition. *)
     for j = 0 to nc - 1 do

@@ -59,7 +59,17 @@ exception Memory_exceeded
 let run e ds q ?(params = Query.default_params) ~timeout_s () =
   if not (e.supports q) then Unsupported
   else
-    try e.load ds q ~params ~timeout_s with
+    try
+      (* Arm the cooperative-cancellation deadline for this domain: the
+         kernels checkpoint once per outer iteration, so a wall-clock
+         engine stops mid-factorization instead of overrunning its
+         window until the next phase boundary. Simulated engines finish
+         in far less wall time than their simulated budget, so the
+         ambient deadline never fires before their own Sim deadline. *)
+      Gb_util.Deadline.Ambient.with_deadline
+        (Gb_util.Deadline.start ~seconds:timeout_s)
+        (fun () -> e.load ds q ~params ~timeout_s)
+    with
     | Gb_util.Deadline.Timeout | Gb_mapreduce.Mr.Timeout -> Timed_out
     | Memory_exceeded | Out_of_memory | Gb_fault.Fault.Injected_oom _ ->
       Out_of_memory

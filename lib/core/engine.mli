@@ -72,7 +72,12 @@ val run : t -> Dataset.t -> Query.t -> ?params:Query.params ->
     memory-budget failures (including injected ones that exhaust their
     retry budget) into the corresponding outcomes. Any other exception
     becomes [Errored] — a misbehaving engine can fail its own cell but
-    never abort the grid. *)
+    never abort the grid.
+
+    [run] also arms a wall-clock {!Gb_util.Deadline.Ambient} deadline of
+    [timeout_s] for the duration of [load]: kernels poll it from their
+    iteration loops, so a query can be cancelled mid-phase rather than
+    only at the engines' phase-boundary checks. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

@@ -149,6 +149,8 @@ let cell_bytes ds =
   let rows, cols = Gb_linalg.Mat.dims ds.Gb_datagen.Generate.expression in
   (rows * cols * 8 * 8) + (64 * 1024 * 1024)
 
+let memory_budget () = Lazy.force budget
+
 (* Grid cells are independent (engines share no mutable state; each cell
    regenerates its derived stores from the immutable dataset), so with
    more than one pool lane they run concurrently — kernels inside a cell

@@ -45,8 +45,19 @@ type config = {
 }
 
 val default_config : config
+
 val quick_config : config
 (** Small size only and a short timeout, for tests and demos. *)
+
+val memory_budget : unit -> Gb_par.Budget.t
+(** The process-wide byte budget throttling concurrent cells, sized from
+    [GENBASE_MEMORY_BUDGET_MB] (default 4 GiB). Shared with the serving
+    layer so interactive queries and batch grids are admitted against
+    the same capacity. *)
+
+val cell_bytes : Dataset.t -> int
+(** Peak-working-set estimate charged against {!memory_budget} for one
+    cell over this data set. *)
 
 val single_node_engines : Engine.t list
 val multi_node_engines : nodes:int -> Engine.t list

@@ -15,18 +15,32 @@ let default =
     jitter = 0.25;
   }
 
+let base_delay policy ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay: attempt";
+  Float.min policy.max_delay_s
+    (policy.base_delay_s *. (policy.multiplier ** float_of_int (attempt - 1)))
+
 let delay_for policy ~rng ~attempt =
-  if attempt < 1 then invalid_arg "Retry.delay_for: attempt";
-  let d =
-    Float.min policy.max_delay_s
-      (policy.base_delay_s
-      *. (policy.multiplier ** float_of_int (attempt - 1)))
-  in
+  let d = base_delay policy ~attempt in
   d *. (1. +. (policy.jitter *. Gb_util.Prng.uniform rng))
+
+(* Stateless jitter: a fresh single-shot SplitMix stream keyed on
+   (key, attempt), so the schedule for a given request is a pure function
+   of its key — two replicas of a client retrying the same request agree
+   on every delay without sharing generator state. *)
+let delay_for_det policy ~key ~attempt =
+  let d = base_delay policy ~attempt in
+  let g =
+    Gb_util.Prng.create
+      (Int64.add
+         (Int64.mul (Int64.of_int key) 0x9E3779B97F4A7C15L)
+         (Int64.of_int attempt))
+  in
+  d *. (1. +. (policy.jitter *. Gb_util.Prng.uniform g))
 
 type 'a outcome = { value : 'a; attempts : int; backoff_s : float }
 
-let run ?(policy = default) ~rng ~charge
+let run ?(policy = default) ~rng ~charge ?remaining
     ?(retry_on = function Gb_util.Deadline.Timeout -> false | _ -> true) f =
   let backoff = ref 0. in
   let rec go attempt =
@@ -34,6 +48,14 @@ let run ?(policy = default) ~rng ~charge
     | value -> { value; attempts = attempt; backoff_s = !backoff }
     | exception e when attempt < policy.max_attempts && retry_on e ->
       let d = delay_for policy ~rng ~attempt in
+      (* Total-deadline cutoff: when the backoff alone would exhaust the
+         remaining budget there is no point charging it — the next
+         attempt could only ever time out, so the worst-case tail of a
+         failing call stays bounded by the deadline instead of by
+         max_attempts * max_delay. *)
+      (match remaining with
+      | Some rem when d >= rem () -> raise e
+      | _ -> ());
       backoff := !backoff +. d;
       charge d;
       go (attempt + 1)

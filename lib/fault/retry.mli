@@ -25,12 +25,20 @@ val delay_for : policy -> rng:Gb_util.Prng.t -> attempt:int -> float
     plus jitter. The result is in
     [[d, d * (1 + jitter))] where [d] is the capped deterministic part. *)
 
+val delay_for_det : policy -> key:int -> attempt:int -> float
+(** Like {!delay_for} but with stateless jitter: a pure function of
+    [(key, attempt)], no generator threading. The serving client keys
+    this on the request id so a retry schedule replays identically
+    whether or not other requests retried in between. Same bounds as
+    {!delay_for}. *)
+
 type 'a outcome = { value : 'a; attempts : int; backoff_s : float }
 
 val run :
   ?policy:policy ->
   rng:Gb_util.Prng.t ->
   charge:(float -> unit) ->
+  ?remaining:(unit -> float) ->
   ?retry_on:(exn -> bool) ->
   (attempt:int -> 'a) ->
   'a outcome
@@ -38,4 +46,11 @@ val run :
     [retry_on] holds (default: everything except
     [Gb_util.Deadline.Timeout]), charges the backoff delay and tries
     again, up to [policy.max_attempts] attempts, then re-raises the last
-    exception. *)
+    exception.
+
+    [remaining] is the total-deadline cutoff: when the next backoff
+    delay is at least [remaining ()] seconds the failure is re-raised
+    immediately instead of charging a sleep that could only end in a
+    timeout — without it the worst case is the full
+    [max_attempts * max_delay_s] tail even with a nearly-expired
+    deadline. *)

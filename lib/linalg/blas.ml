@@ -75,6 +75,7 @@ let gemm (a : Mat.t) (b : Mat.t) =
   Pool.parallel_for ~grain:block ~lo:0 ~hi:m (fun r_lo r_hi ->
       let ii = ref r_lo in
       while !ii < r_hi do
+        Gb_util.Deadline.Ambient.checkpoint ();
         let i_hi = min r_hi (!ii + block) in
         let kk = ref 0 in
         while !kk < k do
@@ -133,6 +134,7 @@ let atb (a : Mat.t) (b : Mat.t) =
   let ad = a.data and bd = b.data and cd = c.data in
   Pool.parallel_for ~grain:8 ~lo:0 ~hi:m (fun p_lo p_hi ->
       for i = 0 to k - 1 do
+        if i land 255 = 0 then Gb_util.Deadline.Ambient.checkpoint ();
         let a_base = i * m and b_base = i * n in
         for p = p_lo to p_hi - 1 do
           let aip = A.unsafe_get ad (a_base + p) in

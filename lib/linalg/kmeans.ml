@@ -58,6 +58,7 @@ let lloyd ?(max_iter = 100) ~k m centers =
   let iterations = ref 0 in
   let changed = ref true in
   while !changed && !iterations < max_iter do
+    Gb_util.Deadline.Ambient.checkpoint ();
     incr iterations;
     changed := false;
     (* Assignment step. *)

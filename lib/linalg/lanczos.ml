@@ -28,6 +28,9 @@ let symmetric ?rng ?max_iter ?(tol = 1e-10) ~n ~k apply =
   let m = ref 0 in
   (try
      for j = 0 to max_iter - 1 do
+       (* Raises Timeout, not Exit, so it escapes the early-exit
+          handler below and cancels the whole sweep. *)
+       Gb_util.Deadline.Ambient.checkpoint ();
        m := j + 1;
        let w = apply basis.(j) in
        if Array.length w <> n then invalid_arg "Lanczos: operator dimension";

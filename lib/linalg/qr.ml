@@ -20,6 +20,7 @@ let factorize src =
   let a = Mat.copy src in
   let betas = Array.make n 0. in
   for j = 0 to n - 1 do
+    Gb_util.Deadline.Ambient.checkpoint ();
     (* Norm of the trailing part of column j. *)
     let sigma = ref 0. in
     for i = j to m - 1 do

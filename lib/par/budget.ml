@@ -19,18 +19,47 @@ let create ~bytes =
 
 let capacity t = t.capacity
 
-let with_reservation t ~bytes f =
+let used t =
+  Mutex.lock t.m;
+  let u = t.used in
+  Mutex.unlock t.m;
+  u
+
+let fits t bytes = t.used = 0 || t.used + bytes <= t.capacity
+
+let reserve t ~bytes =
   let bytes = max 0 bytes in
   Mutex.lock t.m;
-  while t.used > 0 && t.used + bytes > t.capacity do
+  while not (fits t bytes) do
     Condition.wait t.cv t.m
   done;
   t.used <- t.used + bytes;
   Mutex.unlock t.m;
-  Fun.protect
-    ~finally:(fun () ->
-      Mutex.lock t.m;
-      t.used <- t.used - bytes;
-      Condition.broadcast t.cv;
-      Mutex.unlock t.m)
-    f
+  bytes
+
+let try_reserve t ~bytes =
+  let bytes = max 0 bytes in
+  Mutex.lock t.m;
+  let ok = fits t bytes in
+  if ok then t.used <- t.used + bytes;
+  Mutex.unlock t.m;
+  if ok then Some bytes else None
+
+let release t ~bytes =
+  Mutex.lock t.m;
+  t.used <- t.used - bytes;
+  if t.used < 0 then begin
+    (* A double release would otherwise let the budget admit more than
+       its capacity forever after; clamp and keep going. *)
+    t.used <- 0
+  end;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+(* The bracket is the only safe way to hold a reservation across user
+   code: [f] raising mid-execution (deadline expiry, injected fault, OOM)
+   must release its bytes or every later reservation of overlapping size
+   deadlocks against memory that no longer exists. *)
+let with_reservation t ~bytes f =
+  let bytes = reserve t ~bytes in
+  Fun.protect ~finally:(fun () -> release t ~bytes) f

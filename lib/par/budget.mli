@@ -12,5 +12,26 @@ val create : bytes:int -> t
 
 val capacity : t -> int
 
+val used : t -> int
+(** Bytes currently reserved by in-flight work. *)
+
 val with_reservation : t -> bytes:int -> (unit -> 'a) -> 'a
-(** Blocks until [bytes] fits, runs the thunk, releases on any exit. *)
+(** Blocks until [bytes] fits, runs the thunk, releases on any exit —
+    including an exception raised mid-execution; a reservation can never
+    leak. *)
+
+val try_reserve : t -> bytes:int -> int option
+(** Non-blocking admission: [Some granted] if the reservation fits right
+    now (the serving layer's shed-instead-of-queue path), [None] if it
+    would have to wait. A granted reservation must be paired with
+    {!release} of the same byte count, normally via [Fun.protect]. *)
+
+val reserve : t -> bytes:int -> int
+(** Blocking admission; returns the granted byte count to pass to
+    {!release}. Prefer {!with_reservation} — explicit pairs exist for
+    callers whose acquire and release sites live in different events
+    (the discrete-event server). *)
+
+val release : t -> bytes:int -> unit
+(** Release a prior {!reserve}/{!try_reserve}. Clamps at zero so a
+    double release cannot inflate the budget's capacity. *)

@@ -1,0 +1,22 @@
+(** Explain-style query cost estimates: planner selectivities composed
+    with per-query kernel flop models, as pure functions of the dataset
+    dimensions. The shortest-job-first scheduler ranks queued queries by
+    {!service_s}, the admission controller sizes reservations by
+    {!bytes}, and the simulated server uses {!service_s} as the
+    deterministic execution time. *)
+
+val selectivity : Genbase.Query.t -> float
+(** Estimated fraction of the expression matrix the query's DM phase
+    selects under the default parameters. *)
+
+val analytics_flops : genes:int -> patients:int -> Genbase.Query.t -> float
+
+val engine_factor : string -> float
+(** Coarse relative speed of an engine (reference = 1.0; unknown names
+    serve at the reference rate). *)
+
+val service_s : ?engine:string -> genes:int -> patients:int -> Genbase.Query.t -> float
+(** Estimated end-to-end service seconds (DM + analytics). *)
+
+val bytes : genes:int -> patients:int -> Genbase.Query.t -> int
+(** Estimated peak working set for memory admission. *)

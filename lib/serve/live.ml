@@ -1,0 +1,304 @@
+(* Wall-clock serving path: the same admission pipeline as the
+   simulated server (bounded queue, FIFO/SJF, circuit breakers, memory
+   budget, deadlines) wrapped around real engine executions on a small
+   pool of worker domains.
+
+   Each lane is one domain; kernels inside an engine still use the
+   shared [Gb_par.Pool] for their own data parallelism, so this trades
+   kernel-level for query-level parallelism exactly like the harness's
+   concurrent grid cells. Deadlines ride the ambient mechanism:
+   [Engine.run] arms [Deadline.Ambient] with the remaining budget and
+   the kernels' cooperative checkpoints turn an overrun into
+   [Timed_out]. *)
+
+module Engine = Genbase.Engine
+module Query = Genbase.Query
+
+type config = {
+  lanes : int;
+  queue_depth : int;
+  policy : Server.policy;
+  breaker : Breaker.config;
+  budget : Gb_par.Budget.t;
+}
+
+let default_config () =
+  {
+    lanes = 2;
+    queue_depth = 8;
+    policy = Server.Fifo;
+    breaker = Breaker.default_config;
+    budget = Genbase.Harness.memory_budget ();
+  }
+
+type ticket = {
+  t_m : Mutex.t;
+  t_cv : Condition.t;
+  mutable t_resp : Outcome.response option;
+}
+
+type item = {
+  i_id : int;
+  i_engine : Engine.t;
+  i_ds : Genbase.Dataset.t;
+  i_query : Query.t;
+  i_params : Query.params;
+  i_submitted : float;
+  i_deadline_at : float;
+  i_service : float;  (** SJF rank, from the {!Estimate} cost model *)
+  i_bytes : int;
+  i_ticket : ticket;
+}
+
+type t = {
+  cfg : config;
+  epoch : float;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable queue : item list;
+  mutable stopping : bool;
+  mutable next_id : int;
+  breakers : (string, Breaker.t) Hashtbl.t;
+  mutable workers : unit Domain.t list;
+}
+
+let now t = Unix.gettimeofday () -. t.epoch
+
+let breaker t name =
+  (* called under t.m *)
+  match Hashtbl.find_opt t.breakers name with
+  | Some b -> b
+  | None ->
+    let b = Breaker.create ~config:t.cfg.breaker ~now:(fun () -> now t) name in
+    Hashtbl.add t.breakers name b;
+    b
+
+let deliver (tk : ticket) resp =
+  Mutex.lock tk.t_m;
+  tk.t_resp <- Some resp;
+  Condition.broadcast tk.t_cv;
+  Mutex.unlock tk.t_m
+
+let response t (it : item) ~finished ~wait ~exec ?(retry_after = None)
+    ?(engine_outcome = None) disposition =
+  ignore t;
+  {
+    Outcome.id = it.i_id;
+    key = it.i_id;
+    attempt = 1;
+    engine = it.i_engine.Engine.name;
+    query = it.i_query;
+    submitted_s = it.i_submitted;
+    finished_s = finished;
+    queue_wait_s = wait;
+    exec_s = exec;
+    disposition;
+    retry_after_s = retry_after;
+    engine_outcome;
+  }
+
+(* Same head-selection rules as the simulated server. *)
+let pick_locked t =
+  match t.queue with
+  | [] -> None
+  | first :: rest ->
+    let better a b =
+      match t.cfg.policy with
+      | Server.Fifo -> if b.i_id < a.i_id then b else a
+      | Server.Sjf ->
+        let c = Float.compare b.i_service a.i_service in
+        if c < 0 || (c = 0 && b.i_id < a.i_id) then b else a
+    in
+    let q = List.fold_left better first rest in
+    t.queue <- List.filter (fun it -> it.i_id <> q.i_id) t.queue;
+    Some q
+
+let sweep_locked t =
+  let tnow = now t in
+  let expired, live =
+    List.partition (fun it -> it.i_deadline_at < tnow) t.queue
+  in
+  t.queue <- live;
+  List.iter
+    (fun it ->
+      Breaker.abandon (breaker t it.i_engine.Engine.name);
+      deliver it.i_ticket
+        (response t it ~finished:tnow ~wait:(tnow -. it.i_submitted) ~exec:0.
+           (Outcome.Deadline_exceeded `Queued)))
+    expired
+
+let classify = function
+  | Engine.Completed _ -> Outcome.Served Outcome.Ok_
+  | Engine.Degraded _ -> Outcome.Served Outcome.Degraded_
+  | Engine.Timed_out -> Outcome.Deadline_exceeded `Running
+  | Engine.Out_of_memory | Engine.Errored _ | Engine.Unsupported ->
+    Outcome.Served Outcome.Failed_
+
+(* Breaker health: completions (possibly degraded) are successes;
+   [Unsupported] is a static capability gap, not an engine fault, so it
+   neither helps nor hurts — counting it as failure would trip breakers
+   on engines that simply skip a query. *)
+let breaker_ok = function
+  | Engine.Completed _ | Engine.Degraded _ | Engine.Unsupported -> true
+  | Engine.Timed_out | Engine.Out_of_memory | Engine.Errored _ -> false
+
+let execute t (it : item) =
+  let started = now t in
+  let granted = Gb_par.Budget.reserve t.cfg.budget ~bytes:it.i_bytes in
+  Fun.protect
+    ~finally:(fun () -> Gb_par.Budget.release t.cfg.budget ~bytes:granted)
+    (fun () ->
+      let remaining = it.i_deadline_at -. now t in
+      if remaining <= 0. then begin
+        (* Expired while waiting for memory: never executed. *)
+        Mutex.lock t.m;
+        Breaker.abandon (breaker t it.i_engine.Engine.name);
+        Mutex.unlock t.m;
+        deliver it.i_ticket
+          (response t it ~finished:(now t)
+             ~wait:(now t -. it.i_submitted)
+             ~exec:0.
+             (Outcome.Deadline_exceeded `Queued))
+      end
+      else begin
+        let outcome =
+          Gb_obs.Obs.Span.with_ ~cat:"serve" ~name:"serve.exec"
+            ~attrs:
+              [
+                ("engine", Gb_obs.Obs.Str it.i_engine.Engine.name);
+                ("query", Gb_obs.Obs.Str (Query.name it.i_query));
+                ("queue_wait_s", Gb_obs.Obs.Float (started -. it.i_submitted));
+              ]
+            (fun () ->
+              Engine.run it.i_engine it.i_ds it.i_query ~params:it.i_params
+                ~timeout_s:remaining ())
+        in
+        let finished = now t in
+        Mutex.lock t.m;
+        Breaker.record
+          (breaker t it.i_engine.Engine.name)
+          ~ok:(breaker_ok outcome);
+        Mutex.unlock t.m;
+        deliver it.i_ticket
+          (response t it ~finished
+             ~wait:(started -. it.i_submitted)
+             ~exec:(finished -. started)
+             ~engine_outcome:(Some outcome) (classify outcome))
+      end)
+
+let worker t =
+  Gb_obs.Obs.set_domain_tid (128 + (Domain.self () :> int));
+  let rec loop () =
+    Mutex.lock t.m;
+    sweep_locked t;
+    match pick_locked t with
+    | Some it ->
+      Mutex.unlock t.m;
+      execute t it;
+      loop ()
+    | None ->
+      if t.stopping then (Mutex.unlock t.m)
+      else begin
+        Condition.wait t.cv t.m;
+        Mutex.unlock t.m;
+        loop ()
+      end
+  in
+  loop ()
+
+let create ?config () =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  if cfg.lanes < 1 then invalid_arg "Live.create: lanes";
+  if cfg.queue_depth < 0 then invalid_arg "Live.create: queue_depth";
+  let t =
+    {
+      cfg;
+      epoch = Unix.gettimeofday ();
+      m = Mutex.create ();
+      cv = Condition.create ();
+      queue = [];
+      stopping = false;
+      next_id = 0;
+      breakers = Hashtbl.create 8;
+      workers = [];
+    }
+  in
+  t.workers <- List.init cfg.lanes (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+type handle = ticket
+
+let await (tk : handle) =
+  Mutex.lock tk.t_m;
+  let rec wait () =
+    match tk.t_resp with
+    | Some r -> Mutex.unlock tk.t_m; r
+    | None -> Condition.wait tk.t_cv tk.t_m; wait ()
+  in
+  wait ()
+
+let submit t ~engine ~ds ?(params = Query.default_params) ~deadline_s query =
+  let ticket =
+    { t_m = Mutex.create (); t_cv = Condition.create (); t_resp = None }
+  in
+  let spec = ds.Gb_datagen.Generate.spec in
+  let genes = spec.Gb_datagen.Spec.genes
+  and patients = spec.Gb_datagen.Spec.patients in
+  Mutex.lock t.m;
+  if t.stopping then begin
+    Mutex.unlock t.m;
+    invalid_arg "Live.submit: server is shut down"
+  end;
+  t.next_id <- t.next_id + 1;
+  let it =
+    {
+      i_id = t.next_id;
+      i_engine = engine;
+      i_ds = ds;
+      i_query = query;
+      i_params = params;
+      i_submitted = now t;
+      i_deadline_at = now t +. deadline_s;
+      i_service =
+        Estimate.service_s ~engine:engine.Engine.name ~genes ~patients query;
+      i_bytes = Genbase.Harness.cell_bytes ds;
+      i_ticket = ticket;
+    }
+  in
+  let reject disposition retry_after =
+    Mutex.unlock t.m;
+    deliver ticket
+      (response t it ~finished:it.i_submitted ~wait:0. ~exec:0.
+         ~retry_after disposition);
+    ticket
+  in
+  if it.i_bytes > Gb_par.Budget.capacity t.cfg.budget then
+    reject (Outcome.Shed Outcome.Memory) None
+  else if List.length t.queue >= t.cfg.queue_depth then begin
+    let backlog =
+      List.fold_left (fun a q -> a +. q.i_service) 0. t.queue
+    in
+    reject
+      (Outcome.Shed Outcome.Queue_full)
+      (Some (Float.max 0.05 (backlog /. float_of_int t.cfg.lanes)))
+  end
+  else
+    match Breaker.admit (breaker t engine.Engine.name) with
+    | `Fast_fail retry_after ->
+      reject (Outcome.Shed Outcome.Breaker_open) (Some retry_after)
+    | `Admit ->
+      t.queue <- it :: t.queue;
+      Condition.signal t.cv;
+      Mutex.unlock t.m;
+      ticket
+
+let run t ~engine ~ds ?params ~deadline_s query =
+  await (submit t ~engine ~ds ?params ~deadline_s query)
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []

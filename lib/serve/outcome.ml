@@ -1,0 +1,50 @@
+type shed_reason = Queue_full | Memory | Breaker_open
+
+type served_class = Ok_ | Degraded_ | Failed_
+
+type disposition =
+  | Served of served_class
+  | Shed of shed_reason
+  | Deadline_exceeded of [ `Queued | `Running ]
+
+type response = {
+  id : int;
+  key : int;
+  attempt : int;
+  engine : string;
+  query : Genbase.Query.t;
+  submitted_s : float;
+  finished_s : float;
+  queue_wait_s : float;
+  exec_s : float;
+  disposition : disposition;
+  retry_after_s : float option;
+  engine_outcome : Genbase.Engine.outcome option;
+}
+
+let latency_s r = r.finished_s -. r.submitted_s
+
+let goodput r = match r.disposition with Served (Ok_ | Degraded_) -> true | _ -> false
+
+let shed_reason_label = function
+  | Queue_full -> "queue_full"
+  | Memory -> "memory"
+  | Breaker_open -> "breaker_open"
+
+let label r =
+  match r.disposition with
+  | Served Ok_ -> "ok"
+  | Served Degraded_ -> "degraded"
+  | Served Failed_ -> "failed"
+  | Shed reason -> "shed:" ^ shed_reason_label reason
+  | Deadline_exceeded `Queued -> "deadline:queued"
+  | Deadline_exceeded `Running -> "deadline:running"
+
+let pp fmt r =
+  Format.fprintf fmt "#%d %s/%s %s latency=%.4fs wait=%.4fs exec=%.4fs" r.id
+    r.engine
+    (Genbase.Query.name r.query)
+    (label r) (latency_s r) r.queue_wait_s r.exec_s;
+  match r.retry_after_s with
+  | Some ra -> Format.fprintf fmt " retry-after=%.3fs" ra
+  | None -> ()

@@ -1,0 +1,57 @@
+(** The serving layer's outcome taxonomy: every request ends in exactly
+    one bounded, observable disposition — there is no "still queued
+    forever" state. [Served] wraps what the engine produced; the other
+    arms are the overload-control outcomes the server manufactured
+    {e instead of} running (or finishing) the query. *)
+
+type shed_reason =
+  | Queue_full  (** admission queue at capacity on arrival *)
+  | Memory
+      (** the request's working-set estimate exceeds the whole memory
+          budget — the batch harness would run such a query alone, but a
+          server refuses to stall the fleet for one whale *)
+  | Breaker_open  (** the engine's circuit breaker is fast-failing *)
+
+type served_class =
+  | Ok_
+  | Degraded_  (** completed through the fault-tolerance machinery *)
+  | Failed_  (** engine error/OOM; counts against the circuit breaker *)
+
+type disposition =
+  | Served of served_class
+  | Shed of shed_reason  (** rejected before execution *)
+  | Deadline_exceeded of [ `Queued | `Running ]
+      (** expired while still queued, or cancelled mid-execution at a
+          cooperative checkpoint *)
+
+type response = {
+  id : int;  (** unique per submission (retries get fresh ids) *)
+  key : int;  (** logical request identity, stable across retries *)
+  attempt : int;  (** 1-based client attempt that produced this *)
+  engine : string;
+  query : Genbase.Query.t;
+  submitted_s : float;
+  finished_s : float;
+  queue_wait_s : float;
+  exec_s : float;
+  disposition : disposition;
+  retry_after_s : float option;  (** server hint accompanying a [Shed] *)
+  engine_outcome : Genbase.Engine.outcome option;
+      (** live executions carry the real engine outcome; simulations
+          carry [None] *)
+}
+
+val latency_s : response -> float
+(** [finished_s - submitted_s]: queue wait plus execution (zero wait for
+    an arrival-time shed). *)
+
+val goodput : response -> bool
+(** True for answers a client can use: [Served Ok_] or
+    [Served Degraded_]. *)
+
+val shed_reason_label : shed_reason -> string
+
+val label : response -> string
+(** Stable short form, e.g. ["shed:queue_full"] — CSV and log lines. *)
+
+val pp : Format.formatter -> response -> unit

@@ -1,0 +1,323 @@
+(* The overload-safe query server, as a deterministic discrete-event
+   simulation on the sim clock.
+
+   Pipeline for every request: arrival-time admission (working-set cap,
+   bounded queue, per-engine circuit breaker) -> queue (FIFO or
+   shortest-job-first on the Estimate cost model) -> memory reservation
+   against a Par.Budget -> execution on one of [lanes] lanes, truncated
+   at the request's deadline (the sim analogue of the kernels'
+   cooperative checkpoints). Every path ends in exactly one
+   Outcome.response, so offered load can exceed capacity by any factor
+   while queue depth and reserved memory stay bounded.
+
+   Determinism: events are ordered by (time, insertion seq); service
+   times, breaker transitions and retry-driven re-arrivals are all pure
+   functions of the inputs, so a run replays bit-for-bit. *)
+
+module Sim = Gb_util.Clock.Sim
+
+type policy = Fifo | Sjf
+
+let policies = [ ("fifo", Fifo); ("sjf", Sjf) ]
+
+let policy_to_string = function Fifo -> "fifo" | Sjf -> "sjf"
+
+let policy_of_string s =
+  match List.assoc_opt (String.lowercase_ascii (String.trim s)) policies with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (Printf.sprintf "unknown queue policy %S (expected %s)" s
+         (String.concat " or " (List.map fst policies)))
+
+type config = {
+  lanes : int;
+  queue_depth : int;
+  policy : policy;
+  mem_bytes : int;
+  breaker : Breaker.config;
+}
+
+let default_config =
+  {
+    lanes = 4;
+    queue_depth = 16;
+    policy = Fifo;
+    mem_bytes = 4096 * 1024 * 1024;
+    breaker = Breaker.default_config;
+  }
+
+type request = {
+  id : int;
+  key : int;
+  attempt : int;
+  engine : string;
+  query : Genbase.Query.t;
+  arrival_s : float;
+  deadline_s : float;
+  service_s : float;
+  bytes : int;
+  fail : bool;
+}
+
+type stats = {
+  max_queue_len : int;
+  max_mem_used : int;
+  breaker_trips : (string * int) list;
+}
+
+(* --- internal state --- *)
+
+type queued = { req : request; seq : int; deadline_at : float }
+
+type running = {
+  r_req : request;
+  started_s : float;
+  reserved : int;
+  cancelled : bool;  (** finish event is the deadline, not completion *)
+}
+
+type ev = Arrive of request | Finish of int  (** lane *)
+
+type event = { at : float; eseq : int; ev : ev }
+
+let c_requests = Gb_obs.Metric.counter "serve.requests"
+let c_served = Gb_obs.Metric.counter "serve.served"
+let c_failed = Gb_obs.Metric.counter "serve.failed"
+let c_shed = Gb_obs.Metric.counter "serve.shed"
+let c_deadline = Gb_obs.Metric.counter "serve.deadline_exceeded"
+let h_queue_wait = Gb_obs.Metric.histogram ~unit_:"s" "serve.queue_wait"
+
+let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
+  if config.lanes < 1 then invalid_arg "Server.run: lanes";
+  if config.queue_depth < 0 then invalid_arg "Server.run: queue_depth";
+  let clock = Sim.create () in
+  let now () = Sim.now clock in
+  let budget = Gb_par.Budget.create ~bytes:(max 1 config.mem_bytes) in
+  let breakers : (string, Breaker.t) Hashtbl.t = Hashtbl.create 8 in
+  let breaker engine =
+    match Hashtbl.find_opt breakers engine with
+    | Some b -> b
+    | None ->
+      let b = Breaker.create ~config:config.breaker ~now engine in
+      Hashtbl.add breakers engine b;
+      b
+  in
+  let events = Gb_util.Heap.create ~cmp:(fun a b ->
+      match Float.compare a.at b.at with 0 -> compare a.eseq b.eseq | c -> c)
+  in
+  let eseq = ref 0 in
+  let push_event at ev =
+    incr eseq;
+    Gb_util.Heap.push events { at; eseq = !eseq; ev }
+  in
+  let queue : queued list ref = ref [] in
+  let qseq = ref 0 in
+  let lanes : running option array = Array.make config.lanes None in
+  let responses = ref [] in
+  let max_queue_len = ref 0 and max_mem_used = ref 0 in
+  let respond (resp : Outcome.response) =
+    responses := resp :: !responses;
+    (match resp.Outcome.disposition with
+    | Outcome.Served (Outcome.Ok_ | Outcome.Degraded_) ->
+      Gb_obs.Metric.add c_served 1
+    | Outcome.Served Outcome.Failed_ -> Gb_obs.Metric.add c_failed 1
+    | Outcome.Shed _ -> Gb_obs.Metric.add c_shed 1
+    | Outcome.Deadline_exceeded _ -> Gb_obs.Metric.add c_deadline 1);
+    List.iter
+      (fun (r : request) ->
+        push_event (Float.max r.arrival_s resp.Outcome.finished_s) (Arrive r))
+      (on_response resp)
+  in
+  let base_response ?(retry_after = None) ?(finished = now ()) ?(wait = 0.)
+      ?(exec = 0.) (r : request) disposition =
+    {
+      Outcome.id = r.id;
+      key = r.key;
+      attempt = r.attempt;
+      engine = r.engine;
+      query = r.query;
+      submitted_s = r.arrival_s;
+      finished_s = finished;
+      queue_wait_s = wait;
+      exec_s = exec;
+      disposition;
+      retry_after_s = retry_after;
+      engine_outcome = None;
+    }
+  in
+  (* Hint accompanying a queue-full shed: roughly one drain of the
+     current backlog across the lanes. *)
+  let drain_estimate () =
+    let backlog =
+      List.fold_left (fun acc q -> acc +. q.req.service_s) 0. !queue
+    in
+    Float.max 0.05 (backlog /. float_of_int config.lanes)
+  in
+  let free_lane () =
+    let rec go i =
+      if i >= Array.length lanes then None
+      else if lanes.(i) = None then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* Expire queued entries whose deadline passed before they reached a
+     lane. Judged lazily at dispatch points; the response is stamped at
+     the deadline instant the entry actually died. *)
+  let sweep_expired () =
+    let t = now () in
+    let expired, live =
+      List.partition (fun q -> q.deadline_at < t) !queue
+    in
+    queue := live;
+    List.iter
+      (fun q ->
+        Breaker.abandon (breaker q.req.engine);
+        respond
+          (base_response q.req
+             ~finished:q.deadline_at
+             ~wait:(q.deadline_at -. q.req.arrival_s)
+             (Outcome.Deadline_exceeded `Queued)))
+      expired
+  in
+  (* Queue discipline: FIFO takes the oldest entry; SJF the cheapest
+     cost estimate (ties to the oldest, so equal-cost work keeps arrival
+     order and no request starves behind an equal peer). *)
+  let pick_next () =
+    match !queue with
+    | [] -> None
+    | first :: rest ->
+      let better a b =
+        match config.policy with
+        | Fifo -> if b.seq < a.seq then b else a
+        | Sjf ->
+          let c = Float.compare b.req.service_s a.req.service_s in
+          if c < 0 || (c = 0 && b.seq < a.seq) then b else a
+      in
+      Some (List.fold_left better first rest)
+  in
+  let dispatch () =
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      sweep_expired ();
+      match free_lane () with
+      | None -> ()
+      | Some lane -> (
+        match pick_next () with
+        | None -> ()
+        | Some q -> (
+          (* Memory admission: the pipeline's Par.Budget stage. A
+             reservation that does not fit right now keeps its place in
+             the queue — execution, not queueing, is what the budget
+             bounds — and the next Finish retries the dispatch. *)
+          match Gb_par.Budget.try_reserve budget ~bytes:q.req.bytes with
+          | None -> ()
+          | Some reserved ->
+            queue := List.filter (fun q' -> q'.seq <> q.seq) !queue;
+            max_mem_used := max !max_mem_used (Gb_par.Budget.used budget);
+            let t = now () in
+            let completes_at = t +. q.req.service_s in
+            (* Cooperative cancellation, sim form: finishing strictly
+               after the deadline means the checkpoint fires at the
+               deadline instant; finishing exactly on it is a served
+               query (Deadline.expired is a strict comparison). *)
+            let cancelled = completes_at > q.deadline_at in
+            let finish_at = if cancelled then q.deadline_at else completes_at in
+            lanes.(lane) <-
+              Some { r_req = q.req; started_s = t; reserved; cancelled };
+            if Gb_obs.Obs.enabled () then begin
+              Gb_obs.Metric.observe h_queue_wait (t -. q.req.arrival_s);
+              Gb_obs.Obs.Span.emit ~cat:"serve" ~name:"queue"
+                ~attrs:
+                  [
+                    ("id", Gb_obs.Obs.Int q.req.id);
+                    ("engine", Gb_obs.Obs.Str q.req.engine);
+                  ]
+                ~tid:0 ~t0:q.req.arrival_s ~t1:t ()
+            end;
+            push_event finish_at (Finish lane);
+            continue_ := true))
+    done
+  in
+  let arrive (r : request) =
+    Gb_obs.Metric.add c_requests 1;
+    let t = now () in
+    if r.bytes > config.mem_bytes then
+      (* Could never run next to anything; a batch harness runs such a
+         query alone, a server refuses to stall the fleet for it. *)
+      respond (base_response r (Outcome.Shed Outcome.Memory))
+    else if List.length !queue >= config.queue_depth then
+      respond
+        (base_response r
+           ~retry_after:(Some (drain_estimate ()))
+           (Outcome.Shed Outcome.Queue_full))
+    else
+      match Breaker.admit (breaker r.engine) with
+      | `Fast_fail retry_after ->
+        respond
+          (base_response r ~retry_after:(Some retry_after)
+             (Outcome.Shed Outcome.Breaker_open))
+      | `Admit ->
+        incr qseq;
+        queue :=
+          { req = r; seq = !qseq; deadline_at = t +. r.deadline_s } :: !queue;
+        max_queue_len := max !max_queue_len (List.length !queue);
+        dispatch ()
+  in
+  let finish lane =
+    match lanes.(lane) with
+    | None -> assert false
+    | Some run ->
+      lanes.(lane) <- None;
+      Gb_par.Budget.release budget ~bytes:run.reserved;
+      let t = now () in
+      let r = run.r_req in
+      let ok = (not run.cancelled) && not r.fail in
+      Breaker.record (breaker r.engine) ~ok;
+      if Gb_obs.Obs.enabled () then
+        Gb_obs.Obs.Span.emit ~cat:"serve" ~name:"exec"
+          ~attrs:
+            [
+              ("id", Gb_obs.Obs.Int r.id);
+              ("engine", Gb_obs.Obs.Str r.engine);
+              ("ok", Gb_obs.Obs.Bool ok);
+            ]
+          ~tid:(lane + 1) ~t0:run.started_s ~t1:t ();
+      let disposition =
+        if run.cancelled then Outcome.Deadline_exceeded `Running
+        else if r.fail then Outcome.Served Outcome.Failed_
+        else Outcome.Served Outcome.Ok_
+      in
+      respond
+        (base_response r ~finished:t
+           ~wait:(run.started_s -. r.arrival_s)
+           ~exec:(t -. run.started_s) disposition);
+      dispatch ()
+  in
+  List.iter (fun r -> push_event r.arrival_s (Arrive r)) requests;
+  let rec loop () =
+    match Gb_util.Heap.pop events with
+    | None -> ()
+    | Some { at; ev; _ } ->
+      Sim.advance clock (Float.max 0. (at -. Sim.now clock));
+      (match ev with Arrive r -> arrive r | Finish lane -> finish lane);
+      loop ()
+  in
+  loop ();
+  (* Anything still queued when the arrival stream dries up gets
+     dispatched by the Finish cascade above; a non-empty queue here
+     would mean a lost wakeup. *)
+  assert (!queue = []);
+  let stats =
+    {
+      max_queue_len = !max_queue_len;
+      max_mem_used = !max_mem_used;
+      breaker_trips =
+        Hashtbl.fold (fun name b acc -> (name, Breaker.trips b) :: acc)
+          breakers []
+        |> List.sort compare;
+    }
+  in
+  (List.sort (fun a b -> compare a.Outcome.id b.Outcome.id) !responses, stats)

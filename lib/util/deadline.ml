@@ -26,3 +26,23 @@ module Sim = struct
   let check t = if expired t then raise Timeout
   let remaining t = t.at -. Clock.Sim.now t.clock
 end
+
+module Ambient = struct
+  (* One mutable cell per domain: kernels poll whatever deadline the
+     caller armed without threading it through every signature, and a
+     worker domain never sees the main domain's deadline. *)
+  let key = Domain.DLS.new_key (fun () : t option ref -> ref None)
+
+  let armed () = !(Domain.DLS.get key) <> None
+
+  let with_deadline dl f =
+    let cell = Domain.DLS.get key in
+    let saved = !cell in
+    cell := Some dl;
+    Fun.protect ~finally:(fun () -> cell := saved) f
+
+  let checkpoint () =
+    match !(Domain.DLS.get key) with
+    | None -> ()
+    | Some dl -> check dl
+end

@@ -57,3 +57,25 @@ module Sim : sig
 
   val unlimited : clock:Clock.Sim.t -> t
 end
+
+(** Cooperative cancellation without plumbing: a wall-clock deadline
+    armed for the current domain that long-running kernels can poll from
+    their iteration loops. Engines historically checked their deadline
+    only at phase boundaries, so a single oversized factorization could
+    overrun its budget by minutes; kernels now call {!checkpoint} once
+    per outer iteration and abort mid-phase.
+
+    The armed deadline is domain-local: a query cancelled on one Domain
+    pool lane never aborts its neighbours. With nothing armed a
+    checkpoint is one domain-local read and a branch. *)
+module Ambient : sig
+  val with_deadline : t -> (unit -> 'a) -> 'a
+  (** Arm [dl] for the current domain while [f] runs; restores the
+      previously armed deadline (if any) on any exit. *)
+
+  val checkpoint : unit -> unit
+  (** Raises {!Timeout} iff a deadline is armed on this domain and has
+      passed. Cheap enough for per-iteration use in kernel loops. *)
+
+  val armed : unit -> bool
+end

@@ -119,6 +119,60 @@ let test_retry_never_retries_timeout () =
              raise Gb_util.Deadline.Timeout)));
   Alcotest.(check int) "single attempt" 1 !calls
 
+(* Stateless jitter: a pure function of (key, attempt), so one client's
+   retry schedule replays identically no matter what other traffic
+   interleaved — the property the serving layer's deterministic load
+   tests rest on. *)
+let test_det_jitter () =
+  let p = Retry.default in
+  for attempt = 1 to 8 do
+    let d =
+      Float.min p.Retry.max_delay_s
+        (p.Retry.base_delay_s
+        *. (p.Retry.multiplier ** float_of_int (attempt - 1)))
+    in
+    List.iter
+      (fun key ->
+        let delay = Retry.delay_for_det p ~key ~attempt in
+        Alcotest.(check (float 0.)) "pure function of (key, attempt)" delay
+          (Retry.delay_for_det p ~key ~attempt);
+        Alcotest.(check bool) "at least the deterministic part" true
+          (delay >= d);
+        Alcotest.(check bool) "at most jittered" true
+          (delay <= d *. (1. +. p.Retry.jitter) +. 1e-12))
+      [ 0; 1; 17; 123456 ]
+  done;
+  Alcotest.(check bool) "different keys draw different jitter" true
+    (Retry.delay_for_det p ~key:1 ~attempt:1
+    <> Retry.delay_for_det p ~key:2 ~attempt:1)
+
+(* Total-deadline cutoff: when the next backoff cannot fit in what is
+   left of the deadline, the failure surfaces immediately instead of
+   charging a sleep that could only end in a timeout. *)
+let test_retry_remaining_cutoff () =
+  let rng = Gb_util.Prng.create 15L in
+  let charged = ref 0. in
+  let calls = ref 0 in
+  Alcotest.check_raises "fails fast once the budget cannot fit a backoff"
+    (Failure "transient") (fun () ->
+      ignore
+        (Retry.run ~rng
+           ~charge:(fun s -> charged := !charged +. s)
+           ~remaining:(fun () -> Retry.default.Retry.base_delay_s /. 2.)
+           (fun ~attempt:_ ->
+             incr calls;
+             failwith "transient")));
+  Alcotest.(check int) "no second attempt" 1 !calls;
+  Alcotest.(check (float 0.)) "no backoff charged" 0. !charged;
+  (* With room for the backoff, the retry proceeds as usual. *)
+  let out =
+    Retry.run ~rng
+      ~charge:(fun s -> charged := !charged +. s)
+      ~remaining:(fun () -> 1e9)
+      (fun ~attempt -> if attempt < 2 then failwith "transient" else "ok")
+  in
+  Alcotest.(check string) "recovered under a loose budget" "ok" out.Retry.value
+
 (* --- cluster fault tolerance --- *)
 
 (* Virtual task costs make the simulated clock a pure function of the
@@ -373,6 +427,8 @@ let suite =
     ("retry succeeds and charges", `Quick, test_retry_succeeds_and_charges);
     ("retry gives up", `Quick, test_retry_gives_up);
     ("retry never retries timeout", `Quick, test_retry_never_retries_timeout);
+    ("deterministic jitter", `Quick, test_det_jitter);
+    ("retry total-deadline cutoff", `Quick, test_retry_remaining_cutoff);
     ("crash recovery deterministic", `Quick, test_crash_recovery_deterministic);
     ("last survivor never dies", `Quick, test_last_survivor_never_dies);
     ("straggler speculation", `Quick, test_straggler_speculation);

@@ -24,6 +24,7 @@ let () =
       ("relops", Test_relops.suite);
       ("core", Test_core.suite);
       ("par", Test_par.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("conformance", Test_conformance.suite);
       ("linalg-prop", Test_linalg_prop.suite);

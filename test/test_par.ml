@@ -244,6 +244,41 @@ let test_budget () =
   check Alcotest.int "budget admits one 60-byte holder at a time" 1
     (Atomic.get max_seen)
 
+(* Regression: a query raising mid-execution must always release its
+   reservation — the bracket is with_reservation's Fun.protect; the
+   explicit reserve/release pairs must survive double release and keep
+   used/try_reserve consistent for the serving layer's shed decisions. *)
+let test_budget_release_on_raise () =
+  let b = Budget.create ~bytes:1000 in
+  check Alcotest.int "idle" 0 (Budget.used b);
+  (* Exceptions at any depth release the bracket. *)
+  List.iter
+    (fun (exn : exn) ->
+      (try
+         Budget.with_reservation b ~bytes:900 (fun () ->
+             check Alcotest.int "charged inside" 900 (Budget.used b);
+             raise exn)
+       with _ -> ());
+      check Alcotest.int "released after raise" 0 (Budget.used b))
+    [ Exit; Failure "engine error"; Out_of_memory; Not_found ];
+  (* Explicit pairs: try_reserve accounts, refuses over-commit, and a
+     double release cannot drive the ledger negative. *)
+  match Budget.try_reserve b ~bytes:700 with
+  | None -> Alcotest.fail "700 of 1000 should fit"
+  | Some granted ->
+    check Alcotest.int "granted what was asked" 700 granted;
+    check Alcotest.int "used tracks the grant" 700 (Budget.used b);
+    checkb "second reservation refused, not queued" true
+      (Budget.try_reserve b ~bytes:400 = None);
+    Budget.release b ~bytes:granted;
+    check Alcotest.int "released" 0 (Budget.used b);
+    Budget.release b ~bytes:granted;
+    check Alcotest.int "double release clamps at zero" 0 (Budget.used b);
+    checkb "budget still admits after the clamp" true
+      (match Budget.try_reserve b ~bytes:1000 with
+      | Some 1000 -> Budget.release b ~bytes:1000; true
+      | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "jobs parsing" `Quick test_parse_jobs;
@@ -261,4 +296,6 @@ let suite =
       test_nested_runs_inline;
     Alcotest.test_case "par.tasks counter" `Quick test_tasks_counter;
     Alcotest.test_case "memory budget gate" `Quick test_budget;
+    Alcotest.test_case "budget release on raise + explicit pairs" `Quick
+      test_budget_release_on_raise;
   ]

@@ -1,0 +1,631 @@
+(* The serving layer: admission control, deadlines, load shedding,
+   circuit breakers, the retrying client, the deterministic load
+   generator, and the live (wall-clock) path's conformance with direct
+   engine runs. Everything except the live tests runs on the sim clock,
+   so outcome counts are asserted exactly. *)
+
+open Genbase
+module Serve = Gb_serve
+module Server = Gb_serve.Server
+module Outcome = Gb_serve.Outcome
+module Breaker = Gb_serve.Breaker
+module Client = Gb_serve.Client
+module Loadgen = Gb_serve.Loadgen
+module Estimate = Gb_serve.Estimate
+module Spec = Gb_datagen.Spec
+module Deadline = Gb_util.Deadline
+
+(* --- request plumbing --- *)
+
+let req ?(id = 1) ?(key = 0) ?(engine = "E") ?(query = Query.Q1_regression)
+    ?(arrival = 0.) ?(deadline = 1e9) ?(service = 1.) ?(bytes = 1)
+    ?(fail = false) () =
+  {
+    Server.id;
+    key;
+    attempt = 1;
+    engine;
+    query;
+    arrival_s = arrival;
+    deadline_s = deadline;
+    service_s = service;
+    bytes;
+    fail;
+  }
+
+let disposition (r : Outcome.response) = r.Outcome.disposition
+
+let count responses p = List.length (List.filter p responses)
+
+(* --- deadlines at the checkpoint boundary --- *)
+
+(* A query finishing exactly at its deadline is served; one nanosecond
+   of overrun is cancelled at the deadline instant. Mirrors
+   Deadline.expired's strict comparison, which the kernels' cooperative
+   checkpoints consult. *)
+let test_deadline_boundary () =
+  let config = { Server.default_config with lanes = 1; queue_depth = 4 } in
+  let exact = req ~id:1 ~deadline:2. ~service:2. () in
+  let over = req ~id:2 ~arrival:10. ~deadline:2. ~service:2.0000001 () in
+  let responses, _ = Server.run ~config [ exact; over ] in
+  match responses with
+  | [ a; b ] ->
+    Alcotest.(check bool)
+      "exactly-at-deadline is served"
+      (disposition a = Outcome.Served Outcome.Ok_)
+      true;
+    Alcotest.(check bool)
+      "overrun is cancelled mid-execution"
+      (disposition b = Outcome.Deadline_exceeded `Running)
+      true;
+    Alcotest.(check (float 1e-9))
+      "cancelled at the deadline instant" 12. b.Outcome.finished_s;
+    Alcotest.(check (float 1e-9)) "no overrun charged" 2. b.Outcome.exec_s
+  | _ -> Alcotest.fail "expected two responses"
+
+let test_deadline_in_queue () =
+  (* One lane busy until t=10; the queued request's deadline (t=2) dies
+     before a lane frees up. *)
+  let config = { Server.default_config with lanes = 1; queue_depth = 4 } in
+  let hog = req ~id:1 ~service:10. () in
+  let starved = req ~id:2 ~arrival:0.5 ~deadline:1.5 ~service:1. () in
+  let responses, _ = Server.run ~config [ hog; starved ] in
+  let starved_r = List.find (fun r -> r.Outcome.id = 2) responses in
+  Alcotest.(check bool)
+    "expired while queued"
+    (disposition starved_r = Outcome.Deadline_exceeded `Queued)
+    true;
+  Alcotest.(check (float 1e-9))
+    "stamped at its deadline instant" 2. starved_r.Outcome.finished_s;
+  Alcotest.(check (float 1e-9))
+    "waited from arrival to deadline" 1.5 starved_r.Outcome.queue_wait_s
+
+(* --- queue-full shedding under burst: exact counts --- *)
+
+let test_burst_shedding_exact () =
+  (* 2 lanes, depth-3 queue, 20 simultaneous unit-service arrivals with
+     deadline 2. By hand: r1,r2 execute at t=0; r3,r4,r5 queue; r6..r20
+     shed (15). At t=1, r3 and r4 dispatch and complete exactly at their
+     deadline (served). At t=2, r5 dispatches with zero budget left and
+     is cancelled on the spot. *)
+  let config =
+    { Server.default_config with lanes = 2; queue_depth = 3; policy = Server.Fifo }
+  in
+  let requests =
+    List.init 20 (fun i -> req ~id:(i + 1) ~deadline:2. ~service:1. ())
+  in
+  let responses, stats = Server.run ~config requests in
+  Alcotest.(check int) "every request answered" 20 (List.length responses);
+  Alcotest.(check int) "served"
+    4
+    (count responses (fun r -> disposition r = Outcome.Served Outcome.Ok_));
+  Alcotest.(check int) "shed on the full queue"
+    15
+    (count responses (fun r ->
+         disposition r = Outcome.Shed Outcome.Queue_full));
+  Alcotest.(check int) "cancelled at dispatch with spent budget"
+    1
+    (count responses (fun r ->
+         disposition r = Outcome.Deadline_exceeded `Running));
+  Alcotest.(check int) "queue never exceeded its bound" 3
+    stats.Server.max_queue_len;
+  let shed = List.find (fun r -> disposition r = Outcome.Shed Outcome.Queue_full) responses in
+  Alcotest.(check bool)
+    "queue-full shed carries a retry-after hint"
+    (shed.Outcome.retry_after_s <> None)
+    true
+
+let test_sjf_order () =
+  (* One lane busy until t=1; three queued jobs dispatch cheapest-first
+     under SJF, arrival-first under FIFO. *)
+  let mk policy =
+    let config =
+      { Server.default_config with lanes = 1; queue_depth = 8; policy }
+    in
+    let requests =
+      [
+        req ~id:1 ~service:1. ();
+        req ~id:2 ~arrival:0.1 ~service:3. ();
+        req ~id:3 ~arrival:0.2 ~service:2. ();
+        req ~id:4 ~arrival:0.3 ~service:0.5 ();
+      ]
+    in
+    let responses, _ = Server.run ~config requests in
+    List.map
+      (fun r -> r.Outcome.id)
+      (List.sort
+         (fun a b -> Float.compare a.Outcome.finished_s b.Outcome.finished_s)
+         responses)
+  in
+  Alcotest.(check (list int)) "FIFO finishes in arrival order" [ 1; 2; 3; 4 ]
+    (mk Server.Fifo);
+  Alcotest.(check (list int)) "SJF finishes cheapest-first" [ 1; 4; 3; 2 ]
+    (mk Server.Sjf)
+
+let test_memory_admission () =
+  (* Budget fits one heavy query at a time: the second waits for the
+     first's release even though a lane is free; an over-capacity whale
+     is shed outright. *)
+  let config =
+    { Server.default_config with lanes = 2; queue_depth = 8; mem_bytes = 100 }
+  in
+  let requests =
+    [
+      req ~id:1 ~service:1. ~bytes:80 ();
+      req ~id:2 ~service:1. ~bytes:80 ();
+      req ~id:3 ~service:1. ~bytes:101 ();
+    ]
+  in
+  let responses, stats = Server.run ~config requests in
+  let r1 = List.find (fun r -> r.Outcome.id = 1) responses in
+  let r2 = List.find (fun r -> r.Outcome.id = 2) responses in
+  let r3 = List.find (fun r -> r.Outcome.id = 3) responses in
+  Alcotest.(check bool) "first served"
+    (disposition r1 = Outcome.Served Outcome.Ok_)
+    true;
+  Alcotest.(check bool) "second serialized behind the budget"
+    (disposition r2 = Outcome.Served Outcome.Ok_
+    && r2.Outcome.queue_wait_s = 1.)
+    true;
+  Alcotest.(check bool) "whale shed"
+    (disposition r3 = Outcome.Shed Outcome.Memory)
+    true;
+  Alcotest.(check bool) "reserved memory stayed within the budget"
+    (stats.Server.max_mem_used <= 100)
+    true
+
+let test_server_deterministic () =
+  let config = { Server.default_config with lanes = 2; queue_depth = 3 } in
+  let requests =
+    List.init 50 (fun i ->
+        req ~id:(i + 1)
+          ~arrival:(float_of_int (i mod 7) *. 0.3)
+          ~deadline:4.
+          ~service:(0.5 +. float_of_int (i mod 3))
+          ())
+  in
+  let r1, s1 = Server.run ~config requests in
+  let r2, s2 = Server.run ~config requests in
+  Alcotest.(check bool) "responses replay bit-for-bit" (r1 = r2) true;
+  Alcotest.(check bool) "stats replay bit-for-bit" (s1 = s2) true
+
+(* --- circuit breaker on the sim clock --- *)
+
+let test_breaker_transitions () =
+  let t = ref 0. in
+  let config =
+    {
+      Breaker.window = 8;
+      min_samples = 4;
+      failure_threshold = 0.5;
+      cooldown_s = 5.;
+      half_open_probes = 2;
+    }
+  in
+  let b = Breaker.create ~config ~now:(fun () -> !t) "E" in
+  Alcotest.(check bool) "starts closed" (Breaker.state b = Breaker.Closed) true;
+  (* Two successes, then failures until the rate trips the window. *)
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  Alcotest.(check bool) "50% of 4 samples trips"
+    (Breaker.state b = Breaker.Open)
+    true;
+  Alcotest.(check int) "one trip recorded" 1 (Breaker.trips b);
+  (match Breaker.admit b with
+  | `Fast_fail retry_after ->
+    Alcotest.(check (float 1e-9)) "retry-after spans the cooldown" 5.
+      retry_after
+  | `Admit -> Alcotest.fail "open breaker admitted");
+  (* Cooldown elapses on the sim clock: half-open admits two probes and
+     fast-fails the third. *)
+  t := 5.;
+  Alcotest.(check bool) "half-open after cooldown"
+    (Breaker.state b = Breaker.Half_open)
+    true;
+  Alcotest.(check bool) "first probe admitted" (Breaker.admit b = `Admit) true;
+  Alcotest.(check bool) "second probe admitted" (Breaker.admit b = `Admit) true;
+  (match Breaker.admit b with
+  | `Fast_fail _ -> ()
+  | `Admit -> Alcotest.fail "third concurrent probe admitted");
+  (* Both probes succeed: closed again, window reset. *)
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:true;
+  Alcotest.(check bool) "probe successes close the breaker"
+    (Breaker.state b = Breaker.Closed)
+    true;
+  Alcotest.(check bool) "closed breaker admits" (Breaker.admit b = `Admit) true
+
+let test_breaker_reopens_on_probe_failure () =
+  let t = ref 0. in
+  let config = { Breaker.default_config with min_samples = 2; cooldown_s = 1. } in
+  let b = Breaker.create ~config ~now:(fun () -> !t) "E" in
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  Alcotest.(check bool) "tripped" (Breaker.state b = Breaker.Open) true;
+  t := 1.;
+  Alcotest.(check bool) "probe admitted" (Breaker.admit b = `Admit) true;
+  Breaker.record b ~ok:false;
+  Alcotest.(check bool) "probe failure re-opens"
+    (Breaker.state b = Breaker.Open)
+    true;
+  Alcotest.(check int) "second trip" 2 (Breaker.trips b);
+  (* An abandoned probe (queued request that expired) releases its slot
+     rather than wedging half-open. *)
+  t := 2.;
+  Alcotest.(check bool) "half-open again" (Breaker.admit b = `Admit) true;
+  Breaker.abandon b;
+  Alcotest.(check bool) "abandoned slot is reusable" (Breaker.admit b = `Admit)
+    true
+
+let test_breaker_sheds_in_server () =
+  (* Engine B fails every execution; after its breaker trips, later
+     arrivals shed fast with a retry-after instead of queueing. *)
+  let breaker =
+    { Breaker.default_config with window = 4; min_samples = 4; cooldown_s = 1e6 }
+  in
+  let config =
+    { Server.default_config with lanes = 1; queue_depth = 32; breaker }
+  in
+  let requests =
+    List.init 12 (fun i ->
+        req ~id:(i + 1) ~engine:"B"
+          ~arrival:(float_of_int i *. 2.)
+          ~service:1. ~fail:true ())
+  in
+  let responses, stats = Server.run ~config requests in
+  let failed =
+    count responses (fun r -> disposition r = Outcome.Served Outcome.Failed_)
+  in
+  let shed =
+    count responses (fun r -> disposition r = Outcome.Shed Outcome.Breaker_open)
+  in
+  Alcotest.(check int) "four failures feed the window" 4 failed;
+  Alcotest.(check int) "the rest fast-fail" 8 shed;
+  Alcotest.(check bool) "trip counted" (stats.Server.breaker_trips = [ ("B", 1) ])
+    true
+
+(* --- retrying client --- *)
+
+let shed_response ?(retry_after = None) ~key ~attempt () =
+  {
+    Outcome.id = 1;
+    key;
+    attempt;
+    engine = "E";
+    query = Query.Q1_regression;
+    submitted_s = 0.;
+    finished_s = 0.;
+    queue_wait_s = 0.;
+    exec_s = 0.;
+    disposition = Outcome.Shed Outcome.Queue_full;
+    retry_after_s = retry_after;
+    engine_outcome = None;
+  }
+
+let test_client_next_delay () =
+  let policy = Client.default_policy in
+  let d1 =
+    Client.next_delay policy ~key:7 ~attempt:1 ~retry_after:None
+      ~remaining_s:1e9
+  in
+  Alcotest.(check bool) "first retry scheduled" (d1 <> None) true;
+  Alcotest.(check bool) "deterministic for a key"
+    (d1
+    = Client.next_delay policy ~key:7 ~attempt:1 ~retry_after:None
+        ~remaining_s:1e9)
+    true;
+  (* Retry-after hints raise the delay, never lower it. *)
+  (match
+     ( d1,
+       Client.next_delay policy ~key:7 ~attempt:1 ~retry_after:(Some 100.)
+         ~remaining_s:1e9 )
+   with
+  | Some base, Some hinted ->
+    Alcotest.(check (float 1e-9)) "hint dominates" 100. hinted;
+    Alcotest.(check bool) "hint >= backoff" (hinted >= base) true
+  | _ -> Alcotest.fail "expected delays");
+  Alcotest.(check bool) "attempts exhausted"
+    (Client.next_delay policy ~key:7
+       ~attempt:policy.Client.backoff.Gb_fault.Retry.max_attempts
+       ~retry_after:None ~remaining_s:1e9
+    = None)
+    true;
+  Alcotest.(check bool) "budget cutoff"
+    (Client.next_delay policy ~key:7 ~attempt:1 ~retry_after:None
+       ~remaining_s:0.01
+    = None)
+    true
+
+let test_client_call () =
+  let sleeps = ref [] in
+  let submissions = ref 0 in
+  let final =
+    Client.call ~key:3 ~budget_s:1e9
+      ~sleep:(fun d -> sleeps := d :: !sleeps)
+      ~submit:(fun ~attempt ->
+        incr submissions;
+        if attempt < 3 then shed_response ~key:3 ~attempt ()
+        else
+          {
+            (shed_response ~key:3 ~attempt ()) with
+            Outcome.disposition = Outcome.Served Outcome.Ok_;
+          })
+      ()
+  in
+  Alcotest.(check int) "three submissions" 3 !submissions;
+  Alcotest.(check int) "two backoff sleeps" 2 (List.length !sleeps);
+  Alcotest.(check bool) "final response served"
+    (disposition final = Outcome.Served Outcome.Ok_)
+    true;
+  Alcotest.(check int) "attempt echoed" 3 final.Outcome.attempt
+
+(* --- cost model --- *)
+
+let test_estimate_sanity () =
+  List.iter
+    (fun q ->
+      let s = Estimate.service_s ~genes:5000 ~patients:5000 q in
+      let b = Estimate.bytes ~genes:5000 ~patients:5000 q in
+      Alcotest.(check bool) "positive finite service"
+        (Float.is_finite s && s > 0.)
+        true;
+      Alcotest.(check bool) "positive working set" (b > 0) true;
+      Alcotest.(check bool) "bigger data costs more"
+        (Estimate.service_s ~genes:15000 ~patients:20000 q > s)
+        true)
+    Query.all;
+  Alcotest.(check bool) "engine factors differentiate"
+    (Estimate.service_s ~engine:"Hadoop" ~genes:5000 ~patients:5000
+       Query.Q1_regression
+    > Estimate.service_s ~engine:"SciDB + Xeon Phi" ~genes:5000 ~patients:5000
+        Query.Q1_regression)
+    true
+
+(* --- load generator --- *)
+
+let quick_cfg name =
+  match Loadgen.find_scenario name with
+  | Error e -> Alcotest.fail e
+  | Ok sc -> { (Loadgen.default_config sc) with Loadgen.duration = 30. }
+
+let test_loadgen_deterministic () =
+  let r1, s1, sum1 = Loadgen.run (quick_cfg "chaos") in
+  let r2, s2, sum2 = Loadgen.run (quick_cfg "chaos") in
+  Alcotest.(check bool) "responses replay" (r1 = r2) true;
+  Alcotest.(check bool) "stats replay" (s1 = s2) true;
+  Alcotest.(check bool) "summary replays" (sum1 = sum2) true
+
+(* The acceptance criterion: a 4x overload burst keeps the queue and
+   memory bounded, resolves every excess query explicitly, and the
+   admitted queries' goodput stays within 10% of the fleet's unloaded
+   service capacity. *)
+let test_overload_bounded_goodput () =
+  let cfg = quick_cfg "overload" in
+  let responses, stats, summary = Loadgen.run cfg in
+  Alcotest.(check bool) "queue bounded"
+    (stats.Server.max_queue_len <= cfg.Loadgen.queue_depth)
+    true;
+  (* Every submission resolved explicitly. *)
+  Alcotest.(check int) "no silent drops" summary.Loadgen.attempts
+    (List.length responses);
+  Alcotest.(check bool) "excess load was shed or expired, not queued"
+    (summary.Loadgen.shed_queue > 0)
+    true;
+  (* Goodput within 10% of the unloaded baseline: the served rate under
+     4x overload is at least 90% of the configured service capacity
+     (lanes / mean service time), i.e. admission control protects the
+     queries it admits instead of collapsing under the burst. *)
+  let genes, patients = Spec.paper_dims cfg.Loadgen.size in
+  let services =
+    List.concat_map
+      (fun q ->
+        List.map
+          (fun engine -> Estimate.service_s ~engine ~genes ~patients q)
+          cfg.Loadgen.engines)
+      Query.all
+  in
+  let mean =
+    List.fold_left ( +. ) 0. services /. float_of_int (List.length services)
+  in
+  let capacity_qps = float_of_int cfg.Loadgen.lanes /. mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput %.3f within 10%% of capacity %.3f"
+       summary.Loadgen.goodput_qps capacity_qps)
+    (summary.Loadgen.goodput_qps >= 0.9 *. capacity_qps)
+    true;
+  (* Memory stays bounded by the derived budget. *)
+  let max_bytes =
+    List.fold_left
+      (fun a q ->
+        max a (Estimate.bytes ~genes ~patients q))
+      1 Query.all
+  in
+  Alcotest.(check bool) "memory bounded"
+    (stats.Server.max_mem_used <= cfg.Loadgen.lanes * max_bytes)
+    true
+
+let test_loadgen_steady_clean () =
+  let _, _, summary = Loadgen.run (quick_cfg "steady") in
+  Alcotest.(check int) "no sheds at 0.6x load" 0
+    (summary.Loadgen.shed_queue + summary.Loadgen.shed_mem
+   + summary.Loadgen.shed_breaker);
+  Alcotest.(check int) "no retries" 0 summary.Loadgen.retries;
+  Alcotest.(check bool) "everything served"
+    (summary.Loadgen.served_ok = summary.Loadgen.offered)
+    true
+
+let test_loadgen_chaos_trips () =
+  let _, stats, summary = Loadgen.run (quick_cfg "chaos") in
+  Alcotest.(check bool) "fault plan produced failures"
+    (summary.Loadgen.served_failed > 0)
+    true;
+  Alcotest.(check bool) "breakers tripped" (summary.Loadgen.breaker_trips > 0)
+    true;
+  Alcotest.(check bool) "breaker sheds fast-failed"
+    (summary.Loadgen.shed_breaker > 0)
+    true;
+  Alcotest.(check bool) "per-engine trip accounting"
+    (List.exists (fun (_, n) -> n > 0) stats.Server.breaker_trips)
+    true
+
+(* --- ambient deadlines (the live path's cancellation mechanism) --- *)
+
+let test_ambient_deadline () =
+  Alcotest.(check bool) "unarmed outside" (Deadline.Ambient.armed ()) false;
+  Deadline.Ambient.checkpoint ();
+  (* no-op when unarmed *)
+  let fired =
+    try
+      Deadline.Ambient.with_deadline
+        (Deadline.start ~seconds:0.)
+        (fun () ->
+          Alcotest.(check bool) "armed inside" (Deadline.Ambient.armed ()) true;
+          (* A zero-second deadline has already expired by the first
+             checkpoint. *)
+          Unix.sleepf 0.002;
+          Deadline.Ambient.checkpoint ();
+          false)
+    with Deadline.Timeout -> true
+  in
+  Alcotest.(check bool) "checkpoint fires past the deadline" fired true;
+  Alcotest.(check bool) "disarmed after" (Deadline.Ambient.armed ()) false
+
+(* --- live path conformance: served results match direct runs --- *)
+
+let tiny = Dataset.generate (Spec.custom ~genes:100 ~patients:120)
+
+let live_engines =
+  [ Engine_r.engine; Engine_sql.colstore_udf; Engine_scidb.engine ]
+
+let test_live_matches_direct =
+  QCheck.Test.make ~name:"served payloads equal direct engine runs" ~count:12
+    QCheck.(pair (int_range 0 (List.length live_engines - 1)) (int_range 0 4))
+    (fun (ei, qi) ->
+      let engine = List.nth live_engines ei in
+      let query = List.nth Query.all qi in
+      let direct =
+        Engine.run engine tiny query ~timeout_s:300. ()
+      in
+      let t = Serve.Live.create ~config:{ (Serve.Live.default_config ()) with Serve.Live.lanes = 1 } () in
+      let served = Serve.Live.run t ~engine ~ds:tiny ~deadline_s:300. query in
+      Serve.Live.shutdown t;
+      match (served.Outcome.engine_outcome, direct) with
+      | Some (Engine.Completed (_, p1)), Engine.Completed (_, p2) ->
+        if p1 = p2 then true
+        else QCheck.Test.fail_reportf "payloads differ for %s/%s"
+            engine.Engine.name (Query.name query)
+      | Some (Engine.Unsupported | Engine.Errored _), (Engine.Unsupported | Engine.Errored _) ->
+        true
+      | o, d ->
+        QCheck.Test.fail_reportf "outcome mismatch for %s/%s: served %s, direct %s"
+          engine.Engine.name (Query.name query)
+          (match o with
+          | None -> "none"
+          | Some o -> Format.asprintf "%a" Engine.pp_outcome o)
+          (Format.asprintf "%a" Engine.pp_outcome d))
+
+let test_live_sheds_and_serves () =
+  (* One lane, depth-1 queue, and an engine gated on a condition
+     variable so the test controls exactly when the lane frees up: the
+     first query occupies the lane, the second queues, and the rest of
+     the burst sheds deterministically. *)
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let gate_open = ref false in
+  let started = ref 0 in
+  let gated_engine =
+    {
+      Engine.name = "Gated";
+      kind = `Single_node;
+      supports = (fun _ -> true);
+      load =
+        (fun _ _ ~params:_ ~timeout_s:_ ->
+          Mutex.lock m;
+          started := !started + 1;
+          Condition.broadcast cv;
+          while not !gate_open do
+            Condition.wait cv m
+          done;
+          Mutex.unlock m;
+          Engine.completed
+            { Engine.dm = 0.; analytics = 0. }
+            (Engine.Singular_values [| 1. |]));
+    }
+  in
+  let config =
+    {
+      Serve.Live.lanes = 1;
+      queue_depth = 1;
+      policy = Server.Fifo;
+      breaker = Breaker.default_config;
+      budget = Gb_par.Budget.create ~bytes:max_int;
+    }
+  in
+  let t = Serve.Live.create ~config () in
+  let first =
+    Serve.Live.submit t ~engine:gated_engine ~ds:tiny ~deadline_s:300.
+      Query.Q4_svd
+  in
+  (* Wait until the lane actually holds the first query, so the rest of
+     the burst observes a busy lane and a fillable queue. *)
+  Mutex.lock m;
+  while !started < 1 do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  let burst =
+    List.init 5 (fun _ ->
+        Serve.Live.submit t ~engine:gated_engine ~ds:tiny ~deadline_s:300.
+          Query.Q4_svd)
+  in
+  Mutex.lock m;
+  gate_open := true;
+  Condition.broadcast cv;
+  Mutex.unlock m;
+  let responses = List.map Serve.Live.await (first :: burst) in
+  Serve.Live.shutdown t;
+  let served = count responses (fun r -> Outcome.goodput r) in
+  let shed =
+    count responses (fun r ->
+        match disposition r with
+        | Outcome.Shed Outcome.Queue_full -> true
+        | _ -> false)
+  in
+  Alcotest.(check int) "every submission resolved" 6 (List.length responses);
+  Alcotest.(check int) "lane + queue served" 2 served;
+  Alcotest.(check int) "the rest of the burst shed" 4 shed;
+  List.iter
+    (fun r ->
+      match disposition r with
+      | Outcome.Shed Outcome.Queue_full ->
+        Alcotest.(check bool) "shed carries retry-after"
+          (r.Outcome.retry_after_s <> None)
+          true
+      | _ -> ())
+    responses
+
+let suite =
+  [
+    ("deadline at checkpoint boundary", `Quick, test_deadline_boundary);
+    ("deadline expiry in queue", `Quick, test_deadline_in_queue);
+    ("burst shedding exact counts", `Quick, test_burst_shedding_exact);
+    ("queue policies order work", `Quick, test_sjf_order);
+    ("memory admission", `Quick, test_memory_admission);
+    ("server deterministic", `Quick, test_server_deterministic);
+    ("breaker transitions on sim clock", `Quick, test_breaker_transitions);
+    ("breaker reopens on probe failure", `Quick,
+     test_breaker_reopens_on_probe_failure);
+    ("breaker sheds in server", `Quick, test_breaker_sheds_in_server);
+    ("client backoff schedule", `Quick, test_client_next_delay);
+    ("client retry loop", `Quick, test_client_call);
+    ("cost model sanity", `Quick, test_estimate_sanity);
+    ("loadgen deterministic", `Quick, test_loadgen_deterministic);
+    ("overload bounded with goodput", `Quick, test_overload_bounded_goodput);
+    ("steady scenario is clean", `Quick, test_loadgen_steady_clean);
+    ("chaos trips breakers", `Quick, test_loadgen_chaos_trips);
+    ("ambient deadline checkpoints", `Quick, test_ambient_deadline);
+    ("live path sheds and serves", `Quick, test_live_sheds_and_serves);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ test_live_matches_direct ]
