@@ -1,0 +1,78 @@
+(* Q6 overlap-join benchmarks: the parallel sort-merge sweep kernel, the
+   quadratic nested-loop oracle it is checked against, and the
+   end-to-end interval-join plan through the column store (scan +
+   planner + sweep + canonical sort).
+
+   Every record carries the pair count as a counter, so the committed
+   BENCH_q6.json baseline guards both the runtime and the answer size:
+   a kernel change that alters the join result shows up in the diff
+   even if it happens to run at the same speed. *)
+
+module Ranges = Gb_util.Ranges
+module Pool = Gb_par.Pool
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let median xs =
+  let s = List.sort compare xs in
+  List.nth s (List.length s / 2)
+
+let measure ~samples f =
+  ignore (Sys.opaque_identity (f ()));
+  List.init samples (fun _ ->
+      let dt, r = time f in
+      ignore (Sys.opaque_identity r);
+      dt)
+
+let run ~quick =
+  let samples = if quick then 3 else 5 in
+  let genes = if quick then 300 else 1000 in
+  let patients = if quick then 600 else 2000 in
+  let spec = Gb_datagen.Spec.custom ~genes ~patients in
+  let ds = Genbase.Dataset.generate ~seed:0xC0FFEEL spec in
+  let vivs = Genbase.Qcommon.variant_ivs ds in
+  let givs = Genbase.Qcommon.gene_ivs ds in
+  let shape =
+    Printf.sprintf "%dx%d" (Array.length vivs) (Array.length givs)
+  in
+  let db =
+    Genbase.Engine_sql.make_db Genbase.Engine_sql.Col_backend ds
+      ~check:(fun () -> ())
+  in
+  let params = Genbase.Query.default_params in
+  let pairs = ref 0 in
+  let kernels =
+    [
+      ( "overlap-sweep",
+        fun () ->
+          pairs := List.length (Genbase.Qcommon.overlap_sweep vivs givs) );
+      ( "nested-loop-oracle",
+        fun () ->
+          pairs := List.length (Ranges.nested_loop_join vivs givs) );
+      ( "interval-join-plan",
+        fun () ->
+          pairs := List.length (Genbase.Relops.q6_dm db params) );
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, f) ->
+        let meds = measure ~samples f in
+        (name, median meds, float_of_int !pairs))
+      kernels
+  in
+  Pool.shutdown ();
+  Printf.printf "%-20s %-12s %10s %10s\n" "kernel" "shape" "median" "pairs";
+  List.iter
+    (fun (name, med, n) ->
+      Printf.printf "%-20s %-12s %9.4fs %10.0f\n" name shape med n)
+    results;
+  List.filter_map
+    (fun (name, med, n) ->
+      Gb_obs.Bench_json.make ~name ~query:"overlap" ~size:shape ~unit_:"s"
+        ~counters:[ ("pairs", n) ]
+        [ med ])
+    results

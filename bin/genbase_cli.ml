@@ -133,6 +133,13 @@ let describe_payload = function
     List.iteri
       (fun i (t, p) -> if i < 5 then Printf.printf "  GO %d: p=%.2e\n" t p)
       terms
+  | Genbase.Engine.Overlaps o ->
+    Printf.printf "overlap: %d pairs over %d variants x %d genes\n"
+      (List.length o.pairs) o.n_variants o.n_genes;
+    List.iteri
+      (fun i (v, g, len) ->
+        if i < 5 then Printf.printf "  variant %d ~ gene %d: %d bp\n" v g len)
+      o.pairs
 
 let run_cmd =
   let query =
@@ -141,7 +148,8 @@ let run_cmd =
       & opt (some string) None
       & info [ "query" ] ~docv:"QUERY"
           ~doc:
-            "One of regression, covariance, biclustering, svd, statistics.")
+            "One of regression, covariance, biclustering, svd, statistics, \
+             overlap.")
   in
   let engine =
     Arg.(
@@ -204,6 +212,7 @@ let explain_cmd =
       | "patients" -> db.Genbase.Dataset.patients_c
       | "genes" -> db.Genbase.Dataset.genes_c
       | "go" -> db.Genbase.Dataset.go_c
+      | "variants" -> db.Genbase.Dataset.variants_c
       | t -> invalid_arg t
     in
     let cat =
@@ -246,6 +255,8 @@ let explain_cmd =
                   ( Expr.(col "patient_id" <% int 10),
                     Plan.Scan ("microarray", []) );
             } );
+        ( "Q6 overlap join (variants x gene coordinates)",
+          Genbase.Relops.q6_plan Genbase.Query.default_params );
       ]
     in
     List.iter
@@ -577,6 +588,7 @@ let trace_cmd =
     | "3" -> Some Genbase.Query.Q3_biclustering
     | "4" -> Some Genbase.Query.Q4_svd
     | "5" -> Some Genbase.Query.Q5_statistics
+    | "6" -> Some Genbase.Query.Q6_overlap
     | s -> Genbase.Query.of_name s
   in
   let resolve_engine nodes name =

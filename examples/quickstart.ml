@@ -1,5 +1,5 @@
 (* Quickstart: generate a small synthetic microarray data set and run all
-   five benchmark queries on the array engine.
+   six benchmark queries on the array engine.
 
    dune exec examples/quickstart.exe *)
 
@@ -28,7 +28,10 @@ let () =
         | Genbase.Engine.Singular_values s ->
           Printf.printf "top singular value %.2f\n" s.(0)
         | Genbase.Engine.Enrichment terms ->
-          Printf.printf "%d enriched GO terms\n" (List.length terms))
+          Printf.printf "%d enriched GO terms\n" (List.length terms)
+        | Genbase.Engine.Overlaps o ->
+          Printf.printf "%d variant/gene overlap pairs\n"
+            (List.length o.pairs))
       | o ->
         Printf.printf "%-14s %s\n" (Genbase.Query.name q)
           (Format.asprintf "%a" Genbase.Engine.pp_outcome o))

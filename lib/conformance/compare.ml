@@ -275,6 +275,34 @@ let compare_enrichment tol p_threshold a b =
     close acc
   | _ -> assert false
 
+(* --- overlap pairs --- *)
+
+(* Q6 is integer-exact: every engine's physical plan must reproduce the
+   oracle's pair list bitwise, in the canonical (variant_id, gene_id)
+   order. No tolerance applies — any difference is a divergence. *)
+let compare_overlaps a b =
+  match (a, b) with
+  | Engine.Overlaps oa, Engine.Overlaps ob ->
+    let acc = fresh () in
+    if oa.n_variants <> ob.n_variants || oa.n_genes <> ob.n_genes then
+      fail acc (fun () ->
+          Printf.sprintf "interval universe %dx%d vs %dx%d" oa.n_variants
+            oa.n_genes ob.n_variants ob.n_genes)
+    else if List.length oa.pairs <> List.length ob.pairs then
+      fail acc (fun () ->
+          Printf.sprintf "pair count %d vs %d" (List.length oa.pairs)
+            (List.length ob.pairs))
+    else
+      List.iteri
+        (fun i ((v1, g1, l1), (v2, g2, l2)) ->
+          if v1 <> v2 || g1 <> g2 || l1 <> l2 then
+            fail acc (fun () ->
+                Printf.sprintf "pair %d: (%d,%d,%d) vs (%d,%d,%d)" i v1 g1 l1
+                  v2 g2 l2))
+        (List.combine oa.pairs ob.pairs);
+    close acc
+  | _ -> assert false
+
 let compare_payload ?(tol = strict) ?p_threshold ~reference candidate =
   match (reference, candidate) with
   | Engine.Regression _, Engine.Regression _ ->
@@ -286,6 +314,8 @@ let compare_payload ?(tol = strict) ?p_threshold ~reference candidate =
     compare_biclusters tol reference candidate
   | Engine.Enrichment _, Engine.Enrichment _ ->
     compare_enrichment tol p_threshold reference candidate
+  | Engine.Overlaps _, Engine.Overlaps _ ->
+    compare_overlaps reference candidate
   | _ ->
     Incomparable
       (Printf.sprintf "payload kind %s vs %s"
@@ -335,5 +365,15 @@ let fingerprint payload =
       (fun (go, p) ->
         i go;
         f p)
-      e);
+      e
+  | Engine.Overlaps o ->
+    Buffer.add_string buf "overlaps:";
+    i o.n_variants;
+    i o.n_genes;
+    List.iter
+      (fun (v, g, len) ->
+        i v;
+        i g;
+        i len)
+      o.pairs);
   Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -82,6 +82,12 @@ let dataset_fingerprint (ds : Genbase.Dataset.t) =
       i g.func)
     ds.G.genes;
   Array.iter
+    (fun (v : G.variant) ->
+      i v.variant_id;
+      i v.vstart;
+      i v.vlen)
+    ds.G.variants;
+  Array.iter
     (fun (gene, term) ->
       i gene;
       i term)

@@ -36,6 +36,10 @@ let genes_schema =
 let go_schema =
   Schema.make [ ("gene_id", Value.TInt); ("go_id", Value.TInt) ]
 
+let variants_schema =
+  Schema.make
+    [ ("variant_id", Value.TInt); ("vstart", Value.TInt); ("vlen", Value.TInt) ]
+
 let microarray_rows (t : t) =
   let p, g = Mat.dims t.expression in
   let out = ref [] in
@@ -75,11 +79,17 @@ let go_rows (t : t) =
   Array.to_list t.go
   |> List.map (fun (g, term) -> [| Value.Int g; Value.Int term |])
 
+let variants_rows (t : t) =
+  Array.to_list t.variants
+  |> List.map (fun (v : G.variant) ->
+         [| Value.Int v.variant_id; Value.Int v.vstart; Value.Int v.vlen |])
+
 type relational_db = {
   microarray_r : Row_store.t;
   patients_r : Row_store.t;
   genes_r : Row_store.t;
   go_r : Row_store.t;
+  variants_r : Row_store.t;
 }
 
 type columnar_db = {
@@ -87,6 +97,7 @@ type columnar_db = {
   patients_c : Col_store.t;
   genes_c : Col_store.t;
   go_c : Col_store.t;
+  variants_c : Col_store.t;
 }
 
 let load_row_stores t =
@@ -95,6 +106,7 @@ let load_row_stores t =
     patients_r = Row_store.of_rows patients_schema (patients_rows t);
     genes_r = Row_store.of_rows genes_schema (genes_rows t);
     go_r = Row_store.of_rows go_schema (go_rows t);
+    variants_r = Row_store.of_rows variants_schema (variants_rows t);
   }
 
 let load_col_stores t =
@@ -103,6 +115,7 @@ let load_col_stores t =
     patients_c = Col_store.of_rows patients_schema (patients_rows t);
     genes_c = Col_store.of_rows genes_schema (genes_rows t);
     go_c = Col_store.of_rows go_schema (go_rows t);
+    variants_c = Col_store.of_rows variants_schema (variants_rows t);
   }
 
 type array_db = {
@@ -110,6 +123,9 @@ type array_db = {
   patient_attrs : Gb_arraydb.Attr_array.t;
   gene_attrs : Gb_arraydb.Attr_array.t;
   go_pairs : (int * int) array;
+  variant_ranges : (int * int) array;
+      (* (vstart, vlen) indexed by variant_id: a 1-D ragged array of
+         genomic ranges, the natural SciDB layout for interval data *)
 }
 
 let load_array_db (t : t) =
@@ -136,6 +152,8 @@ let load_array_db (t : t) =
           ("func", Array.map (fun (g : G.gene) -> fi g.func) t.genes);
         ];
     go_pairs = t.go;
+    variant_ranges =
+      Array.map (fun (v : G.variant) -> (v.vstart, v.vlen)) t.variants;
   }
 
 type hadoop_db = {
@@ -143,6 +161,7 @@ type hadoop_db = {
   patients_h : string list;
   genes_h : string list;
   go_h : string list;
+  variants_h : string list;
 }
 
 let load_hadoop_db (t : t) =
@@ -170,4 +189,8 @@ let load_hadoop_db (t : t) =
     go_h =
       Array.to_list t.go
       |> List.map (fun (g, term) -> Printf.sprintf "%d,%d" g term);
+    variants_h =
+      Array.to_list t.variants
+      |> List.map (fun (v : G.variant) ->
+             Printf.sprintf "%d,%d,%d" v.variant_id v.vstart v.vlen);
   }

@@ -16,10 +16,14 @@ val patients_schema : Gb_relational.Schema.t
 val genes_schema : Gb_relational.Schema.t
 val go_schema : Gb_relational.Schema.t
 
+val variants_schema : Gb_relational.Schema.t
+(** (variant_id, vstart, vlen) — genomic intervals for Q6. *)
+
 val microarray_rows : t -> Gb_relational.Value.t array list
 val patients_rows : t -> Gb_relational.Value.t array list
 val genes_rows : t -> Gb_relational.Value.t array list
 val go_rows : t -> Gb_relational.Value.t array list
+val variants_rows : t -> Gb_relational.Value.t array list
 
 (** {1 Row / column stores} *)
 
@@ -28,6 +32,7 @@ type relational_db = {
   patients_r : Gb_relational.Row_store.t;
   genes_r : Gb_relational.Row_store.t;
   go_r : Gb_relational.Row_store.t;
+  variants_r : Gb_relational.Row_store.t;
 }
 
 type columnar_db = {
@@ -35,6 +40,7 @@ type columnar_db = {
   patients_c : Gb_relational.Col_store.t;
   genes_c : Gb_relational.Col_store.t;
   go_c : Gb_relational.Col_store.t;
+  variants_c : Gb_relational.Col_store.t;
 }
 
 val load_row_stores : t -> relational_db
@@ -49,6 +55,8 @@ type array_db = {
   gene_attrs : Gb_arraydb.Attr_array.t;
       (** target, position, length, function *)
   go_pairs : (int * int) array;
+  variant_ranges : (int * int) array;
+      (** (vstart, vlen) indexed by variant_id *)
 }
 
 val load_array_db : t -> array_db
@@ -60,6 +68,7 @@ type hadoop_db = {
   patients_h : string list;
   genes_h : string list;
   go_h : string list;
+  variants_h : string list; (** "variant_id,vstart,vlen" *)
 }
 
 val load_hadoop_db : t -> hadoop_db

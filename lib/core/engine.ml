@@ -4,6 +4,11 @@ type payload =
   | Biclusters of { clusters : (int array * int array * float) list }
   | Singular_values of float array
   | Enrichment of (int * float) list
+  | Overlaps of {
+      n_variants : int;
+      n_genes : int;
+      pairs : (int * int * int) list;
+    }
 
 let payload_kind = function
   | Regression _ -> "regression"
@@ -11,6 +16,7 @@ let payload_kind = function
   | Biclusters _ -> "biclusters"
   | Singular_values _ -> "singular_values"
   | Enrichment _ -> "enrichment"
+  | Overlaps _ -> "overlaps"
 
 type timing = { dm : float; analytics : float }
 

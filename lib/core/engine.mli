@@ -13,6 +13,14 @@ type payload =
   | Singular_values of float array
   | Enrichment of (int * float) list
       (** significantly enriched (go_id, p-value), ascending p *)
+  | Overlaps of {
+      n_variants : int;
+      n_genes : int;
+      pairs : (int * int * int) list;
+          (** overlapping (variant_id, gene_id, overlap_len) in canonical
+              ascending (variant_id, gene_id) order — integer-exact, so
+              digests are bitwise comparable across engines *)
+    }
 
 val payload_kind : payload -> string
 (** Constructor name, e.g. ["regression"] — diagnostics and CSV dumps. *)

@@ -14,6 +14,7 @@ let partition (ds : Dataset.t) nodes ~check =
   let patients_rows = Dataset.patients_rows ds in
   let genes_rows = Dataset.genes_rows ds in
   let go_rows = Dataset.go_rows ds in
+  let variants_rows = Dataset.variants_rows ds in
   Partition.block_rows ~rows:p ~nodes
   |> Array.map (fun (start, len) ->
          let micro_rows =
@@ -28,11 +29,13 @@ let partition (ds : Dataset.t) nodes ~check =
          let pats = Col_store.of_rows Dataset.patients_schema patients_rows in
          let genes = Col_store.of_rows Dataset.genes_schema genes_rows in
          let go = Col_store.of_rows Dataset.go_schema go_rows in
+         let vars = Col_store.of_rows Dataset.variants_schema variants_rows in
          let store = function
            | "microarray" -> micro
            | "patients" -> pats
            | "genes" -> genes
            | "go" -> go
+           | "variants" -> vars
            | table -> invalid_arg ("unknown table " ^ table)
          in
          let scan table cols = Ops.scan_col_store (store table) cols in
@@ -217,6 +220,65 @@ let run ~boundary ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
           head_only (fun () ->
               Qcommon.enrichment_of ~n_genes ~go_pairs:ds.G.go ~go_terms
                 ~p_threshold:params.p_threshold ~scores))
+    in
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
+  | Query.Q6_overlap ->
+    (* Shuffle-by-genomic-bin: the interval tables are replicated column
+       stores, so each node scans them locally, sweeps its bin-aligned
+       genome slice, and the head gathers the per-node pair lists. Only
+       integer tuples would cross the pbdR export boundary, so the
+       boundary makes no difference to this query. *)
+    let module Ranges = Gb_util.Ranges in
+    let ivs_of db table cols =
+      let rel = Ops.guard check (db.Relops.scan table cols) in
+      let s = rel.Ops.schema in
+      let id_i = Schema.index s (List.nth cols 0) in
+      let lo_i = Schema.index s (List.nth cols 1) in
+      let len_i = Schema.index s (List.nth cols 2) in
+      Seq.fold_left
+        (fun acc row ->
+          Ranges.of_start_len
+            ~id:(Value.to_int row.(id_i))
+            ~start:(Value.to_int row.(lo_i))
+            ~len:(Value.to_int row.(len_i))
+          :: acc)
+        [] rel.Ops.rows
+      |> List.rev |> Array.of_list
+    in
+    let (vivs, givs, spans), dm =
+      phase "dm" (fun () ->
+          let locals =
+            Cluster.superstep cluster (fun node ->
+                let db = data.(node).db in
+                ( ivs_of db "variants" [ "variant_id"; "vstart"; "vlen" ],
+                  ivs_of db "genes" [ "gene_id"; "position"; "length" ] ))
+          in
+          let vivs, givs = locals.(0) in
+          let spans =
+            Qcommon.overlap_node_spans ~bin_width:Ranges.default_bin_width
+              ~nodes
+              ~axis_end:(Qcommon.overlap_axis_end vivs givs)
+          in
+          Cluster.shuffle cluster
+            ~total_bytes:(24 * (Array.length vivs + Array.length givs));
+          (vivs, givs, spans))
+    in
+    let payload, analytics =
+      phase "analytics" (fun () ->
+          let per_node =
+            Cluster.superstep cluster (fun node ->
+                Qcommon.overlap_pairs_in_span
+                  ~min_overlap:params.min_overlap_bp ~span:spans.(node) vivs
+                  givs)
+          in
+          let total =
+            Array.fold_left (fun acc l -> acc + List.length l) 0 per_node
+          in
+          Cluster.gather cluster ~bytes_per_node:(24 * total / nodes);
+          Qcommon.overlaps_of ~n_variants:(Array.length vivs)
+            ~n_genes:(Array.length givs)
+            (List.concat (Array.to_list per_node)))
     in
     Engine.completed { dm; analytics }
       ~recovery:(Qcommon.cluster_recovery cluster) payload

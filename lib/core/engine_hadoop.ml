@@ -161,9 +161,95 @@ let run ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
     in
     Engine.completed { dm; analytics } ~recovery:(Qcommon.mr_recovery mr)
       payload
+  | Query.Q6_overlap ->
+    (* Shuffle-by-genomic-bin: the mapper replicates each interval (from
+       either table, tagged V/G) to every fixed-width bin it touches;
+       each reducer sweeps its bin locally and counts a pair only if the
+       bin owns max(starts), so replicated intervals never double-count.
+       The reducer's output is re-sorted canonically at the end, making
+       the payload bitwise identical to the single-node plans. *)
+    let module Ranges = Gb_util.Ranges in
+    let bin_width = Ranges.default_bin_width in
+    let tagged, dm0 =
+      phase "dm" (fun () ->
+          let vs =
+            List.map (fun l -> "V," ^ l) hdb.Dataset.variants_h
+          in
+          let gs =
+            Hive.project mr ~name:"gene-coords" [ 0; 2; 3 ] hdb.Dataset.genes_h
+            |> List.map (fun l -> "G," ^ l)
+          in
+          vs @ gs)
+    in
+    let lines, dm1 =
+      phase "analytics" (fun () ->
+          Mr.run_job mr ~name:"overlap-bins"
+            ~mapper:(fun line ->
+              let f = Array.of_list (String.split_on_char ',' line) in
+              let iv =
+                Ranges.of_start_len
+                  ~id:(int_of_string f.(1))
+                  ~start:(int_of_string f.(2))
+                  ~len:(int_of_string f.(3))
+              in
+              List.map
+                (fun bin ->
+                  ( string_of_int bin,
+                    Printf.sprintf "%s,%d,%d,%d" f.(0) iv.Ranges.id
+                      iv.Ranges.lo iv.Ranges.hi ))
+                (Ranges.bins_of ~bin_width iv))
+            ~reducer:(fun key values ->
+              let bin = int_of_string key in
+              let side tag =
+                List.filter_map
+                  (fun v ->
+                    match String.split_on_char ',' v with
+                    | [ t; id; lo; hi ] when t = tag ->
+                      Some
+                        {
+                          Ranges.id = int_of_string id;
+                          lo = int_of_string lo;
+                          hi = int_of_string hi;
+                        }
+                    | _ -> None)
+                  values
+                |> Array.of_list
+              in
+              let vs = side "V" and gs = side "G" in
+              Ranges.sweep_join ~min_overlap:params.min_overlap_bp vs gs
+              |> List.filter (fun (v, g, _) ->
+                     let find arr id =
+                       let found = ref None in
+                       Array.iter
+                         (fun (iv : Ranges.iv) ->
+                           if iv.id = id then found := Some iv)
+                         arr;
+                       Option.get !found
+                     in
+                     Ranges.owns_pair ~bin_width ~bin (find vs v) (find gs g))
+              |> List.map (fun (v, g, len) ->
+                     Printf.sprintf "%d,%d,%d" v g len))
+            tagged)
+    in
+    let payload =
+      Qcommon.overlaps_of
+        ~n_variants:(Array.length ds.Gb_datagen.Generate.variants)
+        ~n_genes
+        (List.map
+           (fun line ->
+             match String.split_on_char ',' line with
+             | [ v; g; len ] ->
+               (int_of_string v, int_of_string g, int_of_string len)
+             | _ -> failwith ("Hadoop: bad overlap record " ^ line))
+           lines)
+    in
+    Engine.completed { dm = dm0; analytics = dm1 }
+      ~recovery:(Qcommon.mr_recovery mr) payload
 
 let supports = function
-  | Query.Q1_regression | Query.Q2_covariance | Query.Q4_svd -> true
+  | Query.Q1_regression | Query.Q2_covariance | Query.Q4_svd
+  | Query.Q6_overlap ->
+    true
   | Query.Q3_biclustering | Query.Q5_statistics -> false
 
 let engine =

@@ -154,6 +154,37 @@ let run ds query ~(params : Query.params) ~timeout_s =
             ~p_threshold:params.p_threshold ~scores)
     in
     Engine.Completed ({ dm; analytics }, payload)
+  | Query.Q6_overlap ->
+    (* Hand-written SQL pipeline (no planner): scan both interval tables
+       and run the sort-merge sweep operator directly, as a MADlib-style
+       native aggregate would. *)
+    let pairs, dm =
+      time "dm" (fun () ->
+          let joined =
+            Ops.interval_join ~trace:"interval_join"
+              ~min_overlap:params.min_overlap_bp
+              ~left_span:("vstart", "vlen") ~right_span:("position", "length")
+              (Ops.guard check
+                 (db.Relops.scan "variants" [ "variant_id"; "vstart"; "vlen" ]))
+              (db.Relops.scan "genes" [ "gene_id"; "position"; "length" ])
+          in
+          let s = joined.Ops.schema in
+          let vi = Schema.index s "variant_id" in
+          let gi = Schema.index s "gene_id" in
+          let oi = Schema.index s "overlap_len" in
+          Ops.to_list joined
+          |> List.map (fun row ->
+                 ( Value.to_int row.(vi),
+                   Value.to_int row.(gi),
+                   Value.to_int row.(oi) )))
+    in
+    let payload, analytics =
+      time "analytics" (fun () ->
+          Qcommon.overlaps_of
+            ~n_variants:(Array.length ds.Gb_datagen.Generate.variants)
+            ~n_genes pairs)
+    in
+    Engine.Completed ({ dm; analytics }, payload)
 
 let engine =
   {

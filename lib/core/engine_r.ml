@@ -34,6 +34,23 @@ let genes_frame (ds : Dataset.t) =
       ("func", Df.Ints (Array.map (fun (g : G.gene) -> g.func) ds.genes));
     ]
 
+let variants_frame (ds : Dataset.t) =
+  Df.of_columns
+    [
+      ( "variant_id",
+        Df.Ints (Array.map (fun (v : G.variant) -> v.variant_id) ds.variants) );
+      ("vstart", Df.Ints (Array.map (fun (v : G.variant) -> v.vstart) ds.variants));
+      ("vlen", Df.Ints (Array.map (fun (v : G.variant) -> v.vlen) ds.variants));
+    ]
+
+let coords_frame (ds : Dataset.t) =
+  Df.of_columns
+    [
+      ("gene_id", Df.Ints (Array.map (fun (g : G.gene) -> g.gene_id) ds.genes));
+      ("position", Df.Ints (Array.map (fun (g : G.gene) -> g.position) ds.genes));
+      ("length", Df.Ints (Array.map (fun (g : G.gene) -> g.length) ds.genes));
+    ]
+
 let run ds query ~(params : Query.params) ~timeout_s =
   let dl = Gb_util.Deadline.start ~seconds:timeout_s in
   let base = 2 * cells ds in
@@ -134,6 +151,40 @@ let run ds query ~(params : Query.params) ~timeout_s =
             ~go_pairs:ds.G.go
             ~go_terms:ds.G.spec.Gb_datagen.Spec.go_terms
             ~p_threshold:params.p_threshold ~scores)
+    in
+    Engine.Completed ({ dm; analytics }, payload)
+  | Query.Q6_overlap ->
+    (* The oracle plan: two data frames and a quadratic double loop —
+       exactly what naive R code over GRanges-less data frames does.
+       Every other engine's Q6 answer is checked against this. *)
+    let (vs, gs), dm =
+      time "dm" (fun () ->
+          let vf = variants_frame ds and gf = coords_frame ds in
+          let iv_of ids los lens i =
+            Gb_util.Ranges.of_start_len ~id:ids.(i) ~start:los.(i)
+              ~len:lens.(i)
+          in
+          let vs =
+            let ids = Df.ints vf "variant_id"
+            and los = Df.ints vf "vstart"
+            and lens = Df.ints vf "vlen" in
+            Array.init (Array.length ids) (iv_of ids los lens)
+          in
+          let gs =
+            let ids = Df.ints gf "gene_id"
+            and los = Df.ints gf "position"
+            and lens = Df.ints gf "length" in
+            Array.init (Array.length ids) (iv_of ids los lens)
+          in
+          charge base (3 * (Array.length vs + Array.length gs));
+          (vs, gs))
+    in
+    let payload, analytics =
+      time "analytics" (fun () ->
+          Qcommon.overlaps_of ~n_variants:(Array.length vs)
+            ~n_genes:(Array.length gs)
+            (Gb_util.Ranges.nested_loop_join ~min_overlap:params.min_overlap_bp
+               vs gs))
     in
     Engine.Completed ({ dm; analytics }, payload)
 

@@ -147,6 +147,71 @@ let run_with_clock ?offload ds query ~(params : Query.params) ~timeout_s =
             ~p_threshold:params.p_threshold ~scores)
     in
     Engine.Completed ({ dm; analytics }, payload)
+  | Query.Q6_overlap ->
+    (* Chunk-aligned range intersection: the coordinate axis is divided
+       into fixed-width chunks (the array store's natural layout); each
+       interval is replicated into every chunk it touches during dm, and
+       analytics intersects within each chunk independently.  A pair is
+       counted only by the chunk owning max(starts), so replication never
+       double-counts.  Chunks are processed via the pool over a
+       pool-size-independent list, and the final canonical sort makes
+       the payload identical to every other plan. *)
+    let module Ranges = Gb_util.Ranges in
+    let bin_width = Ranges.default_bin_width in
+    let (vbins, gbins, nbins), dm =
+      phase "dm" (fun () ->
+          let vivs =
+            Array.mapi
+              (fun id (vstart, vlen) ->
+                Ranges.of_start_len ~id ~start:vstart ~len:vlen)
+              adb.Dataset.variant_ranges
+          in
+          let givs = Qcommon.gene_ivs ds in
+          let max_hi =
+            let m = ref 0 in
+            Array.iter (fun (iv : Ranges.iv) -> m := max !m iv.hi) vivs;
+            Array.iter (fun (iv : Ranges.iv) -> m := max !m iv.hi) givs;
+            !m
+          in
+          let nbins = 1 + Ranges.bin_of ~bin_width (max 0 (max_hi - 1)) in
+          let scatter ivs =
+            let bins = Array.make nbins [] in
+            for i = Array.length ivs - 1 downto 0 do
+              List.iter
+                (fun b ->
+                  if b >= 0 && b < nbins then bins.(b) <- ivs.(i) :: bins.(b))
+                (Ranges.bins_of ~bin_width ivs.(i))
+            done;
+            Array.map Array.of_list bins
+          in
+          (scatter vivs, scatter givs, nbins))
+    in
+    let n_variants = Array.length adb.Dataset.variant_ranges in
+    let n_genes = Array.length ds.Gb_datagen.Generate.genes in
+    let payload, analytics =
+      analytics_phase
+        ~bytes_in:(16 * (n_variants + n_genes))
+        ~bytes_out:(24 * n_variants) Device.Stat
+        (fun () ->
+          let per_bin =
+            Gb_par.Pool.map_list
+              (fun bin ->
+                Ranges.sweep_join ~min_overlap:params.min_overlap_bp
+                  vbins.(bin) gbins.(bin)
+                |> List.filter (fun (v, g, _) ->
+                       Ranges.owns_pair ~bin_width ~bin
+                         (Ranges.of_start_len ~id:v
+                            ~start:
+                              (fst adb.Dataset.variant_ranges.(v))
+                            ~len:(snd adb.Dataset.variant_ranges.(v)))
+                         (let gn = ds.Gb_datagen.Generate.genes.(g) in
+                          Ranges.of_start_len ~id:g ~start:gn.position
+                            ~len:gn.length)))
+              (List.init nbins Fun.id)
+          in
+          Qcommon.overlaps_of ~n_variants ~n_genes (List.concat per_bin))
+    in
+    Engine.Completed ({ dm; analytics }, payload)
 
 let engine =
   {

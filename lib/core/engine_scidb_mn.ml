@@ -262,6 +262,45 @@ let run ?device ?fault ~nodes ds query ~(params : Query.params) ~timeout_s =
     in
     Engine.completed { dm; analytics }
       ~recovery:(Qcommon.cluster_recovery cluster) payload
+  | Query.Q6_overlap ->
+    (* Chunk-aligned intersection, multi-node: bins align with the array
+       store's chunk width, each node owns a contiguous bin range, and
+       the (small) interval tables are redistributed so every node holds
+       the intervals its chunks touch. *)
+    let (vivs, givs, spans), dm =
+      phase "dm" (fun () ->
+          let vivs = Qcommon.variant_ivs ds and givs = Qcommon.gene_ivs ds in
+          let spans =
+            Qcommon.overlap_node_spans
+              ~bin_width:Gb_util.Ranges.default_bin_width ~nodes
+              ~axis_end:(Qcommon.overlap_axis_end vivs givs)
+          in
+          Cluster.shuffle cluster
+            ~total_bytes:(24 * (Array.length vivs + Array.length givs));
+          (vivs, givs, spans))
+    in
+    let payload, analytics =
+      phase "analytics" (fun () ->
+          analytics_with Device.Stat
+            ~bytes_per_node:
+              (24 * (Array.length vivs + Array.length givs) / nodes)
+            (fun () ->
+              let per_node =
+                Cluster.superstep cluster (fun node ->
+                    Qcommon.overlap_pairs_in_span
+                      ~min_overlap:params.min_overlap_bp ~span:spans.(node)
+                      vivs givs)
+              in
+              let total =
+                Array.fold_left (fun acc l -> acc + List.length l) 0 per_node
+              in
+              Cluster.gather cluster ~bytes_per_node:(24 * total / nodes);
+              Qcommon.overlaps_of ~n_variants:(Array.length vivs)
+                ~n_genes:(Array.length givs)
+                (List.concat (Array.to_list per_node))))
+    in
+    Engine.completed { dm; analytics }
+      ~recovery:(Qcommon.cluster_recovery cluster) payload
 
 let make ~fault ~nodes =
   {

@@ -15,6 +15,7 @@ let make_db backend ds ~check =
         | "patients" -> db.Dataset.patients_r
         | "genes" -> db.Dataset.genes_r
         | "go" -> db.Dataset.go_r
+        | "variants" -> db.Dataset.variants_r
         | _ -> invalid_arg ("unknown table " ^ table)
       in
       (* A row store decodes whole tuples, then projects. *)
@@ -27,6 +28,7 @@ let make_db backend ds ~check =
         | "patients" -> db.Dataset.patients_r
         | "genes" -> db.Dataset.genes_r
         | "go" -> db.Dataset.go_r
+        | "variants" -> db.Dataset.variants_r
         | t -> invalid_arg t)
     in
     { Relops.scan; row_count; check }
@@ -39,6 +41,7 @@ let make_db backend ds ~check =
         | "patients" -> db.Dataset.patients_c
         | "genes" -> db.Dataset.genes_c
         | "go" -> db.Dataset.go_c
+        | "variants" -> db.Dataset.variants_c
         | _ -> invalid_arg ("unknown table " ^ table)
       in
       Ops.scan_col_store store cols
@@ -50,6 +53,7 @@ let make_db backend ds ~check =
         | "patients" -> db.Dataset.patients_c
         | "genes" -> db.Dataset.genes_c
         | "go" -> db.Dataset.go_c
+        | "variants" -> db.Dataset.variants_c
         | t -> invalid_arg t)
     in
     { Relops.scan; row_count; check }
@@ -148,6 +152,19 @@ let run ~backend ~boundary ds query ~(params : Query.params) ~timeout_s =
             ~p_threshold:params.p_threshold ~scores)
     in
     Engine.Completed ({ dm = dm0 +. dm1; analytics }, payload)
+  | Query.Q6_overlap ->
+    (* Pure-relational: the planner's Interval_join sweep does all the
+       work in the store; only the integer pair list crosses the R/UDF
+       boundary, which costs the same either way. *)
+    let pairs, dm = time "dm" (fun () -> Relops.q6_dm db params) in
+    let payload, analytics =
+      time "analytics" (fun () ->
+          Qcommon.overlaps_of
+            ~n_variants:(Array.length ds.Gb_datagen.Generate.variants)
+            ~n_genes:(Array.length ds.Gb_datagen.Generate.genes)
+            pairs)
+    in
+    Engine.Completed ({ dm; analytics }, payload)
 
 let make ~name ~backend ~boundary =
   {

@@ -116,6 +116,89 @@ let enrichment_of ~n_genes ~go_pairs ~go_terms ~p_threshold ~scores =
   in
   Engine.Enrichment sorted
 
+(* --- Q6: genomic overlap join --- *)
+
+module Ranges = Gb_util.Ranges
+
+let variant_ivs (ds : Dataset.t) =
+  Array.map
+    (fun (v : G.variant) ->
+      Ranges.of_start_len ~id:v.variant_id ~start:v.vstart ~len:v.vlen)
+    ds.variants
+
+let gene_ivs (ds : Dataset.t) =
+  Array.map
+    (fun (g : G.gene) ->
+      Ranges.of_start_len ~id:g.gene_id ~start:g.position ~len:g.length)
+    ds.genes
+
+let overlaps_of ~n_variants ~n_genes pairs =
+  let canonical =
+    List.sort
+      (fun (v1, g1, _) (v2, g2, _) ->
+        let c = Int.compare v1 v2 in
+        if c <> 0 then c else Int.compare g1 g2)
+      pairs
+  in
+  Engine.Overlaps { n_variants; n_genes; pairs = canonical }
+
+let overlap_pairs_out = Gb_obs.Metric.counter ~unit_:"pair" "q6.overlap_pairs"
+
+(* The shared sweep kernel: partitioned over contiguous output ranges of
+   the (id-ordered) variant side via pool-size-independent chunks, with
+   per-chunk results stitched in chunk order — so the pair list is
+   identical at any domain count, and already canonically sorted. *)
+let overlap_sweep ?(min_overlap = 1) variants genes =
+  let module Pool = Gb_par.Pool in
+  Gb_obs.Profile.with_ ~cat:"kernel" ~name:"overlap_sweep"
+    ~attrs:
+      [
+        ("variants", Gb_obs.Obs.Int (Array.length variants));
+        ("genes", Gb_obs.Obs.Int (Array.length genes));
+      ]
+  @@ fun () ->
+  let chunks = Pool.ranges ~grain:1024 ~lo:0 ~hi:(Array.length variants) in
+  let outs =
+    Pool.map_list
+      (fun (a, b) ->
+        Ranges.sweep_join ~min_overlap (Array.sub variants a (b - a)) genes)
+      chunks
+  in
+  let pairs = List.concat outs in
+  Gb_obs.Metric.add overlap_pairs_out (List.length pairs);
+  pairs
+
+let overlap_axis_end variants genes =
+  let m = ref 0 in
+  Array.iter (fun (iv : Ranges.iv) -> m := max !m iv.hi) variants;
+  Array.iter (fun (iv : Ranges.iv) -> m := max !m iv.hi) genes;
+  !m
+
+(* Bin-aligned coordinate spans for the cluster engines: the axis's
+   fixed-width bins are block-partitioned across nodes, giving each node
+   one contiguous [lo, hi) slice of the genome. *)
+let overlap_node_spans ~bin_width ~nodes ~axis_end =
+  let nbins = max nodes (1 + Ranges.bin_of ~bin_width (max 0 (axis_end - 1))) in
+  Gb_cluster.Partition.block_rows ~rows:nbins ~nodes
+  |> Array.map (fun (start, len) ->
+         (start * bin_width, (start + len) * bin_width))
+
+(* One node's share of the overlap join: sweep the intervals touching
+   its span, then keep only the pairs the span owns — the pair's
+   max(starts) falls inside it — so replicated boundary intervals are
+   counted exactly once across the cluster.  Interval ids must index the
+   full arrays (true for {!variant_ivs}/{!gene_ivs}). *)
+let overlap_pairs_in_span ?(min_overlap = 1) ~span:(lo, hi) variants genes =
+  let touching ivs =
+    Array.to_list ivs
+    |> List.filter (fun (iv : Ranges.iv) -> iv.lo < hi && iv.hi > lo)
+    |> Array.of_list
+  in
+  Ranges.sweep_join ~min_overlap (touching variants) (touching genes)
+  |> List.filter (fun (v, g, _) ->
+         let s = max variants.(v).Ranges.lo genes.(g).Ranges.lo in
+         s >= lo && s < hi)
+
 (* --- recovery accounting shared by the fault-tolerant engines --- *)
 
 let cluster_recovery cluster =

@@ -29,6 +29,47 @@ val enrichment_of :
 (** Rank [scores], Wilcoxon rank-sum per GO term, keep significant terms
     ascending by p-value. *)
 
+val variant_ivs : Dataset.t -> Gb_util.Ranges.iv array
+(** Variant intervals in id order ([iv.id] = [variant_id]). *)
+
+val gene_ivs : Dataset.t -> Gb_util.Ranges.iv array
+(** Gene intervals in id order ([iv.id] = [gene_id]). *)
+
+val overlaps_of :
+  n_variants:int -> n_genes:int -> (int * int * int) list -> Engine.payload
+(** Sort pairs into the canonical ascending (variant_id, gene_id) order
+    and wrap as {!Engine.Overlaps} — every Q6 physical plan finishes
+    through this, so payload digests are bitwise comparable. *)
+
+val overlap_sweep :
+  ?min_overlap:int ->
+  Gb_util.Ranges.iv array ->
+  Gb_util.Ranges.iv array ->
+  (int * int * int) list
+(** Parallel sort-merge interval sweep over pool-size-independent chunks
+    of the (id-ordered) left side, stitched in chunk order: output is
+    already canonical and identical at any domain count. Profiled as the
+    ["overlap_sweep"] kernel span; bumps ["q6.overlap_pairs"]. *)
+
+val overlap_axis_end : Gb_util.Ranges.iv array -> Gb_util.Ranges.iv array -> int
+(** One past the largest coordinate either interval set touches. *)
+
+val overlap_node_spans :
+  bin_width:int -> nodes:int -> axis_end:int -> (int * int) array
+(** Block-partition the axis's fixed-width bins across nodes; each node
+    gets one bin-aligned, contiguous [lo, hi) genome slice. *)
+
+val overlap_pairs_in_span :
+  ?min_overlap:int ->
+  span:int * int ->
+  Gb_util.Ranges.iv array ->
+  Gb_util.Ranges.iv array ->
+  (int * int * int) list
+(** One node's share of the Q6 join: sweep the intervals touching [span],
+    keeping only pairs whose max(starts) lies inside it — boundary
+    intervals replicated to two spans are counted exactly once across
+    the cluster. Interval ids must index the given arrays. *)
+
 val cluster_recovery : Gb_cluster.Cluster.t -> Engine.recovery
 (** The cluster's absorbed faults as degraded-completion metadata
     ({!Engine.no_recovery} when the run was clean). *)

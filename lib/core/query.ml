@@ -4,6 +4,7 @@ type t =
   | Q3_biclustering
   | Q4_svd
   | Q5_statistics
+  | Q6_overlap
 
 type params = {
   func_threshold : int;
@@ -14,6 +15,7 @@ type params = {
   svd_k : int;
   sample_fraction : float;
   p_threshold : float;
+  min_overlap_bp : int;
 }
 
 let default_params =
@@ -26,10 +28,18 @@ let default_params =
     svd_k = 50;
     sample_fraction = 0.05;
     p_threshold = 0.05;
+    min_overlap_bp = 1;
   }
 
 let all =
-  [ Q1_regression; Q2_covariance; Q3_biclustering; Q4_svd; Q5_statistics ]
+  [
+    Q1_regression;
+    Q2_covariance;
+    Q3_biclustering;
+    Q4_svd;
+    Q5_statistics;
+    Q6_overlap;
+  ]
 
 let name = function
   | Q1_regression -> "regression"
@@ -37,6 +47,7 @@ let name = function
   | Q3_biclustering -> "biclustering"
   | Q4_svd -> "svd"
   | Q5_statistics -> "statistics"
+  | Q6_overlap -> "overlap"
 
 let title = function
   | Q1_regression -> "Linear Regression"
@@ -44,6 +55,7 @@ let title = function
   | Q3_biclustering -> "Biclustering"
   | Q4_svd -> "SVD"
   | Q5_statistics -> "Statistics"
+  | Q6_overlap -> "Overlap Join"
 
 let of_name s =
   List.find_opt (fun q -> name q = String.lowercase_ascii s) all

@@ -1,4 +1,5 @@
-(** The five GenBase benchmark queries. *)
+(** The GenBase benchmark queries: the paper's five plus the Q6
+    genomic overlap join. *)
 
 type t =
   | Q1_regression
@@ -6,6 +7,7 @@ type t =
   | Q3_biclustering
   | Q4_svd
   | Q5_statistics
+  | Q6_overlap
 
 type params = {
   func_threshold : int; (** Q1/Q4: genes with [function < threshold] *)
@@ -16,6 +18,7 @@ type params = {
   svd_k : int; (** Q4: number of singular values (the paper's 50) *)
   sample_fraction : float; (** Q5: fraction of patients sampled *)
   p_threshold : float; (** Q5: enrichment significance cutoff *)
+  min_overlap_bp : int; (** Q6: minimum shared bases for a match *)
 }
 
 val default_params : params

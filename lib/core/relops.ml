@@ -12,6 +12,7 @@ let table_schema = function
   | "patients" -> Dataset.patients_schema
   | "genes" -> Dataset.genes_schema
   | "go" -> Dataset.go_schema
+  | "variants" -> Dataset.variants_schema
   | t -> invalid_arg ("Relops: unknown table " ^ t)
 
 let catalog db =
@@ -123,6 +124,35 @@ let q4_dm db (params : Query.params) =
   in
   let piv = pivot_triples joined in
   (piv.Pivot.matrix, piv.Pivot.col_ids)
+
+(* Q6: overlap-join variant intervals against gene intervals through the
+   volcano planner, so the stores execute the Interval_join node (and
+   EXPLAIN ANALYZE can show its est-vs-actual overlap count).  The
+   sweep's output order — ascending (variant row, gene row) over
+   id-ordered scans — is already canonical. *)
+let q6_plan (params : Query.params) =
+  Plan.Interval_join
+    {
+      left = Plan.Scan ("variants", []);
+      right = Plan.Scan ("genes", []);
+      left_span = ("vstart", "vlen");
+      right_span = ("position", "length");
+      min_overlap = params.min_overlap_bp;
+    }
+
+let q6_dm db (params : Query.params) =
+  let rel = Plan.execute (catalog db) (q6_plan params) in
+  let vi = Schema.index rel.Ops.schema "variant_id" in
+  let gi = Schema.index rel.Ops.schema "gene_id" in
+  let oi = Schema.index rel.Ops.schema "overlap_len" in
+  let pairs = ref [] in
+  Seq.iter
+    (fun row ->
+      pairs :=
+        (Value.to_int row.(vi), Value.to_int row.(gi), Value.to_int row.(oi))
+        :: !pairs)
+    rel.Ops.rows;
+  List.rev !pairs
 
 let q5_dm db (params : Query.params) ~n_patients =
   let k =

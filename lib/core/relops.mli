@@ -8,8 +8,8 @@ open Gb_relational
 type db = {
   scan : string -> string list -> Ops.rel;
       (** [scan table cols] where table ∈ microarray | patients | genes |
-          go. A row store decodes whole tuples and projects; a column
-          store reads only the requested columns. *)
+          go | variants. A row store decodes whole tuples and projects; a
+          column store reads only the requested columns. *)
   row_count : string -> int; (** catalog statistics for the optimizer *)
   check : unit -> unit; (** cooperative timeout hook *)
 }
@@ -40,3 +40,11 @@ val q5_dm : db -> Query.params -> n_patients:int -> float array * (int * int) ar
 (** Sample patients, join with microarray, aggregate mean expression per
     gene (the ranking input), and scan the GO table: (per-gene scores,
     go pairs). *)
+
+val q6_plan : Query.params -> Plan.t
+(** The logical overlap-join plan (variants x genes through
+    {!Plan.Interval_join}) — also what [genbase explain] renders. *)
+
+val q6_dm : db -> Query.params -> (int * int * int) list
+(** Execute the Q6 plan: canonical ascending (variant_id, gene_id,
+    overlap_len) pairs. *)

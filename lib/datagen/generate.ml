@@ -18,12 +18,15 @@ type gene = {
   func : int;
 }
 
+type variant = { variant_id : int; vstart : int; vlen : int }
+
 type t = {
   spec : Spec.t;
   expression : Mat.t;
   patients : patient array;
   genes : gene array;
   go : (int * int) array;
+  variants : variant array;
   planted : planted;
 }
 
@@ -51,6 +54,22 @@ let gen_genes rng g =
         length;
         func = Prng.int rng 1_000;
       })
+
+(* Variant call intervals on the same linear coordinate axis the genes
+   occupy.  Mostly short indel-sized events with a tail of structural
+   variants, so overlap joins see empty, point-like, nested and
+   spanning cases.  [span] is the end of the last gene, so variants and
+   genes genuinely interleave. *)
+let gen_variants rng ~genes ~span =
+  let n = 4 * genes in
+  let span = max 1 span in
+  Array.init n (fun variant_id ->
+      let vstart = Prng.int rng span in
+      let vlen =
+        if Prng.int rng 10 < 7 then 1 + Prng.int rng 50
+        else 100 + Prng.int rng 9_900
+      in
+      { variant_id; vstart; vlen })
 
 let gen_patients rng spec =
   Array.init spec.Spec.patients (fun patient_id ->
@@ -189,6 +208,9 @@ let generate ?(seed = 0x6E0BA5EL) spec =
   let r_enrich = Prng.split root in
   let r_biclust = Prng.split root in
   let r_reg = Prng.split root in
+  (* New streams split AFTER every pre-existing one so older tables stay
+     bit-identical for a given seed. *)
+  let r_var = Prng.split root in
   let genes = gen_genes r_genes spec.Spec.genes in
   let patients = gen_patients r_patients spec in
   let expression = gen_expression r_expr spec in
@@ -202,12 +224,18 @@ let generate ?(seed = 0x6E0BA5EL) spec =
   let patients, signal_genes, signal_coefs, signal_intercept =
     plant_regression r_reg expression genes patients
   in
+  let span =
+    let last = genes.(Array.length genes - 1) in
+    last.position + last.length
+  in
+  let variants = gen_variants r_var ~genes:spec.Spec.genes ~span in
   {
     spec;
     expression;
     patients;
     genes;
     go;
+    variants;
     planted =
       {
         signal_genes;

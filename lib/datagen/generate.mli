@@ -11,7 +11,9 @@
     - a coherent bicluster is planted across young male patients (Query 3);
     - expression has low-rank structure plus noise (Query 4);
     - a few GO terms are enriched near the top of the expression
-      ranking (Query 5). *)
+      ranking (Query 5);
+    - variant call intervals interleave with the gene coordinate ranges
+      (Query 6 overlap joins). *)
 
 type patient = {
   patient_id : int;
@@ -30,12 +32,19 @@ type gene = {
   func : int; (** function code, 0..999 *)
 }
 
+type variant = {
+  variant_id : int;
+  vstart : int; (** start coordinate on the gene axis *)
+  vlen : int; (** length in bases; interval is half-open [vstart, vstart+vlen) *)
+}
+
 type t = {
   spec : Spec.t;
   expression : Gb_linalg.Mat.t; (** patients x genes *)
   patients : patient array;
   genes : gene array;
   go : (int * int) array; (** (gene_id, go_id) membership pairs *)
+  variants : variant array; (** genomic intervals for Query 6 overlap joins *)
   planted : planted;
 }
 

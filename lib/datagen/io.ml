@@ -31,7 +31,13 @@ let write ~dir (t : Generate.t) =
         t.genes);
   with_out (Filename.concat dir "go.csv") (fun oc ->
       output_string oc "gene_id,go_id\n";
-      Array.iter (fun (g, term) -> Printf.fprintf oc "%d,%d\n" g term) t.go)
+      Array.iter (fun (g, term) -> Printf.fprintf oc "%d,%d\n" g term) t.go);
+  with_out (Filename.concat dir "variants.csv") (fun oc ->
+      output_string oc "variant_id,vstart,vlen\n";
+      Array.iter
+        (fun (v : Generate.variant) ->
+          Printf.fprintf oc "%d,%d,%d\n" v.variant_id v.vstart v.vlen)
+        t.variants)
 
 let read_lines path =
   let ic = open_in path in
@@ -83,6 +89,20 @@ let read ~dir : Generate.t =
            | _ -> failwith "go.csv: bad row")
     |> Array.of_list
   in
+  let variants =
+    (* Optional: data sets written before Q6 existed have no variants
+       file; an empty table keeps them loadable. *)
+    let path = Filename.concat dir "variants.csv" in
+    if not (Sys.file_exists path) then [||]
+    else
+      read_lines path
+      |> List.map (fun line ->
+             match split_ints line with
+             | [ variant_id; vstart; vlen ] ->
+               { Generate.variant_id; vstart; vlen }
+             | _ -> failwith "variants.csv: bad row")
+      |> Array.of_list
+  in
   let n_patients = Array.length patients and n_genes = Array.length genes in
   let expression = Mat.create n_patients n_genes in
   List.iter
@@ -100,6 +120,7 @@ let read ~dir : Generate.t =
     patients;
     genes;
     go;
+    variants;
     planted =
       {
         signal_genes = [||];

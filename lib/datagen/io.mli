@@ -4,9 +4,10 @@
 
 val write : dir:string -> Generate.t -> unit
 (** Writes [microarray.csv] (gene_id, patient_id, value — the relational
-    triple form), [patients.csv], [genes.csv], [go.csv]. Creates [dir] if
-    needed. *)
+    triple form), [patients.csv], [genes.csv], [go.csv], [variants.csv].
+    Creates [dir] if needed. *)
 
 val read : dir:string -> Generate.t
-(** Reads the four files back. Planted-structure metadata is not stored in
-    the CSVs, so [planted] fields come back empty. *)
+(** Reads the files back ([variants.csv] is optional — pre-Q6 data sets
+    load with an empty variant table). Planted-structure metadata is not
+    stored in the CSVs, so [planted] fields come back empty. *)

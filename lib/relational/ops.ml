@@ -406,6 +406,68 @@ let traced ?(cat = "op") ?(attrs = []) ~name r =
     in
     { r with rows }
 
+let overlap_out = Gb_obs.Metric.counter ~unit_:"pair" "relops.overlap_pairs"
+
+(* Sort-merge interval sweep join: left and right each carry a half-open
+   genomic interval as (start, length) columns.  Output rows are
+   [lrow ++ rrow ++ [overlap_len]] for every pair sharing at least
+   [min_overlap] bases, in ascending (left row index, right row index)
+   order — so id-ordered inputs give the canonical Q6 ordering.
+
+   The sweep is partitioned over OUTPUT ranges — fixed-grain chunks of
+   the left side via [Pool.ranges], pool-size-independent — and chunk
+   results are stitched in chunk order, so the output is bitwise
+   identical at any domain count (the per-pair payload is integer-only,
+   so even "identical" is exact, not just ULP-close). *)
+let interval_join ?trace ?(min_overlap = 1) ~left_span:(llo, llen)
+    ~right_span:(rlo, rlen) left right =
+  let module Ranges = Gb_util.Ranges in
+  let module Pool = Gb_par.Pool in
+  let li_lo = Schema.index left.schema llo
+  and li_len = Schema.index left.schema llen
+  and ri_lo = Schema.index right.schema rlo
+  and ri_len = Schema.index right.schema rlen in
+  let out_schema =
+    Schema.concat
+      (Schema.concat left.schema right.schema)
+      (Schema.make [ ("overlap_len", Value.TInt) ])
+  in
+  let rows () =
+    let tr =
+      match trace with
+      | Some name when Gb_obs.Obs.enabled () ->
+        Some (name, Gb_obs.Obs.now (), Gb_obs.Profile.start ())
+      | _ -> None
+    in
+    let larr = Array.of_seq left.rows and rarr = Array.of_seq right.rows in
+    let iv_of arr ilo ilen i =
+      let row = arr.(i) in
+      Ranges.of_start_len ~id:i
+        ~start:(Value.to_int row.(ilo))
+        ~len:(Value.to_int row.(ilen))
+    in
+    let livs = Array.init (Array.length larr) (iv_of larr li_lo li_len) in
+    let rivs = Array.init (Array.length rarr) (iv_of rarr ri_lo ri_len) in
+    let chunks = Pool.ranges ~grain:2048 ~lo:0 ~hi:(Array.length larr) in
+    let outs =
+      Pool.map_list
+        (fun (a, b) ->
+          Ranges.sweep_join ~min_overlap (Array.sub livs a (b - a)) rivs
+          |> List.map (fun (li, ri, len) ->
+                 Array.append
+                   (Array.append larr.(li) rarr.(ri))
+                   [| Value.Int len |]))
+        chunks
+    in
+    let out = List.concat outs in
+    Gb_obs.Metric.add overlap_out (List.length out);
+    (match tr with
+    | Some (name, t0, gc) -> emit_op_span ~name ~t0 ~gc (List.length out)
+    | None -> ());
+    List.to_seq out ()
+  in
+  { schema = out_schema; rows }
+
 let merge_join ~on left right =
   let lidx = List.map (fun (l, _) -> Schema.index left.schema l) on in
   let ridx = List.map (fun (_, r) -> Schema.index right.schema r) on in

@@ -62,6 +62,24 @@ val traced : ?cat:string -> ?attrs:Gb_obs.Obs.attrs -> name:string -> rel -> rel
     disabled this is the identity. {!Plan.run} applies it to plan nodes
     that lack a fused [?trace] equivalent. *)
 
+val interval_join :
+  ?trace:string ->
+  ?min_overlap:int ->
+  left_span:string * string ->
+  right_span:string * string ->
+  rel ->
+  rel ->
+  rel
+(** Sort-merge interval sweep join. [left_span]/[right_span] name each
+    side's (start, length) columns describing a half-open genomic
+    interval; the output is [left ++ right ++ overlap_len] for every
+    pair sharing at least [min_overlap] bases (default 1), ordered by
+    ascending (left row index, right row index) — canonical for
+    id-ordered inputs. The sweep is partitioned over pool-independent
+    left-side chunks and stitched in order, so output is bitwise
+    identical at any domain count. Bumps ["relops.overlap_pairs"];
+    [?trace] as in {!filter}. *)
+
 val merge_join : on:(string * string) list -> rel -> rel -> rel
 (** Sort-merge equi-join: sorts both inputs on the key columns, then
     merges, emitting the cross product of each matching key group. Output

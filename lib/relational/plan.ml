@@ -3,6 +3,13 @@ type t =
   | Filter of Expr.t * t
   | Project of string list * t
   | Join of { left : t; right : t; on : (string * string) list }
+  | Interval_join of {
+      left : t;
+      right : t;
+      left_span : string * string;
+      right_span : string * string;
+      min_overlap : int;
+    }
   | Aggregate of {
       group_by : string list;
       aggs : (string * Ops.agg) list;
@@ -37,6 +44,10 @@ let rec schema cat = function
   | Project (cols, p) -> Schema.project (schema cat p) cols
   | Join { left; right; _ } ->
     Schema.concat (schema cat left) (schema cat right)
+  | Interval_join { left; right; _ } ->
+    Schema.concat
+      (Schema.concat (schema cat left) (schema cat right))
+      (Schema.make [ ("overlap_len", Value.TInt) ])
   | Aggregate { group_by; aggs; input } ->
     agg_schema (schema cat input) group_by aggs
   | Sort (_, p) -> schema cat p
@@ -50,6 +61,10 @@ let rec estimate_rows cat = function
     (* Equi-join on a key of the smaller side: about the larger input. *)
     max (min (estimate_rows cat left) (estimate_rows cat right))
       (max (estimate_rows cat left) (estimate_rows cat right) / 2)
+  | Interval_join { left; right; _ } ->
+    (* Interval containment over a shared axis: expect a handful of
+       matches per left interval, more when the right side is dense. *)
+    max 1 (max (estimate_rows cat left) (estimate_rows cat right) * 3 / 2)
   | Aggregate { input; _ } -> max 1 (estimate_rows cat input / 4)
   | Limit (n, p) -> min n (estimate_rows cat p)
 
@@ -121,6 +136,38 @@ let rec pushdown cat plan =
     if List.for_all (fun c -> List.mem c below) (Expr.columns e) then
       Project (cols, pushdown cat (Filter (e, p)))
     else Project (cols, pushdown cat p) |> fun inner -> Filter (e, inner)
+  | Filter (e, Interval_join ({ left; right; _ } as ij)) ->
+    (* Same side-routing as the equi-join below; conjuncts touching the
+       computed [overlap_len] column route to neither side and stay. *)
+    let lnames = names cat left in
+    let stays = ref [] and to_left = ref [] and to_right = ref [] in
+    List.iter
+      (fun c ->
+        let cols = Expr.columns c in
+        if List.for_all (fun n -> List.mem n lnames) cols then
+          to_left := c :: !to_left
+        else
+          match rebase_to_right cat left right c with
+          | Some c' -> to_right := c' :: !to_right
+          | None -> stays := c :: !stays)
+      (conjuncts e);
+    let left =
+      match conjoin (List.rev !to_left) with
+      | Some f -> Filter (f, left)
+      | None -> left
+    in
+    let right =
+      match conjoin (List.rev !to_right) with
+      | Some f -> Filter (f, right)
+      | None -> right
+    in
+    let joined =
+      Interval_join
+        { ij with left = pushdown cat left; right = pushdown cat right }
+    in
+    (match conjoin (List.rev !stays) with
+    | Some f -> Filter (f, joined)
+    | None -> joined)
   | Filter (e, Join { left; right; on }) ->
     let lnames = names cat left in
     let stays = ref [] and to_left = ref [] and to_right = ref [] in
@@ -154,6 +201,9 @@ let rec pushdown cat plan =
   | Project (cols, p) -> Project (cols, pushdown cat p)
   | Join { left; right; on } ->
     Join { left = pushdown cat left; right = pushdown cat right; on }
+  | Interval_join ij ->
+    Interval_join
+      { ij with left = pushdown cat ij.left; right = pushdown cat ij.right }
   | Aggregate a -> Aggregate { a with input = pushdown cat a.input }
   | Sort (by, p) -> Sort (by, pushdown cat p)
   | Limit (n, p) -> Limit (n, pushdown cat p)
@@ -176,6 +226,12 @@ let rec prune cat required plan =
     let lreq = union lreq (List.map fst on) in
     let rreq = union rreq (List.map snd on) in
     Join { left = prune cat lreq left; right = prune cat rreq right; on }
+  | Interval_join ({ left; right; left_span; right_span; _ } as ij) ->
+    let lreq, rreq = split_required cat left right required in
+    let lreq = union lreq [ fst left_span; snd left_span ] in
+    let rreq = union rreq [ fst right_span; snd right_span ] in
+    Interval_join
+      { ij with left = prune cat lreq left; right = prune cat rreq right }
   | Aggregate { group_by; aggs; input } ->
     let agg_cols =
       List.filter_map
@@ -209,6 +265,15 @@ let rec choose_builds cat plan =
       else Join { left; right; on }
     end
     else Join { left; right; on }
+  | Interval_join ij ->
+    (* The sweep is symmetric in cost but not in output order; sides are
+       never swapped so the canonical (left, right) ordering holds. *)
+    Interval_join
+      {
+        ij with
+        left = choose_builds cat ij.left;
+        right = choose_builds cat ij.right;
+      }
   | Filter (e, p) -> Filter (e, choose_builds cat p)
   | Project (cols, p) -> Project (cols, choose_builds cat p)
   | Aggregate a -> Aggregate { a with input = choose_builds cat a.input }
@@ -254,6 +319,9 @@ let rec run cat = function
   | Project (cols, p) -> Ops.project ~trace:"project" cols (run cat p)
   | Join { left; right; on } ->
     Ops.hash_join ~trace:"hash_join" ~on (run cat left) (run cat right)
+  | Interval_join { left; right; left_span; right_span; min_overlap } ->
+    Ops.interval_join ~trace:"interval_join" ~min_overlap ~left_span
+      ~right_span (run cat left) (run cat right)
   | Aggregate { group_by; aggs; input } ->
     Ops.traced ~name:"aggregate" (Ops.aggregate ~group_by ~aggs (run cat input))
   | Sort (by, p) -> Ops.traced ~name:"sort" (Ops.sort ~by (run cat p))
@@ -271,6 +339,10 @@ let describe = function
   | Join { on; _ } ->
     Printf.sprintf "HashJoin on [%s]"
       (String.concat ", " (List.map (fun (a, b) -> a ^ "=" ^ b) on))
+  | Interval_join { left_span = ll, lv; right_span = rl, rv; min_overlap; _ }
+    ->
+    Printf.sprintf "IntervalJoin [%s+%s overlaps %s+%s, >=%dbp]" ll lv rl rv
+      min_overlap
   | Aggregate { group_by; aggs; _ } ->
     Printf.sprintf "Aggregate group by [%s] -> [%s]"
       (String.concat ", " group_by)
@@ -282,7 +354,8 @@ let describe = function
 let children = function
   | Scan _ -> []
   | Filter (_, p) | Project (_, p) | Sort (_, p) | Limit (_, p) -> [ p ]
-  | Join { left; right; _ } -> [ left; right ]
+  | Join { left; right; _ } | Interval_join { left; right; _ } ->
+    [ left; right ]
   | Aggregate { input; _ } -> [ input ]
 
 let optimizer_note fired =
@@ -348,6 +421,11 @@ let rec instrument cat p =
       let lrel, la = instrument cat left in
       let rrel, ra = instrument cat right in
       (Ops.hash_join ~on lrel rrel, [ la; ra ])
+    | Interval_join { left; right; left_span; right_span; min_overlap } ->
+      let lrel, la = instrument cat left in
+      let rrel, ra = instrument cat right in
+      (Ops.interval_join ~min_overlap ~left_span ~right_span lrel rrel,
+       [ la; ra ])
     | Aggregate { group_by; aggs; input } ->
       let irel, ia = instrument cat input in
       (Ops.aggregate ~group_by ~aggs irel, [ ia ])
@@ -371,6 +449,10 @@ let explain_analyze cat plan =
       match (a.node, a.kids) with
       | Join _, [ la; ra ] ->
         Printf.sprintf "; build %d, probe %d" !(ra.actual) !(la.actual)
+      | Interval_join _, [ la; ra ] ->
+        (* The node's own est|actual above IS the overlap-pair count;
+           this footnote sizes the sweep's two interval inputs. *)
+        Printf.sprintf "; swept %d x %d intervals" !(la.actual) !(ra.actual)
       | _ -> ""
     in
     Buffer.add_string buf

@@ -13,6 +13,16 @@ type t =
   | Filter of Expr.t * t
   | Project of string list * t
   | Join of { left : t; right : t; on : (string * string) list }
+  | Interval_join of {
+      left : t;
+      right : t;
+      left_span : string * string;  (** (start, length) columns *)
+      right_span : string * string;
+      min_overlap : int;
+    }
+      (** Genomic overlap join via {!Ops.interval_join}: output is
+          [left ++ right ++ overlap_len], canonical (left, right) row
+          order; sides are never swapped by the optimizer. *)
   | Aggregate of {
       group_by : string list;
       aggs : (string * Ops.agg) list;
@@ -57,6 +67,8 @@ val explain_analyze : catalog -> t -> string
 (** EXPLAIN ANALYZE: execute the optimized plan with a per-node row
     counter spliced in, drain it, and render the tree with
     [est vs actual] cardinalities per node. Join nodes also report hash
-    build/probe input sizes (the right and left child's actual counts).
+    build/probe input sizes (the right and left child's actual counts);
+    interval-join nodes report the swept input sizes, their own
+    [est | actual] line being the estimated-vs-actual overlap count.
     Runs the query to completion — a diagnostic, not a timed
     benchmark. *)

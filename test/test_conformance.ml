@@ -28,7 +28,10 @@ let biclusters =
   Engine.Biclusters
     { clusters = [ ([| 1; 2; 3 |], [| 0; 4 |], 0.1); ([| 5; 6 |], [| 2; 3 |], 0.2) ] }
 let enrichment = Engine.Enrichment [ (3, 0.001); (7, 0.04) ]
-let all_payloads = [ regression; cov; spectrum; biclusters; enrichment ]
+let overlaps =
+  Engine.Overlaps
+    { n_variants = 8; n_genes = 4; pairs = [ (0, 1, 12); (2, 0, 3); (5, 3, 200) ] }
+let all_payloads = [ regression; cov; spectrum; biclusters; enrichment; overlaps ]
 
 (* --- comparator unit tests --- *)
 
@@ -78,6 +81,17 @@ let test_broken_payloads_detected () =
         Engine.Biclusters { clusters = [ ([| 1; 2; 3 |], [| 0; 4 |], 0.1) ] } );
       ("enrichment extra term", enrichment, Engine.Enrichment [ (3, 0.001); (7, 0.04); (9, 0.02) ]);
       ("enrichment p off", enrichment, Engine.Enrichment [ (3, 0.002); (7, 0.04) ]);
+      ( "overlap pair missing",
+        overlaps,
+        Engine.Overlaps { n_variants = 8; n_genes = 4; pairs = [ (0, 1, 12); (2, 0, 3) ] } );
+      ( "overlap length off by one base",
+        overlaps,
+        Engine.Overlaps
+          { n_variants = 8; n_genes = 4; pairs = [ (0, 1, 12); (2, 0, 4); (5, 3, 200) ] } );
+      ( "overlap universe",
+        overlaps,
+        Engine.Overlaps
+          { n_variants = 9; n_genes = 4; pairs = [ (0, 1, 12); (2, 0, 3); (5, 3, 200) ] } );
     ]
   in
   List.iter
@@ -215,7 +229,7 @@ let test_differential_tiny () =
 let test_chaos_conformance_tiny () =
   let config = { tiny_config with Matrix.seeds = [ 0xC0FFEEL ]; fuzz = false } in
   let cells = Matrix.chaos_conformance ~node_counts:[ 2 ] config in
-  check Alcotest.int "5 engines x 5 queries" 25 (List.length cells);
+  check Alcotest.int "5 engines x 6 queries" 30 (List.length cells);
   match Matrix.mismatches cells with
   | [] -> ()
   | cs -> Alcotest.failf "chaos mismatches:\n%s" (Matrix.summary cs)
@@ -228,6 +242,71 @@ let test_targeted_crash_degraded_match () =
   let reference = Engine.run clean ds Query.Q1_regression ~timeout_s:60. () in
   let outcome = Engine.run armed ds Query.Q1_regression ~timeout_s:60. () in
   match Oracle.classify ~tol:Compare.numeric ~reference outcome with
+  | Oracle.Degraded_match { divergence; recovery } ->
+    check (Alcotest.float 0.) "recovery is bit-identical" 0. divergence;
+    checkb "a node was recovered" true (recovery.Engine.recovered_nodes >= 1)
+  | c -> Alcotest.failf "expected Degraded_match, got %s" (Oracle.describe c)
+
+(* --- Q6 differential: every engine against the Vanilla-R nested-loop
+   oracle. The overlap join is integer-exact, so beyond Oracle.Match we
+   demand the payload *fingerprints* agree bitwise — the acceptance
+   criterion for the query family. *)
+
+let test_q6_differential_three_seeds () =
+  let sizes =
+    [
+      ("q6-small", Spec.custom ~genes:60 ~patients:160);
+      ("q6-medium", Spec.custom ~genes:200 ~patients:500);
+    ]
+  in
+  let seeds = [ 0xC0FFEEL; 0xBEEFL; 42L ] in
+  List.iter
+    (fun (label, spec) ->
+      List.iter
+        (fun seed ->
+          let ds = Dataset.generate ~seed spec in
+          let reference =
+            Engine.run Oracle.reference ds Query.Q6_overlap ~timeout_s:60. ()
+          in
+          let ref_digest =
+            match Engine.payload_of reference with
+            | Some p -> Compare.fingerprint p
+            | None -> Alcotest.fail "oracle failed on Q6"
+          in
+          List.iter
+            (fun e ->
+              if e.Engine.name <> Oracle.reference.Engine.name then begin
+                let cell =
+                  Printf.sprintf "%s/%s/%Ld" e.Engine.name label seed
+                in
+                let outcome =
+                  Engine.run e ds Query.Q6_overlap ~timeout_s:60. ()
+                in
+                (match Oracle.classify ~reference outcome with
+                | Oracle.Match { divergence } ->
+                  check (Alcotest.float 0.) (cell ^ " zero divergence") 0.
+                    divergence
+                | c -> Alcotest.failf "%s: %s" cell (Oracle.describe c));
+                match Engine.payload_of outcome with
+                | Some p ->
+                  check Alcotest.string (cell ^ " digest bitwise") ref_digest
+                    (Compare.fingerprint p)
+                | None -> Alcotest.failf "%s: no payload" cell
+              end)
+            Harness.single_node_engines)
+        seeds)
+    sizes
+
+let test_q6_crash_degraded_match () =
+  (* The Q6 chaos requirement: a node crash on the shuffle-by-bin plan
+     must recover to the *bit-identical* pair list. *)
+  let ds = Dataset.generate ~seed:7L (Spec.custom ~genes:40 ~patients:110) in
+  let clean = Genbase.Engine_pbdr.engine ~nodes:2 in
+  let fault = Fault.of_events [ Fault.Node_crash { node = 0; superstep = 0 } ] in
+  let armed = Genbase.Engine_pbdr.faulty ~fault ~nodes:2 in
+  let reference = Engine.run clean ds Query.Q6_overlap ~timeout_s:60. () in
+  let outcome = Engine.run armed ds Query.Q6_overlap ~timeout_s:60. () in
+  match Oracle.classify ~reference outcome with
   | Oracle.Degraded_match { divergence; recovery } ->
     check (Alcotest.float 0.) "recovery is bit-identical" 0. divergence;
     checkb "a node was recovered" true (recovery.Engine.recovered_nodes >= 1)
@@ -262,7 +341,10 @@ let test_render_and_csv () =
    nondeterminism *across* process runs (hash-order dependence,
    environment leakage) that a single-process comparison cannot see. *)
 
-let golden_dataset_digest = "b79f1769638c181ed293749c9be2e5cf"
+(* Updated when Q6 added the variants table: the dataset fingerprint now
+   covers it (new PRNG stream split after all pre-existing ones, so the
+   Q1-Q5 payload digests below are unchanged). *)
+let golden_dataset_digest = "9a964c724380924915d339638202d796"
 
 let golden_payload_digests =
   [
@@ -271,6 +353,7 @@ let golden_payload_digests =
     (Query.Q3_biclustering, "e96073f0ddb3d6042a3d70c87dd9fa64");
     (Query.Q4_svd, "e6879df03cae5024eecc5e88a5b6e0bb");
     (Query.Q5_statistics, "a62957e4354b78aa016c0d7eb991d53d");
+    (Query.Q6_overlap, "348b591b6137ad3af3473e36bd0c6d4b");
   ]
 
 let test_seed_stability () =
@@ -418,6 +501,15 @@ let payload_gen =
         >|= fun clusters -> Engine.Biclusters { clusters } );
       ( list_size (int_range 0 8) (pair (int_range 0 50) (float_range 1e-6 0.04))
         >|= fun e -> Engine.Enrichment e );
+      ( int_range 1 40 >>= fun n_variants ->
+        int_range 1 20 >>= fun n_genes ->
+        list_size (int_range 0 12)
+          (triple (int_range 0 39) (int_range 0 19) (int_range 1 500))
+        >|= fun pairs ->
+        (* Canonicalize so the reflexivity property sees a well-formed
+           payload (engines always emit the canonical order). *)
+        List.sort_uniq compare pairs |> fun pairs ->
+        Engine.Overlaps { n_variants; n_genes; pairs } );
     ]
 
 let arb_payload = QCheck.make ~print:Engine.payload_kind payload_gen
@@ -443,6 +535,8 @@ let perturb = function
   | Engine.Biclusters b ->
     Engine.Biclusters { clusters = ([| 0 |], [| 0 |], 0.) :: b.clusters }
   | Engine.Enrichment e -> Engine.Enrichment ((999, 0.2) :: e)
+  | Engine.Overlaps o ->
+    Engine.Overlaps { o with pairs = (0, 0, 1) :: o.pairs }
 
 let prop_perturbation_detected =
   QCheck.Test.make ~name:"gross perturbation always detected" ~count:100
@@ -535,6 +629,8 @@ let suite =
     Alcotest.test_case "differential grid (tiny)" `Slow test_differential_tiny;
     Alcotest.test_case "chaos conformance (tiny)" `Slow test_chaos_conformance_tiny;
     Alcotest.test_case "targeted crash degrades but matches" `Quick test_targeted_crash_degraded_match;
+    Alcotest.test_case "Q6 differential (3 seeds, 2 sizes)" `Slow test_q6_differential_three_seeds;
+    Alcotest.test_case "Q6 crash degrades but matches bitwise" `Quick test_q6_crash_degraded_match;
     Alcotest.test_case "render and CSV" `Quick test_render_and_csv;
     Alcotest.test_case "seed stability" `Slow test_seed_stability;
   ]

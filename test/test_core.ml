@@ -248,7 +248,7 @@ let test_harness_cells_and_figures () =
     { Harness.quick_config with timeout_s = 20. }
   in
   let cells = Harness.single_node_cells config in
-  Alcotest.(check int) "7 engines x 5 queries" 35 (List.length cells);
+  Alcotest.(check int) "7 engines x 6 queries" 42 (List.length cells);
   let figs = Harness.fig1 cells in
   Alcotest.(check int) "five charts" 5 (List.length figs);
   List.iter

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "genbase"
     [
       ("util", Test_util.suite);
+      ("ranges", Test_ranges.suite);
       ("linalg", Test_linalg.suite);
       ("linalg-dense", Test_linalg2.suite);
       ("stats", Test_stats.suite);

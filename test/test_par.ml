@@ -198,6 +198,42 @@ let test_tasks_counter () =
             | Some v -> v > 0.
             | None -> false)))
 
+(* --- Q6: overlap join bitwise identical at 1 vs 4 domains ---
+
+   Same discipline as the GEMM test above: the sweep kernel partitions
+   the variant side over pool-size-independent chunks and stitches the
+   per-chunk pair lists in chunk order, so the payload fingerprint must
+   not depend on the domain count. *)
+
+let test_q6_bitwise_across_domains () =
+  let ds =
+    Genbase.Dataset.generate ~seed:0xC0FFEEL
+      (Gb_datagen.Spec.custom ~genes:120 ~patients:300)
+  in
+  let digest_at jobs =
+    with_jobs jobs (fun () ->
+        match
+          Genbase.Engine.payload_of
+            (Genbase.Engine.run Genbase.Engine_sql.colstore_udf ds
+               Genbase.Query.Q6_overlap ~timeout_s:60. ())
+        with
+        | Some p -> Gb_conformance.Compare.fingerprint p
+        | None -> Alcotest.fail "Q6 did not complete")
+  in
+  let d1 = digest_at 1 in
+  check Alcotest.string "colstore Q6 digest identical at 1 vs 4 domains" d1
+    (digest_at 4);
+  (* And the shared sweep kernel itself, driven directly. *)
+  let vivs = Genbase.Qcommon.variant_ivs ds
+  and givs = Genbase.Qcommon.gene_ivs ds in
+  let sweep_at jobs =
+    with_jobs jobs (fun () -> Genbase.Qcommon.overlap_sweep vivs givs)
+  in
+  let p1 = sweep_at 1 in
+  checkb "sweep kernel pair list identical at 1 vs 4 domains" true
+    (p1 = sweep_at 4);
+  checkb "kernel output non-trivial" true (List.length p1 > 0)
+
 (* --- memory budget --- *)
 
 let test_budget () =
@@ -295,6 +331,8 @@ let suite =
     Alcotest.test_case "nested regions run inline" `Quick
       test_nested_runs_inline;
     Alcotest.test_case "par.tasks counter" `Quick test_tasks_counter;
+    Alcotest.test_case "Q6 bitwise at 1 vs 4 domains" `Quick
+      test_q6_bitwise_across_domains;
     Alcotest.test_case "memory budget gate" `Quick test_budget;
     Alcotest.test_case "budget release on raise + explicit pairs" `Quick
       test_budget_release_on_raise;

@@ -278,7 +278,7 @@ let test_planner_pushes_predicate () =
     | Plan.Filter (_, p) | Plan.Project (_, p) | Plan.Sort (_, p)
     | Plan.Limit (_, p) ->
       has_filter_above_join p
-    | Plan.Join { left; right; _ } ->
+    | Plan.Join { left; right; _ } | Plan.Interval_join { left; right; _ } ->
       has_filter_above_join left || has_filter_above_join right
     | Plan.Aggregate { input; _ } -> has_filter_above_join input
     | Plan.Scan _ -> false
@@ -296,7 +296,8 @@ let test_planner_prunes_columns () =
     | Plan.Filter (_, p) | Plan.Project (_, p) | Plan.Sort (_, p)
     | Plan.Limit (_, p) ->
       scans acc p
-    | Plan.Join { left; right; _ } -> scans (scans acc left) right
+    | Plan.Join { left; right; _ } | Plan.Interval_join { left; right; _ } ->
+      scans (scans acc left) right
     | Plan.Aggregate { input; _ } -> scans acc input
   in
   let micro_cols = List.assoc "microarray" (scans [] optimized) in
