@@ -15,7 +15,7 @@ module H = Genbase.Harness
 
 let sections =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
-    "weak"; "crossover"; "chaos"; "obs"; "par"; "serve"; "q6" ]
+    "weak"; "crossover"; "chaos"; "obs"; "par"; "serve"; "slo"; "q6" ]
 
 let usage () =
   Printf.sprintf "usage: main.exe [%s] [--quick] [--timeout SECONDS]"
@@ -150,6 +150,11 @@ let () =
   if want "serve" then begin
     banner "Overload-safe serving (tail latency, goodput, shedding)";
     emit "serve" (Serve_bench.run ~quick)
+  end;
+
+  if want "slo" then begin
+    banner "SLO burn-rate alerting (deterministic fire/resolve instants)";
+    emit "slo" (Slo_bench.run ~quick)
   end;
 
   if want "q6" then begin

@@ -822,6 +822,101 @@ let queue_depth_arg =
     & opt int 16
     & info [ "queue-depth" ] ~docv:"N" ~doc:"Admission queue bound.")
 
+(* Scenario names and the usage text both come from Loadgen.scenarios,
+   the same single-source pattern the bench driver uses for its section
+   list. Shared by `load` and `metrics`. *)
+let scenario_conv =
+  let parse s =
+    match Gb_serve.Loadgen.find_scenario s with
+    | Ok sc -> Ok sc
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt (sc : Gb_serve.Loadgen.scenario) =
+    Format.pp_print_string fmt sc.Gb_serve.Loadgen.sc_name
+  in
+  Arg.conv (parse, print)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt scenario_conv (List.hd Gb_serve.Loadgen.scenarios)
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Load scenario: %s."
+             (String.concat "; "
+                (List.map
+                   (fun (s : Gb_serve.Loadgen.scenario) ->
+                     Printf.sprintf "$(b,%s) (%s)" s.Gb_serve.Loadgen.sc_name
+                       s.Gb_serve.Loadgen.descr)
+                   Gb_serve.Loadgen.scenarios))))
+
+let duration_arg =
+  Arg.(
+    value
+    & opt (pos_float_conv "DURATION") 60.
+    & info [ "duration" ] ~docv:"N"
+        ~doc:"Arrival horizon, in units of the mean service time.")
+
+let deadline_factor_arg =
+  Arg.(
+    value
+    & opt (pos_float_conv "DEADLINE-FACTOR") 8.
+    & info [ "deadline-factor" ] ~docv:"X"
+        ~doc:"Per-query deadline as a multiple of the mean service time.")
+
+(* Render the current telemetry snapshot, write it, and round-trip it
+   through the strict mini-parser — a dump that does not re-render to
+   the same bytes is a bug worth failing the run over. *)
+let write_exposition file =
+  let text = Gb_obs.Expo.render (Gb_obs.Telemetry.snapshot ()) in
+  let oc = open_out file in
+  output_string oc text;
+  close_out oc;
+  match Gb_obs.Expo.validate text with
+  | Ok n ->
+    Printf.printf "wrote %s: %d metric families, exposition round-trips\n"
+      file n
+  | Error msg ->
+    Printf.eprintf "exposition failed round-trip validation: %s\n" msg;
+    exit 1
+
+let print_slo_report ?(oc = stdout) (i : Gb_serve.Loadgen.instrumented) =
+  let module Slo = Gb_obs.Slo in
+  let summary = i.Gb_serve.Loadgen.i_summary in
+  let window = i.Gb_serve.Loadgen.i_window in
+  let now = summary.Gb_serve.Loadgen.horizon_s in
+  let horizon_s = Gb_obs.Telemetry.Window.horizon_s window in
+  let p50, p99, p999 =
+    Gb_serve.Loadgen.live_quantiles i ~now ~horizon_s
+  in
+  let fmt_q = function
+    | Some v -> Printf.sprintf "%.6fs" v
+    | None -> "-"
+  in
+  Printf.fprintf oc
+    "live window (trailing %.1fs at t=%.3fs): p50 %s  p99 %s  p999 %s\n"
+    horizon_s now (fmt_q p50) (fmt_q p99) (fmt_q p999);
+  List.iter
+    (fun (name, burn_long, burn_short, events, firing) ->
+      Printf.fprintf oc
+        "slo %-28s burn_long %6.2f  burn_short %6.2f  events %6d  %s\n" name
+        burn_long burn_short events
+        (if firing then "FIRING" else "ok"))
+    (Slo.summary i.Gb_serve.Loadgen.i_monitor);
+  (match Slo.alerts i.Gb_serve.Loadgen.i_monitor with
+  | [] -> Printf.fprintf oc "slo alerts: none\n"
+  | alerts ->
+    Printf.fprintf oc "slo alerts (%d):\n" (List.length alerts);
+    List.iter
+      (fun (a : Slo.alert) ->
+        Printf.fprintf oc
+          "  %9.3fs %-8s %-28s burn_long %6.2f burn_short %6.2f\n"
+          a.Slo.a_at
+          (if a.Slo.a_firing then "fire" else "resolve")
+          a.Slo.a_slo a.Slo.a_burn_long a.Slo.a_burn_short)
+      alerts);
+  flush oc
+
 let serve_cmd =
   let module Serve = Gb_serve in
   let deadline =
@@ -841,7 +936,16 @@ let serve_cmd =
       & info [ "engines" ] ~docv:"E1,E2,..."
           ~doc:"Engines to serve (keys as in $(b,genbase list).")
   in
-  let run () size seed lanes queue_depth policy deadline engines =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write the final Prometheus text \
+             exposition to FILE (round-trip validated).")
+  in
+  let run () size seed lanes queue_depth policy deadline engines metrics_out =
     let table = engine_table 1 in
     let resolved =
       List.map
@@ -854,6 +958,10 @@ let serve_cmd =
         engines
     in
     let ds = Gb_datagen.Generate.generate ~seed (Spec.of_size size) in
+    if metrics_out <> None then begin
+      Gb_obs.Telemetry.set_enabled true;
+      Gb_obs.Telemetry.reset ()
+    end;
     let config =
       {
         Serve.Live.lanes;
@@ -904,7 +1012,13 @@ let serve_cmd =
            match r.Serve.Outcome.disposition with
            | Serve.Outcome.Deadline_exceeded _ -> true
            | _ -> false))
-      (List.length responses)
+      (List.length responses);
+    match metrics_out with
+    | None -> ()
+    | Some file ->
+      Gb_obs.Telemetry.set_enabled false;
+      print_newline ();
+      write_exposition file
   in
   Cmd.v
     (Cmd.info "serve"
@@ -915,52 +1029,10 @@ let serve_cmd =
           tabulated.")
     Term.(
       const run $ jobs_term $ size_arg $ seed_arg $ lanes_arg
-      $ queue_depth_arg $ policy_arg $ deadline $ engines)
+      $ queue_depth_arg $ policy_arg $ deadline $ engines $ metrics_out)
 
 let load_cmd =
   let module Serve = Gb_serve in
-  (* Scenario names and the usage text both come from
-     Loadgen.scenarios, the same single-source pattern the bench driver
-     uses for its section list. *)
-  let scenario_conv =
-    let parse s =
-      match Serve.Loadgen.find_scenario s with
-      | Ok sc -> Ok sc
-      | Error msg -> Error (`Msg msg)
-    in
-    let print fmt (sc : Serve.Loadgen.scenario) =
-      Format.pp_print_string fmt sc.Serve.Loadgen.sc_name
-    in
-    Arg.conv (parse, print)
-  in
-  let scenario =
-    Arg.(
-      value
-      & opt scenario_conv (List.hd Serve.Loadgen.scenarios)
-      & info [ "scenario" ] ~docv:"NAME"
-          ~doc:
-            (Printf.sprintf "Load scenario: %s."
-               (String.concat "; "
-                  (List.map
-                     (fun (s : Serve.Loadgen.scenario) ->
-                       Printf.sprintf "$(b,%s) (%s)" s.Serve.Loadgen.sc_name
-                         s.Serve.Loadgen.descr)
-                     Serve.Loadgen.scenarios))))
-  in
-  let duration =
-    Arg.(
-      value
-      & opt (pos_float_conv "DURATION") 60.
-      & info [ "duration" ] ~docv:"N"
-          ~doc:"Arrival horizon, in units of the mean service time.")
-  in
-  let deadline_factor =
-    Arg.(
-      value
-      & opt (pos_float_conv "DEADLINE-FACTOR") 8.
-      & info [ "deadline-factor" ] ~docv:"X"
-          ~doc:"Per-query deadline as a multiple of the mean service time.")
-  in
   let csv_out =
     Arg.(
       value
@@ -968,8 +1040,33 @@ let load_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Write the per-response latency table as CSV.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Enable telemetry and write the final Prometheus text \
+             exposition to FILE; the run fails if the exposition does \
+             not round-trip through the strict parser or the \
+             interpolated p99 disagrees with the exact p99 beyond one \
+             bucket width.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Enable tracing and write a Chrome trace of the run; every \
+             admit/queue/exec/retry span of one logical request shares \
+             one trace id.")
+  in
   let run scenario size seed duration lanes queue_depth policy
-      deadline_factor csv_out =
+      deadline_factor csv_out metrics_out trace_out =
+    let module Tele = Gb_obs.Telemetry in
+    let module Obs = Gb_obs.Obs in
+    let module Tx = Gb_obs.Trace_export in
     let cfg =
       {
         (Serve.Loadgen.default_config scenario) with
@@ -982,7 +1079,31 @@ let load_cmd =
         deadline_factor;
       }
     in
-    let responses, stats, summary = Serve.Loadgen.run cfg in
+    if metrics_out <> None then begin
+      Tele.set_enabled true;
+      Tele.reset ()
+    end;
+    if trace_out <> None then begin
+      Obs.set_enabled true;
+      Obs.reset ()
+    end;
+    (* Any dump implies the instrumented run: same simulation, same
+       PRNG stream, plus the sliding window and the SLO monitor. *)
+    let instrumented =
+      if metrics_out <> None || trace_out <> None then
+        Some (Serve.Loadgen.run_instrumented cfg)
+      else None
+    in
+    let responses, stats, summary =
+      match instrumented with
+      | Some i ->
+        ( i.Serve.Loadgen.i_responses,
+          i.Serve.Loadgen.i_stats,
+          i.Serve.Loadgen.i_summary )
+      | None -> Serve.Loadgen.run cfg
+    in
+    Tele.set_enabled false;
+    Obs.set_enabled false;
     Format.printf "%a@." Serve.Loadgen.pp_summary summary;
     (match stats.Serve.Server.breaker_trips with
     | [] -> ()
@@ -991,6 +1112,40 @@ let load_cmd =
         (fun (engine, n) ->
           if n > 0 then Printf.printf "breaker %-24s tripped %d times\n" engine n)
         trips);
+    (match instrumented with
+    | None -> ()
+    | Some i ->
+      print_newline ();
+      print_slo_report i);
+    (match metrics_out with
+    | None -> ()
+    | Some file ->
+      write_exposition file;
+      (match Serve.Loadgen.p99_agreement summary with
+      | None -> ()
+      | Some (interp, exact, tolerance) ->
+        Printf.printf
+          "p99 agreement: interpolated %.6fs vs exact %.6fs (tolerance \
+           %.6fs)\n"
+          interp exact tolerance;
+        if Float.abs (interp -. exact) > tolerance then begin
+          Printf.eprintf
+            "interpolated p99 disagrees with the exact p99 beyond one \
+             bucket width\n";
+          exit 1
+        end));
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+      let json = Tx.chrome_json (Obs.events ()) in
+      let oc = open_out file in
+      output_string oc json;
+      close_out oc;
+      (match Tx.validate_chrome json with
+      | Ok n -> Printf.printf "wrote %s: %d events, valid Chrome trace\n" file n
+      | Error msg ->
+        Printf.eprintf "exported trace failed validation: %s\n" msg;
+        exit 1));
     match csv_out with
     | None -> ()
     | Some file ->
@@ -1004,10 +1159,78 @@ let load_cmd =
        ~doc:
          "Drive the simulated server through a named overload scenario \
           with deterministic synthetic clients and report goodput, tail \
-          latencies and shed/timeout counts.")
+          latencies and shed/timeout counts. With $(b,--metrics) and \
+          $(b,--trace), also dump a validated Prometheus exposition and \
+          a request-linked Chrome trace, plus the SLO burn-rate report.")
     Term.(
-      const run $ scenario $ size_arg $ seed_arg $ duration $ lanes_arg
-      $ queue_depth_arg $ policy_arg $ deadline_factor $ csv_out)
+      const run $ scenario_arg $ size_arg $ seed_arg $ duration_arg
+      $ lanes_arg $ queue_depth_arg $ policy_arg $ deadline_factor_arg
+      $ csv_out $ metrics_out $ trace_out)
+
+(* --- metrics --- *)
+
+let metrics_cmd =
+  let module Serve = Gb_serve in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the exposition to FILE; by default it goes to stdout \
+             and the SLO/quantile report to stderr.")
+  in
+  let run scenario size seed duration lanes queue_depth policy
+      deadline_factor out =
+    let module Tele = Gb_obs.Telemetry in
+    let cfg =
+      {
+        (Serve.Loadgen.default_config scenario) with
+        Serve.Loadgen.seed;
+        size;
+        duration;
+        lanes;
+        queue_depth;
+        policy;
+        deadline_factor;
+      }
+    in
+    Tele.set_enabled true;
+    Tele.reset ();
+    let i = Serve.Loadgen.run_instrumented cfg in
+    Tele.set_enabled false;
+    let text = Gb_obs.Expo.render (Tele.snapshot ()) in
+    (match Gb_obs.Expo.validate text with
+    | Ok _ -> ()
+    | Error msg ->
+      Printf.eprintf "exposition failed round-trip validation: %s\n" msg;
+      exit 1);
+    match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" file;
+      print_slo_report i
+    | None ->
+      (* Keep stdout scrape-clean: the exposition alone goes there, so
+         `genbase metrics > metrics.prom` yields a valid page; the
+         human-facing report rides on stderr. *)
+      print_string text;
+      flush stdout;
+      print_slo_report ~oc:stderr i
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a load scenario with telemetry enabled and print the \
+          Prometheus text exposition (round-trip validated by the \
+          built-in strict parser), plus live window percentiles and the \
+          SLO burn-rate report.")
+    Term.(
+      const run $ scenario_arg $ size_arg $ seed_arg $ duration_arg
+      $ lanes_arg $ queue_depth_arg $ policy_arg $ deadline_factor_arg
+      $ out)
 
 (* --- list --- *)
 
@@ -1045,5 +1268,5 @@ let () =
           [
             generate_cmd; run_cmd; suite_cmd; chaos_cmd; conformance_cmd;
             explain_cmd; seqgen_cmd; trace_cmd; bench_diff_cmd; serve_cmd;
-            load_cmd; list_cmd;
+            load_cmd; metrics_cmd; list_cmd;
           ]))

@@ -1,0 +1,438 @@
+(* Prometheus text exposition (version 0.0.4): render a Telemetry
+   snapshot as `# HELP` / `# TYPE` + sample lines, and parse it back
+   with a strict line-based mini-parser used for round-trip validation
+   in tests and CI.
+
+   The fixed-point property the tests rely on — render (parse (render
+   s)) = render s — holds because (a) Telemetry.snapshot is already in
+   canonical order and the parser preserves file order, (b) label-value
+   escaping is a bijection on the escaped alphabet, and (c) the float
+   formatter is idempotent under parse-then-format: integers render
+   without a fractional part and round-trip exactly, non-integers render
+   with %.9g whose reparse yields the same double for every value the
+   formatter can emit. *)
+
+open Telemetry
+
+(* [open Telemetry] shadows Stdlib.incr with the counter hook *)
+let incr = Stdlib.incr
+
+(* --- rendering --- *)
+
+(* Integral values print without an exponent or fraction so counts look
+   like counts; %.17g would round-trip bit-exactly but renders 0.1 as
+   0.10000000000000001, and the telemetry values here (seconds, counts,
+   bytes) never need more than 9 significant digits. *)
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let fmt_le x = if x = infinity then "+Inf" else fmt_float x
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* HELP text: only backslash and newline are escaped (the exposition
+   format's rule — quotes are legal in HELP). *)
+let escape_help s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let labels_str (labels : labels) =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let type_str = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let render (snaps : family_snap list) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      if s.help <> "" then
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n" s.fam (escape_help s.help));
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" s.fam (type_str s.kind));
+      List.iter
+        (fun (labels, v) ->
+          match v with
+          | Sample x ->
+            Buffer.add_string b
+              (Printf.sprintf "%s%s %s\n" s.fam (labels_str labels)
+                 (fmt_float x))
+          | Hist_sample { le; hsum; hcount } ->
+            List.iter
+              (fun (upper, cum) ->
+                let ls = labels @ [ ("le", fmt_le upper) ] in
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket%s %d\n" s.fam (labels_str ls) cum))
+              le;
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum%s %s\n" s.fam (labels_str labels)
+                 (fmt_float hsum));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count%s %d\n" s.fam (labels_str labels)
+                 hcount))
+        s.rows)
+    snaps;
+  Buffer.contents b
+
+(* --- parsing --- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let unescape_label_value s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' then begin
+       if !i + 1 >= n then fail "dangling backslash in label value";
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char b '\\'
+       | '"' -> Buffer.add_char b '"'
+       | 'n' -> Buffer.add_char b '\n'
+       | c -> fail "bad escape \\%c in label value" c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
+let unescape_help s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '\\' -> Buffer.add_char b '\\'
+       | 'n' -> Buffer.add_char b '\n'
+       | c ->
+         Buffer.add_char b '\\';
+         Buffer.add_char b c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
+let parse_float_strict what s =
+  match s with
+  | "+Inf" -> infinity
+  | "-Inf" -> neg_infinity
+  | "NaN" -> nan
+  | _ -> (
+    match float_of_string_opt s with
+    | Some x -> x
+    | None -> fail "bad %s value %S" what s)
+
+(* One sample line: name{label="v",...} value — no timestamp support
+   (we never emit them; the strict parser rejects what render can't
+   produce). *)
+let parse_sample line =
+  let name_end =
+    let rec go i =
+      if i >= String.length line then i
+      else
+        match line.[i] with '{' | ' ' -> i | _ -> go (i + 1)
+    in
+    go 0
+  in
+  if name_end = 0 then fail "empty metric name in %S" line;
+  let name = String.sub line 0 name_end in
+  let labels, rest_start =
+    if name_end < String.length line && line.[name_end] = '{' then begin
+      (* scan label pairs respecting escapes *)
+      let labels = ref [] in
+      let i = ref (name_end + 1) in
+      let n = String.length line in
+      let finished = ref false in
+      while not !finished do
+        if !i >= n then fail "unterminated label set in %S" line;
+        if line.[!i] = '}' then begin
+          incr i;
+          finished := true
+        end
+        else begin
+          (* label name *)
+          let j = ref !i in
+          while !j < n && line.[!j] <> '=' do
+            incr j
+          done;
+          if !j >= n then fail "missing '=' in label in %S" line;
+          let k = String.sub line !i (!j - !i) in
+          if !j + 1 >= n || line.[!j + 1] <> '"' then
+            fail "missing opening quote in %S" line;
+          let v_start = !j + 2 in
+          let v_end = ref v_start in
+          let closed = ref false in
+          while not !closed do
+            if !v_end >= n then fail "unterminated label value in %S" line;
+            if line.[!v_end] = '\\' then v_end := !v_end + 2
+            else if line.[!v_end] = '"' then closed := true
+            else incr v_end
+          done;
+          let v = unescape_label_value (String.sub line v_start (!v_end - v_start)) in
+          labels := (k, v) :: !labels;
+          i := !v_end + 1;
+          if !i < n && line.[!i] = ',' then incr i
+          else if !i < n && line.[!i] = '}' then ()
+          else fail "expected ',' or '}' after label in %S" line
+        end
+      done;
+      (List.rev !labels, !i)
+    end
+    else ([], name_end)
+  in
+  if rest_start >= String.length line || line.[rest_start] <> ' ' then
+    fail "expected ' ' before value in %S" line;
+  let value_s =
+    String.sub line (rest_start + 1) (String.length line - rest_start - 1)
+  in
+  if String.contains value_s ' ' then
+    fail "timestamps not supported: %S" line;
+  (name, labels, parse_float_strict "sample" value_s)
+
+type pre_family = {
+  mutable p_help : string;
+  p_kind : kind;
+  (* raw sample lines in file order: (suffix name, labels, value) *)
+  mutable p_samples : (string * labels * float) list;
+}
+
+let strip_suffix name suffix =
+  let n = String.length name and m = String.length suffix in
+  if n > m && String.sub name (n - m) m = suffix then
+    Some (String.sub name 0 (n - m))
+  else None
+
+(* Reassemble histogram rows: group a family's samples by base label set
+   (minus [le]), expect the full cumulative ladder plus _sum and _count,
+   in file order. *)
+let assemble_hist fam (samples : (string * labels * float) list) =
+  (* rows keyed by label set without le, preserving first-seen order *)
+  let order : labels list ref = ref [] in
+  let tbl : (labels, (float * int) list ref * float option ref * int option ref)
+      Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let row labels =
+    match Hashtbl.find_opt tbl labels with
+    | Some r -> r
+    | None ->
+      let r = (ref [], ref None, ref None) in
+      Hashtbl.add tbl labels r;
+      order := labels :: !order;
+      r
+  in
+  List.iter
+    (fun (name, labels, v) ->
+      match strip_suffix name "_bucket" with
+      | Some base when base = fam ->
+        let le, rest =
+          match List.partition (fun (k, _) -> k = "le") labels with
+          | [ (_, le) ], rest -> (parse_float_strict "le" le, rest)
+          | _ -> fail "histogram bucket without exactly one le label"
+        in
+        let buckets, _, _ = row rest in
+        let cum = int_of_float v in
+        if float_of_int cum <> v || cum < 0 then
+          fail "non-integer bucket count in %s" fam;
+        buckets := (le, cum) :: !buckets
+      | _ -> (
+        match strip_suffix name "_sum" with
+        | Some base when base = fam ->
+          let _, sum, _ = row labels in
+          sum := Some v
+        | _ -> (
+          match strip_suffix name "_count" with
+          | Some base when base = fam ->
+            let _, _, count = row labels in
+            let c = int_of_float v in
+            if float_of_int c <> v || c < 0 then
+              fail "non-integer count in %s" fam;
+            count := Some c
+          | _ -> fail "unexpected sample %S in histogram %s" name fam)))
+    samples;
+  List.rev_map
+    (fun labels ->
+      let buckets, sum, count = Hashtbl.find tbl labels in
+      let le = List.rev !buckets in
+      (match le with
+      | [] -> fail "histogram row with no buckets in %s" fam
+      | _ ->
+        if fst (List.nth le (List.length le - 1)) <> infinity then
+          fail "histogram %s missing +Inf bucket" fam;
+        let rec mono = function
+          | (u1, c1) :: ((u2, c2) :: _ as rest) ->
+            if u2 <= u1 then fail "histogram %s buckets not increasing" fam;
+            if c2 < c1 then fail "histogram %s counts not cumulative" fam;
+            mono rest
+          | _ -> ()
+        in
+        mono le);
+      let hsum =
+        match !sum with
+        | Some s -> s
+        | None -> fail "histogram %s row missing _sum" fam
+      in
+      let hcount =
+        match !count with
+        | Some c -> c
+        | None -> fail "histogram %s row missing _count" fam
+      in
+      (match le with
+      | _ ->
+        let _, last = List.nth le (List.length le - 1) in
+        if last <> hcount then
+          fail "histogram %s +Inf bucket (%d) disagrees with _count (%d)" fam
+            last hcount);
+      (labels, Hist_sample { le; hsum; hcount }))
+    !order
+
+let parse (text : string) : (family_snap list, string) result =
+  try
+    let lines = String.split_on_char '\n' text in
+    (* family order preserved *)
+    let order : string list ref = ref [] in
+    let fams : (string, pre_family) Hashtbl.t = Hashtbl.create 8 in
+    let find_family_of_sample name =
+      (* a sample belongs to the family whose name it equals, or whose
+         name + _bucket/_sum/_count it equals *)
+      let candidates =
+        name
+        :: List.filter_map
+             (fun sfx -> strip_suffix name sfx)
+             [ "_bucket"; "_sum"; "_count" ]
+      in
+      let rec go = function
+        | [] -> fail "sample %S before its # TYPE line" name
+        | c :: rest -> (
+          match Hashtbl.find_opt fams c with
+          | Some f -> (c, f)
+          | None -> go rest)
+      in
+      go candidates
+    in
+    List.iter
+      (fun line ->
+        if line = "" then ()
+        else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+          let rest = String.sub line 7 (String.length line - 7) in
+          match String.index_opt rest ' ' with
+          | None -> fail "malformed HELP line %S" line
+          | Some i ->
+            let name = String.sub rest 0 i in
+            let help =
+              unescape_help (String.sub rest (i + 1) (String.length rest - i - 1))
+            in
+            (match Hashtbl.find_opt fams name with
+            | Some f -> f.p_help <- help
+            | None ->
+              (* HELP precedes TYPE in our renderer: stash it *)
+              Hashtbl.add fams name
+                { p_help = help; p_kind = Gauge; p_samples = [] };
+              (* kind fixed at TYPE line; mark as pending via absence
+                 from order *)
+              ())
+        end
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          let rest = String.sub line 7 (String.length line - 7) in
+          match String.split_on_char ' ' rest with
+          | [ name; kind_s ] ->
+            let kind =
+              match kind_s with
+              | "counter" -> Counter
+              | "gauge" -> Gauge
+              | "histogram" -> Histogram
+              | _ -> fail "unknown metric type %S" kind_s
+            in
+            (match Hashtbl.find_opt fams name with
+            | Some f ->
+              if List.mem name !order then
+                fail "duplicate # TYPE for %s" name;
+              (* re-add with the right kind, keep stashed help *)
+              Hashtbl.replace fams name
+                { p_help = f.p_help; p_kind = kind; p_samples = [] }
+            | None ->
+              Hashtbl.add fams name
+                { p_help = ""; p_kind = kind; p_samples = [] });
+            order := name :: !order
+          | _ -> fail "malformed TYPE line %S" line
+        end
+        else if String.length line >= 1 && line.[0] = '#' then
+          fail "unknown comment line %S" line
+        else begin
+          let name, labels, v = parse_sample line in
+          let _fam_name, f = find_family_of_sample name in
+          f.p_samples <- (name, labels, v) :: f.p_samples
+        end)
+      lines;
+    let snaps =
+      List.rev_map
+        (fun fam ->
+          let f = Hashtbl.find fams fam in
+          let samples = List.rev f.p_samples in
+          let rows =
+            match f.p_kind with
+            | Histogram -> assemble_hist fam samples
+            | Counter | Gauge ->
+              List.map
+                (fun (name, labels, v) ->
+                  if name <> fam then
+                    fail "sample %S does not match family %s" name fam;
+                  (labels, Sample v))
+                samples
+          in
+          { fam; help = f.p_help; kind = f.p_kind; rows })
+        !order
+    in
+    Ok snaps
+  with
+  | Bad msg -> Error msg
+  | Failure msg -> Error msg
+
+(* Round-trip validation: parse must succeed and re-rendering the parse
+   must reproduce the input byte for byte. *)
+let validate text =
+  match parse text with
+  | Error e -> Error e
+  | Ok snaps ->
+    let again = render snaps in
+    if again = text then Ok (List.length snaps)
+    else Error "render . parse is not the identity on this exposition"

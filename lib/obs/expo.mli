@@ -1,0 +1,27 @@
+(** Prometheus text exposition: renderer + strict mini-parser.
+
+    {!render} writes [# HELP] / [# TYPE] comment lines followed by
+    sample lines; histogram rows expand to the cumulative [_bucket]
+    ladder (label [le], [+Inf] last) plus [_sum] and [_count]. Label
+    values escape backslash, double-quote and newline; HELP text escapes
+    backslash and newline.
+
+    {!parse} accepts exactly what {!render} produces (no timestamps, no
+    untyped samples) and checks histogram invariants: strictly
+    increasing bounds, cumulative counts, [+Inf] bucket equal to
+    [_count]. Because {!Telemetry.snapshot} is canonically ordered and
+    the parser preserves file order, [render (parse (render s)) =
+    render s] — the fixed point the round-trip tests assert. *)
+
+val render : Telemetry.family_snap list -> string
+
+val parse : string -> (Telemetry.family_snap list, string) result
+
+(** [validate text] parses and re-renders, requiring byte equality.
+    Returns the family count on success. *)
+val validate : string -> (int, string) result
+
+(**/**)
+
+val fmt_float : float -> string
+val escape_label_value : string -> string

@@ -16,18 +16,33 @@ let registry_m = Mutex.create ()
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
-let counter ?(unit_ = "") name =
+(* Re-registering a name with a *different* explicit unit is a bug at
+   the second call site: the first unit would win silently and every
+   consumer of the snapshot would mislabel the column. Omitting [?unit_]
+   means "whatever is registered" and always matches. *)
+let check_unit ~what ~name ~registered = function
+  | None -> ()
+  | Some u when u = registered -> ()
+  | Some u ->
+    invalid_arg
+      (Printf.sprintf "Metric.%s: %s already registered with unit %S (got %S)"
+         what name registered u)
+
+let counter ?unit_ name =
   Mutex.lock registry_m;
-  let c =
-    match Hashtbl.find_opt counters name with
-    | Some c -> c
-    | None ->
-      let c = { name; unit_; v = Atomic.make 0. } in
-      Hashtbl.add counters name c;
-      c
-  in
-  Mutex.unlock registry_m;
-  c
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_m)
+    (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c ->
+        check_unit ~what:"counter" ~name ~registered:c.unit_ unit_;
+        c
+      | None ->
+        let c =
+          { name; unit_ = Option.value unit_ ~default:""; v = Atomic.make 0. }
+        in
+        Hashtbl.add counters name c;
+        c)
 
 let rec atomic_addf cell x =
   let old = Atomic.get cell in
@@ -55,29 +70,30 @@ type histogram = {
 
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let histogram ?(unit_ = "") name =
+let histogram ?unit_ name =
   Mutex.lock registry_m;
-  let h =
-    match Hashtbl.find_opt histograms name with
-    | Some h -> h
-    | None ->
-      let h =
-        {
-          h_name = name;
-          h_unit = unit_;
-          h_lock = Mutex.create ();
-          count = 0;
-          sum = 0.;
-          min_v = infinity;
-          max_v = neg_infinity;
-          buckets = Array.make n_buckets 0;
-        }
-      in
-      Hashtbl.add histograms name h;
-      h
-  in
-  Mutex.unlock registry_m;
-  h
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_m)
+    (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h ->
+        check_unit ~what:"histogram" ~name ~registered:h.h_unit unit_;
+        h
+      | None ->
+        let h =
+          {
+            h_name = name;
+            h_unit = Option.value unit_ ~default:"";
+            h_lock = Mutex.create ();
+            count = 0;
+            sum = 0.;
+            min_v = infinity;
+            max_v = neg_infinity;
+            buckets = Array.make n_buckets 0;
+          }
+        in
+        Hashtbl.add histograms name h;
+        h)
 
 let bucket_of x =
   if x <= 0. then 0
@@ -105,25 +121,35 @@ type hist_stats = {
   mean : float;
   min_v : float;
   max_v : float;
-  p50 : float;  (** bucket upper bound — a factor-of-2 approximation *)
+  p50 : float;  (** linearly interpolated within the bucket *)
   p99 : float;
 }
 
+(* Interpolated quantile: find the bucket where the cumulative count
+   crosses the target rank, then place the quantile linearly between the
+   bucket's bounds by rank position within it. Clamped to the observed
+   [min_v, max_v] so degenerate cells (one sample, one bucket) report
+   the sample rather than a bound. *)
 let percentile (h : histogram) q =
   if h.count = 0 then 0.
   else begin
     let target = Float.to_int (Float.of_int h.count *. q) + 1 in
+    let target = min target h.count in
     let seen = ref 0 and ans = ref h.max_v in
     (try
        for i = 0 to n_buckets - 1 do
-         seen := !seen + h.buckets.(i);
-         if !seen >= target then begin
-           ans := bucket_upper i;
+         let n = h.buckets.(i) in
+         if n > 0 && !seen + n >= target then begin
+           let lower = if i = 0 then 0. else bucket_upper (i - 1) in
+           let upper = bucket_upper i in
+           let frac = Float.of_int (target - !seen) /. Float.of_int n in
+           ans := lower +. (frac *. (upper -. lower));
            raise Exit
-         end
+         end;
+         seen := !seen + n
        done
      with Exit -> ());
-    Float.min !ans h.max_v
+    Float.min (Float.max !ans h.min_v) h.max_v
   end
 
 let stats (h : histogram) =

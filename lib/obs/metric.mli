@@ -9,7 +9,9 @@ val counter : ?unit_:string -> string -> counter
 (** Find or register a counter. Names are conventionally
     ["subsystem.metric"], e.g. ["storage.tuples_decoded"]. Repeat calls
     with the same name return the same counter, so call sites may bind
-    one at module top level. *)
+    one at module top level. Re-registering with an explicit [?unit_]
+    that differs from the registered unit raises [Invalid_argument];
+    omitting [?unit_] matches whatever is registered. *)
 
 val add : counter -> int -> unit
 val addf : counter -> float -> unit
@@ -19,7 +21,8 @@ val counter_unit : counter -> string
 type histogram
 
 val histogram : ?unit_:string -> string -> histogram
-(** Find or register a histogram with power-of-two buckets. *)
+(** Find or register a histogram with power-of-two buckets. Unit-clash
+    behaviour matches {!counter}: a differing explicit [?unit_] raises. *)
 
 val observe : histogram -> float -> unit
 
@@ -29,7 +32,10 @@ type hist_stats = {
   mean : float;
   min_v : float;
   max_v : float;
-  p50 : float;  (** bucket upper bound — a factor-of-2 approximation *)
+  p50 : float;
+      (** linearly interpolated within the crossing bucket, clamped to
+          [[min_v, max_v]] — resolution is the bucket width, not a
+          factor-of-2 upper bound *)
   p99 : float;
 }
 

@@ -1,0 +1,74 @@
+(** SLO monitor: multi-window burn-rate alerting over sliding windows.
+
+    An objective declares a target good-fraction [T] over a long window;
+    the error budget is [1 - T] and the burn rate of a window is
+    [bad_fraction / (1 - T)]. An alert fires when the burn over both the
+    long window and a short window ([long_s / 12]) reaches [factor] with
+    at least [min_events] events observed; it resolves when the
+    short-window burn drops below [factor] again.
+
+    The monitor is driven by an explicit clock, so under the
+    deterministic simulated server the same scenario produces the same
+    alerts at the same instants, every run — which is what lets CI gate
+    on a committed [BENCH_slo.json]. Each fire/resolve also emits an
+    [slo.fire] / [slo.resolve] instant on the sim track of the Chrome
+    trace (gated on the {!Obs} flag). *)
+
+type kind =
+  | Availability  (** good = request served (not shed/failed/expired) *)
+  | Latency_under of float  (** good = served AND latency <= bound *)
+
+type objective = private {
+  o_name : string;
+  o_kind : kind;
+  target : float;
+  long_s : float;
+  factor : float;
+  min_events : int;
+}
+
+(** Raises [Invalid_argument] unless [target] is in (0,1) and [long_s],
+    [factor] are positive. [factor] defaults to 10 (the fast-burn page
+    threshold), [min_events] to 20. *)
+val objective :
+  ?factor:float ->
+  ?min_events:int ->
+  name:string ->
+  kind:kind ->
+  target:float ->
+  long_s:float ->
+  unit ->
+  objective
+
+val short_s : objective -> float
+
+(** Availability 99% + latency-under-[4 * scale_s] 95%, both over a
+    [20 * scale_s] long window — scaled so quick scenarios can trip
+    them. *)
+val defaults : scale_s:float -> objective list
+
+type alert = {
+  a_slo : string;
+  a_at : float;
+  a_firing : bool;  (** [true] = fired, [false] = resolved *)
+  a_burn_long : float;
+  a_burn_short : float;
+}
+
+type t
+
+val create : ?on_alert:(alert -> unit) -> objectives:objective list -> unit -> t
+
+(** [observe m ~now ~ok ~latency_s] records one response outcome at
+    clock time [now] and evaluates every objective. [now] must be
+    non-decreasing per monitor. *)
+val observe : t -> now:float -> ok:bool -> latency_s:float -> unit
+
+(** All fire/resolve transitions, in chronological order. *)
+val alerts : t -> alert list
+
+(** Names of objectives currently firing. *)
+val firing : t -> string list
+
+(** Per-objective [(name, burn_long, burn_short, events_long, firing)]. *)
+val summary : t -> (string * float * float * int * bool) list

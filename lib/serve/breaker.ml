@@ -28,6 +28,7 @@ type t = {
   name : string;
   config : config;
   now : unit -> float;
+  on_transition : state -> state -> unit;
   m : Mutex.t;
   (* Ring buffer of the last [window] outcomes (true = failure). *)
   ring : bool array;
@@ -43,7 +44,20 @@ type t = {
 
 let trip_counter = Gb_obs.Metric.counter "serve.breaker_trips"
 
-let create ?(config = default_config) ~now name =
+(* Labeled live gauge: 0 = closed, 1 = open, 2 = half-open per engine. *)
+let g_state =
+  Gb_obs.Telemetry.gauge_family
+    ~help:"Circuit-breaker state (0=closed, 1=open, 2=half-open)"
+    "genbase_serve_breaker_state"
+
+let state_code = function Closed -> 0. | Open -> 1. | Half_open -> 2.
+let state_label = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+let create ?(config = default_config) ?(on_transition = fun _ _ -> ()) ~now
+    name =
   if config.window <= 0 then invalid_arg "Breaker.create: window";
   if config.failure_threshold <= 0. || config.failure_threshold > 1. then
     invalid_arg "Breaker.create: failure_threshold";
@@ -51,6 +65,7 @@ let create ?(config = default_config) ~now name =
     name;
     config;
     now;
+    on_transition;
     m = Mutex.create ();
     ring = Array.make config.window false;
     filled = 0;
@@ -70,6 +85,27 @@ let locked t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
+(* Every state change funnels through here (under [t.m]): set the state,
+   mirror it on the labeled gauge, drop a sim-track instant at the
+   breaker's own clock so transitions interleave with server spans in
+   the Chrome export, and invoke the observer callback (still holding
+   the mutex — observers must not call back into the breaker). *)
+let transition t next =
+  let prev = t.state in
+  if prev <> next then begin
+    t.state <- next;
+    Gb_obs.Telemetry.set g_state [ ("engine", t.name) ] (state_code next);
+    Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Sim ~ts:(t.now ())
+      ~attrs:
+        [
+          ("engine", Gb_obs.Obs.Str t.name);
+          ("from", Gb_obs.Obs.Str (state_label prev));
+          ("to", Gb_obs.Obs.Str (state_label next));
+        ]
+      ~name:"breaker.transition" ();
+    t.on_transition prev next
+  end
+
 let reset_window t =
   Array.fill t.ring 0 (Array.length t.ring) false;
   t.filled <- 0;
@@ -77,7 +113,7 @@ let reset_window t =
   t.failures <- 0
 
 let trip t =
-  t.state <- Open;
+  transition t Open;
   t.opened_at <- t.now ();
   t.trips <- t.trips + 1;
   t.probes_in_flight <- 0;
@@ -89,7 +125,7 @@ let trip t =
    after the cooldown elapses. *)
 let refresh t =
   if t.state = Open && t.now () -. t.opened_at >= t.config.cooldown_s then begin
-    t.state <- Half_open;
+    transition t Half_open;
     t.probes_in_flight <- 0;
     t.probe_successes <- 0
   end
@@ -139,7 +175,7 @@ let record t ~ok =
         else begin
           t.probe_successes <- t.probe_successes + 1;
           if t.probe_successes >= t.config.half_open_probes then begin
-            t.state <- Closed;
+            transition t Closed;
             reset_window t
           end
         end

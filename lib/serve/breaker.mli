@@ -29,9 +29,22 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> now:(unit -> float) -> string -> t
+val create :
+  ?config:config ->
+  ?on_transition:(state -> state -> unit) ->
+  now:(unit -> float) ->
+  string ->
+  t
 (** [create ~now engine_name]. Raises [Invalid_argument] on a
-    non-positive window or an out-of-range threshold. *)
+    non-positive window or an out-of-range threshold.
+
+    [on_transition prev next] fires on every state change, under the
+    breaker's mutex — observers must not call back into the breaker.
+    Independent of the callback, each transition updates the
+    [genbase_serve_breaker_state] labeled gauge (0 = closed, 1 = open,
+    2 = half-open; telemetry flag) and emits a [breaker.transition]
+    sim-track instant with [engine]/[from]/[to] attributes (tracing
+    flag). *)
 
 val name : t -> string
 val config : t -> config

@@ -59,6 +59,18 @@ let call ?(policy = default_policy) ~key ~budget_s ~sleep ~submit () =
       with
       | None -> { r with Outcome.attempt }
       | Some d ->
+        (* The retry decision is part of the request's story: one
+           instant per backoff, linked by the response's trace id. *)
+        if Gb_obs.Obs.enabled () then
+          Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Wall
+            ~attrs:
+              [
+                ("trace", Gb_obs.Obs.Int r.Outcome.trace);
+                ("attempt", Gb_obs.Obs.Int attempt);
+                ("delay_s", Gb_obs.Obs.Float d);
+                ("reason", Gb_obs.Obs.Str (Outcome.label r));
+              ]
+            ~name:"client.retry" ();
         sleep d;
         go (attempt + 1) (elapsed +. d)
   in

@@ -37,8 +37,17 @@ type ticket = {
   mutable t_resp : Outcome.response option;
 }
 
+module Tele = Gb_obs.Telemetry
+
+(* Same families as the simulated server (find-or-register by name), so
+   one exposition covers both paths. *)
+let f_requests = Tele.counter_family "genbase_serve_requests_total"
+let f_responses = Tele.counter_family "genbase_serve_responses_total"
+let f_latency = Tele.hist_family "genbase_serve_latency_seconds"
+
 type item = {
   i_id : int;
+  i_trace : int;
   i_engine : Engine.t;
   i_ds : Genbase.Dataset.t;
   i_query : Query.t;
@@ -73,7 +82,19 @@ let breaker t name =
     Hashtbl.add t.breakers name b;
     b
 
-let deliver (tk : ticket) resp =
+let deliver (tk : ticket) (resp : Outcome.response) =
+  if Tele.enabled () then begin
+    let labels =
+      [
+        ("engine", resp.Outcome.engine);
+        ("query", Query.name resp.Outcome.query);
+      ]
+    in
+    Tele.incr f_responses (("disposition", Outcome.label resp) :: labels);
+    match resp.Outcome.disposition with
+    | Outcome.Served _ -> Tele.observe f_latency labels (Outcome.latency_s resp)
+    | Outcome.Shed _ | Outcome.Deadline_exceeded _ -> ()
+  end;
   Mutex.lock tk.t_m;
   tk.t_resp <- Some resp;
   Condition.broadcast tk.t_cv;
@@ -85,6 +106,7 @@ let response t (it : item) ~finished ~wait ~exec ?(retry_after = None)
   {
     Outcome.id = it.i_id;
     key = it.i_id;
+    trace = it.i_trace;
     attempt = 1;
     engine = it.i_engine.Engine.name;
     query = it.i_query;
@@ -165,6 +187,8 @@ let execute t (it : item) =
           Gb_obs.Obs.Span.with_ ~cat:"serve" ~name:"serve.exec"
             ~attrs:
               [
+                ("trace", Gb_obs.Obs.Int it.i_trace);
+                ("id", Gb_obs.Obs.Int it.i_id);
                 ("engine", Gb_obs.Obs.Str it.i_engine.Engine.name);
                 ("query", Gb_obs.Obs.Str (Query.name it.i_query));
                 ("queue_wait_s", Gb_obs.Obs.Float (started -. it.i_submitted));
@@ -237,13 +261,17 @@ let await (tk : handle) =
   in
   wait ()
 
-let submit t ~engine ~ds ?(params = Query.default_params) ~deadline_s query =
+let submit t ~engine ~ds ?(params = Query.default_params) ?trace ~deadline_s
+    query =
   let ticket =
     { t_m = Mutex.create (); t_cv = Condition.create (); t_resp = None }
   in
   let spec = ds.Gb_datagen.Generate.spec in
   let genes = spec.Gb_datagen.Spec.genes
   and patients = spec.Gb_datagen.Spec.patients in
+  if Tele.enabled () then
+    Tele.incr f_requests
+      [ ("engine", engine.Engine.name); ("query", Query.name query) ];
   Mutex.lock t.m;
   if t.stopping then begin
     Mutex.unlock t.m;
@@ -253,6 +281,7 @@ let submit t ~engine ~ds ?(params = Query.default_params) ~deadline_s query =
   let it =
     {
       i_id = t.next_id;
+      i_trace = Option.value trace ~default:t.next_id;
       i_engine = engine;
       i_ds = ds;
       i_query = query;
@@ -265,7 +294,20 @@ let submit t ~engine ~ds ?(params = Query.default_params) ~deadline_s query =
       i_ticket = ticket;
     }
   in
-  let reject disposition retry_after =
+  let admit_instant decision =
+    if Gb_obs.Obs.enabled () then
+      Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Wall
+        ~attrs:
+          [
+            ("trace", Gb_obs.Obs.Int it.i_trace);
+            ("id", Gb_obs.Obs.Int it.i_id);
+            ("engine", Gb_obs.Obs.Str engine.Engine.name);
+            ("decision", Gb_obs.Obs.Str decision);
+          ]
+        ~name:"serve.admit" ()
+  in
+  let reject decision disposition retry_after =
+    admit_instant decision;
     Mutex.unlock t.m;
     deliver ticket
       (response t it ~finished:it.i_submitted ~wait:0. ~exec:0.
@@ -273,20 +315,22 @@ let submit t ~engine ~ds ?(params = Query.default_params) ~deadline_s query =
     ticket
   in
   if it.i_bytes > Gb_par.Budget.capacity t.cfg.budget then
-    reject (Outcome.Shed Outcome.Memory) None
+    reject "shed:memory" (Outcome.Shed Outcome.Memory) None
   else if List.length t.queue >= t.cfg.queue_depth then begin
     let backlog =
       List.fold_left (fun a q -> a +. q.i_service) 0. t.queue
     in
-    reject
+    reject "shed:queue_full"
       (Outcome.Shed Outcome.Queue_full)
       (Some (Float.max 0.05 (backlog /. float_of_int t.cfg.lanes)))
   end
   else
     match Breaker.admit (breaker t engine.Engine.name) with
     | `Fast_fail retry_after ->
-      reject (Outcome.Shed Outcome.Breaker_open) (Some retry_after)
+      reject "shed:breaker_open" (Outcome.Shed Outcome.Breaker_open)
+        (Some retry_after)
     | `Admit ->
+      admit_instant "admitted";
       t.queue <- it :: t.queue;
       Condition.signal t.cv;
       Mutex.unlock t.m;

@@ -34,6 +34,7 @@ val submit :
   engine:Genbase.Engine.t ->
   ds:Genbase.Dataset.t ->
   ?params:Genbase.Query.params ->
+  ?trace:int ->
   deadline_s:float ->
   Genbase.Query.t ->
   handle
@@ -41,7 +42,15 @@ val submit :
     over-capacity working set resolve the handle immediately with the
     corresponding [Shed] (retry-after hints included); otherwise the
     query queues for a lane. Raises [Invalid_argument] after
-    {!shutdown}. *)
+    {!shutdown}.
+
+    [?trace] links this submission to an existing trace (a client
+    resubmitting a shed request passes the first attempt's trace id);
+    defaults to a fresh id. With tracing enabled every submission emits
+    a wall-track [serve.admit] instant carrying the decision, and
+    executions attach the trace id to their [serve.exec] span; with
+    telemetry enabled the labeled [genbase_serve_*] families are fed the
+    same way as the simulated server's. *)
 
 val await : handle -> Outcome.response
 (** Block until the submission resolves. [engine_outcome] carries the

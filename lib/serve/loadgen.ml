@@ -236,7 +236,7 @@ let pp_summary ppf (s : summary) =
     s.expired_running s.goodput_qps s.p50_s s.p99_s s.p999_s s.max_queue_len
     s.max_mem_used s.breaker_trips
 
-let run cfg =
+let run_with ?(observe = fun (_ : Outcome.response) -> ()) cfg =
   let jobs = jobs_of cfg in
   let mean = mean_service jobs in
   let sconfig = server_config cfg jobs in
@@ -266,6 +266,10 @@ let run cfg =
     {
       Server.id;
       key;
+      (* A first attempt opens its own trace; retries (remake) carry the
+         original trace forward, which is what links every span of one
+         logical request in the Chrome export. *)
+      trace = id;
       attempt;
       engine = j.j_engine;
       query = j.j_query;
@@ -283,6 +287,7 @@ let run cfg =
     {
       Server.id;
       key = r.Outcome.key;
+      trace = r.Outcome.trace;
       attempt = r.Outcome.attempt + 1;
       engine = r.Outcome.engine;
       query = r.Outcome.query;
@@ -356,6 +361,10 @@ let run cfg =
     else []
   in
   let on_response (r : Outcome.response) =
+    (* Responses arrive here in deterministic event order — the hook
+       point where instrumented runs feed sliding windows and the SLO
+       monitor without touching the server or the PRNG draws. *)
+    observe r;
     let first =
       Option.value
         (Hashtbl.find_opt first_submit r.Outcome.id)
@@ -370,6 +379,17 @@ let run cfg =
       with
       | Some d ->
         incr retries;
+        if Gb_obs.Obs.enabled () then
+          Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Sim
+            ~ts:r.Outcome.finished_s
+            ~attrs:
+              [
+                ("trace", Gb_obs.Obs.Int r.Outcome.trace);
+                ("attempt", Gb_obs.Obs.Int r.Outcome.attempt);
+                ("delay_s", Gb_obs.Obs.Float d);
+                ("reason", Gb_obs.Obs.Str (Outcome.label r));
+              ]
+            ~name:"client.retry" ();
         let req = remake r ~arrival:(r.Outcome.finished_s +. d) in
         Hashtbl.replace first_submit req.Server.id first;
         [ req ]
@@ -380,6 +400,102 @@ let run cfg =
     Server.run ~config:sconfig ~on_response (open_arrivals @ closed_arrivals)
   in
   (responses, stats, summarize cfg ~retries:!retries responses stats)
+
+let run cfg = run_with cfg
+
+(* --- instrumented runs: live windows + SLO monitor --- *)
+
+type instrumented = {
+  i_responses : Outcome.response list;
+  i_stats : Server.stats;
+  i_summary : summary;
+  i_window : Gb_obs.Telemetry.Window.t;  (** served latencies *)
+  i_monitor : Gb_obs.Slo.t;
+  i_mean_service_s : float;
+  i_objectives : Gb_obs.Slo.objective list;
+}
+
+let run_instrumented ?objectives cfg =
+  let mean = mean_service (jobs_of cfg) in
+  let objectives =
+    match objectives with
+    | Some o -> o
+    | None -> Gb_obs.Slo.defaults ~scale_s:mean
+  in
+  let window =
+    Gb_obs.Telemetry.Window.create ~width_s:mean ~windows:64 ()
+  in
+  let monitor = Gb_obs.Slo.create ~objectives () in
+  let observe (r : Outcome.response) =
+    let now = r.Outcome.finished_s in
+    (match r.Outcome.disposition with
+    | Outcome.Served _ ->
+      Gb_obs.Telemetry.Window.observe window ~now (Outcome.latency_s r)
+    | Outcome.Shed _ | Outcome.Deadline_exceeded _ -> ());
+    Gb_obs.Slo.observe monitor ~now ~ok:(Outcome.goodput r)
+      ~latency_s:(Outcome.latency_s r)
+  in
+  let responses, stats, summary = run_with ~observe cfg in
+  {
+    i_responses = responses;
+    i_stats = stats;
+    i_summary = summary;
+    i_window = window;
+    i_monitor = monitor;
+    i_mean_service_s = mean;
+    i_objectives = objectives;
+  }
+
+(* Interpolated-vs-exact p99 agreement over the aggregated labeled
+   latency family. The telemetry histogram covers exactly the responses
+   the summary's exact quantiles cover (every [Served _]), so the two
+   must agree within the resolution of the buckets involved. *)
+let p99_agreement (s : summary) =
+  match Gb_obs.Telemetry.quantile_agg Server.latency_family 0.99 with
+  | None -> None
+  | Some interp ->
+    let width v = Gb_obs.Telemetry.bucket_width Server.latency_family v in
+    let tolerance = Float.max (width interp) (width s.p99_s) in
+    Some (interp, s.p99_s, tolerance)
+
+(* Mid-run tail latency from the sliding window — what a dashboard would
+   show at instant [now], as opposed to the summary's post-hoc exact
+   quantiles. *)
+let live_quantiles (i : instrumented) ~now ~horizon_s =
+  let q p =
+    Gb_obs.Telemetry.Window.quantile i.i_window ~now ~horizon_s p
+  in
+  (q 0.5, q 0.99, q 0.999)
+
+(* Schema-v1 records for the BENCH_slo section: alert counts and
+   instants are pure functions of (scenario, seed), so the committed
+   baseline diffs exactly. *)
+let slo_records (i : instrumented) =
+  let open Gb_obs.Bench_json in
+  let s = i.i_summary in
+  let all = Gb_obs.Slo.alerts i.i_monitor in
+  List.filter_map
+    (fun (o : Gb_obs.Slo.objective) ->
+      let mine =
+        List.filter (fun (a : Gb_obs.Slo.alert) -> a.a_slo = o.o_name) all
+      in
+      let fires = List.filter (fun (a : Gb_obs.Slo.alert) -> a.a_firing) mine in
+      let first_fire =
+        match fires with [] -> 0. | a :: _ -> a.Gb_obs.Slo.a_at
+      in
+      make
+        ~name:("slo_" ^ o.o_name ^ "_fires")
+        ~engine:"" ~query:""
+        ~size:(s.scenario ^ "/" ^ s.size)
+        ~unit_:"count" ~better:Lower
+        ~counters:
+          [
+            ("first_fire_s", first_fire);
+            ("resolves",
+             float_of_int (List.length mine - List.length fires));
+          ]
+        [ float_of_int (List.length fires) ])
+    i.i_objectives
 
 (* --- artifacts --- *)
 

@@ -10,6 +10,7 @@ type disposition =
 type response = {
   id : int;
   key : int;
+  trace : int;
   attempt : int;
   engine : string;
   query : Genbase.Query.t;

@@ -27,6 +27,10 @@ type disposition =
 type response = {
   id : int;  (** unique per submission (retries get fresh ids) *)
   key : int;  (** logical request identity, stable across retries *)
+  trace : int;
+      (** trace id shared by every span and retry of one logical
+          request — the thread that links admit/queue/exec/retry in the
+          Chrome export *)
   attempt : int;  (** 1-based client attempt that produced this *)
   engine : string;
   query : Genbase.Query.t;

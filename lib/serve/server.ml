@@ -50,6 +50,7 @@ let default_config =
 type request = {
   id : int;
   key : int;
+  trace : int;
   attempt : int;
   engine : string;
   query : Genbase.Query.t;
@@ -88,6 +89,38 @@ let c_shed = Gb_obs.Metric.counter "serve.shed"
 let c_deadline = Gb_obs.Metric.counter "serve.deadline_exceeded"
 let h_queue_wait = Gb_obs.Metric.histogram ~unit_:"s" "serve.queue_wait"
 
+(* Labeled live families (telemetry flag, independent of the span flag).
+   Latency is observed for every [Served _] response — the same set
+   Loadgen's exact post-hoc percentiles cover, which is what makes the
+   interpolated p99 comparable to the summary's p99 within one bucket
+   width. *)
+module Tele = Gb_obs.Telemetry
+
+let f_requests =
+  Tele.counter_family ~help:"Requests arriving at the server"
+    "genbase_serve_requests_total"
+
+let f_responses =
+  Tele.counter_family ~help:"Responses by final disposition"
+    "genbase_serve_responses_total"
+
+let f_latency =
+  Tele.hist_family ~help:"End-to-end latency of served requests (seconds)"
+    "genbase_serve_latency_seconds"
+
+let f_queue_wait =
+  Tele.hist_family ~help:"Queue wait before execution (seconds)"
+    "genbase_serve_queue_wait_seconds"
+
+let g_queue_depth =
+  Tele.gauge_family ~help:"Admission-queue depth" "genbase_serve_queue_depth"
+
+let g_mem =
+  Tele.gauge_family ~help:"Reserved working-set bytes"
+    "genbase_serve_mem_reserved_bytes"
+
+let latency_family = f_latency
+
 let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
   if config.lanes < 1 then invalid_arg "Server.run: lanes";
   if config.queue_depth < 0 then invalid_arg "Server.run: queue_depth";
@@ -124,6 +157,19 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
     | Outcome.Served Outcome.Failed_ -> Gb_obs.Metric.add c_failed 1
     | Outcome.Shed _ -> Gb_obs.Metric.add c_shed 1
     | Outcome.Deadline_exceeded _ -> Gb_obs.Metric.add c_deadline 1);
+    if Tele.enabled () then begin
+      let labels =
+        [
+          ("engine", resp.Outcome.engine);
+          ("query", Genbase.Query.name resp.Outcome.query);
+        ]
+      in
+      Tele.incr f_responses (("disposition", Outcome.label resp) :: labels);
+      match resp.Outcome.disposition with
+      | Outcome.Served _ ->
+        Tele.observe f_latency labels (Outcome.latency_s resp)
+      | Outcome.Shed _ | Outcome.Deadline_exceeded _ -> ()
+    end;
     List.iter
       (fun (r : request) ->
         push_event (Float.max r.arrival_s resp.Outcome.finished_s) (Arrive r))
@@ -134,6 +180,7 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
     {
       Outcome.id = r.id;
       key = r.key;
+      trace = r.trace;
       attempt = r.attempt;
       engine = r.engine;
       query = r.query;
@@ -174,12 +221,23 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
     List.iter
       (fun q ->
         Breaker.abandon (breaker q.req.engine);
+        if Gb_obs.Obs.enabled () then
+          Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Sim ~ts:q.deadline_at
+            ~attrs:
+              [
+                ("trace", Gb_obs.Obs.Int q.req.trace);
+                ("id", Gb_obs.Obs.Int q.req.id);
+                ("engine", Gb_obs.Obs.Str q.req.engine);
+              ]
+            ~name:"serve.expire" ();
         respond
           (base_response q.req
              ~finished:q.deadline_at
              ~wait:(q.deadline_at -. q.req.arrival_s)
              (Outcome.Deadline_exceeded `Queued)))
-      expired
+      expired;
+    if Tele.enabled () then
+      Tele.set g_queue_depth [] (float_of_int (List.length !queue))
   in
   (* Queue discipline: FIFO takes the oldest entry; SJF the cheapest
      cost estimate (ties to the oldest, so equal-cost work keeps arrival
@@ -217,6 +275,16 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
           | Some reserved ->
             queue := List.filter (fun q' -> q'.seq <> q.seq) !queue;
             max_mem_used := max !max_mem_used (Gb_par.Budget.used budget);
+            if Tele.enabled () then begin
+              Tele.set g_queue_depth [] (float_of_int (List.length !queue));
+              Tele.set g_mem [] (float_of_int (Gb_par.Budget.used budget));
+              Tele.observe f_queue_wait
+                [
+                  ("engine", q.req.engine);
+                  ("query", Genbase.Query.name q.req.query);
+                ]
+                (now () -. q.req.arrival_s)
+            end;
             let t = now () in
             let completes_at = t +. q.req.service_s in
             (* Cooperative cancellation, sim form: finishing strictly
@@ -232,7 +300,9 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
               Gb_obs.Obs.Span.emit ~cat:"serve" ~name:"queue"
                 ~attrs:
                   [
+                    ("trace", Gb_obs.Obs.Int q.req.trace);
                     ("id", Gb_obs.Obs.Int q.req.id);
+                    ("attempt", Gb_obs.Obs.Int q.req.attempt);
                     ("engine", Gb_obs.Obs.Str q.req.engine);
                   ]
                 ~tid:0 ~t0:q.req.arrival_s ~t1:t ()
@@ -243,27 +313,53 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
   in
   let arrive (r : request) =
     Gb_obs.Metric.add c_requests 1;
+    if Tele.enabled () then
+      Tele.incr f_requests
+        [ ("engine", r.engine); ("query", Genbase.Query.name r.query) ];
+    (* One instant per arrival carrying the admission decision, linked
+       to the rest of the request's spans by the trace attribute. *)
+    let admit_instant decision =
+      if Gb_obs.Obs.enabled () then
+        Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Sim ~ts:(now ())
+          ~attrs:
+            [
+              ("trace", Gb_obs.Obs.Int r.trace);
+              ("id", Gb_obs.Obs.Int r.id);
+              ("attempt", Gb_obs.Obs.Int r.attempt);
+              ("engine", Gb_obs.Obs.Str r.engine);
+              ("decision", Gb_obs.Obs.Str decision);
+            ]
+          ~name:"serve.admit" ()
+    in
     let t = now () in
-    if r.bytes > config.mem_bytes then
+    if r.bytes > config.mem_bytes then begin
       (* Could never run next to anything; a batch harness runs such a
          query alone, a server refuses to stall the fleet for it. *)
+      admit_instant "shed:memory";
       respond (base_response r (Outcome.Shed Outcome.Memory))
-    else if List.length !queue >= config.queue_depth then
+    end
+    else if List.length !queue >= config.queue_depth then begin
+      admit_instant "shed:queue_full";
       respond
         (base_response r
            ~retry_after:(Some (drain_estimate ()))
            (Outcome.Shed Outcome.Queue_full))
+    end
     else
       match Breaker.admit (breaker r.engine) with
       | `Fast_fail retry_after ->
+        admit_instant "shed:breaker_open";
         respond
           (base_response r ~retry_after:(Some retry_after)
              (Outcome.Shed Outcome.Breaker_open))
       | `Admit ->
+        admit_instant "admitted";
         incr qseq;
         queue :=
           { req = r; seq = !qseq; deadline_at = t +. r.deadline_s } :: !queue;
         max_queue_len := max !max_queue_len (List.length !queue);
+        if Tele.enabled () then
+          Tele.set g_queue_depth [] (float_of_int (List.length !queue));
         dispatch ()
   in
   let finish lane =
@@ -276,15 +372,29 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
       let r = run.r_req in
       let ok = (not run.cancelled) && not r.fail in
       Breaker.record (breaker r.engine) ~ok;
-      if Gb_obs.Obs.enabled () then
+      if Tele.enabled () then
+        Tele.set g_mem [] (float_of_int (Gb_par.Budget.used budget));
+      if Gb_obs.Obs.enabled () then begin
         Gb_obs.Obs.Span.emit ~cat:"serve" ~name:"exec"
           ~attrs:
             [
+              ("trace", Gb_obs.Obs.Int r.trace);
               ("id", Gb_obs.Obs.Int r.id);
+              ("attempt", Gb_obs.Obs.Int r.attempt);
               ("engine", Gb_obs.Obs.Str r.engine);
               ("ok", Gb_obs.Obs.Bool ok);
             ]
           ~tid:(lane + 1) ~t0:run.started_s ~t1:t ();
+        if run.cancelled then
+          Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Sim ~ts:t
+            ~attrs:
+              [
+                ("trace", Gb_obs.Obs.Int r.trace);
+                ("id", Gb_obs.Obs.Int r.id);
+                ("engine", Gb_obs.Obs.Str r.engine);
+              ]
+            ~name:"serve.cancel" ()
+      end;
       let disposition =
         if run.cancelled then Outcome.Deadline_exceeded `Running
         else if r.fail then Outcome.Served Outcome.Failed_

@@ -11,8 +11,13 @@
     bit-identical responses and stats. Time is the sim clock, memory is
     a {!Gb_par.Budget}, per-engine health is a {!Breaker}. When tracing
     is enabled the run emits [serve]-category sim-track spans (queue
-    wait on track 0, execution on track [lane+1]) and [serve.*]
-    counters. *)
+    wait on track 0, execution on track [lane+1]), [serve.admit] /
+    [serve.expire] / [serve.cancel] instants carrying the request's
+    trace id and admission decision, and [serve.*] counters. When
+    telemetry is enabled it additionally feeds the labeled
+    [genbase_serve_*] families: request/response counters and latency
+    histograms keyed by [engine]/[query] (+ [disposition]), queue-wait
+    histograms, and queue-depth / reserved-memory gauges. *)
 
 type policy =
   | Fifo  (** strict arrival order *)
@@ -41,6 +46,9 @@ val default_config : config
 type request = {
   id : int;  (** unique; responses are returned sorted by it *)
   key : int;  (** client identity, the jitter seed for retries *)
+  trace : int;
+      (** trace id linking every attempt and span of one logical
+          request; retries carry the first attempt's trace forward *)
   attempt : int;  (** 1-based submission attempt, echoed in the response *)
   engine : string;  (** breaker scope *)
   query : Genbase.Query.t;
@@ -73,3 +81,8 @@ val run :
     exactly on it is served — {!Gb_util.Deadline.expired} is a strict
     comparison. Raises [Invalid_argument] on a non-positive lane count
     or negative queue depth. *)
+
+val latency_family : Gb_obs.Telemetry.hist_family
+(** The [genbase_serve_latency_seconds] family — exposed so callers can
+    compare its interpolated quantiles against exact post-hoc
+    percentiles. *)

@@ -448,6 +448,319 @@ let test_bench_diff () =
   check Alcotest.int "only_base" 1 (List.length repk.Bench_json.only_base);
   check Alcotest.int "only_cand" 1 (List.length repk.Bench_json.only_cand)
 
+(* --- Metric: unit clash + interpolated percentiles (satellites) --- *)
+
+let test_metric_unit_clash () =
+  let _ = Metric.counter ~unit_:"bytes" "test.unit_clash.counter" in
+  (* Same explicit unit and omitted unit both find the registration. *)
+  let _ = Metric.counter ~unit_:"bytes" "test.unit_clash.counter" in
+  let _ = Metric.counter "test.unit_clash.counter" in
+  checkb "differing counter unit raises" true
+    (match Metric.counter ~unit_:"s" "test.unit_clash.counter" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let _ = Metric.histogram ~unit_:"s" "test.unit_clash.hist" in
+  checkb "differing histogram unit raises" true
+    (match Metric.histogram ~unit_:"qps" "test.unit_clash.hist" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_metric_interpolated_percentile () =
+  with_tracing (fun () ->
+      let h = Metric.histogram "test.interp.hist" in
+      (* 100 samples uniform over one power-of-two bucket (1, 2]: the
+         old bucket-upper percentile would report 2.0 for every
+         quantile; interpolation must land inside the bucket and be
+         clamped to the observed extremes. *)
+      for i = 1 to 100 do
+        Metric.observe h (1.0 +. (float_of_int i /. 100.))
+      done;
+      let s = Metric.stats h in
+      checkb "p50 interpolated inside bucket" true (s.Metric.p50 < 1.6);
+      checkb "p50 above bucket lower bound" true (s.Metric.p50 > 1.2);
+      checkb "p99 below max" true (s.Metric.p99 <= s.Metric.max_v);
+      checkb "p50 < p99" true (s.Metric.p50 < s.Metric.p99))
+
+(* --- Telemetry: labeled families --- *)
+
+(* Telemetry has its own flag, independent of Obs. Tests use uniquely
+   named families and reset values afterwards; registrations are
+   process-global by design (Telemetry.clear would invalidate the
+   serving layer's module-level family bindings). *)
+let with_telemetry f =
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.reset ())
+    f
+
+let test_telemetry_families () =
+  with_telemetry (fun () ->
+      let c = Telemetry.counter_family "test_tele_requests_total" in
+      (* Find-or-register: same name, same family. *)
+      let c' = Telemetry.counter_family "test_tele_requests_total" in
+      Telemetry.incr c [ ("engine", "A"); ("query", "svd") ];
+      Telemetry.incr c' ~by:2. [ ("query", "svd"); ("engine", "A") ];
+      (* Label canonicalization: order doesn't matter. *)
+      check Alcotest.(float 1e-9) "one cell, canonical labels" 3.
+        (Telemetry.value c [ ("engine", "A"); ("query", "svd") ]);
+      checkb "kind clash raises" true
+        (match Telemetry.gauge_family "test_tele_requests_total" with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      let _ = Telemetry.hist_family ~buckets:[| 1.; 2. |] "test_tele_h" in
+      checkb "bucket-grid clash raises" true
+        (match Telemetry.hist_family ~buckets:[| 1.; 3. |] "test_tele_h" with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      checkb "invalid metric name raises" true
+        (match Telemetry.counter_family "0bad name" with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      checkb "duplicate label name raises" true
+        (match Telemetry.incr c [ ("engine", "A"); ("engine", "B") ] with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      checkb "negative increment raises" true
+        (match Telemetry.incr c ~by:(-1.) [ ("engine", "A") ] with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      (* Disabled: hooks are no-ops, values freeze. *)
+      Telemetry.set_enabled false;
+      Telemetry.incr c [ ("engine", "A"); ("query", "svd") ];
+      Telemetry.set_enabled true;
+      check Alcotest.(float 1e-9) "disabled incr is a no-op" 3.
+        (Telemetry.value c [ ("engine", "A"); ("query", "svd") ]))
+
+let test_telemetry_quantiles () =
+  with_telemetry (fun () ->
+      let h =
+        Telemetry.hist_family ~buckets:[| 1.; 2.; 4. |] "test_tele_lat"
+      in
+      checkb "empty cell has no quantile" true
+        (Telemetry.quantile h [ ("engine", "A") ] 0.5 = None);
+      for _ = 1 to 10 do
+        Telemetry.observe h [ ("engine", "A") ] 0.5;
+        Telemetry.observe h [ ("engine", "B") ] 1.5
+      done;
+      let q fam labels p =
+        match Telemetry.quantile fam labels p with
+        | Some v -> v
+        | None -> Alcotest.fail "expected a quantile"
+      in
+      (* Per-cell: all of A's mass is in (0, 1]. *)
+      check Alcotest.(float 1e-9) "cell p50 interpolates" 0.5
+        (q h [ ("engine", "A") ] 0.5);
+      (* Aggregated across cells: 10 in (0,1] + 10 in (1,2]. *)
+      let qa p =
+        match Telemetry.quantile_agg h p with
+        | Some v -> v
+        | None -> Alcotest.fail "expected a quantile"
+      in
+      check Alcotest.(float 1e-9) "agg p50" 1.0 (qa 0.5);
+      check Alcotest.(float 1e-9) "agg p95" 1.9 (qa 0.95);
+      (* Overflow bucket reports the largest finite bound. *)
+      Telemetry.observe h [ ("engine", "C") ] 100.;
+      check Alcotest.(float 1e-9) "overflow clamps to last bound" 4.0
+        (q h [ ("engine", "C") ] 0.99);
+      check Alcotest.(float 1e-9) "bucket width at 1.5" 1.0
+        (Telemetry.bucket_width h 1.5);
+      checkb "bucket width past last bound is infinite" true
+        (Telemetry.bucket_width h 10. = infinity))
+
+let test_telemetry_window () =
+  let module W = Telemetry.Window in
+  let w = W.create ~width_s:1.0 ~windows:4 ~buckets:[| 1.; 2.; 4. |] () in
+  check Alcotest.(float 1e-9) "horizon" 4.0 (W.horizon_s w);
+  W.observe w ~now:0.5 0.5;
+  W.observe w ~now:1.5 1.5;
+  W.observe w ~now:2.5 1.5;
+  check Alcotest.int "all three in horizon" 3 (W.count w ~now:2.5 ~horizon_s:4.);
+  check Alcotest.int "trailing second only" 1
+    (W.count w ~now:2.5 ~horizon_s:1.);
+  (match W.mean w ~now:2.5 ~horizon_s:4. with
+  | Some m -> checkb "mean of mixed sub-windows" true (Float.abs (m -. (3.5 /. 3.)) < 1e-9)
+  | None -> Alcotest.fail "expected a mean");
+  (* Advancing the clock past the ring drops the old sub-windows. *)
+  W.observe w ~now:10.0 3.0;
+  check Alcotest.int "old sub-windows dropped" 1
+    (W.count w ~now:10.0 ~horizon_s:4.);
+  (* Observations older than the ring are ignored, not misfiled. *)
+  W.observe w ~now:3.0 0.5;
+  check Alcotest.int "too-old observation dropped" 1
+    (W.count w ~now:10.0 ~horizon_s:4.)
+
+(* --- Expo: exposition round-trip --- *)
+
+let test_expo_roundtrip () =
+  with_telemetry (fun () ->
+      let c = Telemetry.counter_family ~help:"Total\nover lines \\ "
+          "test_expo_total"
+      in
+      (* Empty label set, plus values exercising every escape. *)
+      Telemetry.incr c [];
+      Telemetry.incr c [ ("path", "a\\b") ];
+      Telemetry.incr c [ ("path", "say \"hi\"\nthen leave") ];
+      let g = Telemetry.gauge_family "test_expo_gauge" in
+      Telemetry.set g [ ("engine", "A") ] (-2.5);
+      let h = Telemetry.hist_family ~buckets:[| 0.5; 1. |] "test_expo_h" in
+      Telemetry.observe h [ ("q", "svd") ] 0.25;
+      Telemetry.observe h [ ("q", "svd") ] 2.0;
+      let text = Expo.render (Telemetry.snapshot ()) in
+      (match Expo.validate text with
+      | Ok n -> checkb "at least our three families" true (n >= 3)
+      | Error e -> Alcotest.fail ("round-trip failed: " ^ e));
+      match Expo.parse text with
+      | Error e -> Alcotest.fail ("parse failed: " ^ e)
+      | Ok snaps ->
+        checkb "parse -> render is the fixed point" true
+          (String.equal (Expo.render snaps) text);
+        (* The escaped label value survives the round trip intact. *)
+        let row_labels =
+          List.concat_map
+            (fun (s : Telemetry.family_snap) ->
+              if s.Telemetry.fam = "test_expo_total" then
+                List.map fst s.Telemetry.rows
+              else [])
+            snaps
+        in
+        checkb "escaped value preserved" true
+          (List.mem
+             [ ("path", "say \"hi\"\nthen leave") ]
+             row_labels))
+
+let test_expo_rejects_corruption () =
+  with_telemetry (fun () ->
+      let h = Telemetry.hist_family ~buckets:[| 1.; 2. |] "test_expo_bad" in
+      Telemetry.observe h [] 0.5;
+      let text = Expo.render (Telemetry.snapshot ()) in
+      (* A non-cumulative bucket ladder must be rejected, not lapped up:
+         bump a mid-ladder count above the +Inf total. *)
+      let replace ~sub ~by s =
+        let n = String.length s and m = String.length sub in
+        let b = Buffer.create n in
+        let i = ref 0 in
+        while !i < n do
+          if !i + m <= n && String.sub s !i m = sub then begin
+            Buffer.add_string b by;
+            i := !i + m
+          end
+          else begin
+            Buffer.add_char b s.[!i];
+            incr i
+          end
+        done;
+        Buffer.contents b
+      in
+      let broken = replace ~sub:{|le="1"} 1|} ~by:{|le="1"} 2|} text in
+      checkb "ladder corruption detected" true
+        (match Expo.parse broken with Error _ -> true | Ok _ -> false))
+
+let prop_expo_fixed_point =
+  (* Arbitrary label values — including quotes, backslashes and newlines
+     — and arbitrary sample values: render -> parse -> render must be
+     the identity on the rendered text. *)
+  let value_gen =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; 'z'; '"'; '\\'; '\n'; ' '; '{'; '}' ])
+        (0 -- 8))
+  in
+  let case_gen =
+    QCheck.Gen.(
+      pair
+        (list_size (0 -- 3) (pair (oneofl [ "engine"; "q"; "path" ]) value_gen))
+        (list_size (1 -- 5) (float_bound_exclusive 10.)))
+  in
+  QCheck.Test.make ~name:"exposition render/parse fixed point" ~count:60
+    (QCheck.make case_gen) (fun (labels, values) ->
+      Telemetry.set_enabled true;
+      Telemetry.reset ();
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.set_enabled false;
+          Telemetry.reset ())
+        (fun () ->
+          (* Duplicate label names are rejected by canon; dedup first. *)
+          let labels =
+            List.sort_uniq (fun (a, _) (b, _) -> compare a b) labels
+          in
+          let c = Telemetry.counter_family "test_prop_total" in
+          let h = Telemetry.hist_family ~buckets:[| 0.1; 1.; 5. |] "test_prop_h" in
+          Telemetry.incr c labels;
+          List.iter (fun v -> Telemetry.observe h labels v) values;
+          let text = Expo.render (Telemetry.snapshot ()) in
+          match Expo.parse text with
+          | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e
+          | Ok snaps -> String.equal (Expo.render snaps) text))
+
+(* --- SLO monitor --- *)
+
+let test_slo_burn_rate_alerts () =
+  let feed m =
+    (* 30 good responses, then a hard outage, then recovery: the alert
+       must fire during the outage and resolve once the short window
+       drains. Factor 5 on a 99% target fires at 5% bad. *)
+    let t = ref 0. in
+    let step ok =
+      Slo.observe m ~now:!t ~ok ~latency_s:0.1;
+      t := !t +. 0.25
+    in
+    for _ = 1 to 30 do step true done;
+    for _ = 1 to 30 do step false done;
+    for _ = 1 to 200 do step true done
+  in
+  let objectives =
+    [
+      Slo.objective ~factor:5. ~name:"avail" ~kind:Slo.Availability
+        ~target:0.99 ~long_s:12. ();
+    ]
+  in
+  let m1 = Slo.create ~objectives () in
+  let m2 = Slo.create ~objectives () in
+  feed m1;
+  feed m2;
+  let a1 = Slo.alerts m1 in
+  checkb "alert fired" true
+    (List.exists (fun a -> a.Slo.a_firing) a1);
+  checkb "alert resolved" true
+    (List.exists (fun a -> not a.Slo.a_firing) a1);
+  checkb "fire precedes resolve" true
+    (match a1 with a :: _ -> a.Slo.a_firing | [] -> false);
+  checkb "identical feed, identical alert instants" true (a1 = Slo.alerts m2);
+  checkb "nothing firing after recovery" true (Slo.firing m1 = []);
+  (* min_events gates flapping on thin data: an all-bad trickle below
+     the floor must stay silent. *)
+  let m3 =
+    Slo.create
+      ~objectives:
+        [
+          Slo.objective ~factor:5. ~min_events:50 ~name:"thin"
+            ~kind:Slo.Availability ~target:0.99 ~long_s:12. ();
+        ]
+      ()
+  in
+  for i = 1 to 20 do
+    Slo.observe m3 ~now:(float_of_int i *. 0.1) ~ok:false ~latency_s:0.1
+  done;
+  checkb "below min_events stays silent" true (Slo.alerts m3 = []);
+  (* Latency objectives count slow-but-served responses as bad. *)
+  let m4 =
+    Slo.create
+      ~objectives:
+        [
+          Slo.objective ~factor:5. ~min_events:10 ~name:"lat"
+            ~kind:(Slo.Latency_under 1.0) ~target:0.9 ~long_s:12. ();
+        ]
+      ()
+  in
+  for i = 1 to 40 do
+    Slo.observe m4 ~now:(float_of_int i *. 0.1) ~ok:true ~latency_s:5.0
+  done;
+  checkb "slow responses trip a latency objective" true
+    (List.exists (fun a -> a.Slo.a_firing) (Slo.alerts m4))
+
 let suite =
   [
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
@@ -474,4 +787,19 @@ let suite =
     Alcotest.test_case "bench JSON round-trip" `Quick
       test_bench_json_roundtrip;
     Alcotest.test_case "bench diff verdicts" `Quick test_bench_diff;
+    Alcotest.test_case "metric unit clash" `Quick test_metric_unit_clash;
+    Alcotest.test_case "metric interpolated percentiles" `Quick
+      test_metric_interpolated_percentile;
+    Alcotest.test_case "telemetry labeled families" `Quick
+      test_telemetry_families;
+    Alcotest.test_case "telemetry interpolated quantiles" `Quick
+      test_telemetry_quantiles;
+    Alcotest.test_case "telemetry sliding window" `Quick
+      test_telemetry_window;
+    Alcotest.test_case "exposition round-trip" `Quick test_expo_roundtrip;
+    Alcotest.test_case "exposition rejects corruption" `Quick
+      test_expo_rejects_corruption;
+    QCheck_alcotest.to_alcotest prop_expo_fixed_point;
+    Alcotest.test_case "slo burn-rate alerts" `Quick
+      test_slo_burn_rate_alerts;
   ]

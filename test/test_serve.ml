@@ -19,10 +19,11 @@ module Deadline = Gb_util.Deadline
 
 let req ?(id = 1) ?(key = 0) ?(engine = "E") ?(query = Query.Q1_regression)
     ?(arrival = 0.) ?(deadline = 1e9) ?(service = 1.) ?(bytes = 1)
-    ?(fail = false) () =
+    ?(fail = false) ?trace () =
   {
     Server.id;
     key;
+    trace = Option.value trace ~default:id;
     attempt = 1;
     engine;
     query;
@@ -202,7 +203,18 @@ let test_breaker_transitions () =
       half_open_probes = 2;
     }
   in
-  let b = Breaker.create ~config ~now:(fun () -> !t) "E" in
+  (* Observe the full lifecycle three ways: the callback sequence, the
+     labeled state gauge, and the trace instants. *)
+  let transitions = ref [] in
+  Gb_obs.Obs.reset ();
+  Gb_obs.Obs.set_enabled true;
+  Gb_obs.Telemetry.set_enabled true;
+  let b =
+    Breaker.create ~config
+      ~on_transition:(fun prev next -> transitions := (prev, next) :: !transitions)
+      ~now:(fun () -> !t)
+      "E"
+  in
   Alcotest.(check bool) "starts closed" (Breaker.state b = Breaker.Closed) true;
   (* Two successes, then failures until the rate trips the window. *)
   Breaker.record b ~ok:true;
@@ -235,7 +247,35 @@ let test_breaker_transitions () =
   Alcotest.(check bool) "probe successes close the breaker"
     (Breaker.state b = Breaker.Closed)
     true;
-  Alcotest.(check bool) "closed breaker admits" (Breaker.admit b = `Admit) true
+  Alcotest.(check bool) "closed breaker admits" (Breaker.admit b = `Admit) true;
+  (* The exact transition sequence, in order. *)
+  Alcotest.(check bool)
+    "transition sequence closed->open->half_open->closed"
+    (List.rev !transitions
+    = [
+        (Breaker.Closed, Breaker.Open);
+        (Breaker.Open, Breaker.Half_open);
+        (Breaker.Half_open, Breaker.Closed);
+      ])
+    true;
+  (* The labeled gauge tracks the final state (0 = closed). *)
+  Alcotest.(check (float 1e-9))
+    "breaker state gauge is closed" 0.
+    (Gb_obs.Telemetry.gauge_value
+       (Gb_obs.Telemetry.gauge_family "genbase_serve_breaker_state")
+       [ ("engine", "E") ]);
+  (* And each transition dropped a sim-track instant with from/to. *)
+  let instants =
+    List.filter
+      (function
+        | Gb_obs.Obs.Instant_ev { name; _ } -> name = "breaker.transition"
+        | Gb_obs.Obs.Span_ev _ -> false)
+      (Gb_obs.Obs.events ())
+  in
+  Alcotest.(check int) "three transition instants" 3 (List.length instants);
+  Gb_obs.Obs.set_enabled false;
+  Gb_obs.Telemetry.set_enabled false;
+  Gb_obs.Obs.reset ()
 
 let test_breaker_reopens_on_probe_failure () =
   let t = ref 0. in
@@ -292,6 +332,7 @@ let shed_response ?(retry_after = None) ~key ~attempt () =
   {
     Outcome.id = 1;
     key;
+    trace = 1;
     attempt;
     engine = "E";
     query = Query.Q1_regression;
@@ -606,6 +647,117 @@ let test_live_sheds_and_serves () =
       | _ -> ())
     responses
 
+(* --- request-scoped traces, SLO determinism, p99 agreement --- *)
+
+module Obs = Gb_obs.Obs
+module Telemetry = Gb_obs.Telemetry
+module Slo = Gb_obs.Slo
+
+(* Every span and instant of one logical request — admission decisions,
+   queue wait, execution, retries — carries the same trace id, so a
+   Chrome-trace consumer can stitch the request's life back together
+   across shed/retry hops. *)
+let test_trace_linked_spans () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let _, _, summary = Loadgen.run (quick_cfg "overload") in
+      Alcotest.(check bool) "scenario retried" (summary.Loadgen.retries > 0)
+        true;
+      let events = Obs.events () in
+      let trace_of attrs =
+        List.find_map
+          (function "trace", Obs.Int t -> Some t | _ -> None)
+          attrs
+      in
+      (* Group (name, attrs) by trace id across spans and instants. *)
+      let tbl = Hashtbl.create 256 in
+      List.iter
+        (fun ev ->
+          let name, attrs =
+            match ev with
+            | Obs.Span_ev s -> (s.Obs.name, s.Obs.attrs)
+            | Obs.Instant_ev { name; attrs; _ } -> (name, attrs)
+          in
+          match trace_of attrs with
+          | None -> ()
+          | Some t ->
+            Hashtbl.replace tbl t (name :: Option.value ~default:[] (Hashtbl.find_opt tbl t)))
+        events;
+      (* At least one request must show the full retried lifecycle
+         under one id: two admissions, a retry instant, and the
+         queue/exec spans of the attempt that went through. *)
+      let linked =
+        Hashtbl.fold
+          (fun _ names acc ->
+            acc
+            || List.mem "client.retry" names
+               && List.mem "serve.admit" names
+               && List.mem "queue" names
+               && List.mem "exec" names
+               && List.length (List.filter (( = ) "serve.admit") names) >= 2)
+          tbl false
+      in
+      Alcotest.(check bool)
+        "admit/queue/exec/retry of one request share a trace id" linked true)
+
+(* The SLO monitor rides the deterministic simulation: same scenario and
+   seed, same alert instants — and chaos must actually trip it. *)
+let test_slo_chaos_deterministic () =
+  let i1 = Loadgen.run_instrumented (quick_cfg "chaos") in
+  let i2 = Loadgen.run_instrumented (quick_cfg "chaos") in
+  let a1 = Slo.alerts i1.Loadgen.i_monitor in
+  let a2 = Slo.alerts i2.Loadgen.i_monitor in
+  Alcotest.(check bool) "chaos trips at least one alert"
+    (List.exists (fun a -> a.Slo.a_firing) a1)
+    true;
+  Alcotest.(check bool) "alert instants replay exactly" (a1 = a2) true;
+  Alcotest.(check bool) "bench records replay exactly"
+    (Loadgen.slo_records i1 = Loadgen.slo_records i2)
+    true;
+  (* The instrumented run is the same simulation: summaries agree with
+     the uninstrumented path bit-for-bit. *)
+  let _, _, plain = Loadgen.run (quick_cfg "chaos") in
+  Alcotest.(check bool) "instrumentation does not perturb the run"
+    (i1.Loadgen.i_summary = plain)
+    true
+
+(* Acceptance: the interpolated p99 from the labeled latency histogram
+   agrees with the load generator's exact post-hoc p99 within one bucket
+   width. *)
+let test_p99_agreement_overload () =
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.reset ())
+    (fun () ->
+      let i = Loadgen.run_instrumented (quick_cfg "overload") in
+      let summary = i.Loadgen.i_summary in
+      match Loadgen.p99_agreement summary with
+      | None -> Alcotest.fail "telemetry enabled but latency family empty"
+      | Some (interp, exact, tolerance) ->
+        Alcotest.(check bool)
+          (Printf.sprintf
+             "interpolated %.4f vs exact %.4f within tolerance %.4f" interp
+             exact tolerance)
+          (Float.abs (interp -. exact) <= tolerance)
+          true;
+        (* And the live window agrees about the order of magnitude at
+           the end of the run. *)
+        let p50, p99, _ =
+          Loadgen.live_quantiles i ~now:summary.Loadgen.horizon_s
+            ~horizon_s:(Telemetry.Window.horizon_s i.Loadgen.i_window)
+        in
+        Alcotest.(check bool) "live window populated"
+          (p50 <> None && p99 <> None)
+          true)
+
 let suite =
   [
     ("deadline at checkpoint boundary", `Quick, test_deadline_boundary);
@@ -627,5 +779,9 @@ let suite =
     ("chaos trips breakers", `Quick, test_loadgen_chaos_trips);
     ("ambient deadline checkpoints", `Quick, test_ambient_deadline);
     ("live path sheds and serves", `Quick, test_live_sheds_and_serves);
+    ("trace ids link admit/queue/exec/retry", `Quick, test_trace_linked_spans);
+    ("slo alerts deterministic under chaos", `Quick,
+     test_slo_chaos_deterministic);
+    ("interpolated p99 agrees with exact", `Quick, test_p99_agreement_overload);
   ]
   @ List.map QCheck_alcotest.to_alcotest [ test_live_matches_direct ]
