@@ -15,7 +15,8 @@ module H = Genbase.Harness
 
 let sections =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
-    "weak"; "crossover"; "chaos"; "obs"; "par"; "serve"; "slo"; "q6" ]
+    "weak"; "crossover"; "chaos"; "obs"; "par"; "serve"; "slo"; "q6";
+    "critpath" ]
 
 let usage () =
   Printf.sprintf "usage: main.exe [%s] [--quick] [--timeout SECONDS]"
@@ -155,6 +156,11 @@ let () =
   if want "slo" then begin
     banner "SLO burn-rate alerting (deterministic fire/resolve instants)";
     emit "slo" (Slo_bench.run ~quick)
+  end;
+
+  if want "critpath" then begin
+    banner "Critical-path blame (flight recorder, deterministic dumps)";
+    emit "critpath" (Critpath_bench.run ~quick)
   end;
 
   if want "q6" then begin

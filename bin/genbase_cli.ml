@@ -864,6 +864,21 @@ let deadline_factor_arg =
     & info [ "deadline-factor" ] ~docv:"X"
         ~doc:"Per-query deadline as a multiple of the mean service time.")
 
+(* Build identity as a constant-1 info gauge, so every exposition (and
+   thus every archived dump) says which build produced it. *)
+let g_build_info =
+  Gb_obs.Telemetry.gauge_family
+    ~help:"Build identity; constant 1, labels carry revision and toolchain"
+    "genbase_build_info"
+
+let set_build_info () =
+  Gb_obs.Telemetry.set g_build_info
+    [
+      ("ocaml", Sys.ocaml_version);
+      ("revision", Gb_obs.Bench_json.git_rev ());
+    ]
+    1.
+
 (* Render the current telemetry snapshot, write it, and round-trip it
    through the strict mini-parser — a dump that does not re-render to
    the same bytes is a bug worth failing the run over. *)
@@ -896,6 +911,14 @@ let print_slo_report ?(oc = stdout) (i : Gb_serve.Loadgen.instrumented) =
   Printf.fprintf oc
     "live window (trailing %.1fs at t=%.3fs): p50 %s  p99 %s  p999 %s\n"
     horizon_s now (fmt_q p50) (fmt_q p99) (fmt_q p999);
+  (* Ring churn: recycled slots are normal, dropped observations mean
+     the live quantiles above have silent gaps. *)
+  Printf.fprintf oc
+    "live window churn: %d sub-window slots recycled, %d stale \
+     observations dropped%s\n"
+    (Gb_obs.Telemetry.Window.advanced window)
+    (Gb_obs.Telemetry.Window.dropped window)
+    (if Gb_obs.Telemetry.Window.dropped window > 0 then " (GAPS)" else "");
   List.iter
     (fun (name, burn_long, burn_short, events, firing) ->
       Printf.fprintf oc
@@ -960,7 +983,8 @@ let serve_cmd =
     let ds = Gb_datagen.Generate.generate ~seed (Spec.of_size size) in
     if metrics_out <> None then begin
       Gb_obs.Telemetry.set_enabled true;
-      Gb_obs.Telemetry.reset ()
+      Gb_obs.Telemetry.reset ();
+      set_build_info ()
     end;
     let config =
       {
@@ -1062,11 +1086,22 @@ let load_cmd =
              admit/queue/exec/retry span of one logical request shares \
              one trace id.")
   in
+  let record_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"DIR"
+          ~doc:
+            "Run with the always-on flight recorder and write every \
+             anomaly-triggered dump (tail-sampled, validated Chrome \
+             traces) into DIR, plus the recorder's keep/drop counters.")
+  in
   let run scenario size seed duration lanes queue_depth policy
-      deadline_factor csv_out metrics_out trace_out =
+      deadline_factor csv_out metrics_out trace_out record_out =
     let module Tele = Gb_obs.Telemetry in
     let module Obs = Gb_obs.Obs in
     let module Tx = Gb_obs.Trace_export in
+    let module Rec = Gb_obs.Recorder in
     let cfg =
       {
         (Serve.Loadgen.default_config scenario) with
@@ -1081,16 +1116,18 @@ let load_cmd =
     in
     if metrics_out <> None then begin
       Tele.set_enabled true;
-      Tele.reset ()
+      Tele.reset ();
+      set_build_info ()
     end;
     if trace_out <> None then begin
       Obs.set_enabled true;
       Obs.reset ()
     end;
+    if record_out <> None then Rec.start ();
     (* Any dump implies the instrumented run: same simulation, same
        PRNG stream, plus the sliding window and the SLO monitor. *)
     let instrumented =
-      if metrics_out <> None || trace_out <> None then
+      if metrics_out <> None || trace_out <> None || record_out <> None then
         Some (Serve.Loadgen.run_instrumented cfg)
       else None
     in
@@ -1104,6 +1141,7 @@ let load_cmd =
     in
     Tele.set_enabled false;
     Obs.set_enabled false;
+    Rec.stop ();
     Format.printf "%a@." Serve.Loadgen.pp_summary summary;
     (match stats.Serve.Server.breaker_trips with
     | [] -> ()
@@ -1146,6 +1184,55 @@ let load_cmd =
       | Error msg ->
         Printf.eprintf "exported trace failed validation: %s\n" msg;
         exit 1));
+    (match record_out with
+    | None -> ()
+    | Some dir ->
+      (try Unix.mkdir dir 0o755 with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let st = Rec.stats () in
+      Printf.printf
+        "flight recorder: %d dumps (%d suppressed), traces kept %d tail + \
+         %d failed + %d sampled of %d fast, %d ring drops\n"
+        st.Rec.s_dumps st.Rec.s_suppressed st.Rec.s_tail_kept
+        st.Rec.s_fail_kept st.Rec.s_fast_sampled
+        (st.Rec.s_fast_sampled + st.Rec.s_fast_discarded)
+        st.Rec.s_ring_dropped;
+      List.iter
+        (fun (d : Rec.dump) ->
+          let json = Rec.chrome_of_dump d in
+          (match Tx.validate_chrome json with
+          | Ok _ -> ()
+          | Error msg ->
+            Printf.eprintf "dump %d failed trace validation: %s\n" d.Rec.d_seq
+              msg;
+            exit 1);
+          (* Every dump must also satisfy the analyzer's blame-sum
+             identity — a dump we cannot attribute is a bug. *)
+          (match Gb_obs.Critpath.of_chrome json with
+          | Error msg ->
+            Printf.eprintf "dump %d unparseable: %s\n" d.Rec.d_seq msg;
+            exit 1
+          | Ok reqs -> (
+            match Gb_obs.Critpath.check reqs with
+            | Ok _ -> ()
+            | Error msg ->
+              Printf.eprintf "dump %d: %s\n" d.Rec.d_seq msg;
+              exit 1));
+          let file =
+            Filename.concat dir
+              (Printf.sprintf "dump-%02d-%s.json" d.Rec.d_seq
+                 (Rec.reason_label d.Rec.d_reason))
+          in
+          let oc = open_out file in
+          output_string oc json;
+          close_out oc;
+          Printf.printf
+            "wrote %s: %s at t=%.3fs, %d events, %d kept traces\n" file
+            (Rec.reason_label d.Rec.d_reason)
+            d.Rec.d_at
+            (List.length d.Rec.d_events)
+            (List.length d.Rec.d_kept))
+        (Rec.dumps ()));
     match csv_out with
     | None -> ()
     | Some file ->
@@ -1165,7 +1252,104 @@ let load_cmd =
     Term.(
       const run $ scenario_arg $ size_arg $ seed_arg $ duration_arg
       $ lanes_arg $ queue_depth_arg $ policy_arg $ deadline_factor_arg
-      $ csv_out $ metrics_out $ trace_out)
+      $ csv_out $ metrics_out $ trace_out $ record_out)
+
+(* --- analyze / trace-diff --- *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let requests_of_trace_file path =
+  match Gb_obs.Critpath.of_chrome (read_whole_file path) with
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 2
+  | Ok reqs -> reqs
+
+let analyze_cmd =
+  let module Cp = Gb_obs.Critpath in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.json"
+          ~doc:
+            "Chrome trace to analyze: a $(b,load --trace) export or a \
+             flight-recorder dump from $(b,load --record).")
+  in
+  let check_only =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Only verify the blame-sum identity (every request's \
+             critical-path segments sum exactly to its end-to-end \
+             latency) and exit non-zero on any violation.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Per-request rows to print (the profile is always full).")
+  in
+  let run file check_only limit =
+    let reqs = requests_of_trace_file file in
+    match Cp.check reqs with
+    | Error msg ->
+      Printf.eprintf "blame-sum identity violated: %s\n" msg;
+      exit 1
+    | Ok n ->
+      if check_only then
+        Printf.printf "blame-sum identity holds for all %d requests\n" n
+      else begin
+        Printf.printf "%d requests reconstructed from %s\n\n" n file;
+        print_string (Cp.render_profile (Cp.profile reqs));
+        print_newline ();
+        print_string (Cp.render_requests ~limit reqs);
+        Printf.printf "\nblame-sum identity holds for all %d requests\n" n
+      end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct per-request critical paths from a Chrome trace and \
+          print the cross-request blame profile (p50/p99 share of latency \
+          per segment: queue, memory wait, breaker cooldown, retry \
+          backoff, execution phases).")
+    Term.(const run $ file $ check_only $ limit)
+
+let trace_diff_cmd =
+  let module Cp = Gb_obs.Critpath in
+  let base =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASE" ~doc:"Baseline Chrome trace.")
+  in
+  let cand =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate Chrome trace.")
+  in
+  let run base cand =
+    let b = requests_of_trace_file base in
+    let c = requests_of_trace_file cand in
+    Printf.printf "base:      %s (%d requests)\n" base (List.length b);
+    Printf.printf "candidate: %s (%d requests)\n\n" cand (List.length c);
+    print_string (Cp.render_diff (Cp.diff b c))
+  in
+  Cmd.v
+    (Cmd.info "trace-diff"
+       ~doc:
+         "Compare two Chrome traces request-by-request and localize where \
+          latency moved: mean seconds per request for every blame segment \
+          in both captures, sorted by movement.")
+    Term.(const run $ base $ cand)
 
 (* --- metrics --- *)
 
@@ -1197,6 +1381,7 @@ let metrics_cmd =
     in
     Tele.set_enabled true;
     Tele.reset ();
+    set_build_info ();
     let i = Serve.Loadgen.run_instrumented cfg in
     Tele.set_enabled false;
     let text = Gb_obs.Expo.render (Tele.snapshot ()) in
@@ -1267,6 +1452,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; run_cmd; suite_cmd; chaos_cmd; conformance_cmd;
-            explain_cmd; seqgen_cmd; trace_cmd; bench_diff_cmd; serve_cmd;
-            load_cmd; metrics_cmd; list_cmd;
+            explain_cmd; seqgen_cmd; trace_cmd; bench_diff_cmd; analyze_cmd;
+            trace_diff_cmd; serve_cmd; load_cmd; metrics_cmd; list_cmd;
           ]))

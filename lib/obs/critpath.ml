@@ -1,0 +1,462 @@
+(* Critical-path blame decomposition over request-scoped traces. See the
+   mli for the segment taxonomy and the exactness argument.
+
+   The decomposition is a tiling: anchor tiles come from the request's
+   queue/exec spans (exec descends into child spans via parent links so
+   engine phases on the critical path get their own labels), expired
+   queue waits are closed from admit/expire instant pairs, and the gaps
+   left between tiles are labeled from the latest preceding retry
+   instant. Tiles share boundaries, so raw durations sum to e2e up to
+   rounding; the last segment absorbs the rounding by construction. *)
+
+let attr_int k attrs =
+  match List.assoc_opt k attrs with Some (Obs.Int i) -> Some i | _ -> None
+
+let attr_float k attrs =
+  match List.assoc_opt k attrs with
+  | Some (Obs.Float f) -> Some f
+  | Some (Obs.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let attr_str k attrs =
+  match List.assoc_opt k attrs with Some (Obs.Str s) -> Some s | _ -> None
+
+let attrs_of = function
+  | Obs.Span_ev s -> s.Obs.attrs
+  | Obs.Instant_ev i -> i.attrs
+
+let trace_of ev = attr_int "trace" (attrs_of ev)
+
+type request = {
+  r_trace : int;
+  r_engine : string;
+  r_start : float;
+  r_finish : float;
+  r_e2e : float;
+  r_ok : bool;
+  r_attempts : int;
+  r_sheds : int;
+  r_blame : (string * float) list;
+}
+
+(* --- span-tree descent ---
+
+   Tiles of [t0, t1] for one span: children (by parent id) sorted by
+   start, clipped to the parent window and to the running cursor; the
+   span's own uncovered time keeps the span's label. *)
+
+let is_exec name = name = "exec" || name = "serve.exec"
+
+let rec span_tiles children label (s : Obs.span) =
+  let t0 = s.Obs.t0 and t1 = s.Obs.t0 +. s.Obs.dur in
+  let kids =
+    (match Hashtbl.find_opt children s.Obs.id with Some l -> l | None -> [])
+    |> List.sort (fun a b -> compare (a.Obs.t0, a.Obs.id) (b.Obs.t0, b.Obs.id))
+  in
+  let cursor = ref t0 in
+  let out = ref [] in
+  List.iter
+    (fun (k : Obs.span) ->
+      let k0 = Float.max !cursor k.Obs.t0
+      and k1 = Float.min t1 (k.Obs.t0 +. k.Obs.dur) in
+      if k1 > !cursor then begin
+        if k0 > !cursor then out := (!cursor, k0, label) :: !out;
+        let sub = span_tiles children k.Obs.name { k with Obs.t0 = k0; dur = k1 -. k0 } in
+        out := List.rev_append sub !out;
+        cursor := k1
+      end)
+    kids;
+  if t1 > !cursor then out := (!cursor, t1, label) :: !out;
+  List.rev !out
+
+(* --- per-trace decomposition --- *)
+
+let close_blame ~e2e tiles_labels =
+  (* Aggregate per label preserving first-appearance order, then make
+     the fold exact: the last label's duration is e2e minus the fold of
+     the others. *)
+  let order = ref [] in
+  let tbl : (string, float ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (label, d) ->
+      match Hashtbl.find_opt tbl label with
+      | Some r -> r := !r +. d
+      | None ->
+        Hashtbl.add tbl label (ref d);
+        order := label :: !order)
+    tiles_labels;
+  match List.rev !order with
+  | [] -> []
+  | labels ->
+    let rec split acc = function
+      | [] -> assert false
+      | [ last ] -> (List.rev acc, last)
+      | l :: tl -> split (l :: acc) tl
+    in
+    let init, last = split [] labels in
+    let init = List.map (fun l -> (l, !(Hashtbl.find tbl l))) init in
+    let s = List.fold_left (fun acc (_, d) -> acc +. d) 0. init in
+    init @ [ (last, e2e -. s) ]
+
+let analyze_trace children t evs =
+  let spans =
+    List.filter_map (function Obs.Span_ev s -> Some s | _ -> None) evs
+  in
+  (* (name, ts, attrs) projections of the trace's instant events *)
+  let instants =
+    List.filter_map
+      (function
+        | Obs.Instant_ev { name; ts; attrs; _ } -> Some (name, ts, attrs)
+        | _ -> None)
+      evs
+  in
+  let times =
+    List.concat_map (fun (s : Obs.span) -> [ s.Obs.t0; s.Obs.t0 +. s.Obs.dur ]) spans
+    @ List.map (fun (_, ts, _) -> ts) instants
+  in
+  match times with
+  | [] -> None
+  | _ :: _ ->
+    let first = List.fold_left Float.min infinity times in
+    let last = List.fold_left Float.max neg_infinity times in
+    let e2e = last -. first in
+    (* Anchor tiles from spans. *)
+    let span_anchor (s : Obs.span) =
+      if s.Obs.name = "queue" then begin
+        let t1 = s.Obs.t0 +. s.Obs.dur in
+        match attr_float "mem_wait_s" s.Obs.attrs with
+        | Some m when m > 0. && m <= s.Obs.dur ->
+          [ (s.Obs.t0, t1 -. m, "queue"); (t1 -. m, t1, "mem_wait") ]
+        | _ -> [ (s.Obs.t0, t1, "queue") ]
+      end
+      else if is_exec s.Obs.name then span_tiles children "exec" s
+      else if s.Obs.parent = -1 then span_tiles children s.Obs.name s
+      else []
+      (* non-root spans with a trace attr are reached through their
+         parent's descent; skipping them avoids double-counting *)
+    in
+    let expire_tiles =
+      (* queued-then-expired attempts emit no queue span; close their
+         wait from the admit/expire pair, matched by request id. *)
+      List.filter_map
+        (fun (name, ts, attrs) ->
+          if name <> "serve.expire" then None
+          else
+            match attr_int "id" attrs with
+            | None -> None
+            | Some rid ->
+              List.find_map
+                (fun (aname, ats, aattrs) ->
+                  if aname = "serve.admit" && attr_int "id" aattrs = Some rid
+                  then Some (ats, ts, "queue")
+                  else None)
+                instants)
+        instants
+      |> List.filter (fun (a, b, _) -> b > a)
+    in
+    let anchors =
+      List.concat_map span_anchor spans @ expire_tiles
+      |> List.sort (fun (a0, a1, _) (b0, b1, _) -> compare (a0, a1) (b0, b1))
+    in
+    (* Gap labels from retry instants: a backoff gap after a
+       breaker-open shed is breaker cooldown, anything else is retry
+       backoff. *)
+    let markers =
+      List.filter_map
+        (fun (name, ts, attrs) ->
+          if name <> "client.retry" then None
+          else
+            let label =
+              match attr_str "reason" attrs with
+              | Some "shed:breaker_open" -> "breaker_cooldown"
+              | _ -> "retry_backoff"
+            in
+            Some (ts, label))
+        instants
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let gap_label upto =
+      List.fold_left
+        (fun acc (ts, l) -> if ts <= upto +. 1e-12 then Some l else acc)
+        None markers
+      |> Option.value ~default:"other"
+    in
+    let cursor = ref first in
+    let tiles = ref [] in
+    List.iter
+      (fun (a, b, label) ->
+        if b > !cursor then begin
+          let a = Float.max a !cursor in
+          if a > !cursor then tiles := (gap_label a, a -. !cursor) :: !tiles;
+          tiles := (label, b -. a) :: !tiles;
+          cursor := b
+        end)
+      anchors;
+    if last > !cursor then tiles := (gap_label last, last -. !cursor) :: !tiles;
+    let blame = close_blame ~e2e (List.rev !tiles) in
+    let engine =
+      List.fold_left
+        (fun acc ev ->
+          match acc with
+          | Some _ -> acc
+          | None -> attr_str "engine" (attrs_of ev))
+        None evs
+      |> Option.value ~default:"?"
+    in
+    let ok =
+      List.exists
+        (fun (s : Obs.span) ->
+          is_exec s.Obs.name
+          &&
+          match List.assoc_opt "ok" s.Obs.attrs with
+          | Some (Obs.Bool b) -> b
+          | _ -> not (List.mem_assoc "error" s.Obs.attrs))
+        spans
+    in
+    let attempts =
+      List.fold_left
+        (fun acc ev ->
+          match attr_int "attempt" (attrs_of ev) with
+          | Some a -> max acc a
+          | None -> acc)
+        1 evs
+    in
+    let sheds =
+      List.length
+        (List.filter
+           (fun (name, _, attrs) ->
+             name = "serve.admit"
+             &&
+             match attr_str "decision" attrs with
+             | Some d -> String.length d >= 4 && String.sub d 0 4 = "shed"
+             | None -> false)
+           instants)
+    in
+    Some
+      {
+        r_trace = t;
+        r_engine = engine;
+        r_start = first;
+        r_finish = last;
+        r_e2e = e2e;
+        r_ok = ok;
+        r_attempts = attempts;
+        r_sheds = sheds;
+        r_blame = blame;
+      }
+
+let requests events =
+  (* Child index over ALL spans (engine phases under a live exec span
+     carry no trace attr, only a parent link). *)
+  let children : (int, Obs.span list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Obs.Span_ev s when s.Obs.parent >= 0 ->
+        let prev =
+          match Hashtbl.find_opt children s.Obs.parent with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace children s.Obs.parent (s :: prev)
+      | _ -> ())
+    events;
+  let by_trace : (int, Obs.event list) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      match trace_of ev with
+      | None -> ()
+      | Some t ->
+        (match Hashtbl.find_opt by_trace t with
+        | Some l -> Hashtbl.replace by_trace t (ev :: l)
+        | None ->
+          Hashtbl.add by_trace t [ ev ];
+          order := t :: !order))
+    events;
+  List.sort compare !order
+  |> List.filter_map (fun t ->
+         analyze_trace children t (List.rev (Hashtbl.find by_trace t)))
+
+let of_chrome serialized =
+  Result.map requests (Trace_export.events_of_chrome serialized)
+
+let blame_total r = List.fold_left (fun acc (_, d) -> acc +. d) 0. r.r_blame
+
+let check reqs =
+  let rec go n = function
+    | [] -> Ok n
+    | r :: tl ->
+      let total = blame_total r in
+      if total = r.r_e2e then go (n + 1) tl
+      else
+        Error
+          (Printf.sprintf
+             "trace %d: blame sum %.17g <> e2e %.17g (diff %.3g)" r.r_trace
+             total r.r_e2e (total -. r.r_e2e))
+  in
+  go 0 reqs
+
+(* --- cross-request profile --- *)
+
+type profile_entry = {
+  p_label : string;
+  p_requests : int;
+  p_total : float;
+  p_mean_share : float;
+  p_p50_share : float;
+  p_p99_share : float;
+}
+
+(* Nearest-rank quantile over a sorted array (gb_obs cannot depend on
+   gb_stats). *)
+let quantile p arr =
+  let n = Array.length arr in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+    arr.(max 0 (min (n - 1) idx))
+
+let profile reqs =
+  let labels = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (l, _) -> if not (List.mem l !labels) then labels := l :: !labels)
+        r.r_blame)
+    reqs;
+  !labels |> List.sort compare
+  |> List.map (fun label ->
+         let present = ref 0 and total = ref 0. in
+         let shares =
+           List.map
+             (fun r ->
+               match List.assoc_opt label r.r_blame with
+               | Some d ->
+                 incr present;
+                 total := !total +. d;
+                 if r.r_e2e > 0. then d /. r.r_e2e else 0.
+               | None -> 0.)
+             reqs
+           |> Array.of_list
+         in
+         Array.sort compare shares;
+         let n = Array.length shares in
+         let mean =
+           if n = 0 then 0.
+           else Array.fold_left ( +. ) 0. shares /. float_of_int n
+         in
+         {
+           p_label = label;
+           p_requests = !present;
+           p_total = !total;
+           p_mean_share = mean;
+           p_p50_share = quantile 0.50 shares;
+           p_p99_share = quantile 0.99 shares;
+         })
+  |> List.sort (fun a b ->
+         match compare b.p_total a.p_total with
+         | 0 -> compare a.p_label b.p_label
+         | c -> c)
+
+(* --- trace diff --- *)
+
+type diff_entry = {
+  d_label : string;
+  d_base_mean : float;
+  d_new_mean : float;
+  d_delta : float;
+}
+
+let mean_blame reqs =
+  let n = List.length reqs in
+  if n = 0 then []
+  else
+    let tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (l, d) ->
+            match Hashtbl.find_opt tbl l with
+            | Some x -> x := !x +. d
+            | None -> Hashtbl.add tbl l (ref d))
+          r.r_blame)
+      reqs;
+    let e2e = List.fold_left (fun acc r -> acc +. r.r_e2e) 0. reqs in
+    ("e2e", e2e /. float_of_int n)
+    :: (Hashtbl.fold (fun l x acc -> (l, !x /. float_of_int n) :: acc) tbl []
+       |> List.sort compare)
+
+let diff base new_ =
+  let b = mean_blame base and n = mean_blame new_ in
+  let labels =
+    List.sort_uniq compare (List.map fst b @ List.map fst n)
+  in
+  List.map
+    (fun label ->
+      let get l = Option.value ~default:0. (List.assoc_opt label l) in
+      let bm = get b and nm = get n in
+      { d_label = label; d_base_mean = bm; d_new_mean = nm; d_delta = nm -. bm })
+    labels
+  |> List.sort (fun a b ->
+         match compare (Float.abs b.d_delta) (Float.abs a.d_delta) with
+         | 0 -> compare a.d_label b.d_label
+         | c -> c)
+
+(* --- renderers --- *)
+
+let render_requests ?(limit = 20) reqs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%8s %-10s %10s %3s %3s %3s  %s\n" "trace" "engine"
+       "e2e_s" "att" "shd" "ok" "blame");
+  List.iteri
+    (fun i r ->
+      if i < limit then
+        Buffer.add_string buf
+          (Printf.sprintf "%8d %-10s %10.6f %3d %3d %3s  %s\n" r.r_trace
+             r.r_engine r.r_e2e r.r_attempts r.r_sheds
+             (if r.r_ok then "yes" else "no")
+             (String.concat ", "
+                (List.map
+                   (fun (l, d) -> Printf.sprintf "%s=%.6f" l d)
+                   r.r_blame))))
+    reqs;
+  let n = List.length reqs in
+  if n > limit then
+    Buffer.add_string buf (Printf.sprintf "... (%d more requests)\n" (n - limit));
+  Buffer.contents buf
+
+let render_profile entries =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %8s %12s %7s %7s %7s\n" "segment" "reqs" "total_s"
+       "mean%" "p50%" "p99%");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %8d %12.6f %6.1f%% %6.1f%% %6.1f%%\n" e.p_label
+           e.p_requests e.p_total
+           (100. *. e.p_mean_share)
+           (100. *. e.p_p50_share)
+           (100. *. e.p_p99_share)))
+    entries;
+  Buffer.contents buf
+
+let render_diff entries =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %12s %12s %12s\n" "segment" "base_s/req"
+       "new_s/req" "delta_s");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-24s %12.6f %12.6f %+12.6f\n" e.d_label
+           e.d_base_mean e.d_new_mean e.d_delta))
+    entries;
+  (match List.find_opt (fun e -> e.d_label <> "e2e") entries with
+  | Some top when Float.abs top.d_delta > 0. ->
+    Buffer.add_string buf
+      (Printf.sprintf "latency moved most in %S: %+.6f s/request\n"
+         top.d_label top.d_delta)
+  | _ -> Buffer.add_string buf "no latency movement\n");
+  Buffer.contents buf

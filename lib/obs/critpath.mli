@@ -1,0 +1,93 @@
+(** Critical-path analysis of request-scoped traces.
+
+    Reconstructs every request's story from a trace (the live collector,
+    a flight-recorder dump, or an exported Chrome JSON file) using the
+    serve layer's linking conventions — the [("trace", Int id)] attr on
+    [serve.admit]/[serve.expire]/[serve.cancel]/[client.retry] instants
+    and [queue]/[exec] spans — and decomposes each request's end-to-end
+    latency into non-overlapping blame segments:
+
+    - [queue]: admission-queue wait (including queued-then-expired
+      attempts, closed from their admit/expire instants);
+    - [mem_wait]: the tail of a queue wait spent blocked on the memory
+      budget (from the [mem_wait_s] span attr);
+    - [exec]: lane execution, minus any child spans;
+    - child span names: engine phases / volcano operators on the
+      critical path, descended via parent links;
+    - [breaker_cooldown] / [retry_backoff]: gaps between attempts,
+      labeled from the preceding [client.retry] instant's reason
+      (breaker-open sheds cool down, everything else backs off);
+    - [other]: uncovered time with no attributable cause.
+
+    Exactness: within each request the segment durations sum *exactly*
+    (float equality) to [r_e2e = r_finish -. r_start]. The last segment
+    is computed as [e2e -. sum_of_the_rest], which is exact by the
+    Sterbenz argument whenever the rest is under twice the total — true
+    here since segments are non-overlapping tiles of the request window.
+    {!check} asserts the identity; {!blame_total} is the canonical fold
+    both sides use. A segment can come out a few ulps negative when
+    rounding overshoots; exactness is preserved. *)
+
+type request = {
+  r_trace : int;
+  r_engine : string;
+  r_start : float;
+  r_finish : float;
+  r_e2e : float;  (** [r_finish -. r_start] *)
+  r_ok : bool;  (** some attempt executed with [ok=true] *)
+  r_attempts : int;
+  r_sheds : int;  (** attempts shed at admission *)
+  r_blame : (string * float) list;
+      (** per-label seconds; {!blame_total} equals [r_e2e] exactly *)
+}
+
+val requests : Obs.event list -> request list
+(** One record per trace id, ascending. Events without a trace attr
+    contribute only as span-tree parents (engine phases under a live
+    exec span). *)
+
+val of_chrome : string -> (request list, string) result
+(** {!Trace_export.events_of_chrome} composed with {!requests}. *)
+
+val blame_total : request -> float
+(** Left fold of the blame durations in stored order — the fold
+    {!check} compares against [r_e2e]. *)
+
+val check : request list -> (int, string) result
+(** Verify the blame-sum identity for every request: [Ok n] with the
+    number of requests checked, or the first violation with its trace
+    id and the offending difference. *)
+
+type profile_entry = {
+  p_label : string;
+  p_requests : int;  (** requests where the label appears *)
+  p_total : float;  (** summed seconds across requests *)
+  p_mean_share : float;  (** mean of per-request share of e2e *)
+  p_p50_share : float;
+  p_p99_share : float;
+}
+
+val profile : request list -> profile_entry list
+(** Cross-request blame profile, largest total first. Shares are per
+    request ([d /. e2e], 0 for requests without the label) so the p50
+    and p99 columns read "what fraction of a request's latency this
+    segment takes at the median / in the tail". *)
+
+type diff_entry = {
+  d_label : string;
+  d_base_mean : float;  (** mean seconds per request, base capture *)
+  d_new_mean : float;
+  d_delta : float;  (** [d_new_mean -. d_base_mean] *)
+}
+
+val diff : request list -> request list -> diff_entry list
+(** Trace-diff regression attributor: compare two captures label by
+    label (union), sorted by absolute latency movement. The pseudo-label
+    [e2e] tracks mean end-to-end latency itself. *)
+
+val render_requests : ?limit:int -> request list -> string
+val render_profile : profile_entry list -> string
+
+val render_diff : diff_entry list -> string
+(** Table plus a one-line verdict naming the segment where latency
+    moved the most. *)

@@ -44,7 +44,28 @@ let string_of_value = function
    per-domain tracks, reusing the per-node tid convention the simulated
    engines already have. *)
 
-let on = Atomic.make false
+(* One atomic word carries every capture mode, so the fully-disabled
+   hook is still a single load-and-branch (the PR-3 overhead contract):
+   bit 0 is the in-memory collector, bit 1 the flight-recorder sink. *)
+let collector_bit = 1
+let recorder_bit = 2
+
+let flags = Atomic.make 0
+
+let set_bit bit b =
+  let rec go () =
+    let old = Atomic.get flags in
+    let next = if b then old lor bit else old land lnot bit in
+    if not (Atomic.compare_and_set flags old next) then go ()
+  in
+  go ()
+
+(* The recorder installs itself here once at [Recorder.start]; the ref
+   is only read when the recorder bit is set, so the default never
+   runs. *)
+let sink : (event -> unit) ref = ref (fun _ -> ())
+let set_sink f = sink := f
+
 let epoch = ref (Unix.gettimeofday ())
 
 (* Guards [buf] and [count]; every reader/writer of the event stream
@@ -71,8 +92,13 @@ let domain_tid_key = Domain.DLS.new_key (fun () -> 0)
 let domain_tid () = Domain.DLS.get domain_tid_key
 let set_domain_tid t = Domain.DLS.set domain_tid_key t
 
-let enabled () = Atomic.get on
-let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get flags land collector_bit <> 0
+let set_enabled b = set_bit collector_bit b
+
+let recording () = Atomic.get flags land recorder_bit <> 0
+let set_recording b = set_bit recorder_bit b
+
+let active () = Atomic.get flags <> 0
 
 let reset () =
   Mutex.lock collector_m;
@@ -86,10 +112,14 @@ let reset () =
 let now () = Unix.gettimeofday () -. !epoch
 
 let record ev =
-  Mutex.lock collector_m;
-  buf := ev :: !buf;
-  incr count;
-  Mutex.unlock collector_m
+  let f = Atomic.get flags in
+  if f land collector_bit <> 0 then begin
+    Mutex.lock collector_m;
+    buf := ev :: !buf;
+    incr count;
+    Mutex.unlock collector_m
+  end;
+  if f land recorder_bit <> 0 then !sink ev
 
 let events () =
   Mutex.lock collector_m;
@@ -121,7 +151,7 @@ module Span = struct
   let current_parent () = match !(stack ()) with [] -> -1 | f :: _ -> f.f_id
 
   let with_ ?(cat = "span") ?(attrs = []) ?attrs_after ?dur_of ~name f =
-    if not (Atomic.get on) then f ()
+    if Atomic.get flags = 0 then f ()
     else begin
       let id = Atomic.fetch_and_add next_id 1 in
       let parent = current_parent () in
@@ -165,7 +195,7 @@ module Span = struct
     end
 
   let emit ?(cat = "span") ?(attrs = []) ?(track = Sim) ?tid ~name ~t0 ~t1 () =
-    if Atomic.get on then begin
+    if Atomic.get flags <> 0 then begin
       (* Wall emits default to the emitting domain's track; Sim spans
          keep the explicit per-node tid convention (default 0). *)
       let tid =
@@ -191,7 +221,7 @@ module Span = struct
     end
 
   let instant ?(attrs = []) ?(track = Wall) ?tid ?ts ~name () =
-    if Atomic.get on then begin
+    if Atomic.get flags <> 0 then begin
       let tid =
         match tid with
         | Some t -> t
@@ -208,7 +238,7 @@ module Log = struct
     | None -> ()
     | Some f ->
       f (Printf.sprintf "[+%8.3fs] %s" (Unix.gettimeofday () -. !epoch) msg));
-    if Atomic.get on then
+    if Atomic.get flags <> 0 then
       record
         (Instant_ev
            {

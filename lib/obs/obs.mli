@@ -43,7 +43,28 @@ type event =
 val string_of_value : value -> string
 
 val enabled : unit -> bool
+(** The in-memory collector flag: spans and instants accumulate in the
+    process-global event buffer read back by {!events}. *)
+
 val set_enabled : bool -> unit
+
+val recording : unit -> bool
+(** The flight-recorder flag (bit 1 of the same atomic word): when set,
+    every produced event is also handed to the sink installed with
+    {!set_sink} — the always-on bounded capture path ({!Recorder}) that
+    works with the collector off. *)
+
+val set_recording : bool -> unit
+
+val active : unit -> bool
+(** [enabled () || recording ()], read with one atomic load — the guard
+    call sites use around span-building work so the fully-disabled mode
+    keeps the one-load-and-branch overhead contract. *)
+
+val set_sink : (event -> unit) -> unit
+(** Install the recorder sink. Called once by {!Recorder.start}; the
+    sink is only invoked while {!recording} is set and must be
+    domain-safe. *)
 
 val domain_tid : unit -> int
 (** Trace track id of the calling domain: 0 on the main domain; the

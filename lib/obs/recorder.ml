@@ -1,0 +1,288 @@
+(* Flight recorder: bounded ring of recent events + tail-based sampling
+   + anomaly-triggered dumps. See the mli for the capture model.
+
+   Domain-safety: every piece of state sits behind one mutex. The sink
+   runs on whichever domain produced the event (pool workers included),
+   and observe/trigger hooks run on the serving thread; the ring
+   operations are O(1) so the critical sections stay short. Hooks
+   early-return on the recording bit (one atomic load) so the stopped
+   recorder costs the same as disabled tracing. *)
+
+type config = {
+  capacity : int;
+  sample_every : int;
+  tail_latency_s : float;
+  shed_spike : int;
+  shed_window_s : float;
+  cooldown_s : float;
+  max_dumps : int;
+}
+
+let default =
+  {
+    capacity = 8192;
+    sample_every = 10;
+    tail_latency_s = 1.0;
+    shed_spike = 10;
+    shed_window_s = 1.0;
+    cooldown_s = 5.0;
+    max_dumps = 8;
+  }
+
+type reason = Slo_fire | Breaker_open | Shed_spike | Tail_latency | Manual
+
+let reason_label = function
+  | Slo_fire -> "slo_fire"
+  | Breaker_open -> "breaker_open"
+  | Shed_spike -> "shed_spike"
+  | Tail_latency -> "tail_latency"
+  | Manual -> "manual"
+
+type dump = {
+  d_seq : int;
+  d_reason : reason;
+  d_at : float;
+  d_events : Obs.event list;
+  d_kept : int list;
+  d_sampled : int list;
+  d_ring_dropped : int;
+}
+
+type stats = {
+  s_seen : int;
+  s_ring_dropped : int;
+  s_responses : int;
+  s_tail_kept : int;
+  s_fail_kept : int;
+  s_fast_sampled : int;
+  s_fast_discarded : int;
+  s_dumps : int;
+  s_suppressed : int;
+}
+
+(* --- state (all behind [m]) --- *)
+
+let m = Mutex.create ()
+let cfg = ref default
+
+(* Ring of recent events: [ring.(i)] valid for the last [filled] slots
+   ending at [head - 1] (mod capacity). *)
+let ring : Obs.event option array ref = ref [||]
+let head = ref 0
+let filled = ref 0
+let seen = ref 0
+let ring_dropped = ref 0
+
+(* Sticky per-trace keep decision: [true] = keep (slow, failed, or
+   sampled), [false] = discarded fast trace. Absent = undecided. *)
+let decided : (int, bool) Hashtbl.t = Hashtbl.create 512
+let sampled : (int, unit) Hashtbl.t = Hashtbl.create 64
+let fast_counter = ref 0
+let responses = ref 0
+let tail_kept = ref 0
+let fail_kept = ref 0
+let fast_sampled = ref 0
+let fast_discarded = ref 0
+
+(* Shed timestamps inside the spike window, oldest first. *)
+let sheds : float Queue.t = Queue.create ()
+
+let dumps_rev : dump list ref = ref []
+let dump_count = ref 0
+let suppressed = ref 0
+let last_dump_at = ref neg_infinity
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let reset_locked () =
+  ring := Array.make (max 1 !cfg.capacity) None;
+  head := 0;
+  filled := 0;
+  seen := 0;
+  ring_dropped := 0;
+  Hashtbl.reset decided;
+  Hashtbl.reset sampled;
+  fast_counter := 0;
+  responses := 0;
+  tail_kept := 0;
+  fail_kept := 0;
+  fast_sampled := 0;
+  fast_discarded := 0;
+  Queue.clear sheds;
+  dumps_rev := [];
+  dump_count := 0;
+  suppressed := 0;
+  last_dump_at := neg_infinity
+
+let push ev =
+  locked (fun () ->
+      let r = !ring in
+      let n = Array.length r in
+      if n > 0 then begin
+        r.(!head) <- Some ev;
+        head := (!head + 1) mod n;
+        if !filled < n then incr filled else incr ring_dropped;
+        incr seen
+      end)
+
+let start ?(config = default) () =
+  locked (fun () ->
+      cfg := config;
+      reset_locked ());
+  Obs.set_sink push;
+  Obs.set_recording true
+
+let stop () = Obs.set_recording false
+let recording () = Obs.recording ()
+let clear () = locked reset_locked
+
+(* --- tail-based sampling --- *)
+
+(* Trace id of an event, when it carries one. Both spans and instants
+   use the ("trace", Int id) attr convention from the serve layer. *)
+let trace_of = function
+  | Obs.Span_ev s -> (
+    match List.assoc_opt "trace" s.Obs.attrs with
+    | Some (Obs.Int t) -> Some t
+    | _ -> None)
+  | Obs.Instant_ev i -> (
+    match List.assoc_opt "trace" i.attrs with
+    | Some (Obs.Int t) -> Some t
+    | _ -> None)
+
+let snapshot_locked () =
+  let r = !ring in
+  let n = Array.length r in
+  let out = ref [] in
+  (* oldest slot is head - filled (mod n); walk forward *)
+  for k = !filled - 1 downto 0 do
+    let i = ((!head - 1 - k) mod n + n) mod n in
+    match r.(i) with Some ev -> out := ev :: !out | None -> ()
+  done;
+  List.rev !out
+
+let take_dump_locked reason now =
+  let keep_trace t =
+    match Hashtbl.find_opt decided t with Some b -> b | None -> false
+  in
+  let events =
+    snapshot_locked ()
+    |> List.filter (fun ev ->
+           match trace_of ev with None -> true | Some t -> keep_trace t)
+  in
+  let kept =
+    Hashtbl.fold (fun t b acc -> if b then t :: acc else acc) decided []
+    |> List.sort compare
+  in
+  let samp =
+    Hashtbl.fold (fun t () acc -> t :: acc) sampled [] |> List.sort compare
+  in
+  let seq = !dump_count in
+  let marker =
+    Obs.Instant_ev
+      {
+        name = "recorder.dump";
+        track = Obs.Sim;
+        tid = 0;
+        ts = now;
+        attrs =
+          [
+            ("reason", Obs.Str (reason_label reason));
+            ("seq", Obs.Int seq);
+            ("kept_traces", Obs.Int (List.length kept));
+            ("ring_dropped", Obs.Int !ring_dropped);
+          ];
+      }
+  in
+  let d =
+    {
+      d_seq = seq;
+      d_reason = reason;
+      d_at = now;
+      d_events = events @ [ marker ];
+      d_kept = kept;
+      d_sampled = samp;
+      d_ring_dropped = !ring_dropped;
+    }
+  in
+  dumps_rev := d :: !dumps_rev;
+  incr dump_count;
+  last_dump_at := now
+
+let trigger ?(reason = Manual) ~now () =
+  if Obs.recording () then
+    locked (fun () ->
+        let auto = reason <> Manual in
+        if
+          auto
+          && (!dump_count >= !cfg.max_dumps
+             || now -. !last_dump_at < !cfg.cooldown_s)
+        then incr suppressed
+        else take_dump_locked reason now)
+
+let observe_response ~trace ~latency_s ~ok ~now =
+  if Obs.recording () then begin
+    let fire = ref false in
+    locked (fun () ->
+        incr responses;
+        let interesting = (not ok) || latency_s >= !cfg.tail_latency_s in
+        (match (Hashtbl.find_opt decided trace, interesting) with
+        | Some true, _ -> ()
+        | (Some false | None), true ->
+          (* Upgrade (or first-sight keep). An earlier fast-sampling
+             decision stands in the counters but the trace is kept. *)
+          Hashtbl.replace decided trace true;
+          if ok then incr tail_kept else incr fail_kept
+        | Some false, false -> ()
+        | None, false ->
+          incr fast_counter;
+          let keep =
+            !cfg.sample_every > 0 && (!fast_counter - 1) mod !cfg.sample_every = 0
+          in
+          Hashtbl.replace decided trace keep;
+          if keep then begin
+            Hashtbl.replace sampled trace ();
+            incr fast_sampled
+          end
+          else incr fast_discarded);
+        if ok && latency_s >= !cfg.tail_latency_s then fire := true);
+    if !fire then trigger ~reason:Tail_latency ~now ()
+  end
+
+let observe_shed ~now =
+  if Obs.recording () then begin
+    let fire = ref false in
+    locked (fun () ->
+        Queue.push now sheds;
+        while
+          (not (Queue.is_empty sheds))
+          && now -. Queue.peek sheds > !cfg.shed_window_s
+        do
+          ignore (Queue.pop sheds)
+        done;
+        if Queue.length sheds >= !cfg.shed_spike then begin
+          Queue.clear sheds;
+          fire := true
+        end);
+    if !fire then trigger ~reason:Shed_spike ~now ()
+  end
+
+let dumps () = locked (fun () -> List.rev !dumps_rev)
+
+let stats () =
+  locked (fun () ->
+      {
+        s_seen = !seen;
+        s_ring_dropped = !ring_dropped;
+        s_responses = !responses;
+        s_tail_kept = !tail_kept;
+        s_fail_kept = !fail_kept;
+        s_fast_sampled = !fast_sampled;
+        s_fast_discarded = !fast_discarded;
+        s_dumps = !dump_count;
+        s_suppressed = !suppressed;
+      })
+
+let chrome_of_dump d = Trace_export.chrome_json d.d_events

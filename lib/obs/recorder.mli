@@ -1,0 +1,103 @@
+(** Flight recorder: a bounded, domain-safe ring of recent trace events
+    with tail-based sampling and anomaly-triggered Chrome-trace dumps.
+
+    Unlike the in-memory collector ({!Obs.set_enabled}), which keeps
+    everything and is too expensive to leave on under load, the recorder
+    is built to run always-on: events stream through {!Obs.set_sink}
+    into a fixed-capacity ring (drop-oldest, drops counted), and nothing
+    is serialized until a trigger fires — an SLO burn-rate alert, a
+    circuit breaker opening, a shed spike, a single request crossing the
+    tail-latency threshold, or a manual request. A dump snapshots the
+    ring and keeps only *interesting* traces: every trace that was slow
+    or failed, plus a deterministic 1-in-[sample_every] sample of fast
+    ones; the rest are discarded (tail-based sampling). Context events
+    that carry no trace id (breaker transitions, SLO instants, log
+    lines) always survive the filter.
+
+    With the recorder stopped, serve-path hooks reduce to the same
+    single-atomic-load-and-branch as disabled tracing. All decisions are
+    driven by the caller's clock in observation order, so on the
+    simulated server the kept-trace sets and dump instants are
+    bit-identical across runs. *)
+
+type config = {
+  capacity : int;  (** ring slots; oldest events are overwritten *)
+  sample_every : int;
+      (** keep 1 of every N fast traces; [<= 0] keeps none of them *)
+  tail_latency_s : float;
+      (** a response at or over this latency marks its trace kept and
+          fires a {!Tail_latency} trigger *)
+  shed_spike : int;
+      (** sheds within [shed_window_s] that fire a {!Shed_spike} trigger *)
+  shed_window_s : float;
+  cooldown_s : float;  (** minimum clock gap between automatic dumps *)
+  max_dumps : int;  (** automatic-dump cap per run; manual dumps exempt *)
+}
+
+val default : config
+
+type reason = Slo_fire | Breaker_open | Shed_spike | Tail_latency | Manual
+
+val reason_label : reason -> string
+
+type dump = {
+  d_seq : int;  (** 0-based dump sequence number *)
+  d_reason : reason;
+  d_at : float;  (** trigger time on the caller's clock *)
+  d_events : Obs.event list;
+      (** surviving events, oldest first, terminated by a
+          [recorder.dump] instant stamped at [d_at] *)
+  d_kept : int list;  (** kept trace ids, ascending *)
+  d_sampled : int list;
+      (** subset of [d_kept] kept only by fast-trace sampling *)
+  d_ring_dropped : int;  (** ring drop-oldest count at dump time *)
+}
+
+type stats = {
+  s_seen : int;  (** events offered to the ring *)
+  s_ring_dropped : int;
+  s_responses : int;
+  s_tail_kept : int;  (** traces kept for crossing [tail_latency_s] *)
+  s_fail_kept : int;  (** traces kept for a failed disposition *)
+  s_fast_sampled : int;
+  s_fast_discarded : int;
+  s_dumps : int;
+  s_suppressed : int;  (** automatic triggers eaten by cooldown/cap *)
+}
+
+val start : ?config:config -> unit -> unit
+(** Reset all recorder state, install the {!Obs} sink, and set the
+    recording bit. Idempotent; restarting clears prior dumps. *)
+
+val stop : unit -> unit
+(** Clear the recording bit. Ring contents and dumps remain readable. *)
+
+val recording : unit -> bool
+
+val clear : unit -> unit
+(** Drop ring contents, sampling state, dumps and counters, keeping the
+    configuration and the recording bit as they are. *)
+
+val observe_response : trace:int -> latency_s:float -> ok:bool -> now:float -> unit
+(** Feed one request outcome. The keep decision per trace is sticky: a
+    slow or failed attempt upgrades the trace to kept even if an earlier
+    attempt sampled it out. Fast traces consume one deterministic
+    counter tick on first sight only. No-op while not recording. *)
+
+val observe_shed : now:float -> unit
+(** Feed one shed event; [shed_spike] of these within [shed_window_s]
+    fire a {!Shed_spike} trigger. No-op while not recording. *)
+
+val trigger : ?reason:reason -> now:float -> unit -> unit
+(** Fire a trigger (default {!Manual}). Automatic reasons respect the
+    cooldown and [max_dumps]; manual dumps bypass both. No-op while not
+    recording. *)
+
+val dumps : unit -> dump list
+(** Dumps taken since the last {!start}/{!clear}, oldest first. *)
+
+val stats : unit -> stats
+
+val chrome_of_dump : dump -> string
+(** Serialize a dump with {!Trace_export.chrome_json}; the result passes
+    {!Trace_export.validate_chrome}. *)

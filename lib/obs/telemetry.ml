@@ -397,6 +397,8 @@ module Window = struct
     w_sums : float array;
     w_counts : int array;
     mutable cur : int;  (** absolute index of the newest sub-window *)
+    mutable advanced : int;  (** sub-window slots recycled so far *)
+    mutable dropped : int;  (** observations older than the ring *)
     w_lock : Mutex.t;
   }
 
@@ -414,6 +416,8 @@ module Window = struct
       w_sums = Array.make windows 0.;
       w_counts = Array.make windows 0;
       cur = 0;
+      advanced = 0;
+      dropped = 0;
       w_lock = Mutex.create ();
     }
 
@@ -434,6 +438,7 @@ module Window = struct
         t.w_sums.(s) <- 0.;
         t.w_counts.(s) <- 0
       done;
+      t.advanced <- t.advanced + steps;
       t.cur <- abs
     end
 
@@ -447,7 +452,8 @@ module Window = struct
           t.rings.(s).(i) <- t.rings.(s).(i) + 1;
           t.w_sums.(s) <- t.w_sums.(s) +. v;
           t.w_counts.(s) <- t.w_counts.(s) + 1
-        end)
+        end
+        else t.dropped <- t.dropped + 1)
 
   (* Merged counts over the sub-windows intersecting
      [now - horizon, now]. *)
@@ -484,4 +490,10 @@ module Window = struct
     locked t.w_lock (fun () ->
         let merged, _, _ = agg_locked t ~now ~horizon_s in
         quantile_of_counts ~buckets:t.w_buckets ~counts:merged q)
+
+  (* Visibility into the ring's churn: how many sub-window slots have
+     been recycled and how many observations arrived too old to land.
+     Non-zero drops mean the live quantiles silently miss data. *)
+  let advanced t = locked t.w_lock (fun () -> t.advanced)
+  let dropped t = locked t.w_lock (fun () -> t.dropped)
 end

@@ -133,4 +133,13 @@ module Window : sig
 
   (** Interpolated quantile over the last [horizon_s] seconds. *)
   val quantile : t -> now:float -> horizon_s:float -> float -> float option
+
+  val advanced : t -> int
+  (** Sub-window slots recycled so far by lazy advancement — how much of
+      the ring has rolled over since creation. *)
+
+  val dropped : t -> int
+  (** Observations dropped for arriving more than the ring's span behind
+      the newest sub-window. Non-zero means the live quantiles have
+      silent gaps; snapshot consumers should surface it. *)
 end

@@ -55,9 +55,12 @@ let chrome_json events =
       match ev with
       | Obs.Span_ev s ->
         note_tid s.track s.tid;
+        (* "span_id", not "id": serve-layer spans already carry a
+           request-scoped "id" attr and the two must not collide. *)
         let args =
           args_json
             (s.attrs
+            @ [ ("span_id", Obs.Int s.id) ]
             @ (if s.parent >= 0 then [ ("parent", Obs.Int s.parent) ] else []))
         in
         emit
@@ -131,6 +134,128 @@ let validate_chrome serialized =
       go 0 0 evs)
     | _ -> Error "missing traceEvents array")
   | Ok _ -> Error "top level is not an object"
+
+(* --- Chrome JSON import ---
+
+   Inverse of [chrome_json], for analyzing exported dumps offline. The
+   exporter stashes the span id and parent link in "args", so the
+   original linked structure comes back exactly; traces produced by
+   other tools (no "id" arg) get fresh synthetic ids. Strict by design:
+   truncated or malformed input and duplicate span ids are rejected with
+   a positioned error rather than mis-linking spans. *)
+
+let events_of_chrome serialized =
+  let ( let* ) = Result.bind in
+  let* () =
+    match validate_chrome serialized with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+  in
+  match parse serialized with
+  | Error e -> Error e
+  | Ok json -> (
+    let evs =
+      match json with
+      | Obj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (Arr evs) -> evs
+        | _ -> [])
+      | _ -> []
+    in
+    (* Numeric args that are integral come back as Int so trace ids,
+       attempts and counters keep their exported type; everything else
+       stays Float. *)
+    let value_of = function
+      | JStr s -> Obs.Str s
+      | JBool b -> Obs.Bool b
+      | Num x ->
+        if Float.is_integer x && Float.abs x <= 2. ** 52. then
+          Obs.Int (int_of_float x)
+        else Obs.Float x
+      | Null -> Obs.Str "null"
+      | (Arr _ | Obj _) as j -> Obs.Str (Json.to_string j)
+    in
+    let seen_ids = Hashtbl.create 64 in
+    let synth = ref (-2) in
+    let out = ref [] in
+    let err = ref None in
+    let fail i msg =
+      if !err = None then err := Some (Printf.sprintf "event %d: %s" i msg)
+    in
+    List.iteri
+      (fun i ev ->
+        if !err = None then
+          match ev with
+          | Obj f -> (
+            let str k =
+              match List.assoc_opt k f with Some (JStr s) -> Some s | _ -> None
+            in
+            let num k =
+              match List.assoc_opt k f with Some (Num x) -> Some x | _ -> None
+            in
+            let args =
+              match List.assoc_opt "args" f with
+              | Some (Obj kvs) -> List.map (fun (k, v) -> (k, value_of v)) kvs
+              | _ -> []
+            in
+            let track_of_pid () =
+              match num "pid" with
+              | Some 1. -> Ok Obs.Wall
+              | Some 2. -> Ok Obs.Sim
+              | Some p -> Error (Printf.sprintf "unknown pid %g" p)
+              | None -> Error "missing pid"
+            in
+            let tid = match num "tid" with Some t -> int_of_float t | None -> 0 in
+            match str "ph" with
+            | Some "M" -> ()
+            | Some "X" -> (
+              match track_of_pid () with
+              | Error e -> fail i e
+              | Ok track -> (
+                let name = Option.value ~default:"" (str "name") in
+                let cat = Option.value ~default:"span" (str "cat") in
+                let ts = Option.value ~default:0. (num "ts") /. 1e6 in
+                let dur = Option.value ~default:0. (num "dur") /. 1e6 in
+                let id, parent, attrs =
+                  let id =
+                    match List.assoc_opt "span_id" args with
+                    | Some (Obs.Int id) -> id
+                    | _ ->
+                      decr synth;
+                      !synth + 1
+                  in
+                  let parent =
+                    match List.assoc_opt "parent" args with
+                    | Some (Obs.Int p) -> p
+                    | _ -> -1
+                  in
+                  ( id,
+                    parent,
+                    List.filter
+                      (fun (k, _) -> k <> "span_id" && k <> "parent")
+                      args )
+                in
+                if Hashtbl.mem seen_ids id then
+                  fail i (Printf.sprintf "duplicate span id %d" id)
+                else begin
+                  Hashtbl.add seen_ids id ();
+                  out :=
+                    Obs.Span_ev
+                      { id; parent; name; cat; track; tid; t0 = ts; dur; attrs }
+                    :: !out
+                end))
+            | Some "i" -> (
+              match track_of_pid () with
+              | Error e -> fail i e
+              | Ok track ->
+                let name = Option.value ~default:"" (str "name") in
+                let ts = Option.value ~default:0. (num "ts") /. 1e6 in
+                out := Obs.Instant_ev { name; track; tid; ts; attrs = args } :: !out)
+            | Some ph -> fail i (Printf.sprintf "unsupported ph %S" ph)
+            | None -> fail i "missing ph")
+          | _ -> fail i "not an object")
+      evs;
+    match !err with Some e -> Error e | None -> Ok (List.rev !out))
 
 (* --- tree reconstruction ---
 

@@ -27,6 +27,15 @@ val validate_chrome : string -> (int, string) result
     numeric [ts] on non-metadata events, and a non-negative [dur] on "X"
     events. [Ok n] gives the number of non-metadata events. *)
 
+val events_of_chrome : string -> (Obs.event list, string) result
+(** Inverse of {!chrome_json}: reconstruct events from a serialized
+    trace, in file order. Span ids and parent links come back from the
+    exported ["span_id"]/["parent"] args (spans lacking a ["span_id"]
+    get fresh synthetic ids); integral numeric args parse as [Int], the
+    rest as [Float]. Strict: truncated or malformed JSON, schema
+    violations, unknown [ph]/[pid], and duplicate span ids are rejected
+    with a positioned error — never a crash or a mis-linked tree. *)
+
 type agg = { name : string; calls : int; total : float; self : float }
 
 val span_summary : ?exclude_cat:string -> Obs.event list -> agg list

@@ -103,6 +103,11 @@ let transition t next =
           ("to", Gb_obs.Obs.Str (state_label next));
         ]
       ~name:"breaker.transition" ();
+    (* An opening breaker is an anomaly worth a flight-recorder dump:
+       the ring still holds the requests that tripped it. *)
+    if next = Open then
+      Gb_obs.Recorder.trigger ~reason:Gb_obs.Recorder.Breaker_open
+        ~now:(t.now ()) ();
     t.on_transition prev next
   end
 

@@ -61,7 +61,7 @@ let call ?(policy = default_policy) ~key ~budget_s ~sleep ~submit () =
       | Some d ->
         (* The retry decision is part of the request's story: one
            instant per backoff, linked by the response's trace id. *)
-        if Gb_obs.Obs.enabled () then
+        if Gb_obs.Obs.active () then
           Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Wall
             ~attrs:
               [

@@ -83,6 +83,17 @@ let breaker t name =
     b
 
 let deliver (tk : ticket) (resp : Outcome.response) =
+  (* Same flight-recorder taps as the simulated server, on wall time. *)
+  (match resp.Outcome.disposition with
+  | Outcome.Shed _ -> Gb_obs.Recorder.observe_shed ~now:resp.Outcome.finished_s
+  | _ -> ());
+  Gb_obs.Recorder.observe_response ~trace:resp.Outcome.trace
+    ~latency_s:(Outcome.latency_s resp)
+    ~ok:
+      (match resp.Outcome.disposition with
+      | Outcome.Served (Outcome.Ok_ | Outcome.Degraded_) -> true
+      | _ -> false)
+    ~now:resp.Outcome.finished_s;
   if Tele.enabled () then begin
     let labels =
       [
@@ -295,7 +306,7 @@ let submit t ~engine ~ds ?(params = Query.default_params) ?trace ~deadline_s
     }
   in
   let admit_instant decision =
-    if Gb_obs.Obs.enabled () then
+    if Gb_obs.Obs.active () then
       Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Wall
         ~attrs:
           [

@@ -379,7 +379,7 @@ let run_with ?(observe = fun (_ : Outcome.response) -> ()) cfg =
       with
       | Some d ->
         incr retries;
-        if Gb_obs.Obs.enabled () then
+        if Gb_obs.Obs.active () then
           Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Sim
             ~ts:r.Outcome.finished_s
             ~attrs:
@@ -425,7 +425,14 @@ let run_instrumented ?objectives cfg =
   let window =
     Gb_obs.Telemetry.Window.create ~width_s:mean ~windows:64 ()
   in
-  let monitor = Gb_obs.Slo.create ~objectives () in
+  (* A firing burn-rate alert is the flight recorder's highest-signal
+     trigger: dump while the ring still holds the offending window. *)
+  let on_alert (a : Gb_obs.Slo.alert) =
+    if a.Gb_obs.Slo.a_firing then
+      Gb_obs.Recorder.trigger ~reason:Gb_obs.Recorder.Slo_fire
+        ~now:a.Gb_obs.Slo.a_at ()
+  in
+  let monitor = Gb_obs.Slo.create ~on_alert ~objectives () in
   let observe (r : Outcome.response) =
     let now = r.Outcome.finished_s in
     (match r.Outcome.disposition with

@@ -69,7 +69,14 @@ type stats = {
 
 (* --- internal state --- *)
 
-type queued = { req : request; seq : int; deadline_at : float }
+type queued = {
+  req : request;
+  seq : int;
+  deadline_at : float;
+  mutable mem_blocked_at : float option;
+      (** first dispatch attempt that failed memory reservation — the
+          start of the queue wait's memory-budget tail *)
+}
 
 type running = {
   r_req : request;
@@ -151,6 +158,18 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
   let max_queue_len = ref 0 and max_mem_used = ref 0 in
   let respond (resp : Outcome.response) =
     responses := resp :: !responses;
+    (* Flight-recorder taps: per-response tail-sampling decision, shed
+       spike detection. One atomic load each while not recording. *)
+    (match resp.Outcome.disposition with
+    | Outcome.Shed _ -> Gb_obs.Recorder.observe_shed ~now:resp.Outcome.finished_s
+    | _ -> ());
+    Gb_obs.Recorder.observe_response ~trace:resp.Outcome.trace
+      ~latency_s:(Outcome.latency_s resp)
+      ~ok:
+        (match resp.Outcome.disposition with
+        | Outcome.Served (Outcome.Ok_ | Outcome.Degraded_) -> true
+        | _ -> false)
+      ~now:resp.Outcome.finished_s;
     (match resp.Outcome.disposition with
     | Outcome.Served (Outcome.Ok_ | Outcome.Degraded_) ->
       Gb_obs.Metric.add c_served 1
@@ -221,7 +240,7 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
     List.iter
       (fun q ->
         Breaker.abandon (breaker q.req.engine);
-        if Gb_obs.Obs.enabled () then
+        if Gb_obs.Obs.active () then
           Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Sim ~ts:q.deadline_at
             ~attrs:
               [
@@ -271,7 +290,7 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
              the queue — execution, not queueing, is what the budget
              bounds — and the next Finish retries the dispatch. *)
           match Gb_par.Budget.try_reserve budget ~bytes:q.req.bytes with
-          | None -> ()
+          | None -> if q.mem_blocked_at = None then q.mem_blocked_at <- Some (now ())
           | Some reserved ->
             queue := List.filter (fun q' -> q'.seq <> q.seq) !queue;
             max_mem_used := max !max_mem_used (Gb_par.Budget.used budget);
@@ -295,16 +314,25 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
             let finish_at = if cancelled then q.deadline_at else completes_at in
             lanes.(lane) <-
               Some { r_req = q.req; started_s = t; reserved; cancelled };
-            if Gb_obs.Obs.enabled () then begin
+            if Gb_obs.Obs.active () then begin
               Gb_obs.Metric.observe h_queue_wait (t -. q.req.arrival_s);
+              (* The tail of the wait spent blocked on the memory budget
+                 rides along so the critical-path analyzer can split
+                 queue wait from memory wait. *)
+              let mem_attr =
+                match q.mem_blocked_at with
+                | Some b when t > b -> [ ("mem_wait_s", Gb_obs.Obs.Float (t -. b)) ]
+                | _ -> []
+              in
               Gb_obs.Obs.Span.emit ~cat:"serve" ~name:"queue"
                 ~attrs:
-                  [
-                    ("trace", Gb_obs.Obs.Int q.req.trace);
-                    ("id", Gb_obs.Obs.Int q.req.id);
-                    ("attempt", Gb_obs.Obs.Int q.req.attempt);
-                    ("engine", Gb_obs.Obs.Str q.req.engine);
-                  ]
+                  ([
+                     ("trace", Gb_obs.Obs.Int q.req.trace);
+                     ("id", Gb_obs.Obs.Int q.req.id);
+                     ("attempt", Gb_obs.Obs.Int q.req.attempt);
+                     ("engine", Gb_obs.Obs.Str q.req.engine);
+                   ]
+                  @ mem_attr)
                 ~tid:0 ~t0:q.req.arrival_s ~t1:t ()
             end;
             push_event finish_at (Finish lane);
@@ -319,7 +347,7 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
     (* One instant per arrival carrying the admission decision, linked
        to the rest of the request's spans by the trace attribute. *)
     let admit_instant decision =
-      if Gb_obs.Obs.enabled () then
+      if Gb_obs.Obs.active () then
         Gb_obs.Obs.Span.instant ~track:Gb_obs.Obs.Sim ~ts:(now ())
           ~attrs:
             [
@@ -356,7 +384,13 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
         admit_instant "admitted";
         incr qseq;
         queue :=
-          { req = r; seq = !qseq; deadline_at = t +. r.deadline_s } :: !queue;
+          {
+            req = r;
+            seq = !qseq;
+            deadline_at = t +. r.deadline_s;
+            mem_blocked_at = None;
+          }
+          :: !queue;
         max_queue_len := max !max_queue_len (List.length !queue);
         if Tele.enabled () then
           Tele.set g_queue_depth [] (float_of_int (List.length !queue));
@@ -374,7 +408,7 @@ let run ?(config = default_config) ?(on_response = fun _ -> []) requests =
       Breaker.record (breaker r.engine) ~ok;
       if Tele.enabled () then
         Tele.set g_mem [] (float_of_int (Gb_par.Budget.used budget));
-      if Gb_obs.Obs.enabled () then begin
+      if Gb_obs.Obs.active () then begin
         Gb_obs.Obs.Span.emit ~cat:"serve" ~name:"exec"
           ~attrs:
             [

@@ -1,0 +1,430 @@
+(* Flight recorder and critical-path analyzer: ring bounds and drop
+   accounting, tail-based sampling (sticky upgrades, deterministic
+   fast-trace picks), trigger cooldown/cap/manual-bypass semantics, the
+   shed-spike window, dump validity (Chrome round-trip + blame check),
+   bit-identical recorder decisions across two simulated runs, the
+   blame-sum identity on synthetic and load-generated traces, the strict
+   Chrome JSON -> events parser, and the Window churn counters. *)
+
+open Gb_obs
+module Rec = Recorder
+module Cp = Critpath
+module Tx = Trace_export
+module Loadgen = Gb_serve.Loadgen
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 0.0))
+
+(* Recorder state is process-global: arm it, run, and always disarm so
+   the rest of the suite sees the stopped recorder. *)
+let with_recorder ?config f =
+  Rec.start ?config ();
+  Fun.protect ~finally:(fun () -> Rec.stop ()) f
+
+let cfg ?(capacity = 1024) ?(sample_every = 10) ?(tail_latency_s = 1.0)
+    ?(shed_spike = 10) ?(shed_window_s = 1.0) ?(cooldown_s = 5.0)
+    ?(max_dumps = 8) () =
+  {
+    Rec.capacity;
+    sample_every;
+    tail_latency_s;
+    shed_spike;
+    shed_window_s;
+    cooldown_s;
+    max_dumps;
+  }
+
+let sim_instant ?(attrs = []) ~name ~ts () =
+  Obs.Span.instant ~track:Obs.Sim ~ts ~attrs ~name ()
+
+(* --- ring buffer --- *)
+
+let test_ring_drop_oldest () =
+  with_recorder ~config:(cfg ~capacity:4 ()) (fun () ->
+      for i = 1 to 10 do
+        sim_instant ~name:(Printf.sprintf "ev%d" i) ~ts:(float_of_int i) ()
+      done;
+      let st = Rec.stats () in
+      checki "all offered events counted" 10 st.Rec.s_seen;
+      checki "overflow counted as drops" 6 st.Rec.s_ring_dropped;
+      Rec.trigger ~now:11. ();
+      match Rec.dumps () with
+      | [ d ] ->
+        (* capacity survivors + the trailing recorder.dump marker *)
+        checki "dump holds newest capacity events" 5
+          (List.length d.Rec.d_events);
+        let names =
+          List.filter_map
+            (function
+              | Obs.Instant_ev { name; _ } -> Some name | _ -> None)
+            d.Rec.d_events
+        in
+        check
+          Alcotest.(list string)
+          "oldest dropped, newest kept, marker last"
+          [ "ev7"; "ev8"; "ev9"; "ev10"; "recorder.dump" ]
+          names;
+        checki "drop count stamped on the dump" 6 d.Rec.d_ring_dropped
+      | l -> Alcotest.failf "expected 1 dump, got %d" (List.length l))
+
+(* --- tail-based sampling --- *)
+
+let test_tail_sampling_sticky () =
+  with_recorder ~config:(cfg ~sample_every:3 ~tail_latency_s:1.0 ())
+    (fun () ->
+      for t = 1 to 6 do
+        sim_instant ~name:"work"
+          ~attrs:[ ("trace", Obs.Int t) ]
+          ~ts:(float_of_int t) ()
+      done;
+      (* Six fast ok responses: the deterministic 1-in-3 pick keeps
+         traces 1 and 4. *)
+      for t = 1 to 6 do
+        Rec.observe_response ~trace:t ~latency_s:0.1 ~ok:true
+          ~now:(float_of_int t)
+      done;
+      (* Trace 2 was discarded as fast; a later slow attempt upgrades it
+         (sticky keep) and fires the tail-latency trigger. *)
+      Rec.observe_response ~trace:2 ~latency_s:2.0 ~ok:true ~now:7.;
+      let st = Rec.stats () in
+      checki "responses" 7 st.Rec.s_responses;
+      checki "fast sampled" 2 st.Rec.s_fast_sampled;
+      checki "fast discarded" 4 st.Rec.s_fast_discarded;
+      checki "tail kept" 1 st.Rec.s_tail_kept;
+      checki "nothing failed" 0 st.Rec.s_fail_kept;
+      match Rec.dumps () with
+      | [ d ] ->
+        checkb "tail-latency reason" true (d.Rec.d_reason = Rec.Tail_latency);
+        check Alcotest.(list int) "kept = sampled + upgraded" [ 1; 2; 4 ]
+          d.Rec.d_kept;
+        check Alcotest.(list int) "sampled picks" [ 1; 4 ] d.Rec.d_sampled;
+        let kept_traces =
+          List.filter_map
+            (function
+              | Obs.Instant_ev { name = "work"; attrs; _ } -> (
+                match List.assoc_opt "trace" attrs with
+                | Some (Obs.Int t) -> Some t
+                | _ -> None)
+              | _ -> None)
+            d.Rec.d_events
+        in
+        check
+          Alcotest.(list int)
+          "discarded traces filtered out of the dump" [ 1; 2; 4 ] kept_traces
+      | l -> Alcotest.failf "expected 1 dump, got %d" (List.length l))
+
+let test_trigger_cooldown_cap_manual () =
+  with_recorder ~config:(cfg ~cooldown_s:5.0 ~max_dumps:2 ()) (fun () ->
+      Rec.trigger ~reason:Rec.Slo_fire ~now:0. ();
+      Rec.trigger ~reason:Rec.Slo_fire ~now:1. () (* cooldown *);
+      Rec.trigger ~reason:Rec.Breaker_open ~now:6. ();
+      Rec.trigger ~reason:Rec.Slo_fire ~now:20. () (* over the cap *);
+      Rec.trigger ~now:21. () (* manual bypasses both *);
+      let st = Rec.stats () in
+      checki "dumps taken" 3 st.Rec.s_dumps;
+      checki "automatic triggers suppressed" 2 st.Rec.s_suppressed;
+      let reasons = List.map (fun d -> d.Rec.d_reason) (Rec.dumps ()) in
+      checkb "reasons in order" true
+        (reasons = [ Rec.Slo_fire; Rec.Breaker_open; Rec.Manual ]))
+
+let test_shed_spike_window () =
+  with_recorder
+    ~config:(cfg ~shed_spike:3 ~shed_window_s:1.0 ~cooldown_s:0. ())
+    (fun () ->
+      Rec.observe_shed ~now:0.1;
+      Rec.observe_shed ~now:0.2;
+      checki "below the spike threshold" 0 (Rec.stats ()).Rec.s_dumps;
+      Rec.observe_shed ~now:0.3;
+      checki "third shed inside the window fires" 1 (Rec.stats ()).Rec.s_dumps;
+      (* The window resets after firing: two sheds don't re-fire... *)
+      Rec.observe_shed ~now:0.4;
+      Rec.observe_shed ~now:0.5;
+      checki "window cleared by the dump" 1 (Rec.stats ()).Rec.s_dumps;
+      (* ...and sheds outside the window age out. *)
+      Rec.observe_shed ~now:2.0;
+      Rec.observe_shed ~now:2.1;
+      Rec.observe_shed ~now:2.2;
+      checki "fresh spike fires again" 2 (Rec.stats ()).Rec.s_dumps;
+      checkb "shed-spike reason" true
+        (List.for_all
+           (fun d -> d.Rec.d_reason = Rec.Shed_spike)
+           (Rec.dumps ())))
+
+(* --- synthetic blame decomposition --- *)
+
+let span ?(parent = -1) ?(attrs = []) ~id ~name ~t0 ~dur () =
+  Obs.Span_ev
+    {
+      Obs.id;
+      parent;
+      name;
+      cat = "test";
+      track = Obs.Sim;
+      tid = 0;
+      t0;
+      dur;
+      attrs;
+    }
+
+let instant ?(attrs = []) ~name ~ts () =
+  Obs.Instant_ev { name; track = Obs.Sim; tid = 0; ts; attrs }
+
+let tr t = ("trace", Obs.Int t)
+
+let test_blame_queue_memwait_exec_child () =
+  let events =
+    [
+      instant ~name:"serve.admit"
+        ~attrs:[ tr 7; ("id", Obs.Int 1); ("decision", Obs.Str "enqueue") ]
+        ~ts:0. ();
+      span ~id:10 ~name:"queue" ~t0:0. ~dur:2.
+        ~attrs:[ tr 7; ("mem_wait_s", Obs.Float 0.5) ]
+        ();
+      span ~id:11 ~name:"exec" ~t0:2. ~dur:3.
+        ~attrs:[ tr 7; ("ok", Obs.Bool true); ("engine", Obs.Str "volcano") ]
+        ();
+      (* engine phase under the exec span: parent link only, no trace *)
+      span ~id:12 ~parent:11 ~name:"scan" ~t0:2.5 ~dur:1. ();
+    ]
+  in
+  match Cp.requests events with
+  | [ r ] ->
+    checki "trace id" 7 r.Cp.r_trace;
+    check Alcotest.string "engine picked up" "volcano" r.Cp.r_engine;
+    checkf "e2e spans the request window" 5. r.Cp.r_e2e;
+    checkb "ok from the exec attr" true r.Cp.r_ok;
+    let get l = List.assoc l r.Cp.r_blame in
+    checkf "queue minus its mem-wait tail" 1.5 (get "queue");
+    checkf "mem wait split out" 0.5 (get "mem_wait");
+    checkf "exec minus the child phase" 2.0 (get "exec");
+    checkf "child phase on the critical path" 1.0 (get "scan");
+    checkf "segments sum exactly to e2e" r.Cp.r_e2e (Cp.blame_total r);
+    checkb "check agrees" true (Cp.check [ r ] = Ok 1)
+  | l -> Alcotest.failf "expected 1 request, got %d" (List.length l)
+
+let test_blame_gap_labels () =
+  let events =
+    [
+      span ~id:20 ~name:"queue" ~t0:0. ~dur:1. ~attrs:[ tr 8 ] ();
+      instant ~name:"client.retry"
+        ~attrs:[ tr 8; ("reason", Obs.Str "shed:breaker_open") ]
+        ~ts:1. ();
+      span ~id:21 ~name:"queue" ~t0:3. ~dur:1. ~attrs:[ tr 8 ] ();
+      span ~id:22 ~name:"exec" ~t0:4. ~dur:1.
+        ~attrs:[ tr 8; ("ok", Obs.Bool true) ]
+        ();
+    ]
+  in
+  match Cp.requests events with
+  | [ r ] ->
+    let get l = List.assoc l r.Cp.r_blame in
+    checkf "both queue waits" 2.0 (get "queue");
+    checkf "gap after a breaker shed is cooldown" 2.0 (get "breaker_cooldown");
+    checkf "exec" 1.0 (get "exec");
+    checkf "identity" r.Cp.r_e2e (Cp.blame_total r)
+  | l -> Alcotest.failf "expected 1 request, got %d" (List.length l)
+
+let test_blame_expired_queue_wait () =
+  (* A queued-then-expired attempt emits no queue span; the wait closes
+     from its admit/expire instants, matched by request id. *)
+  let events =
+    [
+      instant ~name:"serve.admit"
+        ~attrs:[ tr 9; ("id", Obs.Int 5); ("decision", Obs.Str "enqueue") ]
+        ~ts:0. ();
+      instant ~name:"serve.expire" ~attrs:[ tr 9; ("id", Obs.Int 5) ] ~ts:2.
+        ();
+    ]
+  in
+  match Cp.requests events with
+  | [ r ] ->
+    checkb "no exec means not ok" false r.Cp.r_ok;
+    checkf "whole wait blamed on the queue" 2.0
+      (List.assoc "queue" r.Cp.r_blame);
+    checkf "identity" r.Cp.r_e2e (Cp.blame_total r)
+  | l -> Alcotest.failf "expected 1 request, got %d" (List.length l)
+
+(* --- chrome JSON parser: round-trip and strict rejection --- *)
+
+let contains ~sub s = Astring_contains.contains s sub
+
+let test_chrome_round_trip () =
+  let events =
+    [
+      span ~id:30 ~name:"exec" ~t0:1. ~dur:2.
+        ~attrs:[ tr 3; ("ok", Obs.Bool true) ]
+        ();
+      span ~id:31 ~parent:30 ~name:"phase" ~t0:1.5 ~dur:0.5 ();
+      instant ~name:"serve.admit"
+        ~attrs:[ tr 3; ("decision", Obs.Str "enqueue") ]
+        ~ts:1. ();
+    ]
+  in
+  let serialized = Tx.chrome_json events in
+  (match Tx.validate_chrome serialized with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "export fails its own validator: %s" e);
+  match Tx.events_of_chrome serialized with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok back -> (
+    checki "event count survives" 3 (List.length back);
+    let spans =
+      List.filter_map
+        (function Obs.Span_ev s -> Some s | _ -> None)
+        back
+    in
+    match spans with
+    | [ a; b ] ->
+      checki "span id preserved" 30 a.Obs.id;
+      checki "parent link preserved" a.Obs.id b.Obs.parent;
+      checkb "trace attr survives (and span_id/parent are stripped)" true
+        (a.Obs.attrs
+        |> List.for_all (fun (k, _) -> k <> "span_id" && k <> "parent"));
+      checkb "requests parse identically from both forms" true
+        (Cp.requests events = Cp.requests back)
+    | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l))
+
+let expect_error ~what ~sub s =
+  match Tx.events_of_chrome s with
+  | Ok _ -> Alcotest.failf "%s: expected rejection" what
+  | Error e ->
+    checkb
+      (Printf.sprintf "%s: error %S mentions %S" what e sub)
+      true
+      (contains ~sub e)
+
+let test_chrome_parser_rejects () =
+  let valid =
+    Tx.chrome_json
+      [ span ~id:40 ~name:"exec" ~t0:0. ~dur:1. ~attrs:[ tr 1 ] () ]
+  in
+  expect_error ~what:"truncated"
+    ~sub:""
+    (String.sub valid 0 (String.length valid / 2));
+  expect_error ~what:"not even JSON" ~sub:"" "][";
+  expect_error ~what:"missing fields" ~sub:""
+    {|{"traceEvents":[{"ph":"X","name":"a"}]}|};
+  expect_error ~what:"unknown phase" ~sub:"ph"
+    {|{"traceEvents":[{"ph":"B","name":"a","pid":2,"tid":0,"ts":0}]}|};
+  expect_error ~what:"unknown pid" ~sub:"pid"
+    {|{"traceEvents":[{"ph":"i","name":"a","pid":9,"tid":0,"ts":0}]}|};
+  expect_error ~what:"duplicate span ids" ~sub:"duplicate"
+    {|{"traceEvents":[
+       {"ph":"X","name":"a","pid":2,"tid":0,"ts":0,"dur":5,"args":{"span_id":5}},
+       {"ph":"X","name":"b","pid":2,"tid":0,"ts":9,"dur":5,"args":{"span_id":5}}]}|}
+
+(* --- recorder + analyzer over a simulated load run --- *)
+
+let load_run () =
+  match Loadgen.find_scenario "overload" with
+  | Error e -> failwith e
+  | Ok sc ->
+    let config =
+      { (Loadgen.default_config sc) with Loadgen.duration = 10. }
+    in
+    ignore (Loadgen.run config)
+
+let dump_digest d =
+  ( d.Rec.d_seq,
+    Rec.reason_label d.Rec.d_reason,
+    d.Rec.d_at,
+    d.Rec.d_kept,
+    d.Rec.d_sampled,
+    List.length d.Rec.d_events )
+
+let test_load_dumps_deterministic_and_valid () =
+  let run () =
+    Rec.start ~config:(cfg ~tail_latency_s:2.0 ~cooldown_s:2.0 ()) ();
+    load_run ();
+    Rec.stop ();
+    (Rec.dumps (), Rec.stats ())
+  in
+  let dumps1, stats1 = run () in
+  let dumps2, stats2 = run () in
+  checkb "at least one dump fires under overload" true (dumps1 <> []);
+  checkb "stats bit-identical across runs" true (stats1 = stats2);
+  checkb "dump decisions bit-identical across runs" true
+    (List.map dump_digest dumps1 = List.map dump_digest dumps2);
+  List.iter
+    (fun d ->
+      let serialized = Rec.chrome_of_dump d in
+      (match Tx.validate_chrome serialized with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "dump %d invalid: %s" d.Rec.d_seq e);
+      match Cp.of_chrome serialized with
+      | Error e -> Alcotest.failf "dump %d unparseable: %s" d.Rec.d_seq e
+      | Ok reqs -> (
+        checkb
+          (Printf.sprintf "dump %d has analyzable requests" d.Rec.d_seq)
+          true (reqs <> []);
+        match Cp.check reqs with
+        | Ok _ -> ()
+        | Error e ->
+          Alcotest.failf "dump %d blame identity: %s" d.Rec.d_seq e))
+    dumps1
+
+let test_load_blame_identity_full_capture () =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) (fun () ->
+      load_run ();
+      let reqs = Cp.requests (Obs.events ()) in
+      checkb "capture yields requests" true (List.length reqs > 50);
+      (match Cp.check reqs with
+      | Ok n -> checki "every request checked" (List.length reqs) n
+      | Error e -> Alcotest.failf "blame identity on live capture: %s" e);
+      List.iter
+        (fun r ->
+          if not (Cp.blame_total r = r.Cp.r_e2e) then
+            Alcotest.failf "trace %d: %.17g <> %.17g" r.Cp.r_trace
+              (Cp.blame_total r) r.Cp.r_e2e)
+        reqs;
+      (* the profile and diff renderers must not choke on real data *)
+      checkb "profile renders" true
+        (String.length (Cp.render_profile (Cp.profile reqs)) > 0);
+      checkb "self-diff reports no movement per label" true
+        (List.for_all (fun d -> d.Cp.d_delta = 0.) (Cp.diff reqs reqs)))
+
+(* --- Window churn counters (satellite) --- *)
+
+let test_window_churn_counters () =
+  let w = Telemetry.Window.create ~width_s:1.0 ~windows:4 () in
+  Telemetry.Window.observe w ~now:0.5 1.0;
+  checki "no churn before the clock moves" 0 (Telemetry.Window.advanced w);
+  checki "nothing dropped yet" 0 (Telemetry.Window.dropped w);
+  Telemetry.Window.observe w ~now:10.2 1.0;
+  (* jump of 10 sub-windows recycles at most the ring's 4 slots *)
+  checki "recycled slots counted" 4 (Telemetry.Window.advanced w);
+  Telemetry.Window.observe w ~now:5.0 1.0;
+  checki "stale observation dropped" 1 (Telemetry.Window.dropped w);
+  checki "dropped observation not counted" 1
+    (Telemetry.Window.count w ~now:10.2 ~horizon_s:4.)
+
+let suite =
+  [
+    Alcotest.test_case "ring drop-oldest accounting" `Quick
+      test_ring_drop_oldest;
+    Alcotest.test_case "tail sampling: sticky keeps, deterministic picks"
+      `Quick test_tail_sampling_sticky;
+    Alcotest.test_case "trigger cooldown, cap, manual bypass" `Quick
+      test_trigger_cooldown_cap_manual;
+    Alcotest.test_case "shed-spike window" `Quick test_shed_spike_window;
+    Alcotest.test_case "blame: queue/mem_wait/exec/child tiling" `Quick
+      test_blame_queue_memwait_exec_child;
+    Alcotest.test_case "blame: gap labels from retry markers" `Quick
+      test_blame_gap_labels;
+    Alcotest.test_case "blame: expired queue wait from instants" `Quick
+      test_blame_expired_queue_wait;
+    Alcotest.test_case "chrome export/parse round trip" `Quick
+      test_chrome_round_trip;
+    Alcotest.test_case "chrome parser rejects malformed input" `Quick
+      test_chrome_parser_rejects;
+    Alcotest.test_case "load run: dumps deterministic and valid" `Quick
+      test_load_dumps_deterministic_and_valid;
+    Alcotest.test_case "load run: blame-sum identity on full capture" `Quick
+      test_load_blame_identity_full_capture;
+    Alcotest.test_case "window churn counters" `Quick
+      test_window_churn_counters;
+  ]

@@ -27,6 +27,7 @@ let () =
       ("par", Test_par.suite);
       ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
+      ("critpath", Test_critpath.suite);
       ("conformance", Test_conformance.suite);
       ("linalg-prop", Test_linalg_prop.suite);
       ("scaling", Test_scaling.suite);
