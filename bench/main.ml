@@ -16,7 +16,7 @@ module H = Genbase.Harness
 let sections =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "micro"; "ablation";
     "weak"; "crossover"; "chaos"; "obs"; "par"; "serve"; "slo"; "q6";
-    "critpath" ]
+    "critpath"; "stream" ]
 
 let usage () =
   Printf.sprintf "usage: main.exe [%s] [--quick] [--timeout SECONDS]"
@@ -161,6 +161,11 @@ let () =
   if want "critpath" then begin
     banner "Critical-path blame (flight recorder, deterministic dumps)";
     emit "critpath" (Critpath_bench.run ~quick)
+  end;
+
+  if want "stream" then begin
+    banner "Streaming ingest: refresh vs recompute per batch size";
+    emit "stream" (Stream_bench.run ~quick)
   end;
 
   if want "q6" then begin

@@ -414,7 +414,21 @@ let chaos_cmd =
         progress = Some (fun s -> Printf.eprintf "%s\n%!" s);
       }
     in
-    let cells = Genbase.Harness.chaos_cells ~chaos config in
+    let stream_cells =
+      (* The streaming executor joins the table as a single-node row:
+         its plan crashes the ingest loop, exercising checkpoint
+         restore + replay. 64 batches spans the plan's superstep range. *)
+      let ds = Genbase.Dataset.generate ~seed (Spec.of_size size) in
+      let fault =
+        Genbase.Harness.chaos_plan chaos ~engine:"Streaming IVM" ~nodes:1
+      in
+      let profile = Gb_stream.Ingest.profile ~batches:64 () in
+      let engine = Gb_stream.Exec.engine ~fault ~profile () in
+      List.map
+        (fun q -> Genbase.Harness.run_cell engine ds q ~timeout_s:timeout)
+        Genbase.Query.all
+    in
+    let cells = Genbase.Harness.chaos_cells ~chaos config @ stream_cells in
     (match out with
     | None -> ()
     | Some file ->
@@ -1417,6 +1431,125 @@ let metrics_cmd =
       $ lanes_arg $ queue_depth_arg $ policy_arg $ deadline_factor_arg
       $ out)
 
+(* --- stream --- *)
+
+let stream_cmd =
+  let module Ingest = Gb_stream.Ingest in
+  let module Exec = Gb_stream.Exec in
+  let module Check = Gb_stream.Check in
+  let batches_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "batches" ] ~docv:"N"
+          ~doc:"Ingest batches to draw from the dataset's stream seed.")
+  in
+  let crash_at_arg =
+    Arg.(
+      value
+      & opt_all int []
+      & info [ "crash-at" ] ~docv:"STEP"
+          ~doc:
+            "Inject a crash when the executor attempts batch $(docv) \
+             (repeatable); recovery restores the last checkpoint and \
+             replays.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint the live state and maintainers every N batches.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the Prometheus exposition (stream gauges included, \
+             round-trip validated) to FILE.")
+  in
+  let run () size seed batches crash_at checkpoint_every metrics_out =
+    let module Tele = Gb_obs.Telemetry in
+    Tele.set_enabled true;
+    Tele.reset ();
+    set_build_info ();
+    let spec = Spec.of_size size in
+    let ds = Gb_datagen.Generate.generate ~seed spec in
+    let log = Ingest.generate ~profile:(Ingest.profile ~batches ()) ds in
+    let fault =
+      match crash_at with
+      | [] -> None
+      | ks ->
+        Some
+          (Gb_fault.Fault.of_events
+             (List.map
+                (fun k -> Gb_fault.Fault.Node_crash { node = 0; superstep = k })
+                ks))
+    in
+    let exec =
+      Exec.create ~checkpoint_every ~queries:Genbase.Query.all ds log
+    in
+    let refresh_s = Hashtbl.create 8 in
+    while Exec.lag exec > 0 do
+      Exec.step ?fault exec;
+      List.iter
+        (fun q ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Exec.refresh exec q);
+          let dt = Unix.gettimeofday () -. t0 in
+          Hashtbl.replace refresh_s q
+            (dt :: (try Hashtbl.find refresh_s q with Not_found -> [])))
+        Genbase.Query.all
+    done;
+    let c = Exec.counters exec in
+    Printf.printf
+      "ingested %d batches (%d rows, %d cell updates, %d variants); %d \
+       checkpoints, %d crashes, %d batches replayed, %.3fs wasted\n"
+      c.Exec.batches_applied c.Exec.rows_appended c.Exec.cells_updated
+      c.Exec.variants_appended c.Exec.checkpoints c.Exec.crashes
+      c.Exec.replayed_batches c.Exec.wasted_s;
+    Printf.printf "watermark %d, lag %d\n\n" (Exec.watermark exec)
+      (Exec.lag exec);
+    let final = Exec.snapshot exec in
+    Printf.printf "%-14s %12s %12s %8s  %s\n" "query" "refresh-p50"
+      "recompute" "stale" "conformance (refresh vs one-shot)";
+    List.iter
+      (fun q ->
+        let rs = List.sort compare (Hashtbl.find refresh_s q) in
+        let p50 = List.nth rs (List.length rs / 2) in
+        let recompute =
+          match
+            Genbase.Engine.run Gb_conformance.Oracle.reference final q
+              ~timeout_s:600.0 ()
+          with
+          | Genbase.Engine.Completed (t, _) ->
+            Printf.sprintf "%10.2fms" (1e3 *. Genbase.Engine.total t)
+          | o -> Format.asprintf "%a" Genbase.Engine.pp_outcome o
+        in
+        (* classify force-refreshes (resetting the staleness counter),
+           so read the counter first *)
+        let stale = Exec.staleness exec q in
+        let cls = Check.classify exec q in
+        Printf.printf "%-14s %10.2fms %12s %8d  %s\n" (Genbase.Query.name q)
+          (1e3 *. p50) recompute stale
+          (Gb_conformance.Oracle.describe cls))
+      Genbase.Query.all;
+    Tele.set_enabled false;
+    Option.iter write_exposition metrics_out
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Replay a deterministic ingest log through the incremental \
+          maintainers, optionally crashing mid-stream, then check every \
+          refreshed answer against a one-shot recompute and report \
+          refresh latencies, staleness and recovery work.")
+    Term.(
+      const run $ jobs_term $ size_arg $ seed_arg $ batches_arg $ crash_at_arg
+      $ checkpoint_arg $ metrics_out)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -1453,5 +1586,6 @@ let () =
           [
             generate_cmd; run_cmd; suite_cmd; chaos_cmd; conformance_cmd;
             explain_cmd; seqgen_cmd; trace_cmd; bench_diff_cmd; analyze_cmd;
-            trace_diff_cmd; serve_cmd; load_cmd; metrics_cmd; list_cmd;
+            trace_diff_cmd; serve_cmd; load_cmd; metrics_cmd; stream_cmd;
+            list_cmd;
           ]))

@@ -28,6 +28,7 @@ type t = {
   go : (int * int) array;
   variants : variant array;
   planted : planted;
+  stream_seed : int64;
 }
 
 and planted = {
@@ -211,6 +212,7 @@ let generate ?(seed = 0x6E0BA5EL) spec =
   (* New streams split AFTER every pre-existing one so older tables stay
      bit-identical for a given seed. *)
   let r_var = Prng.split root in
+  let r_stream = Prng.split root in
   let genes = gen_genes r_genes spec.Spec.genes in
   let patients = gen_patients r_patients spec in
   let expression = gen_expression r_expr spec in
@@ -229,6 +231,11 @@ let generate ?(seed = 0x6E0BA5EL) spec =
     last.position + last.length
   in
   let variants = gen_variants r_var ~genes:spec.Spec.genes ~span in
+  (* Seed for the streaming ingest log (lib/stream). Drawn from the last
+     split of the root, so it perturbs no pre-existing table: the root is
+     never read after the splits above, and nothing downstream consumes
+     [r_stream] but this one draw. *)
+  let stream_seed = Prng.next_int64 r_stream in
   {
     spec;
     expression;
@@ -236,6 +243,7 @@ let generate ?(seed = 0x6E0BA5EL) spec =
     genes;
     go;
     variants;
+    stream_seed;
     planted =
       {
         signal_genes;

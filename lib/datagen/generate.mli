@@ -46,6 +46,11 @@ type t = {
   go : (int * int) array; (** (gene_id, go_id) membership pairs *)
   variants : variant array; (** genomic intervals for Query 6 overlap joins *)
   planted : planted;
+  stream_seed : int64;
+      (** root seed for the streaming ingest log ([lib/stream]); drawn
+          from a PRNG split appended after every pre-existing stream, so
+          all other tables are bit-identical to earlier versions of the
+          generator for a given seed *)
 }
 
 and planted = {

@@ -130,4 +130,7 @@ let read ~dir : Generate.t =
         bicluster_cols = [||];
         enriched_terms = [||];
       };
+    (* CSV round-trips carry no stream seed; Stream.Ingest.generate takes
+       an explicit [?seed] for datasets loaded from disk. *)
+    stream_seed = 0L;
   }

@@ -1,0 +1,60 @@
+(** Mergeable second-moment sketches (Welford / Chan et al.).
+
+    A sketch over [d]-dimensional observations carries the count, the
+    running column means and the centered co-moment matrix
+    [M2 = sum (x - mean)(x - mean)^T]. Rows can be added one at a time
+    (rank-1 Welford update), removed (downdate, for in-place cell
+    updates), and two sketches over disjoint row sets can be merged —
+    the algebra behind the streaming maintainers for the covariance and
+    regression queries: covariance is [M2 / (n - 1)] regardless of the
+    order rows arrived in or how they were batched. *)
+
+type t
+
+val create : int -> t
+(** Empty sketch over [d]-dimensional rows. *)
+
+val of_matrix : Mat.t -> t
+(** Sketch equivalent to adding every row of [m] in order, computed by
+    the blocked two-pass kernels ([Mat.col_means] + [Blas.ata] of the
+    centered matrix) — the fast path for initializing a maintainer from
+    a large base table. *)
+
+val copy : t -> t
+(** Deep copy (checkpointing maintainer state). *)
+
+val dim : t -> int
+val count : t -> int
+
+val add_row : t -> float array -> unit
+(** Rank-1 Welford update with one observation. *)
+
+val remove_row : t -> float array -> unit
+(** Downdate: removes one previously-added observation. The sketch must
+    contain at least one row. Numerically this is the inverse of
+    {!add_row}; removing a row that was never added leaves the sketch
+    describing whatever multiset remains algebraically. *)
+
+val merge : t -> t -> t
+(** Pairwise merge of sketches over disjoint row sets (Chan's parallel
+    update). Dimensions must agree. Neither argument is mutated. *)
+
+val means : t -> float array
+(** Copy of the current column means (zeros when empty). *)
+
+val m2 : t -> Mat.t
+(** Copy of the centered co-moment matrix [sum (x-mean)(x-mean)^T]. *)
+
+val covariance : t -> Mat.t
+(** Sample covariance [M2 / (n - 1)]. Requires [count >= 2]. *)
+
+type regression = {
+  intercept : float;
+  coefficients : float array;
+  r_squared : float;
+}
+
+val regression : t -> regression
+(** Treat the last column as the response and the first [d - 1] columns
+    as predictors; solve the centered normal equations
+    [M2_xx b = M2_xy] by Cholesky. Requires [count > dim]. *)

@@ -1,0 +1,28 @@
+(* Delta catalogs for linear-plan IVM.
+
+   The delta relation is materialized once up front: plan execution may
+   scan a table several times (and the optimizer asks for row counts
+   before any scan runs), so the substituted scan must be re-traversable
+   regardless of how the caller built the incoming stream. *)
+
+let delta_catalog ~base ~table ~delta =
+  let rows = Ops.to_list delta in
+  let schema = delta.Ops.schema in
+  let n = List.length rows in
+  {
+    Plan.scan =
+      (fun name cols ->
+        if String.equal name table then
+          let r = Ops.of_list schema rows in
+          match cols with [] -> r | _ -> Ops.project cols r
+        else base.Plan.scan name cols);
+    schema_of =
+      (fun name ->
+        if String.equal name table then schema else base.Plan.schema_of name);
+    row_count =
+      (fun name ->
+        if String.equal name table then n else base.Plan.row_count name);
+  }
+
+let delta_rows ~base ~table ~delta plan =
+  Plan.execute (delta_catalog ~base ~table ~delta) plan

@@ -1,0 +1,32 @@
+(** Delta catalogs: incremental view maintenance for linear plans.
+
+    For a plan that is {e linear} in one base table — built from scans,
+    filters, projections and joins where that table appears exactly once
+    and every other input is unchanged — the classic IVM rule is
+
+    [delta Q(D) = Q(D with the changed table replaced by its delta)]
+
+    because filter/project distribute over union and join distributes
+    over union in each argument. This module builds the substituted
+    catalog: scans of the changed table serve only the delta rows, every
+    other table scans the base catalog as usual. Running the {e same}
+    plan against it yields exactly the new output rows for an
+    insert-only delta — the delta-filter/delta-join path the streaming
+    maintainers use for the regression and enrichment views.
+
+    Aggregates and interval joins are not linear in this sense; callers
+    maintain those with mergeable moments and delta sweeps instead. *)
+
+val delta_catalog :
+  base:Plan.catalog -> table:string -> delta:Ops.rel -> Plan.catalog
+(** Catalog where [scan table cols] serves (a projection of) [delta] and
+    every other table is answered by [base]. The delta's schema must
+    cover any column list the plan requests from [table]. Row counts for
+    [table] report the delta's size, keeping the optimizer's build-side
+    choices sensible for small deltas. *)
+
+val delta_rows :
+  base:Plan.catalog -> table:string -> delta:Ops.rel -> Plan.t -> Ops.rel
+(** [delta_rows ~base ~table ~delta plan] executes [plan] against the
+    substituted catalog: the rows the view gains from inserting [delta]
+    into [table], provided the plan is linear in [table]. *)

@@ -1,0 +1,25 @@
+module Query = Genbase.Query
+module Engine = Genbase.Engine
+module Oracle = Gb_conformance.Oracle
+module Compare = Gb_conformance.Compare
+
+let tolerance = function
+  | Query.Q1_regression | Query.Q2_covariance -> Compare.numeric
+  | _ -> Compare.strict
+
+let classify ?(params = Query.default_params) ?(timeout_s = 120.0) exec q =
+  let ds = Exec.snapshot exec in
+  let reference =
+    Engine.run Oracle.reference ds q ~params ~timeout_s ()
+  in
+  let payload = Exec.refresh ~force:true exec q in
+  let candidate =
+    Engine.completed
+      { Engine.dm = 0.0; analytics = 0.0 }
+      ~recovery:(Exec.recovery exec) payload
+  in
+  Oracle.classify ~tol:(tolerance q) ~p_threshold:params.Query.p_threshold
+    ~reference candidate
+
+let check_all ?params ?timeout_s exec qs =
+  List.map (fun q -> (q, classify ?params ?timeout_s exec q)) qs

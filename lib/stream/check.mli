@@ -1,0 +1,32 @@
+(** Conformance of incremental refresh against one-shot recompute.
+
+    The oracle side materializes the executor's live state into a plain
+    dataset and runs the Vanilla R reference on it from scratch; the
+    candidate side is the maintained answer. Q3–Q6 maintainers reproduce
+    the reference kernels' float operations exactly (Q6 is
+    integer-exact), so they are held to the strict profile; the Q1/Q2
+    sketches accumulate rank-1 float updates in a different order than
+    the reference's blocked kernels, so they get the numeric profile —
+    the same tolerance split the engine grid applies to
+    normal-equation/streaming engines. *)
+
+val tolerance : Genbase.Query.t -> Gb_conformance.Compare.tol
+(** [numeric] for Q1/Q2, [strict] otherwise. *)
+
+val classify :
+  ?params:Genbase.Query.params ->
+  ?timeout_s:float ->
+  Exec.t ->
+  Genbase.Query.t ->
+  Gb_conformance.Oracle.classification
+(** Run the reference on {!Exec.snapshot}, compare against
+    [Exec.refresh ~force:true]. A refresh on an executor that absorbed
+    crashes classifies as [Degraded_match] (carrying the replay
+    counts) rather than [Match]. *)
+
+val check_all :
+  ?params:Genbase.Query.params ->
+  ?timeout_s:float ->
+  Exec.t ->
+  Genbase.Query.t list ->
+  (Genbase.Query.t * Gb_conformance.Oracle.classification) list

@@ -1,0 +1,132 @@
+module G = Gb_datagen.Generate
+module Spec = Gb_datagen.Spec
+module Prng = Gb_util.Prng
+module Mat = Gb_linalg.Mat
+
+type event =
+  | Append_patient of { patient : G.patient; row : float array }
+  | Update_cell of { patient_id : int; gene_id : int; value : float }
+  | Append_variant of G.variant
+
+type batch = { offset : int; events : event list }
+type log = { seed : int64; batches : batch array }
+
+type profile = {
+  batches : int;
+  appends_per_batch : int;
+  updates_per_batch : int;
+  variants_per_batch : int;
+}
+
+let default_profile =
+  { batches = 8; appends_per_batch = 8; updates_per_batch = 4;
+    variants_per_batch = 2 }
+
+let profile ?(batches = default_profile.batches)
+    ?(appends = default_profile.appends_per_batch)
+    ?(updates = default_profile.updates_per_batch)
+    ?(variants = default_profile.variants_per_batch) () =
+  { batches; appends_per_batch = appends; updates_per_batch = updates;
+    variants_per_batch = variants }
+
+(* Expression values for streamed rows/updates: the base generator's
+   factor model has var ~= 1.25 per cell; a plain N(0, 1.1^2) draw keeps
+   streamed cells on the same scale without needing the (unrecorded)
+   latent factors. *)
+let gen_value rng = 1.1 *. Prng.normal rng
+
+let gen_patient rng (ds : Genbase.Dataset.t) ~id =
+  let spec = ds.G.spec in
+  let g = spec.Spec.genes in
+  let row = Array.init g (fun _ -> gen_value rng) in
+  let planted = ds.G.planted in
+  let response =
+    if Array.length planted.G.signal_genes = 0 then Prng.normal rng
+    else begin
+      let acc = ref planted.G.signal_intercept in
+      Array.iteri
+        (fun idx gid ->
+          acc := !acc +. (planted.G.signal_coefs.(idx) *. row.(gid)))
+        planted.G.signal_genes;
+      !acc +. (0.25 *. Prng.normal rng)
+    end
+  in
+  let patient =
+    {
+      G.patient_id = id;
+      age = 18 + Prng.int rng 78;
+      gender = Prng.int rng 2;
+      zipcode = 10_000 + Prng.int rng 89_999;
+      disease_id = 1 + Prng.int rng spec.Spec.diseases;
+      drug_response = response;
+    }
+  in
+  Append_patient { patient; row }
+
+let gen_variant rng ~id ~span =
+  let vstart = Prng.int rng (max 1 span) in
+  let vlen =
+    if Prng.int rng 10 < 7 then 1 + Prng.int rng 50
+    else 100 + Prng.int rng 9_900
+  in
+  Append_variant { G.variant_id = id; vstart; vlen }
+
+let generate ?seed ?(profile = default_profile) (ds : Genbase.Dataset.t) =
+  let seed = match seed with Some s -> s | None -> ds.G.stream_seed in
+  let rng = Prng.create seed in
+  let g = ds.G.spec.Spec.genes in
+  let span =
+    let last = ds.G.genes.(Array.length ds.G.genes - 1) in
+    last.G.position + last.G.length
+  in
+  let n = ref (Array.length ds.G.patients) in
+  let nv = ref (Array.length ds.G.variants) in
+  let batches =
+    Array.init profile.batches (fun offset ->
+        let events = ref [] in
+        for _ = 1 to profile.appends_per_batch do
+          events := gen_patient rng ds ~id:!n :: !events;
+          incr n
+        done;
+        for _ = 1 to profile.updates_per_batch do
+          let patient_id = Prng.int rng !n in
+          let gene_id = Prng.int rng g in
+          events :=
+            Update_cell { patient_id; gene_id; value = gen_value rng }
+            :: !events
+        done;
+        for _ = 1 to profile.variants_per_batch do
+          events := gen_variant rng ~id:!nv ~span :: !events;
+          incr nv
+        done;
+        { offset; events = List.rev !events })
+  in
+  { seed; batches }
+
+let events (log : log) =
+  Array.fold_left (fun acc b -> acc + List.length b.events) 0 log.batches
+
+let appends (log : log) =
+  Array.fold_left
+    (fun acc b ->
+      acc
+      + List.length
+          (List.filter (function Append_patient _ -> true | _ -> false)
+             b.events))
+    0 log.batches
+
+let apply_event live = function
+  | Append_patient { patient; row } -> Live.append_patient live patient row
+  | Update_cell { patient_id; gene_id; value } ->
+    ignore (Live.update_cell live ~patient_id ~gene_id value)
+  | Append_variant v -> Live.append_variant live v
+
+let apply_batch live b = List.iter (apply_event live) b.events
+
+let materialize ?upto ds (log : log) =
+  let upto = match upto with Some u -> u | None -> Array.length log.batches in
+  let live = Live.of_dataset ds in
+  for i = 0 to min upto (Array.length log.batches) - 1 do
+    apply_batch live log.batches.(i)
+  done;
+  Live.snapshot live

@@ -1,0 +1,57 @@
+(** Deterministic streaming ingest log.
+
+    A log is a fixed sequence of batches of events — new patients with
+    their microarray rows, in-place expression cell updates, new variant
+    calls — drawn from the dataset's [stream_seed], itself the last PRNG
+    split of the generator root. Same dataset, same profile, same log;
+    replaying any prefix is bit-for-bit reproducible, which is what the
+    crash/recovery protocol and the conformance checks lean on. *)
+
+type event =
+  | Append_patient of { patient : Gb_datagen.Generate.patient; row : float array }
+      (** a new patient plus their full microarray row *)
+  | Update_cell of { patient_id : int; gene_id : int; value : float }
+      (** re-measured expression value *)
+  | Append_variant of Gb_datagen.Generate.variant
+      (** a new variant call interval *)
+
+type batch = { offset : int; events : event list }
+(** [offset] is the batch's position in the log, from 0. *)
+
+type log = { seed : int64; batches : batch array }
+
+type profile = {
+  batches : int;
+  appends_per_batch : int;
+  updates_per_batch : int;
+  variants_per_batch : int;
+}
+
+val default_profile : profile
+(** 8 batches of 8 appends, 4 updates and 2 variants. *)
+
+val profile :
+  ?batches:int -> ?appends:int -> ?updates:int -> ?variants:int -> unit ->
+  profile
+
+val generate : ?seed:int64 -> ?profile:profile -> Genbase.Dataset.t -> log
+(** [seed] defaults to the dataset's [stream_seed] (pass one explicitly
+    for datasets loaded from CSV, whose stream seed is 0). Appended
+    patients follow the base generator's attribute distributions and,
+    when the dataset carries planted regression structure, their drug
+    response follows the planted linear signal — so the streamed tail is
+    statistically like the base, not adversarial noise. *)
+
+val events : log -> int
+(** Total event count. *)
+
+val appends : log -> int
+(** Total appended-patient count. *)
+
+val apply_event : Live.t -> event -> unit
+
+val apply_batch : Live.t -> batch -> unit
+
+val materialize : ?upto:int -> Genbase.Dataset.t -> log -> Genbase.Dataset.t
+(** The dataset after applying the first [upto] batches (default: all) —
+    the one-shot-recompute side of every refresh-vs-recompute check. *)

@@ -1,0 +1,118 @@
+module G = Gb_datagen.Generate
+module Spec = Gb_datagen.Spec
+module Mat = Gb_linalg.Mat
+
+type t = {
+  base : Genbase.Dataset.t;
+  genes : int;
+  mutable expr : Mat.t; (* capacity x genes; rows [0, n) live *)
+  mutable n : int;
+  mutable patients : G.patient array; (* capacity; [0, n) live *)
+  mutable variants : G.variant array; (* capacity; [0, nv) live *)
+  mutable nv : int;
+}
+
+let of_dataset (ds : Genbase.Dataset.t) =
+  let n, g = Mat.dims ds.G.expression in
+  {
+    base = ds;
+    genes = g;
+    expr = Mat.copy ds.G.expression;
+    n;
+    patients = Array.copy ds.G.patients;
+    variants = Array.copy ds.G.variants;
+    nv = Array.length ds.G.variants;
+  }
+
+let copy t =
+  {
+    t with
+    expr = Mat.copy t.expr;
+    patients = Array.copy t.patients;
+    variants = Array.copy t.variants;
+  }
+
+let base t = t.base
+let n_patients t = t.n
+let n_genes t = t.genes
+let n_variants t = t.nv
+
+let grow_rows t =
+  let cap = t.expr.Mat.rows in
+  let cap' = max 8 (2 * cap) in
+  let expr' = Mat.create cap' t.genes in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.genes - 1 do
+      Mat.unsafe_set expr' i j (Mat.unsafe_get t.expr i j)
+    done
+  done;
+  t.expr <- expr';
+  let dummy = t.patients.(0) in
+  let pats' = Array.make cap' dummy in
+  Array.blit t.patients 0 pats' 0 t.n;
+  t.patients <- pats'
+
+let append_patient t (p : G.patient) row =
+  if p.G.patient_id <> t.n then
+    invalid_arg
+      (Printf.sprintf "Live.append_patient: id %d, expected %d"
+         p.G.patient_id t.n);
+  if Array.length row <> t.genes then
+    invalid_arg "Live.append_patient: row length";
+  if t.n >= t.expr.Mat.rows then grow_rows t;
+  for j = 0 to t.genes - 1 do
+    Mat.unsafe_set t.expr t.n j row.(j)
+  done;
+  t.patients.(t.n) <- p;
+  t.n <- t.n + 1
+
+let update_cell t ~patient_id ~gene_id value =
+  if patient_id < 0 || patient_id >= t.n then
+    invalid_arg "Live.update_cell: patient_id";
+  let old = Mat.get t.expr patient_id gene_id in
+  Mat.set t.expr patient_id gene_id value;
+  old
+
+let append_variant t (v : G.variant) =
+  if v.G.variant_id <> t.nv then
+    invalid_arg
+      (Printf.sprintf "Live.append_variant: id %d, expected %d" v.G.variant_id
+         t.nv);
+  let cap = Array.length t.variants in
+  if t.nv >= cap then begin
+    let dummy =
+      if cap > 0 then t.variants.(0)
+      else { G.variant_id = 0; vstart = 0; vlen = 1 }
+    in
+    let vs' = Array.make (max 8 (2 * cap)) dummy in
+    Array.blit t.variants 0 vs' 0 t.nv;
+    t.variants <- vs'
+  end;
+  t.variants.(t.nv) <- v;
+  t.nv <- t.nv + 1
+
+let cell t ~patient_id ~gene_id = Mat.get t.expr patient_id gene_id
+
+let row t i =
+  if i < 0 || i >= t.n then invalid_arg "Live.row";
+  Array.init t.genes (fun j -> Mat.unsafe_get t.expr i j)
+
+let patient t i =
+  if i < 0 || i >= t.n then invalid_arg "Live.patient";
+  t.patients.(i)
+
+let matrix t =
+  Mat.init t.n t.genes (fun i j -> Mat.unsafe_get t.expr i j)
+
+let snapshot t : Genbase.Dataset.t =
+  let spec =
+    let s = t.base.G.spec in
+    if s.Spec.patients = t.n then s else { s with Spec.patients = t.n }
+  in
+  {
+    t.base with
+    G.spec = spec;
+    expression = matrix t;
+    patients = Array.sub t.patients 0 t.n;
+    variants = Array.sub t.variants 0 t.nv;
+  }

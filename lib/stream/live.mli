@@ -1,0 +1,52 @@
+(** The mutable, growable form of a benchmark dataset.
+
+    A [Live.t] starts as a copy of a generated {!Genbase.Dataset.t} and
+    absorbs ingest events in place: patient rows append to the bottom of
+    the expression matrix (capacity-doubling), cells update in place,
+    variants append to the interval table. Genes, GO memberships and the
+    planted structure are immutable — GenBase's streams grow the
+    observation axes, not the gene axis.
+
+    {!snapshot} materializes the current state back into a plain
+    [Dataset.t], the single source of truth for what "the dataset after
+    these events" means: conformance checks run full recomputes against
+    snapshots, and maintainer answers must match them. *)
+
+type t
+
+val of_dataset : Genbase.Dataset.t -> t
+(** Deep copy; the source dataset is never mutated. *)
+
+val copy : t -> t
+(** Deep copy (checkpointing). *)
+
+val base : t -> Genbase.Dataset.t
+(** The dataset this live view started from (not a snapshot). *)
+
+val n_patients : t -> int
+val n_genes : t -> int
+val n_variants : t -> int
+
+val append_patient : t -> Gb_datagen.Generate.patient -> float array -> unit
+(** The patient's id must equal the current patient count and the row
+    must have one value per gene. *)
+
+val update_cell : t -> patient_id:int -> gene_id:int -> float -> float
+(** Set one expression cell; returns the previous value. *)
+
+val append_variant : t -> Gb_datagen.Generate.variant -> unit
+(** The variant's id must equal the current variant count. *)
+
+val cell : t -> patient_id:int -> gene_id:int -> float
+val row : t -> int -> float array
+(** Copy of one expression row (length [n_genes]). *)
+
+val patient : t -> int -> Gb_datagen.Generate.patient
+val matrix : t -> Gb_linalg.Mat.t
+(** Fresh [n_patients x n_genes] copy of the live expression matrix. *)
+
+val snapshot : t -> Genbase.Dataset.t
+(** Materialize the current state as a plain dataset: the spec's patient
+    count tracks the live count, everything immutable is shared with the
+    base. A snapshot taken before any event is field-for-field identical
+    to the base dataset (same dataset fingerprint). *)

@@ -1,0 +1,83 @@
+(** Incremental maintainers: one materialized answer per query family,
+    updated from ingest events instead of recomputed from scratch.
+
+    Maintenance strategy per query:
+
+    - {b Q1 regression} — a joint mergeable-moment sketch
+      ({!Gb_linalg.Moments}) over (selected genes, drug response).
+      Appends flow through a relational {e delta-join}: the batch's new
+      microarray triples are joined against the gene table's
+      [func < threshold] selection by running the ordinary Q1 plan over
+      a {!Gb_relational.Delta} catalog, and the resulting joint rows
+      rank-1-update the sketch. Refresh solves the centered normal
+      equations — numerically equivalent (tolerance-profile) to the
+      reference QR fit.
+    - {b Q2 covariance} — a moment sketch over the disease cohort's full
+      gene vector; appends add rows, cell updates downdate/update.
+      Covariance is [M2/(n-1)] at any point.
+    - {b Q3 biclustering, Q4 SVD} — full-recompute fallback: iterative
+      kernels whose answers do not decompose over row deltas. The cached
+      payload is served until the staleness bound (rows applied since
+      the last recompute) is exceeded, then recomputed from the live
+      snapshot with the shared reference kernels.
+    - {b Q5 statistics} — delta-filter IVM: the sample predicate is
+      [patient_id < k], so sample growth is a relational filter over the
+      delta triples; per-gene sums are maintained in exact row order
+      (appends in ascending id order, updates recompute the affected
+      column's fold), reproducing [Mat.col_means]'s summation order
+      bit-for-bit — the enrichment payload is {e bitwise} equal to a
+      full recompute.
+    - {b Q6 overlap} — delta interval sweep: each batch's new variants
+      sweep against the (static) gene intervals via
+      {!Gb_util.Ranges.sweep_join}; new pairs append in canonical order,
+      so the maintained pair list is integer-exact.
+
+    Event hooks must be called {e after} the event is applied to the
+    {!Live} view, in event order; {!flush} runs once per batch boundary
+    (it drains the buffered delta-join work). *)
+
+type config = {
+  params : Genbase.Query.params;
+  staleness_limit : int;
+      (** Q3/Q4: max rows applied (appends + updates) before a
+          non-forced {!refresh} recomputes *)
+}
+
+val default_config : config
+(** Default query params, staleness bound of 256 rows. *)
+
+type t
+
+val create : ?config:config -> queries:Genbase.Query.t list -> Live.t -> t
+(** Initialize maintainer state from the live view's current contents
+    (fast-path sketch construction from the base matrices). *)
+
+val copy : t -> t
+(** Deep copy — checkpointing. *)
+
+val on_append : t -> Live.t -> Gb_datagen.Generate.patient -> float array -> unit
+val on_update :
+  t -> Live.t -> patient_id:int -> gene_id:int -> old_row:float array ->
+  unit
+(** [old_row] is the patient's full expression row {e before} the update
+    (the live view already holds the new value). *)
+
+val on_variants : t -> Live.t -> Gb_datagen.Generate.variant list -> unit
+(** New variants of one batch, ascending id order. *)
+
+val flush : t -> Live.t -> unit
+(** Batch boundary: runs the buffered Q1 delta-join and folds the
+    resulting joint rows into the regression sketch. *)
+
+val refresh : ?force:bool -> t -> Live.t -> Genbase.Query.t -> Genbase.Engine.payload
+(** Current answer. Incremental queries (Q1/Q2/Q5/Q6) always reflect
+    every applied event; fallback queries (Q3/Q4) serve the cached
+    payload unless [force] or the staleness bound was exceeded. *)
+
+val staleness : t -> Genbase.Query.t -> int
+(** Rows applied since the query's answer was last materialized — 0 for
+    the incremental families. *)
+
+val recomputes : t -> int
+(** Fallback recomputations performed so far (both forced and
+    staleness-triggered). *)

@@ -181,6 +181,72 @@ let prop_eigen_trace =
       let sum = Array.fold_left ( +. ) 0. (Eigen.eigenvalues a) in
       Float.abs (sum -. !trace) /. Float.max 1. (Float.abs !trace) < 1e-9)
 
+(* Mergeable-moment laws behind the streaming covariance maintainer:
+   sketching arbitrary batch splits of an arbitrary row permutation and
+   merging must agree with the one-shot sketch to 1e-9, and downdating
+   (remove_row) must be the inverse of add_row to the same tolerance. *)
+module Moments = Gb_linalg.Moments
+
+let arb_sketch =
+  QCheck.make
+    ~print:(fun (r, c, s) -> Printf.sprintf "%dx%d seed %Ld" r c s)
+    QCheck.Gen.(
+      int_range 1 8 >>= fun c ->
+      int_range 2 40 >>= fun r ->
+      seed_gen >|= fun s -> (r, c, s))
+
+let max_abs a b =
+  let d = ref 0. in
+  Array.iteri (fun i v -> d := Float.max !d (Float.abs (v -. b.(i)))) a;
+  !d
+
+let prop_moments_merge_covariance =
+  QCheck.Test.make
+    ~name:"merged batched-moment covariance == one-shot (splits + permutations)"
+    ~count:100 arb_sketch (fun (rows, cols, seed) ->
+      let rng = Prng.create seed in
+      let m = Mat.random rng rows cols in
+      let oneshot = Moments.of_matrix m in
+      let perm = Array.init rows Fun.id in
+      Prng.shuffle rng perm;
+      let merged = ref (Moments.create cols) in
+      let batch = ref (Moments.create cols) in
+      Array.iter
+        (fun i ->
+          Moments.add_row !batch (Mat.row m i);
+          if Prng.bool rng then begin
+            merged := Moments.merge !merged !batch;
+            batch := Moments.create cols
+          end)
+        perm;
+      let merged = Moments.merge !merged !batch in
+      let d_mean = max_abs (Moments.means merged) (Moments.means oneshot) in
+      let d_cov =
+        Mat.max_abs_diff (Moments.covariance merged) (Moments.covariance oneshot)
+      in
+      if d_mean < 1e-9 && d_cov < 1e-9 then true
+      else QCheck.Test.fail_reportf "mean %g cov %g" d_mean d_cov)
+
+let prop_moments_downdate =
+  QCheck.Test.make ~name:"remove_row inverts add_row" ~count:100 arb_sketch
+    (fun (rows, cols, seed) ->
+      let rng = Prng.create seed in
+      let m = Mat.random rng (rows + 2) cols in
+      (* keep at least 2 rows so covariance stays defined *)
+      let removed = Array.init rows (fun _ -> Prng.bool rng) in
+      let kept =
+        Array.of_list
+          (List.filteri (fun i _ -> i >= rows || not removed.(i))
+             (List.init (rows + 2) Fun.id))
+      in
+      let sk = Moments.of_matrix m in
+      Array.iteri
+        (fun i r -> if r then Moments.remove_row sk (Mat.row m i))
+        removed;
+      let direct = Moments.of_matrix (Mat.sub_rows m kept) in
+      let d = Mat.max_abs_diff (Moments.covariance sk) (Moments.covariance direct) in
+      if d < 1e-9 then true else QCheck.Test.fail_reportf "cov diff %g" d)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -192,4 +258,6 @@ let suite =
       prop_eigen_trace;
       prop_parallel_gemm_bitwise;
       prop_parallel_covariance_conforms;
+      prop_moments_merge_covariance;
+      prop_moments_downdate;
     ]

@@ -30,5 +30,6 @@ let () =
       ("critpath", Test_critpath.suite);
       ("conformance", Test_conformance.suite);
       ("linalg-prop", Test_linalg_prop.suite);
+      ("stream", Test_stream.suite);
       ("scaling", Test_scaling.suite);
     ]

@@ -116,6 +116,56 @@ let prop_wilcoxon_p_in_range =
       let r = Gb_stats.Wilcoxon.rank_sum_test xs ys in
       r.Gb_stats.Wilcoxon.p_value >= 0. && r.Gb_stats.Wilcoxon.p_value <= 1.)
 
+(* Streaming-maintainer algebra: regressing through a mergeable moment
+   sketch must not depend on how the patient rows were batched or
+   permuted — merged per-batch sketches over a shuffled row order answer
+   within 1e-9 of the one-shot sketch over the original order. *)
+let prop_moments_regression_batch_invariant =
+  let module Mat = Gb_linalg.Mat in
+  let module Moments = Gb_linalg.Moments in
+  let module Prng = Gb_util.Prng in
+  QCheck.Test.make
+    ~name:"batched-moment regression == one-shot (splits + permutations)"
+    ~count:80
+    (QCheck.make
+       ~print:(fun (r, c, s) -> Printf.sprintf "%dx%d seed %Ld" r c s)
+       QCheck.Gen.(
+         int_range 1 6 >>= fun c ->
+         int_range (c + 3) 40 >>= fun r ->
+         map Int64.of_int (int_range 1 1_000_000) >|= fun s -> (r, c, s)))
+    (fun (rows, preds, seed) ->
+      let rng = Prng.create seed in
+      let joint = Mat.random rng rows (preds + 1) in
+      let oneshot = Moments.regression (Moments.of_matrix joint) in
+      (* shuffle the rows, cut them into random batches, sketch each
+         batch by rank-1 updates, merge pairwise *)
+      let perm = Array.init rows Fun.id in
+      Prng.shuffle rng perm;
+      let merged = ref (Moments.create (preds + 1)) in
+      let batch = ref (Moments.create (preds + 1)) in
+      Array.iter
+        (fun i ->
+          Moments.add_row !batch (Mat.row joint i);
+          if Prng.bool rng then begin
+            merged := Moments.merge !merged !batch;
+            batch := Moments.create (preds + 1)
+          end)
+        perm;
+      let merged = Moments.merge !merged !batch in
+      let m = Moments.regression merged in
+      let diff =
+        Array.fold_left max
+          (Float.abs (m.Moments.intercept -. oneshot.Moments.intercept))
+          (Array.map2
+             (fun a b -> Float.abs (a -. b))
+             m.Moments.coefficients oneshot.Moments.coefficients)
+      in
+      let diff =
+        max diff (Float.abs (m.Moments.r_squared -. oneshot.Moments.r_squared))
+      in
+      if diff < 1e-9 then true
+      else QCheck.Test.fail_reportf "max coefficient divergence %g" diff)
+
 let suite =
   [
     ("erf known values", `Quick, test_erf_known);
@@ -135,4 +185,5 @@ let suite =
     ("pearson", `Quick, test_pearson);
     QCheck_alcotest.to_alcotest prop_ranks_permutation_invariant;
     QCheck_alcotest.to_alcotest prop_wilcoxon_p_in_range;
+    QCheck_alcotest.to_alcotest prop_moments_regression_batch_invariant;
   ]
